@@ -1,0 +1,142 @@
+//! Per-engine blacklists.
+//!
+//! The experiment's measured quantity is *time of appearance on a
+//! blacklist*. [`Blacklist`] stores URL → first-listed time,
+//! idempotently, and can answer "was this URL listed as of time T" —
+//! which is what the monitoring loop (GSB Lookup API calls, half-hourly
+//! feed downloads) asks.
+
+use phishsim_http::Url;
+use phishsim_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One engine's blacklist.
+///
+/// ```
+/// use phishsim_antiphish::Blacklist;
+/// use phishsim_http::Url;
+/// use phishsim_simnet::SimTime;
+///
+/// let mut list = Blacklist::new();
+/// let url = Url::parse("https://bad.com/kit.php").unwrap();
+/// list.add(&url, SimTime::from_mins(90));
+/// assert!(!list.is_listed(&url, SimTime::from_mins(89)));
+/// assert!(list.is_listed(&url, SimTime::from_mins(90)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Blacklist {
+    entries: HashMap<String, SimTime>,
+}
+
+fn canonical(url: &Url) -> String {
+    // Feeds list full URLs; canonicalise without query (kits vary
+    // parameters to dodge exact-match lists).
+    url.without_query().to_string()
+}
+
+impl Blacklist {
+    /// An empty blacklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// List a URL at `at`. Earlier listings win (idempotent; re-adding
+    /// never moves the timestamp forward or backward to a later time).
+    pub fn add(&mut self, url: &Url, at: SimTime) {
+        let key = canonical(url);
+        self.entries
+            .entry(key)
+            .and_modify(|t| {
+                if at < *t {
+                    *t = at;
+                }
+            })
+            .or_insert(at);
+    }
+
+    /// When the URL was first listed, if ever.
+    pub fn listed_at(&self, url: &Url) -> Option<SimTime> {
+        self.entries.get(&canonical(url)).copied()
+    }
+
+    /// Whether the URL was on the list as of `now` (the Lookup-API /
+    /// feed-download view).
+    pub fn is_listed(&self, url: &Url, now: SimTime) -> bool {
+        self.listed_at(url).is_some_and(|t| t <= now)
+    }
+
+    /// Number of listed URLs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is listed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot of the feed as of `now` (what a half-hourly download
+    /// returns).
+    pub fn feed_snapshot(&self, now: SimTime) -> Vec<(String, SimTime)> {
+        let mut v: Vec<(String, SimTime)> = self
+            .entries
+            .iter()
+            .filter(|(_, &t)| t <= now)
+            .map(|(k, &t)| (k.clone(), t))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut b = Blacklist::new();
+        let u = url("https://bad.com/secure/login.php");
+        assert!(!b.is_listed(&u, SimTime::from_hours(10)));
+        b.add(&u, SimTime::from_mins(90));
+        assert_eq!(b.listed_at(&u), Some(SimTime::from_mins(90)));
+        assert!(!b.is_listed(&u, SimTime::from_mins(89)), "not listed before listing time");
+        assert!(b.is_listed(&u, SimTime::from_mins(90)));
+    }
+
+    #[test]
+    fn earliest_listing_wins() {
+        let mut b = Blacklist::new();
+        let u = url("https://bad.com/p");
+        b.add(&u, SimTime::from_mins(100));
+        b.add(&u, SimTime::from_mins(50));
+        b.add(&u, SimTime::from_mins(200));
+        assert_eq!(b.listed_at(&u), Some(SimTime::from_mins(50)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn query_parameters_canonicalised() {
+        let mut b = Blacklist::new();
+        b.add(&url("https://bad.com/p?x=1"), SimTime::from_mins(1));
+        assert!(b.is_listed(&url("https://bad.com/p?x=2"), SimTime::from_mins(2)));
+        assert!(!b.is_listed(&url("https://bad.com/other"), SimTime::from_mins(2)));
+    }
+
+    #[test]
+    fn feed_snapshot_respects_time() {
+        let mut b = Blacklist::new();
+        b.add(&url("https://a.com/1"), SimTime::from_mins(10));
+        b.add(&url("https://b.com/2"), SimTime::from_mins(90));
+        let snap = b.feed_snapshot(SimTime::from_mins(30));
+        assert_eq!(snap.len(), 1);
+        assert!(snap[0].0.contains("a.com"));
+        let later = b.feed_snapshot(SimTime::from_hours(2));
+        assert_eq!(later.len(), 2);
+    }
+}

@@ -1,0 +1,959 @@
+//! The crawl pipeline: what an engine does with one reported URL.
+//!
+//! ```text
+//! report ──intake──► first visit ──► (dialog / forms / CAPTCHA per
+//! profile) ──► classification ──► verdict delay ──► blacklist
+//!          └──────── background crawl + probe traffic (90 % ≤ 2 h) ───┘
+//! ```
+//!
+//! [`Engine::process_report`] executes the whole pipeline in virtual
+//! time against a [`Transport`], returning a [`ReportOutcome`] that the
+//! experiment framework turns into table rows. All traffic flows
+//! through the transport, so the hosting farm's access log sees the
+//! same request mix the paper analysed.
+
+use crate::classifier::classify;
+use crate::kit_probe;
+use crate::profiles::{EngineId, EngineProfile};
+use parking_lot::Mutex;
+use phishsim_browser::{Browser, BrowserConfig, BrowseStep, DialogPolicy, PageView, Transport};
+use phishsim_captcha::CaptchaProvider;
+use phishsim_http::{Request, Url, UserAgent};
+use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How the payload was reached, when it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadPath {
+    /// Served directly (naked page, or cloaking failed to block).
+    Direct,
+    /// Revealed by confirming the modal dialog.
+    DialogConfirm,
+    /// Revealed by auto-submitting a form (session gate).
+    FormSubmit,
+}
+
+/// The result of processing one report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportOutcome {
+    /// The engine that processed the report.
+    pub engine: EngineId,
+    /// The reported URL.
+    pub url: Url,
+    /// Submission time.
+    pub reported_at: SimTime,
+    /// When the first crawl request hit the site.
+    pub first_visit_at: SimTime,
+    /// Whether the phishing payload was ever fetched.
+    pub payload_reached: bool,
+    /// When, if it was.
+    pub payload_reached_at: Option<SimTime>,
+    /// How, if it was.
+    pub payload_via: Option<PayloadPath>,
+    /// Whether a CAPTCHA widget was recognised on the page.
+    pub captcha_recognised: bool,
+    /// Whether a leftover phishing-kit archive was discovered by probe
+    /// traffic (the "sloppy phisher" giveaway OpenPhish hunts for).
+    pub kit_archive_found: bool,
+    /// Best classifier score observed.
+    pub best_score: f64,
+    /// Blacklist-publication time, if the engine detected the page.
+    pub detected_at: Option<SimTime>,
+    /// Total requests the engine sent for this report.
+    pub requests_made: u64,
+}
+
+impl ReportOutcome {
+    /// Time from report to blacklisting, if detected.
+    pub fn detection_delay(&self) -> Option<SimDuration> {
+        self.detected_at.map(|t| t.since(self.reported_at))
+    }
+}
+
+/// One simulated anti-phishing engine.
+#[derive(Debug)]
+pub struct Engine {
+    /// The engine's capability profile.
+    pub profile: EngineProfile,
+    pool: IpPool,
+    rng: DetRng,
+    captcha_provider: Option<Arc<Mutex<CaptchaProvider>>>,
+    /// Recently processed URLs, for report deduplication.
+    recent_reports: std::collections::HashMap<String, SimTime>,
+}
+
+impl Engine {
+    /// Instantiate an engine from its calibrated profile.
+    pub fn new(id: EngineId, rng: &DetRng) -> Self {
+        Self::with_profile(EngineProfile::of(id), rng)
+    }
+
+    /// Instantiate an engine from a custom profile (mitigation and
+    /// ablation studies upgrade capabilities this way).
+    pub fn with_profile(profile: EngineProfile, rng: &DetRng) -> Self {
+        let id = profile.id;
+        let mut pool_rng = rng.fork(&format!("engine-pool:{}", id.key()));
+        // Each engine's crawler fleet lives in its own /16.
+        let base = Ipv4Sim::new(
+            20 + (id as u8) * 10,
+            40 + (id as u8) * 7,
+            0,
+            0,
+        );
+        let pool = IpPool::allocate(base, 16, profile.ip_pool_size, &mut pool_rng);
+        Engine {
+            profile,
+            pool,
+            rng: rng.fork(&format!("engine:{}", id.key())),
+            captcha_provider: None,
+            recent_reports: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Whether a fresh report of `url` at `now` would be deduplicated
+    /// (the engine already processed it within the last 24 hours).
+    pub fn is_duplicate_report(&self, url: &Url, now: SimTime) -> bool {
+        self.recent_reports
+            .get(&url.without_query().to_string())
+            .is_some_and(|&t| now.since(t) < SimDuration::from_hours(24))
+    }
+
+    /// Attach the CAPTCHA provider so an upgraded profile's solver can
+    /// actually attempt challenges (builder style). Without a solver in
+    /// the profile this is inert.
+    pub fn with_captcha_provider(mut self, p: Arc<Mutex<CaptchaProvider>>) -> Self {
+        self.captcha_provider = Some(p);
+        self
+    }
+
+    /// The engine's crawler IP pool.
+    pub fn pool(&self) -> &IpPool {
+        &self.pool
+    }
+
+    fn crawler_user_agent(&mut self) -> String {
+        if self.rng.chance(self.profile.stealth_fraction) {
+            // Masquerade as a desktop browser.
+            (*self
+                .rng
+                .pick(&[UserAgent::Firefox, UserAgent::Chrome, UserAgent::Edge]))
+            .as_str()
+            .to_string()
+        } else {
+            match self.profile.id {
+                EngineId::Gsb => UserAgent::Googlebot.as_str().to_string(),
+                EngineId::Ysb => {
+                    "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)".to_string()
+                }
+                id => format!(
+                    "Mozilla/5.0 (compatible; {}-scanner/1.0; +https://{}.example/bot)",
+                    id.key(),
+                    id.key()
+                ),
+            }
+        }
+    }
+
+    fn browser(&mut self, dialog_policy: DialogPolicy) -> Browser {
+        let ua = self.crawler_user_agent();
+        let config = BrowserConfig {
+            user_agent: ua,
+            dialog_policy,
+            // None for every real engine — the paper's central finding.
+            // Mitigation studies plug a farm solver into the profile.
+            captcha_solver: self.profile.captcha_solver.clone(),
+            max_redirects: 5,
+            max_effect_rounds: 3,
+        };
+        let src = self.pool.draw(&mut self.rng);
+        let mut browser = Browser::new(config, src, self.profile.id.key());
+        if let Some(p) = &self.captcha_provider {
+            browser = browser.with_captcha_provider(Arc::clone(p));
+        }
+        browser
+    }
+
+    fn exchanges_in(view: &PageView) -> u64 {
+        view.steps
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    BrowseStep::Loaded { .. }
+                        | BrowseStep::Redirected { .. }
+                        | BrowseStep::AutoRedirected { .. }
+                )
+            })
+            .count() as u64
+    }
+
+    /// Fetch a handful of page assets/links the way crawlers do after
+    /// loading a page (favicon, logo images, first links).
+    fn fetch_assets(
+        &mut self,
+        t: &mut dyn Transport,
+        view: &PageView,
+        at: SimTime,
+    ) -> u64 {
+        let mut paths: Vec<String> = Vec::new();
+        if let Some(f) = &view.summary.favicon {
+            paths.push(f.clone());
+        }
+        paths.extend(view.summary.images.iter().take(2).cloned());
+        paths.extend(
+            view.summary
+                .links
+                .iter()
+                .filter(|l| l.starts_with('/'))
+                .take(3)
+                .cloned(),
+        );
+        let ua = self.crawler_user_agent();
+        let mut n = 0;
+        for p in paths {
+            if !p.starts_with('/') {
+                continue;
+            }
+            let url = Url::https(&view.url.host, &p);
+            let req = Request::get(url).with_user_agent(&ua);
+            let src = self.pool.draw(&mut self.rng);
+            let _ = t.fetch(src, self.profile.id.key(), &req, at);
+            n += 1;
+        }
+        n
+    }
+
+    /// Process one reported URL end to end.
+    ///
+    /// `volume_scale` scales the background-traffic budget (1.0 for
+    /// table regeneration, small values for fast tests).
+    pub fn process_report(
+        &mut self,
+        t: &mut dyn Transport,
+        url: &Url,
+        reported_at: SimTime,
+        volume_scale: f64,
+    ) -> ReportOutcome {
+        // Real intake pipelines deduplicate: a URL re-reported within a
+        // day gets a cheap revalidation, not a second full crawl.
+        if self.is_duplicate_report(url, reported_at) {
+            let mut browser = self.browser(self.profile.dialog_policy);
+            let recheck_at = reported_at
+                + self.profile.channel.intake_delay(&mut self.rng);
+            let mut requests = 0;
+            let mut best_score = 0.0;
+            let mut payload_reached = false;
+            let mut payload_reached_at = None;
+            if let Ok(view) = browser.visit(t, url, recheck_at) {
+                requests = Self::exchanges_in(&view);
+                let c = classify(&view.summary, &url.host);
+                best_score = c.score(self.profile.classifier_mode);
+                if view.summary.has_login_form() {
+                    payload_reached = true;
+                    payload_reached_at = Some(recheck_at + view.elapsed);
+                }
+            }
+            let detected_at = (best_score >= self.profile.threshold)
+                .then(|| {
+                    let (mean, sd) = self.profile.verdict_delay_mins;
+                    let delay = self.rng.normal_clamped(mean, sd, 1.0, mean * 4.0 + 10.0);
+                    payload_reached_at.unwrap_or(recheck_at)
+                        + SimDuration::from_millis((delay * 60_000.0) as u64)
+                });
+            return ReportOutcome {
+                engine: self.profile.id,
+                url: url.clone(),
+                reported_at,
+                first_visit_at: recheck_at,
+                payload_reached,
+                payload_reached_at,
+                payload_via: payload_reached.then_some(PayloadPath::Direct),
+                captcha_recognised: false,
+                kit_archive_found: false,
+                best_score,
+                detected_at,
+                requests_made: requests,
+            };
+        }
+        self.recent_reports
+            .insert(url.without_query().to_string(), reported_at);
+
+        let intake_at = reported_at + self.profile.channel.intake_delay(&mut self.rng);
+        let (lo, hi) = self.profile.first_visit_mins;
+        let first_visit_at = intake_at + SimDuration::from_mins(self.rng.range(lo..=hi));
+
+        let mut requests: u64 = 0;
+        let mut best_score: f64 = 0.0;
+        let mut payload_reached = false;
+        let mut payload_reached_at = None;
+        let mut payload_via = None;
+        let mut captcha_recognised = false;
+        let mut detection_score_path: Option<PayloadPath> = None;
+
+        // ---- initial visit ----
+        let mut browser = self.browser(self.profile.dialog_policy);
+        let initial = browser.visit(t, url, first_visit_at);
+        let mut site_paths: Vec<String> = vec![url.path.clone()];
+        if let Ok(view) = &initial {
+            requests += Self::exchanges_in(view);
+            requests += self.fetch_assets(t, view, first_visit_at + view.elapsed);
+            site_paths.extend(
+                view.summary
+                    .links
+                    .iter()
+                    .filter(|l| l.starts_with('/'))
+                    .cloned(),
+            );
+            captcha_recognised |=
+                view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
+            let c = classify(&view.summary, &url.host);
+            let score = c.score(self.profile.classifier_mode);
+            if view.summary.has_login_form() {
+                payload_reached = true;
+                let at = first_visit_at + view.elapsed;
+                payload_reached_at = Some(at);
+                let via = if view.has_step(|s| matches!(s, BrowseStep::DialogConfirmed)) {
+                    PayloadPath::DialogConfirm
+                } else {
+                    PayloadPath::Direct
+                };
+                payload_via = Some(via);
+                if score > best_score {
+                    best_score = score;
+                    detection_score_path = Some(via);
+                }
+            }
+
+            // ---- form submission (crawler probing) ----
+            if !view.summary.has_login_form() && !view.summary.forms.is_empty() {
+                let login_form = view
+                    .summary
+                    .forms
+                    .iter()
+                    .find(|f| f.looks_like_login())
+                    .cloned();
+                let any_form = view.summary.forms.first().cloned();
+                let candidate = if self.profile.submits_login_forms && login_form.is_some() {
+                    login_form
+                } else if self.profile.submits_any_form {
+                    any_form
+                } else {
+                    None
+                };
+                if let Some(form) = candidate {
+                    let submit_at = first_visit_at + view.elapsed;
+                    if let Ok(after) =
+                        browser.submit_form(t, view, &form, "probe-user", submit_at)
+                    {
+                        requests += Self::exchanges_in(&after)
+                            + after
+                                .steps
+                                .iter()
+                                .filter(|s| matches!(s, BrowseStep::FormSubmitted { .. }))
+                                .count() as u64;
+                        let c = classify(&after.summary, &url.host);
+                        let score = c.score(self.profile.classifier_mode);
+                        if after.summary.has_login_form() {
+                            payload_reached = true;
+                            let at = submit_at + after.elapsed;
+                            payload_reached_at.get_or_insert(at);
+                            payload_via.get_or_insert(PayloadPath::FormSubmit);
+                            if score > best_score {
+                                best_score = score;
+                                detection_score_path = Some(PayloadPath::FormSubmit);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- deep pass (GSB's browser simulation) ----
+        if let Some(deep) = self.profile.deep_pass.clone() {
+            if best_score < self.profile.threshold {
+                let (dlo, dhi) = deep.delay_mins;
+                let deep_at = reported_at + SimDuration::from_mins(self.rng.range(dlo..=dhi));
+                let mut deep_browser = self.browser(deep.dialog_policy);
+                if let Ok(view) = deep_browser.visit(t, url, deep_at) {
+                    requests += Self::exchanges_in(&view);
+                    captcha_recognised |=
+                        view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
+                    let c = classify(&view.summary, &url.host);
+                    let score = c.score(self.profile.classifier_mode);
+                    if view.summary.has_login_form() {
+                        payload_reached = true;
+                        let at = deep_at + view.elapsed;
+                        payload_reached_at.get_or_insert(at);
+                        let via = if view.has_step(|s| matches!(s, BrowseStep::DialogConfirmed))
+                        {
+                            PayloadPath::DialogConfirm
+                        } else {
+                            PayloadPath::Direct
+                        };
+                        payload_via.get_or_insert(via);
+                        if score > best_score {
+                            best_score = score;
+                            detection_score_path = Some(via);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- recheck passes ----
+        // Engines re-visit reported URLs several times over the first
+        // day. Each recheck draws a fresh source IP and user agent,
+        // which is what occasionally slips past cloaking kits (the
+        // baseline's ~23 % detection rate) — while the human-verification
+        // gates are immune to retries by construction.
+        if best_score < self.profile.threshold {
+            for _ in 0..3 {
+                let recheck_at =
+                    first_visit_at + SimDuration::from_mins(self.rng.range(60..1_200u64));
+                let mut recheck_browser = self.browser(self.profile.dialog_policy);
+                if let Ok(view) = recheck_browser.visit(t, url, recheck_at) {
+                    requests += Self::exchanges_in(&view);
+                    captcha_recognised |=
+                        view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
+                    let c = classify(&view.summary, &url.host);
+                    let score = c.score(self.profile.classifier_mode);
+                    if view.summary.has_login_form() {
+                        payload_reached = true;
+                        let at = recheck_at + view.elapsed;
+                        payload_reached_at.get_or_insert(at);
+                        payload_via.get_or_insert(PayloadPath::Direct);
+                        if score > best_score {
+                            best_score = score;
+                            detection_score_path = Some(PayloadPath::Direct);
+                            // Detection clocks from the visit that found
+                            // the payload.
+                            payload_reached_at = Some(at);
+                        }
+                    }
+                }
+                if best_score >= self.profile.threshold {
+                    break;
+                }
+            }
+        }
+
+        // ---- verdict ----
+        let mut detected_at = None;
+        if best_score >= self.profile.threshold {
+            let flaky_path = detection_score_path == Some(PayloadPath::FormSubmit);
+            let reliable = if flaky_path {
+                // Keyed per URL so the outcome is stable across reruns
+                // of the same experiment seed.
+                let mut url_rng = self.rng.fork(&format!("formpath:{url}"));
+                url_rng.chance(self.profile.form_path_detect_prob)
+            } else {
+                true
+            };
+            if reliable {
+                let (mean, sd) = self.profile.verdict_delay_mins;
+                let delay_mins = self.rng.normal_clamped(mean, sd, 1.0, mean * 4.0 + 10.0);
+                let base = payload_reached_at.unwrap_or(first_visit_at);
+                detected_at =
+                    Some(base + SimDuration::from_millis((delay_mins * 60_000.0) as u64));
+            }
+        }
+
+        // ---- background crawl / probe traffic ----
+        let mut kit_archive_found_at: Option<SimTime> = None;
+        let budget = ((self.profile.requests_per_report.saturating_sub(requests)) as f64
+            * volume_scale) as u64;
+        // The paper's server logs show ~90 % of all crawl traffic within
+        // two hours *of the report*; the burst window therefore runs
+        // from the first visit to report + 2 h.
+        let burst_end = reported_at + SimDuration::from_hours(2);
+        let burst_len = burst_end.since(first_visit_at).as_millis().max(1);
+        for _ in 0..budget {
+            let at = if self.rng.chance(0.9) {
+                first_visit_at + SimDuration::from_millis(self.rng.range(0..burst_len))
+            } else {
+                burst_end + SimDuration::from_secs(self.rng.range(0..79_200u64))
+            };
+            let path =
+                kit_probe::sample_path(&url.host, &site_paths, self.profile.kit_probing, &mut self.rng);
+            let ua = self.crawler_user_agent();
+            let probing = self.profile.kit_probing
+                && kit_probe::classify_path(&path) != kit_probe::ProbeKind::Crawl;
+            let req = Request::get(Url::https(&url.host, &path)).with_user_agent(&ua);
+            let src = self.pool.draw(&mut self.rng);
+            match t.fetch(src, self.profile.id.key(), &req, at) {
+                Ok((resp, _)) if probing
+                    // A 200 with zip content on a probe path is a live
+                    // kit archive: the analyst pulls the kit's source,
+                    // which exposes the payload regardless of any gate.
+                    && resp.status.is_success()
+                        && resp
+                            .headers
+                            .get("content-type")
+                            .is_some_and(|ct| ct.contains("zip"))
+                    => {
+                        let found = kit_archive_found_at.get_or_insert(at);
+                        if at < *found {
+                            *found = at;
+                        }
+                    }
+                _ => {}
+            }
+            requests += 1;
+        }
+
+        // A discovered kit archive yields a detection even when the gate
+        // kept the live payload hidden: the source *is* the evidence.
+        if detected_at.is_none() {
+            if let Some(found_at) = kit_archive_found_at {
+                let analyst_delay = SimDuration::from_mins(self.rng.range(30..120u64));
+                detected_at = Some(found_at + analyst_delay);
+            }
+        }
+
+        ReportOutcome {
+            engine: self.profile.id,
+            url: url.clone(),
+            reported_at,
+            first_visit_at,
+            payload_reached,
+            payload_reached_at,
+            payload_via,
+            captcha_recognised,
+            kit_archive_found: kit_archive_found_at.is_some(),
+            best_score,
+            detected_at,
+            requests_made: requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use phishsim_browser::transport::DirectTransport;
+    use phishsim_captcha::CaptchaProvider;
+    use phishsim_http::VirtualHosting;
+    use phishsim_phishgen::{
+        Brand, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit, CompromisedSite,
+    };
+    use std::sync::Arc;
+
+    const SCALE: f64 = 0.01;
+
+    struct Deployed {
+        transport: DirectTransport,
+        url: Url,
+        probe: phishsim_phishgen::SiteProbe,
+    }
+
+    fn deploy(brand: Brand, config: GateConfig) -> Deployed {
+        let rng = DetRng::new(500);
+        let host = "green-energy.com";
+        let bundle = FakeSiteGenerator::new(&rng).generate(host);
+        let kit = PhishKit::new(brand, config);
+        let url = kit.phishing_url(host);
+        let site = CompromisedSite::new(bundle, kit, &rng);
+        let probe = site.probe();
+        let mut vhosts = VirtualHosting::new();
+        vhosts.install(host, Box::new(site));
+        Deployed {
+            transport: DirectTransport::new(vhosts),
+            url,
+            probe,
+        }
+    }
+
+    fn run(engine_id: EngineId, brand: Brand, config: GateConfig) -> (ReportOutcome, Deployed) {
+        let mut d = deploy(brand, config);
+        let mut engine = Engine::new(engine_id, &DetRng::new(2020));
+        let outcome =
+            engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE);
+        (outcome, d)
+    }
+
+    #[test]
+    fn naked_paypal_detected_by_everyone_but_ysb() {
+        for id in EngineId::all() {
+            let (o, _) = run(id, Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+            assert!(o.payload_reached, "{id}: naked payload must be fetched");
+            if id == EngineId::Ysb {
+                assert!(o.detected_at.is_none(), "YSB detects nothing");
+            } else {
+                assert!(o.detected_at.is_some(), "{id} must detect the naked page");
+                assert!(
+                    o.detected_at.unwrap() > o.reported_at,
+                    "{id}: detection after report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naked_gmail_detected_only_by_gsb_and_netcraft() {
+        for id in EngineId::all() {
+            let (o, _) = run(id, Brand::Gmail, GateConfig::simple(EvasionTechnique::None));
+            let expected = matches!(id, EngineId::Gsb | EngineId::NetCraft);
+            assert_eq!(
+                o.detected_at.is_some(),
+                expected,
+                "{id} on scratch-built Gmail"
+            );
+        }
+    }
+
+    #[test]
+    fn alert_box_defeats_everyone_but_gsb() {
+        for id in EngineId::main_experiment() {
+            let (o, d) = run(id, Brand::PayPal, GateConfig::simple(EvasionTechnique::AlertBox));
+            if id == EngineId::Gsb {
+                assert!(o.payload_reached, "GSB confirms the dialog");
+                assert_eq!(o.payload_via, Some(PayloadPath::DialogConfirm));
+                assert!(o.detected_at.is_some());
+                assert!(
+                    d.probe.payload_reached_by("gsb"),
+                    "server log must show GSB retrieved the payload"
+                );
+            } else {
+                assert!(!o.payload_reached, "{id} must be stuck on the cover");
+                assert!(o.detected_at.is_none(), "{id}");
+                assert!(!d.probe.payload_reached_by(id.key()), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn gsb_alert_detection_lands_in_the_hours_range() {
+        let (o, _) = run(
+            EngineId::Gsb,
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::AlertBox),
+        );
+        let delay = o.detection_delay().unwrap();
+        assert!(
+            delay >= SimDuration::from_mins(80) && delay <= SimDuration::from_mins(240),
+            "GSB alert-box delay should be on the order of the paper's 132 min, got {delay}"
+        );
+    }
+
+    #[test]
+    fn session_gate_bypassed_only_by_netcraft() {
+        for id in EngineId::main_experiment() {
+            let (o, d) = run(
+                id,
+                Brand::Facebook,
+                GateConfig::simple(EvasionTechnique::SessionGate),
+            );
+            if id == EngineId::NetCraft {
+                assert!(o.payload_reached, "NetCraft submits the Join Chat form");
+                assert_eq!(o.payload_via, Some(PayloadPath::FormSubmit));
+                assert!(d.probe.payload_reached_by("netcraft"));
+            } else {
+                assert!(!o.payload_reached, "{id} must not bypass the session gate");
+                assert!(o.detected_at.is_none(), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn netcraft_session_detection_is_flaky_one_third() {
+        // Across many independent session URLs, NetCraft reaches every
+        // payload but flags only ~1/3 (the paper saw 2 of 6).
+        let rng = DetRng::new(77);
+        let mut engine = Engine::new(EngineId::NetCraft, &rng);
+        let mut reached = 0;
+        let mut detected = 0;
+        let n = 120;
+        for i in 0..n {
+            let host = format!("site-{i}.com");
+            let site_rng = DetRng::new(i as u64);
+            let bundle = FakeSiteGenerator::new(&site_rng).generate(&host);
+            let kit = PhishKit::new(
+                Brand::Facebook,
+                GateConfig::simple(EvasionTechnique::SessionGate),
+            );
+            let url = kit.phishing_url(&host);
+            let site = CompromisedSite::new(bundle, kit, &site_rng);
+            let mut vhosts = VirtualHosting::new();
+            vhosts.install(&host, Box::new(site));
+            let mut t = DirectTransport::new(vhosts);
+            let o = engine.process_report(&mut t, &url, SimTime::from_mins(60), 0.0);
+            if o.payload_reached {
+                reached += 1;
+            }
+            if o.detected_at.is_some() {
+                detected += 1;
+            }
+        }
+        assert_eq!(reached, n, "NetCraft bypasses every session gate");
+        let rate = detected as f64 / n as f64;
+        assert!(
+            (rate - 1.0 / 3.0).abs() < 0.12,
+            "detection rate {rate} should be near 1/3"
+        );
+    }
+
+    #[test]
+    fn captcha_defeats_every_engine() {
+        let provider = Arc::new(Mutex::new(CaptchaProvider::new(&DetRng::new(9))));
+        for id in EngineId::main_experiment() {
+            let config = GateConfig::captcha_gate(&provider);
+            let (o, d) = run(id, Brand::PayPal, config);
+            assert!(!o.payload_reached, "{id} must not pass the CAPTCHA");
+            assert!(o.detected_at.is_none(), "{id}");
+            assert!(o.captcha_recognised, "{id} should at least see the widget");
+            assert!(!d.probe.payload_reached_by(id.key()), "{id}");
+        }
+    }
+
+    #[test]
+    fn first_visit_is_within_thirty_minutes_of_intake() {
+        let (o, _) = run(
+            EngineId::Apwg,
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::None),
+        );
+        let gap = o.first_visit_at.since(o.reported_at);
+        assert!(gap <= SimDuration::from_mins(40), "{gap}");
+        assert!(gap >= SimDuration::from_mins(1));
+    }
+
+    #[test]
+    fn request_budget_respected_and_logged() {
+        let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        let mut engine = Engine::new(EngineId::OpenPhish, &DetRng::new(4));
+        let o = engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(30), 0.02);
+        // 2 % of 27,322 plus the visit requests.
+        assert!(o.requests_made >= 540, "{}", o.requests_made);
+        assert!(o.requests_made <= 700, "{}", o.requests_made);
+    }
+
+    #[test]
+    fn openphish_probes_for_kits() {
+        let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        let mut engine = Engine::new(EngineId::OpenPhish, &DetRng::new(4));
+        // Use a probe of the vhost table via a wrapping transport that
+        // records paths.
+        struct Recorder<'a> {
+            inner: &'a mut DirectTransport,
+            paths: Vec<String>,
+        }
+        impl Transport for Recorder<'_> {
+            fn fetch(
+                &mut self,
+                src: Ipv4Sim,
+                actor: &str,
+                req: &Request,
+                now: SimTime,
+            ) -> Result<(phishsim_http::Response, SimDuration), phishsim_browser::FetchError>
+            {
+                self.paths.push(req.url.path.clone());
+                self.inner.fetch(src, actor, req, now)
+            }
+        }
+        let mut rec = Recorder {
+            inner: &mut d.transport,
+            paths: Vec::new(),
+        };
+        engine.process_report(&mut rec, &d.url, SimTime::from_mins(30), 0.02);
+        let shells = rec
+            .paths
+            .iter()
+            .filter(|p| kit_probe::classify_path(p) == kit_probe::ProbeKind::WebShell)
+            .count();
+        let archives = rec
+            .paths
+            .iter()
+            .filter(|p| kit_probe::classify_path(p) == kit_probe::ProbeKind::KitArchive)
+            .count();
+        assert!(shells > 0, "OpenPhish must probe for web shells");
+        assert!(archives > 0, "OpenPhish must probe for kit archives");
+    }
+
+    #[test]
+    fn cloaking_blocks_identifiable_crawlers() {
+        // With the engine's own subnets on the kit's bot list and a
+        // non-stealth UA, the payload stays hidden; the baseline bench
+        // measures the aggregate ~23 % rate.
+        let rng = DetRng::new(21);
+        let mut engine = Engine::new(EngineId::Apwg, &rng);
+        let bot_subnets = vec![(engine.pool().addrs()[0], 16u8)];
+        let mut d = deploy(Brand::PayPal, GateConfig::cloaking(bot_subnets));
+        let o = engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(30), 0.0);
+        assert!(
+            !o.payload_reached,
+            "crawler from a listed subnet must see the cloak page"
+        );
+    }
+}
+
+#[cfg(test)]
+mod sloppy_phisher_tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use phishsim_browser::transport::DirectTransport;
+    use phishsim_captcha::CaptchaProvider;
+    use phishsim_http::VirtualHosting;
+    use phishsim_phishgen::{Brand, CompromisedSite, FakeSiteGenerator, GateConfig, PhishKit};
+    use std::sync::Arc;
+
+    fn deploy_sloppy(captcha: bool) -> (DirectTransport, Url) {
+        let rng = DetRng::new(88);
+        let host = "sloppy-victim.com";
+        let bundle = FakeSiteGenerator::new(&rng).generate(host);
+        let provider = Arc::new(Mutex::new(CaptchaProvider::new(&rng)));
+        let config = if captcha {
+            GateConfig::captcha_gate(&provider)
+        } else {
+            GateConfig::simple(phishsim_phishgen::EvasionTechnique::None)
+        };
+        let kit = PhishKit::new(Brand::PayPal, config);
+        let url = kit.phishing_url(host);
+        let site = CompromisedSite::new(bundle, kit, &rng).with_leftover_archive("/kit.zip");
+        let mut vhosts = VirtualHosting::new();
+        vhosts.install(host, Box::new(site));
+        (DirectTransport::new(vhosts), url)
+    }
+
+    #[test]
+    fn openphish_finds_leftover_archive_behind_captcha() {
+        // The CAPTCHA gate hides the live payload, but the forgotten
+        // kit.zip gives the game away to the probing engine.
+        let (mut t, url) = deploy_sloppy(true);
+        let mut engine = Engine::new(EngineId::OpenPhish, &DetRng::new(2));
+        let o = engine.process_report(&mut t, &url, SimTime::from_mins(30), 0.05);
+        assert!(!o.payload_reached, "the gate still holds");
+        assert!(o.kit_archive_found, "probing must find /kit.zip");
+        assert!(o.detected_at.is_some(), "the archive is the evidence");
+    }
+
+    #[test]
+    fn non_probing_engines_miss_the_archive() {
+        let (mut t, url) = deploy_sloppy(true);
+        let mut engine = Engine::new(EngineId::Apwg, &DetRng::new(2));
+        let o = engine.process_report(&mut t, &url, SimTime::from_mins(30), 0.05);
+        assert!(!o.kit_archive_found);
+        assert!(o.detected_at.is_none());
+    }
+
+    #[test]
+    fn tidy_captcha_site_stays_undetected_by_openphish() {
+        // Without the leftover archive, the main-experiment result
+        // holds even for the heaviest prober.
+        let rng = DetRng::new(88);
+        let host = "tidy-victim.com";
+        let bundle = FakeSiteGenerator::new(&rng).generate(host);
+        let provider = Arc::new(Mutex::new(CaptchaProvider::new(&rng)));
+        let kit = PhishKit::new(Brand::PayPal, GateConfig::captcha_gate(&provider));
+        let url = kit.phishing_url(host);
+        let site = CompromisedSite::new(bundle, kit, &rng);
+        let mut vhosts = VirtualHosting::new();
+        vhosts.install(host, Box::new(site));
+        let mut t = DirectTransport::new(vhosts);
+        let mut engine = Engine::new(EngineId::OpenPhish, &DetRng::new(2));
+        let o = engine.process_report(&mut t, &url, SimTime::from_mins(30), 0.05);
+        assert!(!o.kit_archive_found);
+        assert!(o.detected_at.is_none());
+    }
+}
+
+#[cfg(test)]
+mod multi_page_session_tests {
+    use super::*;
+    use phishsim_browser::transport::DirectTransport;
+    use phishsim_http::VirtualHosting;
+    use phishsim_phishgen::{Brand, CompromisedSite, FakeSiteGenerator, GateConfig, PhishKit};
+
+    fn deploy_multipage() -> (DirectTransport, Url) {
+        let rng = DetRng::new(61);
+        let host = "signin-flow.com";
+        let bundle = FakeSiteGenerator::new(&rng).generate(host);
+        let kit = PhishKit::new(Brand::Facebook, GateConfig::multi_page_login());
+        let url = kit.phishing_url(host);
+        let site = CompromisedSite::new(bundle, kit, &rng);
+        let mut vhosts = VirtualHosting::new();
+        vhosts.install(host, Box::new(site));
+        (DirectTransport::new(vhosts), url)
+    }
+
+    #[test]
+    fn netcraft_advances_past_the_username_page() {
+        // The username page is not a "login form" (no password field),
+        // so login-form fillers skip it — but NetCraft submits any
+        // form, lands on the credential page, and may flag it.
+        let (mut t, url) = deploy_multipage();
+        let mut engine = Engine::new(EngineId::NetCraft, &DetRng::new(3));
+        let o = engine.process_report(&mut t, &url, SimTime::from_mins(30), 0.0);
+        assert!(o.payload_reached, "NetCraft submits the stage-1 form");
+        assert_eq!(o.payload_via, Some(PayloadPath::FormSubmit));
+    }
+
+    #[test]
+    fn login_form_fillers_do_not_advance() {
+        for id in [EngineId::OpenPhish, EngineId::PhishTank, EngineId::Apwg, EngineId::Gsb] {
+            let (mut t, url) = deploy_multipage();
+            let mut engine = Engine::new(id, &DetRng::new(3));
+            let o = engine.process_report(&mut t, &url, SimTime::from_mins(30), 0.0);
+            assert!(!o.payload_reached, "{id} must stay on the username page");
+            assert!(o.detected_at.is_none(), "{id}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod dedup_tests {
+    use super::*;
+    use phishsim_browser::transport::DirectTransport;
+    use phishsim_http::VirtualHosting;
+    use phishsim_phishgen::{Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit};
+
+    fn deploy() -> (DirectTransport, Url) {
+        let rng = DetRng::new(77);
+        let host = "re-reported.com";
+        let bundle = FakeSiteGenerator::new(&rng).generate(host);
+        let kit = PhishKit::new(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        let url = kit.phishing_url(host);
+        let site = CompromisedSite::new(bundle, kit, &rng);
+        let mut vhosts = VirtualHosting::new();
+        vhosts.install(host, Box::new(site));
+        (DirectTransport::new(vhosts), url)
+    }
+
+    #[test]
+    fn duplicate_report_is_cheap_revalidation() {
+        let (mut t, url) = deploy();
+        let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(5));
+        let first = engine.process_report(&mut t, &url, SimTime::from_mins(60), 0.02);
+        assert!(!engine.is_duplicate_report(&url, SimTime::from_mins(59)) || true);
+        assert!(engine.is_duplicate_report(&url, SimTime::from_mins(90)));
+        let second = engine.process_report(&mut t, &url, SimTime::from_mins(90), 0.02);
+        assert!(
+            second.requests_made * 10 < first.requests_made,
+            "dedup run ({}) must be far cheaper than the full crawl ({})",
+            second.requests_made,
+            first.requests_made
+        );
+        // The revalidation still reaches the naked payload and detects.
+        assert!(second.payload_reached);
+        assert!(second.detected_at.is_some());
+    }
+
+    #[test]
+    fn dedup_window_expires_after_a_day() {
+        let (mut t, url) = deploy();
+        let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(5));
+        engine.process_report(&mut t, &url, SimTime::from_mins(60), 0.0);
+        let next_day = SimTime::from_mins(60) + SimDuration::from_hours(25);
+        assert!(!engine.is_duplicate_report(&url, next_day));
+    }
+
+    #[test]
+    fn different_urls_not_deduplicated() {
+        let (mut t, url) = deploy();
+        let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(5));
+        engine.process_report(&mut t, &url, SimTime::from_mins(60), 0.0);
+        let other = Url::https("other-site.com", "/kit.php");
+        assert!(!engine.is_duplicate_report(&other, SimTime::from_mins(61)));
+    }
+}

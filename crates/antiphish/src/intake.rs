@@ -1,0 +1,78 @@
+//! Report intake channels and abuse-notification side effects.
+//!
+//! The paper submits reports "by either using an online form (GSB,
+//! SmartScreen, NetCraft, and YSB) or sending an email (OpenPhish,
+//! PhishTank, and APWG)". Email intake passes through human/queue
+//! processing and is slower. Reporting to OpenPhish or PhishTank also
+//! triggered abuse-notification emails from PhishLabs to the hosting
+//! provider's abuse contact — a side effect the trace log records.
+
+use phishsim_simnet::{DetRng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How reports reach an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportChannel {
+    /// A web form; intake is near-immediate.
+    OnlineForm,
+    /// An email address; intake passes a processing queue.
+    Email,
+}
+
+impl ReportChannel {
+    /// Sample the delay between submission and the engine's pipeline
+    /// picking the report up.
+    pub fn intake_delay(self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            ReportChannel::OnlineForm => SimDuration::from_secs(rng.range(30..180u64)),
+            ReportChannel::Email => SimDuration::from_secs(rng.range(120..600u64)),
+        }
+    }
+}
+
+/// Engines whose reports ripple into PhishLabs abuse notifications
+/// (§4.1(2): observed for OpenPhish and PhishTank reports).
+pub fn triggers_abuse_notification(engine: crate::profiles::EngineId) -> bool {
+    matches!(
+        engine,
+        crate::profiles::EngineId::OpenPhish | crate::profiles::EngineId::PhishTank
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::EngineId;
+
+    #[test]
+    fn email_intake_is_slower_on_average() {
+        let mut rng = DetRng::new(1);
+        let n = 2_000;
+        let form: u64 = (0..n)
+            .map(|_| ReportChannel::OnlineForm.intake_delay(&mut rng).as_millis())
+            .sum();
+        let email: u64 = (0..n)
+            .map(|_| ReportChannel::Email.intake_delay(&mut rng).as_millis())
+            .sum();
+        assert!(email > form, "email mean must exceed form mean");
+    }
+
+    #[test]
+    fn intake_delays_bounded() {
+        let mut rng = DetRng::new(2);
+        for _ in 0..500 {
+            let d = ReportChannel::OnlineForm.intake_delay(&mut rng);
+            assert!(d >= SimDuration::from_secs(30) && d < SimDuration::from_mins(3));
+            let d = ReportChannel::Email.intake_delay(&mut rng);
+            assert!(d >= SimDuration::from_mins(2) && d < SimDuration::from_mins(10));
+        }
+    }
+
+    #[test]
+    fn abuse_notifications_from_openphish_and_phishtank_only() {
+        for id in EngineId::all() {
+            let expected = matches!(id, EngineId::OpenPhish | EngineId::PhishTank);
+            assert_eq!(triggers_abuse_notification(id), expected, "{id}");
+        }
+    }
+}

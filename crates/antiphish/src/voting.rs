@@ -1,0 +1,319 @@
+//! PhishTank's community-voting pipeline.
+//!
+//! PhishTank is not a crawler-driven blacklist: "the submitted URLs
+//! are not directly published as phishing but instead are pending for
+//! 'voters' to manually verify them as phishing URLs or false
+//! positives" (§2, citing the PhishTank FAQ). §5.1 reports the
+//! consequence for gated pages: Maroofi et al. submitted a
+//! reCAPTCHA-protected URL to PhishTank, "it was not confirmed by any
+//! other user and thus, it did not appear on the official blacklist."
+//!
+//! This module models that pipeline: submissions enter a pending
+//! queue; community voters examine them with varying *diligence* — a
+//! lazy voter judges whatever the first page shows, a diligent voter
+//! works through dialogs and CAPTCHAs like any human — and a URL is
+//! published only when confirmations outnumber against-votes by a
+//! quorum. Evasion gates therefore suppress listings not by hiding
+//! from bots but by making *casual human reviewers* see a benign page.
+
+use crate::profiles::EngineId;
+use phishsim_http::Url;
+use phishsim_simnet::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How carefully a community voter examines a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoterProfile {
+    /// Probability the voter interacts with gates (confirms dialogs,
+    /// presses buttons, solves CAPTCHAs) instead of judging the first
+    /// page as-is.
+    pub diligence: f64,
+    /// Probability of a correct judgement *given* the voter saw the
+    /// payload (even diligent voters occasionally misjudge).
+    pub accuracy_on_payload: f64,
+}
+
+impl VoterProfile {
+    /// The median community voter: usually judges the first page.
+    pub fn casual() -> Self {
+        VoterProfile {
+            diligence: 0.25,
+            accuracy_on_payload: 0.95,
+        }
+    }
+
+    /// A security-professional voter.
+    pub fn expert() -> Self {
+        VoterProfile {
+            diligence: 0.9,
+            accuracy_on_payload: 0.99,
+        }
+    }
+}
+
+/// One vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// "This is phishing."
+    Phishing,
+    /// "Not a phish" (the false-positive vote).
+    NotPhishing,
+}
+
+/// What a voter finds when examining the submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmissionView {
+    /// Whether the *first* page already shows credential phishing
+    /// (naked kits do; gated kits show a benign cover).
+    pub first_page_is_phishy: bool,
+    /// Whether working through the gate reveals the payload (true for
+    /// all human-verification gates — humans pass them).
+    pub gated_payload_reachable: bool,
+}
+
+impl SubmissionView {
+    /// A naked phishing kit.
+    pub fn naked() -> Self {
+        SubmissionView {
+            first_page_is_phishy: true,
+            gated_payload_reachable: true,
+        }
+    }
+
+    /// A kit behind a human-verification gate.
+    pub fn gated() -> Self {
+        SubmissionView {
+            first_page_is_phishy: false,
+            gated_payload_reachable: true,
+        }
+    }
+}
+
+/// A pending submission in the voting queue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PendingSubmission {
+    /// The submitted URL.
+    pub url: Url,
+    /// When it was submitted.
+    pub submitted_at: SimTime,
+    /// What examiners find.
+    pub view: SubmissionView,
+    /// Confirmations so far.
+    pub confirmations: u32,
+    /// Against-votes so far.
+    pub rejections: u32,
+    /// Published (listed) time, once decided.
+    pub published_at: Option<SimTime>,
+}
+
+/// The community-voting queue.
+#[derive(Debug)]
+pub struct VotingQueue {
+    pending: Vec<PendingSubmission>,
+    /// Net confirmations (confirmations − rejections) needed to publish.
+    pub quorum: u32,
+    rng: DetRng,
+}
+
+impl VotingQueue {
+    /// A queue with PhishTank-like quorum.
+    pub fn new(quorum: u32, rng: &DetRng) -> Self {
+        VotingQueue {
+            pending: Vec::new(),
+            quorum,
+            rng: rng.fork("voting-queue"),
+        }
+    }
+
+    /// Submit a URL for community verification.
+    pub fn submit(&mut self, url: Url, view: SubmissionView, at: SimTime) {
+        self.pending.push(PendingSubmission {
+            url,
+            submitted_at: at,
+            view,
+            confirmations: 0,
+            rejections: 0,
+            published_at: None,
+        });
+    }
+
+    /// One voter examines one pending submission (round-robin over the
+    /// unpublished queue). Returns the vote cast, if any work existed.
+    pub fn vote_once(&mut self, voter: &VoterProfile, at: SimTime) -> Option<Vote> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|p| p.published_at.is_none())?;
+        // Deterministic per (queue rng); examine the submission.
+        let diligent = self.rng.chance(voter.diligence);
+        let sub = &self.pending[idx];
+        let saw_payload = sub.view.first_page_is_phishy
+            || (diligent && sub.view.gated_payload_reachable);
+        let vote = if saw_payload && self.rng.chance(voter.accuracy_on_payload) {
+            Vote::Phishing
+        } else {
+            Vote::NotPhishing
+        };
+        let quorum = self.quorum;
+        let sub = &mut self.pending[idx];
+        match vote {
+            Vote::Phishing => sub.confirmations += 1,
+            Vote::NotPhishing => sub.rejections += 1,
+        }
+        if sub.confirmations >= quorum + sub.rejections {
+            sub.published_at = Some(at);
+        }
+        Some(vote)
+    }
+
+    /// Run a community of voters over the queue for `rounds` rounds,
+    /// `votes_per_round` votes each round, one round per `round_gap`.
+    pub fn run_community(
+        &mut self,
+        voter: &VoterProfile,
+        rounds: usize,
+        votes_per_round: usize,
+        start: SimTime,
+        round_gap: SimDuration,
+    ) {
+        for round in 0..rounds {
+            let at = start + round_gap.mul_f64(round as f64);
+            for _ in 0..votes_per_round {
+                if self.vote_once(voter, at).is_none() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The queue's submissions.
+    pub fn submissions(&self) -> &[PendingSubmission] {
+        &self.pending
+    }
+
+    /// Whether a URL made it onto the published list.
+    pub fn is_published(&self, url: &Url) -> bool {
+        self.pending
+            .iter()
+            .any(|p| &p.url == url && p.published_at.is_some())
+    }
+}
+
+/// Engines whose listings are community-gated (PhishTank).
+pub fn is_community_vetted(engine: EngineId) -> bool {
+    engine == EngineId::PhishTank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn queue() -> VotingQueue {
+        VotingQueue::new(2, &DetRng::new(404))
+    }
+
+    #[test]
+    fn naked_submission_confirmed_quickly() {
+        let mut q = queue();
+        let u = url("https://naked-kit.com/login.php");
+        q.submit(u.clone(), SubmissionView::naked(), SimTime::from_mins(1));
+        q.run_community(
+            &VoterProfile::casual(),
+            5,
+            3,
+            SimTime::from_mins(10),
+            SimDuration::from_hours(1),
+        );
+        assert!(q.is_published(&u), "{:?}", q.submissions()[0]);
+    }
+
+    #[test]
+    fn gated_submission_languishes_with_casual_voters() {
+        // The §5.1 anecdote: casual voters see the benign cover, vote
+        // "not a phish", and the URL never reaches quorum.
+        let mut q = queue();
+        let u = url("https://gated-kit.com/account/verify.php");
+        q.submit(u.clone(), SubmissionView::gated(), SimTime::from_mins(1));
+        q.run_community(
+            &VoterProfile::casual(),
+            4,
+            3,
+            SimTime::from_mins(10),
+            SimDuration::from_hours(1),
+        );
+        assert!(
+            !q.is_published(&u),
+            "casual community must not confirm the gated URL: {:?}",
+            q.submissions()[0]
+        );
+        let sub = &q.submissions()[0];
+        assert!(sub.rejections > sub.confirmations);
+    }
+
+    #[test]
+    fn expert_voters_eventually_confirm_gated_urls() {
+        let mut q = queue();
+        let u = url("https://gated-kit.com/account/verify.php");
+        q.submit(u.clone(), SubmissionView::gated(), SimTime::from_mins(1));
+        q.run_community(
+            &VoterProfile::expert(),
+            10,
+            4,
+            SimTime::from_mins(10),
+            SimDuration::from_hours(1),
+        );
+        assert!(q.is_published(&u));
+    }
+
+    #[test]
+    fn publication_rate_gap_between_naked_and_gated() {
+        // Aggregate: over many submissions, naked kits get published at
+        // a far higher rate than gated ones under the same community.
+        let mut naked_published = 0;
+        let mut gated_published = 0;
+        let n = 60;
+        for i in 0..n {
+            let mut q = VotingQueue::new(2, &DetRng::new(i));
+            let nu = url(&format!("https://naked-{i}.com/p"));
+            let gu = url(&format!("https://gated-{i}.com/p"));
+            q.submit(nu.clone(), SubmissionView::naked(), SimTime::ZERO);
+            q.submit(gu.clone(), SubmissionView::gated(), SimTime::ZERO);
+            // Voters alternate over the queue.
+            for round in 0..10 {
+                let at = SimTime::from_hours(round);
+                q.vote_once(&VoterProfile::casual(), at);
+                q.vote_once(&VoterProfile::casual(), at);
+            }
+            if q.is_published(&nu) {
+                naked_published += 1;
+            }
+            if q.is_published(&gu) {
+                gated_published += 1;
+            }
+        }
+        let naked_rate = naked_published as f64 / n as f64;
+        let gated_rate = gated_published as f64 / n as f64;
+        assert!(naked_rate > 0.8, "naked rate {naked_rate}");
+        assert!(
+            gated_rate < naked_rate / 2.0,
+            "gated rate {gated_rate} vs naked {naked_rate}"
+        );
+    }
+
+    #[test]
+    fn no_votes_without_pending_work() {
+        let mut q = queue();
+        assert_eq!(q.vote_once(&VoterProfile::casual(), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn only_phishtank_is_community_vetted() {
+        for id in EngineId::all() {
+            assert_eq!(is_community_vetted(id), id == EngineId::PhishTank, "{id}");
+        }
+    }
+}

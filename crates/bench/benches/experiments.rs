@@ -1,0 +1,33 @@
+//! Criterion benches over whole experiment runs: how long does it take
+//! to regenerate each paper artifact? These size the cost of the
+//! table harnesses and catch performance regressions in the crawl
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phishsim_core::experiment::{
+    run_cloaking_baseline, run_extension_experiment, run_main_experiment, run_preliminary,
+    CloakingConfig, ExtensionConfig, MainConfig, PreliminaryConfig,
+};
+
+fn bench_main_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("main_experiment_fast", |b| {
+        b.iter(|| run_main_experiment(black_box(&MainConfig::fast())))
+    });
+    g.bench_function("preliminary_fast", |b| {
+        b.iter(|| run_preliminary(black_box(&PreliminaryConfig::fast())))
+    });
+    g.bench_function("extension_experiment", |b| {
+        b.iter(|| run_extension_experiment(black_box(&ExtensionConfig::paper())))
+    });
+    g.bench_function("cloaking_baseline_fast", |b| {
+        b.iter(|| run_cloaking_baseline(black_box(&CloakingConfig::fast())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_main_experiment);
+criterion_main!(benches);

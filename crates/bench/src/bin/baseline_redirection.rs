@@ -1,0 +1,48 @@
+//! Regenerate the **redirection / URL-shortener baseline** (experiment
+//! E6): the §1 claim that the *established* evasion techniques — URL
+//! redirection and shorteners — "can affect the detection time, yet
+//! all major anti-phishing systems can cope with them", in contrast to
+//! the human-verification gates.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin baseline_redirection
+//! ```
+
+use phishsim_core::experiment::{run_redirection_baseline, EntryKind, RedirectionConfig};
+
+fn main() {
+    let config = RedirectionConfig::paper();
+    eprintln!(
+        "running the redirection baseline ({} URLs x 3 arms)...",
+        config.urls_per_arm
+    );
+    let r = run_redirection_baseline(&config);
+
+    println!("Redirection / shortener baseline (§1's 'engines cope' claim)");
+    println!("{:<14} {:>12} {:>16}", "entry", "detected", "mean delay");
+    let mut rows = Vec::new();
+    for kind in EntryKind::all() {
+        let arm = r.arm(kind);
+        println!(
+            "{:<14} {:>12} {:>13.0} min",
+            kind.to_string(),
+            arm.detection.as_cell(),
+            arm.mean_delay_mins().unwrap_or(0.0)
+        );
+        rows.push(serde_json::json!({
+            "entry": kind.to_string(),
+            "rate": arm.detection.fraction(),
+            "mean_delay_mins": arm.mean_delay_mins(),
+        }));
+    }
+    println!(
+        "\nAll three arms stay near full detection — redirection only shuffles the\n\
+         path to the payload, which crawlers follow mechanically. Compare with the\n\
+         human-verification gates (Table 2: 8/105) and cloaking (~20%)."
+    );
+
+    phishsim_bench::write_record(
+        "baseline_redirection",
+        &serde_json::json!({ "experiment": "baseline_redirection", "seed": config.seed, "rows": rows }),
+    );
+}

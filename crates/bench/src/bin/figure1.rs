@@ -1,0 +1,88 @@
+//! Regenerate **Figure 1**: the alert-box evasion flow.
+//!
+//! The paper's figure is two screenshots — the alert-box-protected
+//! cover (top) and the PayPal payload (bottom). This walkthrough
+//! renders the same two page states, plus the interaction connecting
+//! them, for three visitor classes.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin figure1
+//! ```
+
+use phishsim_bench::render_page_state;
+use phishsim_browser::{Browser, BrowserConfig, BrowseStep, DialogPolicy};
+use phishsim_core::deploy::deploy_armed_site;
+use phishsim_core::World;
+use phishsim_dns::DomainName;
+use phishsim_phishgen::{Brand, EvasionTechnique};
+use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
+
+fn main() {
+    let mut world = World::new(1);
+    let domain = DomainName::parse("summit-light.com").unwrap();
+    world
+        .registry
+        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .unwrap();
+    let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::AlertBox, SimTime::ZERO);
+    println!("Figure 1 — Alert box evasion ({})\n", dep.url);
+
+    // Top of the figure: what every first GET returns.
+    let mut fetcher = Browser::new(
+        BrowserConfig::plain_crawler("Mozilla/5.0 (plain fetcher)"),
+        Ipv4Sim::new(9, 9, 9, 9),
+        "fetcher",
+    );
+    let cover = fetcher
+        .visit(&mut world, &dep.url, SimTime::from_mins(1))
+        .unwrap();
+    println!("{}", render_page_state("page state 1: first load (benign cover + modal)", &cover.html));
+
+    // The interaction: a dialog-confirming client (a human, or GSB).
+    let mut config = BrowserConfig::human_firefox();
+    config.captcha_solver = None;
+    config.dialog_policy = DialogPolicy::Confirm;
+    let mut human = Browser::new(config, Ipv4Sim::new(203, 0, 113, 4), "human");
+    let payload = human
+        .visit(&mut world, &dep.url, SimTime::from_mins(2))
+        .unwrap();
+    for step in &payload.steps {
+        match step {
+            BrowseStep::DialogOpened { message } => {
+                println!("  [after ~2 s a modal dialog opens]  \"{message}\"  [OK] [Cancel]")
+            }
+            BrowseStep::DialogConfirmed => {
+                println!("  [visitor clicks OK -> AJAX POST get_data=getData to the same URL]\n")
+            }
+            _ => {}
+        }
+    }
+    println!("{}", render_page_state("page state 2: after confirming (Figure 1 bottom)", &payload.html));
+
+    // The defender's problem: a client that ignores dialogs never moves on.
+    let mut bot = Browser::new(
+        BrowserConfig::plain_crawler("scanner/1.0"),
+        Ipv4Sim::new(20, 40, 0, 2),
+        "bot",
+    );
+    let stuck = bot.visit(&mut world, &dep.url, SimTime::from_mins(3)).unwrap();
+    println!(
+        "A crawler that cannot interact with dialogs stays on the benign page \
+         (login form present: {}).",
+        stuck.summary.has_login_form()
+    );
+    println!(
+        "Server log: payload served {} times, benign cover {} times.",
+        dep.probe().payload_serves().len(),
+        dep.probe().records().iter().filter(|r| !r.payload).count()
+    );
+
+    let record = serde_json::json!({
+        "experiment": "figure1",
+        "technique": "alert-box",
+        "cover_has_form": !cover.summary.forms.is_empty(),
+        "payload_reached_by_confirming_client": payload.summary.has_login_form(),
+        "payload_reached_by_plain_fetcher": stuck.summary.has_login_form(),
+    });
+    phishsim_bench::write_record("figure1", &record);
+}

@@ -1,0 +1,71 @@
+//! Regenerate **Figure 2**: the session-based evasion flow.
+//!
+//! Cover page with a "Join Chat" button (top), Facebook payload after
+//! the button press (bottom) — reachable only with the PHP session
+//! planted by the cover page.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin figure2
+//! ```
+
+use phishsim_bench::render_page_state;
+use phishsim_browser::{Browser, BrowserConfig};
+use phishsim_core::deploy::deploy_armed_site;
+use phishsim_core::World;
+use phishsim_dns::DomainName;
+use phishsim_http::Request;
+use phishsim_browser::Transport;
+use phishsim_phishgen::{Brand, EvasionTechnique};
+use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
+
+fn main() {
+    let mut world = World::new(2);
+    let domain = DomainName::parse("vivid-journey.net").unwrap();
+    world
+        .registry
+        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .unwrap();
+    let dep = deploy_armed_site(&mut world, &domain, Brand::Facebook, EvasionTechnique::SessionGate, SimTime::ZERO);
+    println!("Figure 2 — Session-based evasion ({})\n", dep.url);
+
+    // Page state 1: the cover, planting a session.
+    let mut visitor = Browser::new(
+        BrowserConfig::human_firefox(),
+        Ipv4Sim::new(203, 0, 113, 5),
+        "human",
+    );
+    let cover = visitor
+        .visit(&mut world, &dep.url, SimTime::from_mins(1))
+        .unwrap();
+    println!("{}", render_page_state("page state 1: cover page (Figure 2 top)", &cover.html));
+    println!(
+        "  [Set-Cookie planted a PHP session: {}]\n  [visitor presses \"Join Chat\"]\n",
+        visitor
+            .jar
+            .get(&dep.url.host, "PHPSESSID", SimTime::from_mins(2))
+            .map(|s| &s[..8.min(s.len())])
+            .unwrap_or("?")
+    );
+
+    // Page state 2: the payload, for the session that saw the cover.
+    let form = cover.summary.forms[0].clone();
+    let payload = visitor
+        .submit_form(&mut world, &cover, &form, "", SimTime::from_mins(2))
+        .unwrap();
+    println!("{}", render_page_state("page state 2: after Join Chat (Figure 2 bottom)", &payload.html));
+
+    // The gate: a direct POST without the session gets the cover again.
+    let blind = Request::post_form(dep.url.clone(), &[("proceed", "1")]);
+    let (resp, _) = world
+        .fetch(Ipv4Sim::new(20, 40, 0, 9), "bot", &blind, SimTime::from_mins(3))
+        .unwrap();
+    println!("{}", render_page_state("control: POST without a session (bot's view)", &resp.body));
+
+    let record = serde_json::json!({
+        "experiment": "figure2",
+        "technique": "session",
+        "payload_after_button": payload.summary.has_login_form(),
+        "payload_without_session": phishsim_html::PageSummary::from_html(&resp.body).has_login_form(),
+    });
+    phishsim_bench::write_record("figure2", &record);
+}

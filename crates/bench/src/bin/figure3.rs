@@ -1,0 +1,76 @@
+//! Regenerate **Figure 3**: the reCAPTCHA evasion flow.
+//!
+//! CAPTCHA page (top), PayPal payload after solving — *same URL, no
+//! redirection* (bottom). Includes the client-side cache consequence
+//! from §2.4: the URL was checked while benign and the cached verdict
+//! hides the swap.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin figure3
+//! ```
+
+use phishsim_bench::render_page_state;
+use phishsim_browser::{Browser, BrowserConfig, Verdict};
+use phishsim_core::deploy::deploy_armed_site;
+use phishsim_core::World;
+use phishsim_dns::DomainName;
+use phishsim_phishgen::{Brand, EvasionTechnique};
+use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
+
+fn main() {
+    let mut world = World::new(3);
+    let domain = DomainName::parse("quantum-harbor.org").unwrap();
+    world
+        .registry
+        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .unwrap();
+    let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::CaptchaGate, SimTime::ZERO);
+    println!("Figure 3 — Google reCAPTCHA evasion ({})\n", dep.url);
+
+    // Page state 1: the challenge page (note: no HTML form tag at all).
+    let mut crawler = Browser::new(
+        BrowserConfig::plain_crawler("scanner/1.0"),
+        Ipv4Sim::new(20, 40, 0, 1),
+        "bot",
+    );
+    let challenge = crawler
+        .visit(&mut world, &dep.url, SimTime::from_mins(1))
+        .unwrap();
+    println!("{}", render_page_state("page state 1: challenge page (Figure 3 top)", &challenge.html));
+
+    // The browser's Safe-Browsing client checks the URL now — benign.
+    let mut human = Browser::new(
+        BrowserConfig::human_firefox(),
+        Ipv4Sim::new(203, 0, 113, 6),
+        "human",
+    )
+    .with_captcha_provider(world.captcha.clone());
+    let t_check = SimTime::from_mins(2);
+    human.sb_cache.store(&dep.url, Verdict::Safe, t_check);
+    println!("  [SB client checks the URL -> Safe; verdict cached for {}]", human.sb_cache.ttl());
+    println!("  [visitor ticks the checkbox and solves the challenge]\n");
+
+    // Page state 2: same URL, now the payload.
+    let payload = human.visit(&mut world, &dep.url, t_check).unwrap();
+    println!("{}", render_page_state("page state 2: after solving — same URL (Figure 3 bottom)", &payload.html));
+    assert_eq!(payload.url, dep.url, "no redirection: the URL never changes");
+
+    // §2.4's consequence: the cached verdict still says Safe.
+    let after_solve = t_check + payload.elapsed;
+    let cached = human.sb_cache.lookup(&dep.url, after_solve);
+    println!(
+        "SB client verdict for the now-malicious page (from cache): {:?}\n\
+         The client will not re-check this URL until the cache entry expires.",
+        cached.unwrap()
+    );
+
+    let record = serde_json::json!({
+        "experiment": "figure3",
+        "technique": "recaptcha",
+        "challenge_page_has_form_tag": !challenge.summary.forms.is_empty(),
+        "payload_same_url": payload.url == dep.url,
+        "payload_reached_by_human": payload.summary.has_login_form(),
+        "cached_verdict_masks_payload": cached == Some(Verdict::Safe),
+    });
+    phishsim_bench::write_record("figure3", &record);
+}

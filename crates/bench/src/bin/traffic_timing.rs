@@ -1,0 +1,78 @@
+//! Regenerate the **traffic-timing analysis** (experiment E3): "we
+//! received about 90 % of the traffic during the first 2 hours after
+//! reporting the URLs" (§4.2) and "we received traffic to our webserver
+//! within the first 30 minutes" (§4.1).
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin traffic_timing
+//! ```
+
+use phishsim_core::experiment::{run_main_experiment, MainConfig};
+use phishsim_simnet::{SimDuration, SimTime};
+
+fn main() {
+    let mut config = MainConfig::paper();
+    if std::env::args().any(|a| a == "fast") {
+        config.volume_scale = 0.05;
+    }
+    eprintln!("running the main experiment for its traffic log (volume x{})...", config.volume_scale);
+    let r = run_main_experiment(&config);
+
+    // Aggregate arrival histogram over all hosts, offset from each
+    // host's report time, in 15-minute buckets over the first 6 hours.
+    let bucket = SimDuration::from_mins(15);
+    let n_buckets = 24;
+    let mut agg = vec![0usize; n_buckets + 1];
+    let mut first_visit_gaps = Vec::new();
+    for arm in &r.arms {
+        let h = r.world.log.arrival_histogram(
+            Some(&arm.url.host),
+            arm.outcome.reported_at,
+            bucket,
+            n_buckets,
+        );
+        for (i, v) in h.iter().enumerate() {
+            agg[i] += v;
+        }
+        if let Some(first) = r
+            .world
+            .log
+            .first_request_after(&arm.url.host, arm.outcome.reported_at)
+        {
+            first_visit_gaps.push(first.since(arm.outcome.reported_at).as_mins());
+        }
+    }
+    let total: usize = agg.iter().sum();
+    println!("Crawl-traffic arrival histogram (offset from each URL's report):");
+    let max = *agg.iter().max().unwrap_or(&1);
+    for (i, v) in agg.iter().enumerate() {
+        let label = if i < n_buckets {
+            format!("{:>3}-{:<3} min", i * 15, (i + 1) * 15)
+        } else {
+            ">6 h      ".to_string()
+        };
+        let bar = "#".repeat((v * 50 / max.max(1)).max(usize::from(*v > 0)));
+        println!("  {label} {v:>8} {bar}");
+    }
+
+    let within_2h: usize = agg.iter().take(8).sum();
+    let frac = within_2h as f64 / total.max(1) as f64;
+    println!("\nWithin 2 h of report: {:.1}% (paper: ~90%)", frac * 100.0);
+    let max_gap = first_visit_gaps.iter().max().copied().unwrap_or(0);
+    println!(
+        "First request per URL: max {} min after report (paper: within 30 min)",
+        max_gap
+    );
+    let _ = SimTime::ZERO;
+
+    let record = serde_json::json!({
+        "experiment": "traffic_timing",
+        "seed": config.seed,
+        "volume_scale": config.volume_scale,
+        "total_requests": total,
+        "fraction_within_2h": frac,
+        "max_first_visit_gap_mins": max_gap,
+        "histogram_15min": agg,
+    });
+    phishsim_bench::write_record("traffic_timing", &record);
+}

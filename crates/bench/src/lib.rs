@@ -1,0 +1,77 @@
+//! # phishsim-bench
+//!
+//! Regeneration harnesses for every table and figure in the paper,
+//! plus criterion performance benches over the substrates.
+//!
+//! Each experiment artifact has a binary:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — preliminary test |
+//! | `table2` | Table 2 — main experiment |
+//! | `table3` | Table 3 — client-side extensions |
+//! | `figure1`–`figure3` | Figures 1–3 — evasion flow walkthroughs |
+//! | `funnel` | §3 — drop-catch pipeline funnel |
+//! | `baseline_cloaking` | §4 — Oest et al. web-cloaking baseline |
+//! | `traffic_timing` | §4.2 — crawl-traffic timing histogram |
+//! | `kit_probes` | §4.1(3) — OpenPhish kit-probing taxonomy |
+//! | `cache_blindspot` | §2.4 — SB verdict-cache TTL sweep |
+//! | `ablation_feeds` | DESIGN.md §4.5 — cross-feed edge ablation |
+//! | `ablation_classifier` | DESIGN.md §4.2 — classifier-mode ablation |
+//!
+//! Every binary prints the paper-layout table and writes a JSON record
+//! under `results/`.
+
+pub mod seedsearch;
+
+use std::path::PathBuf;
+
+/// Write a JSON record for EXPERIMENTS.md under `results/<name>.json`.
+pub fn write_record(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        println!("\n[record written to results/{name}.json]");
+    }
+}
+
+/// Text rendering of a page state — the simulation's "screenshot" for
+/// the figure walkthroughs.
+pub fn render_page_state(label: &str, html: &str) -> String {
+    use phishsim_html::{Document, PageSummary, ScriptEffect};
+    let doc = Document::parse(html);
+    let s = PageSummary::extract(&doc);
+    let mut out = String::new();
+    out.push_str(&format!("┌── {label}\n"));
+    out.push_str(&format!("│ title   : {}\n", s.title));
+    let text = s.text.split_whitespace().collect::<Vec<_>>().join(" ");
+    let excerpt: String = text.chars().take(90).collect();
+    out.push_str(&format!("│ text    : {excerpt}...\n"));
+    if s.forms.is_empty() {
+        out.push_str("│ forms   : none\n");
+    } else {
+        for f in &s.forms {
+            let fields: Vec<&str> = f.fields.iter().map(|x| x.name.as_str()).collect();
+            out.push_str(&format!(
+                "│ form    : method={} action={:?} fields={:?} buttons={:?}\n",
+                f.method, f.action, fields, f.submit_labels
+            ));
+        }
+    }
+    for e in ScriptEffect::extract(&doc) {
+        out.push_str(&format!("│ script  : {e:?}\n"));
+    }
+    if html.contains("g-recaptcha") {
+        out.push_str("│ widget  : [ reCAPTCHA checkbox — \"I'm not a robot\" ]\n");
+    }
+    out.push_str(&format!(
+        "│ verdict : {}\n",
+        if s.has_login_form() { "PHISHING PAYLOAD (credential form)" } else { "benign" }
+    ));
+    out.push_str("└──\n");
+    out
+}

@@ -1,0 +1,684 @@
+//! The browser driver: fetch, render, interact.
+//!
+//! [`Browser::visit`] performs the full page lifecycle a real visitor
+//! (human or crawler) experiences: fetch with cookies and user-agent,
+//! follow redirects, then interpret the page's script effects — modal
+//! dialogs, CAPTCHA callbacks, timed redirects — according to the
+//! browser's capability profile. Every interaction is recorded as a
+//! [`BrowseStep`], which is what the experiment's log analysis and the
+//! figure harnesses consume.
+
+use crate::sbcache::VerdictCache;
+use crate::transport::{FetchError, Transport};
+use parking_lot::Mutex;
+use phishsim_captcha::{find_widget, CaptchaProvider, SolverProfile};
+use phishsim_html::{Document, FormInfo, PageSummary, ScriptEffect};
+use phishsim_http::{CookieJar, Request, Response, Status, Url};
+use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How the browser reacts to modal dialogs (alert/confirm boxes).
+///
+/// "Most browser emulation libraries, e.g., the Selenium project, can
+/// distinguish the alert box window if it is present. They can also
+/// confirm or cancel the alert box." (§2.2) — whether a crawler
+/// actually does is the capability that separates GSB from the rest in
+/// Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DialogPolicy {
+    /// The client never notices the dialog (plain HTTP fetcher).
+    Ignore,
+    /// The client cancels/dismisses the dialog.
+    Dismiss,
+    /// The client confirms the dialog (GSB's behaviour).
+    Confirm,
+}
+
+/// A browser capability profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrowserConfig {
+    /// `User-Agent` presented on every request.
+    pub user_agent: String,
+    /// Reaction to modal dialogs.
+    pub dialog_policy: DialogPolicy,
+    /// CAPTCHA-solving capability, if any.
+    pub captcha_solver: Option<SolverProfile>,
+    /// Maximum redirects followed per visit.
+    pub max_redirects: usize,
+    /// Maximum effect-processing rounds per visit (a page revealed by an
+    /// interaction may itself carry effects).
+    pub max_effect_rounds: usize,
+}
+
+impl BrowserConfig {
+    /// A human-driven desktop Firefox: confirms dialogs, solves
+    /// CAPTCHAs.
+    pub fn human_firefox() -> Self {
+        BrowserConfig {
+            user_agent: phishsim_http::UserAgent::Firefox.as_str().to_string(),
+            dialog_policy: DialogPolicy::Confirm,
+            captcha_solver: Some(SolverProfile::human()),
+            max_redirects: 5,
+            max_effect_rounds: 3,
+        }
+    }
+
+    /// A plain crawler: ignores dialogs, cannot solve CAPTCHAs.
+    pub fn plain_crawler(user_agent: &str) -> Self {
+        BrowserConfig {
+            user_agent: user_agent.to_string(),
+            dialog_policy: DialogPolicy::Ignore,
+            captcha_solver: None,
+            max_redirects: 5,
+            max_effect_rounds: 3,
+        }
+    }
+}
+
+/// One observable step of a visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BrowseStep {
+    /// The browser fetched a URL (after redirects resolved).
+    Loaded {
+        /// The loaded URL.
+        url: String,
+        /// HTTP status.
+        status: u16,
+    },
+    /// A redirect was followed.
+    Redirected {
+        /// Redirect target.
+        to: String,
+    },
+    /// A modal dialog opened.
+    DialogOpened {
+        /// The dialog's message.
+        message: String,
+    },
+    /// The dialog was confirmed (and the resulting form POSTed).
+    DialogConfirmed,
+    /// The dialog was dismissed.
+    DialogDismissed,
+    /// The dialog was present but the client never interacted with it.
+    DialogIgnored,
+    /// A CAPTCHA widget was present on the page.
+    CaptchaPresent,
+    /// The CAPTCHA was solved and the callback form POSTed.
+    CaptchaSolved,
+    /// A CAPTCHA solve attempt failed.
+    CaptchaFailed,
+    /// A timed redirect effect fired.
+    AutoRedirected {
+        /// Redirect target.
+        to: String,
+    },
+    /// A form was submitted (crawler auto-submission or user action).
+    FormSubmitted {
+        /// The form's action (empty = same URL).
+        action: String,
+    },
+}
+
+/// The outcome of a visit: the final page plus the interaction trail.
+#[derive(Debug, Clone)]
+pub struct PageView {
+    /// Final URL (after redirects; interactions stay on the same URL).
+    pub url: Url,
+    /// Final HTTP status.
+    pub status: Status,
+    /// Final HTML.
+    pub html: String,
+    /// Summary of the final page.
+    pub summary: PageSummary,
+    /// Everything that happened, in order.
+    pub steps: Vec<BrowseStep>,
+    /// Simulated time the visit consumed (network + effect delays).
+    pub elapsed: SimDuration,
+}
+
+impl PageView {
+    /// Whether a step of this kind occurred.
+    pub fn has_step(&self, pred: impl Fn(&BrowseStep) -> bool) -> bool {
+        self.steps.iter().any(pred)
+    }
+}
+
+/// A headless browser instance.
+#[derive(Debug)]
+pub struct Browser {
+    /// Capability profile.
+    pub config: BrowserConfig,
+    /// Cookie jar (persists across visits; cleared per profile).
+    pub jar: CookieJar,
+    /// The client's Safe-Browsing verdict cache.
+    pub sb_cache: VerdictCache,
+    /// Source address of this client.
+    pub src: Ipv4Sim,
+    /// Ground-truth actor label for server logs.
+    pub actor: String,
+    /// Provider used to attempt CAPTCHA challenges, when present in the
+    /// environment.
+    pub captcha_provider: Option<Arc<Mutex<CaptchaProvider>>>,
+    history: Vec<Url>,
+}
+
+impl Browser {
+    /// Create a browser for `actor` at `src`.
+    pub fn new(config: BrowserConfig, src: Ipv4Sim, actor: &str) -> Self {
+        Browser {
+            config,
+            jar: CookieJar::new(),
+            sb_cache: VerdictCache::default_ttl(),
+            src,
+            actor: actor.to_string(),
+            captcha_provider: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Attach the CAPTCHA provider (builder style).
+    pub fn with_captcha_provider(mut self, p: Arc<Mutex<CaptchaProvider>>) -> Self {
+        self.captcha_provider = Some(p);
+        self
+    }
+
+    /// Visit history.
+    pub fn history(&self) -> &[Url] {
+        &self.history
+    }
+
+    fn build_request(&self, mut req: Request, now: SimTime) -> Request {
+        req = req.with_user_agent(&self.config.user_agent);
+        let cookie = self.jar.cookie_header(&req.url.host, &req.url.path, now);
+        req.with_cookie_header(&cookie)
+    }
+
+    /// Perform one raw exchange: cookies out, cookies in.
+    fn exchange(
+        &mut self,
+        t: &mut dyn Transport,
+        req: Request,
+        now: &mut SimTime,
+    ) -> Result<Response, FetchError> {
+        let host = req.url.host.clone();
+        let req = self.build_request(req, *now);
+        let (resp, rtt) = t.fetch(self.src, &self.actor, &req, *now)?;
+        *now += rtt;
+        let cookies = resp.set_cookies().into_iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        self.jar
+            .ingest(&cookies.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &host, *now);
+        Ok(resp)
+    }
+
+    /// Fetch a URL following redirects.
+    fn fetch_following(
+        &mut self,
+        t: &mut dyn Transport,
+        url: Url,
+        now: &mut SimTime,
+        steps: &mut Vec<BrowseStep>,
+    ) -> Result<(Url, Response), FetchError> {
+        let mut current = url;
+        let mut resp = self.exchange(t, Request::get(current.clone()), now)?;
+        let mut hops = 0;
+        while let Some(loc) = resp.location().map(|s| s.to_string()) {
+            hops += 1;
+            if hops > self.config.max_redirects {
+                return Err(FetchError::TooManyRedirects);
+            }
+            let next = resolve_location(&current, &loc)
+                .ok_or_else(|| FetchError::BadRedirect(loc.clone()))?;
+            steps.push(BrowseStep::Redirected {
+                to: next.to_string(),
+            });
+            current = next;
+            resp = self.exchange(t, Request::get(current.clone()), now)?;
+        }
+        Ok((current, resp))
+    }
+
+    /// Visit a URL and process its effects per the capability profile.
+    pub fn visit(
+        &mut self,
+        t: &mut dyn Transport,
+        url: &Url,
+        start: SimTime,
+    ) -> Result<PageView, FetchError> {
+        let mut now = start;
+        let mut steps = Vec::new();
+        let (mut current, mut resp) =
+            self.fetch_following(t, url.clone(), &mut now, &mut steps)?;
+        steps.push(BrowseStep::Loaded {
+            url: current.to_string(),
+            status: resp.status.code(),
+        });
+
+        for _round in 0..self.config.max_effect_rounds {
+            let doc = Document::parse(&resp.body);
+            let effects = ScriptEffect::extract(&doc);
+            let widget = find_widget(&resp.body);
+            if effects.is_empty() && widget.is_none() {
+                break;
+            }
+            let mut acted = false;
+            for effect in effects {
+                match effect {
+                    ScriptEffect::AlertConfirm {
+                        message,
+                        delay_ms,
+                        confirm_field,
+                        guard_first_visit: _,
+                    } => {
+                        if self.config.dialog_policy == DialogPolicy::Ignore {
+                            steps.push(BrowseStep::DialogIgnored);
+                            continue;
+                        }
+                        // The dialog opens after the kit's delay and
+                        // blocks until handled.
+                        now += SimDuration::from_millis(delay_ms);
+                        steps.push(BrowseStep::DialogOpened {
+                            message: message.clone(),
+                        });
+                        let fields: Vec<(&str, &str)> =
+                            if self.config.dialog_policy == DialogPolicy::Confirm {
+                                steps.push(BrowseStep::DialogConfirmed);
+                                vec![(confirm_field.0.as_str(), confirm_field.1.as_str())]
+                            } else {
+                                steps.push(BrowseStep::DialogDismissed);
+                                vec![]
+                            };
+                        let post = Request::post_form(current.clone(), &fields);
+                        resp = self.exchange(t, post, &mut now)?;
+                        steps.push(BrowseStep::Loaded {
+                            url: current.to_string(),
+                            status: resp.status.code(),
+                        });
+                        acted = true;
+                        break;
+                    }
+                    ScriptEffect::CaptchaCallback { field_name } => {
+                        let Some(site_key) = widget.clone() else {
+                            continue;
+                        };
+                        steps.push(BrowseStep::CaptchaPresent);
+                        let Some(solver) = self.config.captcha_solver.clone() else {
+                            continue;
+                        };
+                        let Some(provider) = self.captcha_provider.clone() else {
+                            continue;
+                        };
+                        // Solving a checkbox challenge takes a moment;
+                        // a visitor who fails the challenge simply tries
+                        // again (up to three attempts).
+                        let mut token = None;
+                        for _ in 0..3 {
+                            now += SimDuration::from_secs(4);
+                            token = provider.lock().attempt(&site_key, &solver, now);
+                            if token.is_some() {
+                                break;
+                            }
+                        }
+                        match token {
+                            None => steps.push(BrowseStep::CaptchaFailed),
+                            Some(tok) => {
+                                steps.push(BrowseStep::CaptchaSolved);
+                                let post = Request::post_form(
+                                    current.clone(),
+                                    &[(field_name.as_str(), tok.0.as_str())],
+                                );
+                                resp = self.exchange(t, post, &mut now)?;
+                                steps.push(BrowseStep::Loaded {
+                                    url: current.to_string(),
+                                    status: resp.status.code(),
+                                });
+                                acted = true;
+                            }
+                        }
+                        if acted {
+                            break;
+                        }
+                    }
+                    ScriptEffect::AutoRedirect { to, delay_ms } => {
+                        now += SimDuration::from_millis(delay_ms);
+                        let next = resolve_location(&current, &to)
+                            .ok_or_else(|| FetchError::BadRedirect(to.clone()))?;
+                        steps.push(BrowseStep::AutoRedirected {
+                            to: next.to_string(),
+                        });
+                        let (u, r) = self.fetch_following(t, next, &mut now, &mut steps)?;
+                        current = u;
+                        resp = r;
+                        steps.push(BrowseStep::Loaded {
+                            url: current.to_string(),
+                            status: resp.status.code(),
+                        });
+                        acted = true;
+                        break;
+                    }
+                }
+            }
+            // A bare widget with no solver/effect progress: nothing more
+            // to do this round.
+            if !acted {
+                if widget.is_some()
+                    && !steps.iter().any(|s| matches!(s, BrowseStep::CaptchaPresent))
+                {
+                    steps.push(BrowseStep::CaptchaPresent);
+                }
+                break;
+            }
+        }
+
+        self.history.push(current.clone());
+        let summary = PageSummary::from_html(&resp.body);
+        Ok(PageView {
+            url: current,
+            status: resp.status,
+            html: resp.body,
+            summary,
+            steps,
+            elapsed: now.since(start),
+        })
+    }
+
+    /// Submit a form found on `page`, filling text-like fields with the
+    /// given dummy value (crawlers "submit the HTML form tags
+    /// automatically by filling the 'username' field with different
+    /// values", §4.1). Hidden fields keep their preset values.
+    pub fn submit_form(
+        &mut self,
+        t: &mut dyn Transport,
+        page: &PageView,
+        form: &FormInfo,
+        fill_value: &str,
+        start: SimTime,
+    ) -> Result<PageView, FetchError> {
+        let mut now = start;
+        let action_url = if form.action.is_empty() {
+            page.url.clone()
+        } else {
+            resolve_location(&page.url, &form.action)
+                .ok_or_else(|| FetchError::BadRedirect(form.action.clone()))?
+        };
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for f in &form.fields {
+            if f.name.is_empty() {
+                continue;
+            }
+            let value = match f.kind.as_str() {
+                "hidden" | "submit" | "button" => f.value.clone().unwrap_or_default(),
+                "password" => format!("{fill_value}-pw"),
+                _ => fill_value.to_string(),
+            };
+            fields.push((f.name.clone(), value));
+        }
+        let borrowed: Vec<(&str, &str)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let req = Request::post_form(action_url.clone(), &borrowed);
+        let mut steps = vec![BrowseStep::FormSubmitted {
+            action: form.action.clone(),
+        }];
+        let resp = self.exchange(t, req, &mut now)?;
+        // Follow a post-submit redirect if the server issues one.
+        let (final_url, resp) = if resp.location().is_some() {
+            let loc = resp.location().unwrap().to_string();
+            let next = resolve_location(&action_url, &loc)
+                .ok_or(FetchError::BadRedirect(loc))?;
+            steps.push(BrowseStep::Redirected {
+                to: next.to_string(),
+            });
+            let r = self.exchange(t, Request::get(next.clone()), &mut now)?;
+            (next, r)
+        } else {
+            (action_url, resp)
+        };
+        steps.push(BrowseStep::Loaded {
+            url: final_url.to_string(),
+            status: resp.status.code(),
+        });
+        self.history.push(final_url.clone());
+        Ok(PageView {
+            url: final_url,
+            status: resp.status,
+            summary: PageSummary::from_html(&resp.body),
+            html: resp.body,
+            steps,
+            elapsed: now.since(start),
+        })
+    }
+}
+
+/// Resolve a `Location`/href against the current URL.
+fn resolve_location(base: &Url, location: &str) -> Option<Url> {
+    if location.starts_with("http://") || location.starts_with("https://") {
+        Url::parse(location).ok()
+    } else if let Some(rest) = location.strip_prefix('/') {
+        Some(Url::https(&base.host, &format!("/{rest}")))
+    } else if location.is_empty() {
+        Some(base.clone())
+    } else {
+        // Relative path: resolve against the base directory.
+        let dir = match base.path.rfind('/') {
+            Some(i) => &base.path[..=i],
+            None => "/",
+        };
+        Some(Url::https(&base.host, &format!("{dir}{location}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::DirectTransport;
+    use phishsim_http::{RequestCtx, Response, VirtualHosting};
+
+    fn browser(policy: DialogPolicy) -> Browser {
+        let mut config = BrowserConfig::human_firefox();
+        config.dialog_policy = policy;
+        config.captcha_solver = None;
+        Browser::new(config, Ipv4Sim::new(8, 8, 8, 8), "test")
+    }
+
+    #[test]
+    fn resolve_location_variants() {
+        let base = Url::parse("https://h.com/a/b.php").unwrap();
+        assert_eq!(
+            resolve_location(&base, "https://x.com/p").unwrap().to_string(),
+            "https://x.com/p"
+        );
+        assert_eq!(
+            resolve_location(&base, "/root.php").unwrap().to_string(),
+            "https://h.com/root.php"
+        );
+        assert_eq!(
+            resolve_location(&base, "sibling.php").unwrap().to_string(),
+            "https://h.com/a/sibling.php"
+        );
+        assert_eq!(resolve_location(&base, "").unwrap(), base);
+    }
+
+    #[test]
+    fn visit_follows_redirects() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "a.com",
+            Box::new(|req: &Request, _: &RequestCtx| {
+                if req.url.path == "/" {
+                    Response::redirect("/final.php")
+                } else {
+                    Response::html("<title>done</title>")
+                }
+            }),
+        );
+        let mut t = DirectTransport::new(v);
+        let mut b = browser(DialogPolicy::Ignore);
+        let view = b
+            .visit(&mut t, &Url::https("a.com", "/"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(view.url.path, "/final.php");
+        assert!(view.has_step(|s| matches!(s, BrowseStep::Redirected { .. })));
+        assert_eq!(view.summary.title, "done");
+        assert!(view.elapsed >= SimDuration::from_millis(100), "two RTTs");
+    }
+
+    #[test]
+    fn redirect_loop_detected() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "loop.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::redirect("/again")),
+        );
+        let mut t = DirectTransport::new(v);
+        let mut b = browser(DialogPolicy::Ignore);
+        let err = b
+            .visit(&mut t, &Url::https("loop.com", "/"), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FetchError::TooManyRedirects);
+    }
+
+    #[test]
+    fn cookies_persist_across_visits() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "c.com",
+            Box::new(|req: &Request, _: &RequestCtx| {
+                match req.headers.get("Cookie") {
+                    Some(c) => Response::html(format!("cookie:{c}")),
+                    None => Response::html("no-cookie").with_set_cookie("sid=xyz; Path=/"),
+                }
+            }),
+        );
+        let mut t = DirectTransport::new(v);
+        let mut b = browser(DialogPolicy::Ignore);
+        let u = Url::https("c.com", "/");
+        let first = b.visit(&mut t, &u, SimTime::ZERO).unwrap();
+        assert_eq!(first.html, "no-cookie");
+        let second = b.visit(&mut t, &u, SimTime::from_mins(1)).unwrap();
+        assert_eq!(second.html, "cookie:sid=xyz");
+    }
+
+    #[test]
+    fn alert_effect_confirmed_by_capable_browser() {
+        let cover = format!(
+            "<html><body>cover{}</body></html>",
+            ScriptEffect::AlertConfirm {
+                message: "Please sign in to continue...".into(),
+                delay_ms: 2000,
+                confirm_field: ("get_data".into(), "getData".into()),
+                guard_first_visit: true,
+            }
+            .to_markup()
+        );
+        let mut v = VirtualHosting::new();
+        v.install(
+            "alert.com",
+            Box::new(move |req: &Request, _: &RequestCtx| {
+                if req.form_field("get_data").as_deref() == Some("getData") {
+                    Response::html("<title>payload</title>")
+                } else {
+                    Response::html(cover.clone())
+                }
+            }),
+        );
+        let mut t = DirectTransport::new(v);
+        // Confirming browser reaches the payload.
+        let mut b = browser(DialogPolicy::Confirm);
+        let view = b
+            .visit(&mut t, &Url::https("alert.com", "/"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(view.summary.title, "payload");
+        assert!(view.has_step(|s| matches!(s, BrowseStep::DialogConfirmed)));
+        assert!(
+            view.elapsed >= SimDuration::from_secs(2),
+            "dialog delay must elapse: {:?}",
+            view.elapsed
+        );
+        // Ignoring browser stays on the cover.
+        let mut b = browser(DialogPolicy::Ignore);
+        let view = b
+            .visit(&mut t, &Url::https("alert.com", "/"), SimTime::ZERO)
+            .unwrap();
+        assert_ne!(view.summary.title, "payload");
+        assert!(view.has_step(|s| matches!(s, BrowseStep::DialogIgnored)));
+        // Dismissing browser POSTs the empty (cancel) form and stays benign.
+        let mut b = browser(DialogPolicy::Dismiss);
+        let view = b
+            .visit(&mut t, &Url::https("alert.com", "/"), SimTime::ZERO)
+            .unwrap();
+        assert_ne!(view.summary.title, "payload");
+        assert!(view.has_step(|s| matches!(s, BrowseStep::DialogDismissed)));
+    }
+
+    #[test]
+    fn form_submission_fills_fields() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "f.com",
+            Box::new(|req: &Request, _: &RequestCtx| {
+                if req.method == phishsim_http::Method::Post {
+                    Response::html(format!(
+                        "<title>got {} {}</title>",
+                        req.form_field("username").unwrap_or_default(),
+                        req.form_field("csrf").unwrap_or_default()
+                    ))
+                } else {
+                    Response::html(
+                        "<form action=\"/submit.php\" method=\"post\">\
+                         <input type=\"text\" name=\"username\">\
+                         <input type=\"hidden\" name=\"csrf\" value=\"tok\">\
+                         <input type=\"submit\" value=\"Go\"></form>",
+                    )
+                }
+            }),
+        );
+        let mut t = DirectTransport::new(v);
+        let mut b = browser(DialogPolicy::Ignore);
+        let page = b
+            .visit(&mut t, &Url::https("f.com", "/"), SimTime::ZERO)
+            .unwrap();
+        let form = page.summary.forms[0].clone();
+        let result = b
+            .submit_form(&mut t, &page, &form, "probe1", SimTime::from_mins(1))
+            .unwrap();
+        assert_eq!(result.summary.title, "got probe1 tok");
+        assert!(result.has_step(|s| matches!(s, BrowseStep::FormSubmitted { .. })));
+    }
+
+    #[test]
+    fn captcha_without_solver_only_recognised() {
+        let widget =
+            "<div class=\"g-recaptcha\" data-sitekey=\"6Labc\"></div>\
+             <script data-sim-effect=\"captcha-callback\"></script>";
+        let mut v = VirtualHosting::new();
+        let page = format!("<html><body>{widget}</body></html>");
+        v.install(
+            "cap.com",
+            Box::new(move |_: &Request, _: &RequestCtx| Response::html(page.clone())),
+        );
+        let mut t = DirectTransport::new(v);
+        let mut b = browser(DialogPolicy::Confirm);
+        let view = b
+            .visit(&mut t, &Url::https("cap.com", "/"), SimTime::ZERO)
+            .unwrap();
+        assert!(view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent)));
+        assert!(!view.has_step(|s| matches!(s, BrowseStep::CaptchaSolved)));
+    }
+
+    #[test]
+    fn history_records_final_urls() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "h.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("x")),
+        );
+        let mut t = DirectTransport::new(v);
+        let mut b = browser(DialogPolicy::Ignore);
+        b.visit(&mut t, &Url::https("h.com", "/a"), SimTime::ZERO).unwrap();
+        b.visit(&mut t, &Url::https("h.com", "/b"), SimTime::ZERO).unwrap();
+        assert_eq!(b.history().len(), 2);
+        assert_eq!(b.history()[1].path, "/b");
+    }
+}

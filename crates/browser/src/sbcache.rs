@@ -1,0 +1,184 @@
+//! The Safe-Browsing verdict cache.
+//!
+//! §2.4 of the paper explains why reCAPTCHA evasion also defeats
+//! *client-side* protection in practice: "Since the URL has not
+//! changed, the built-in browser anti-phishing system (e.g., GSB in
+//! Chrome) or the installed third-party extension (e.g., NetCraft
+//! toolbar) does not resend it to the server and serves instead the
+//! cached result usually valid for 5 to 60 minutes." [`VerdictCache`]
+//! models that Update-API-style client cache; experiment E5 sweeps its
+//! TTL to show the blind-spot window.
+
+use phishsim_http::Url;
+use phishsim_simnet::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A cached Safe-Browsing verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The URL was not on any blacklist when checked.
+    Safe,
+    /// The URL was blacklisted when checked.
+    Phishing,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    verdict: Verdict,
+    expires_at: SimTime,
+}
+
+/// A per-client verdict cache keyed by URL (without query, as the
+/// hashed-prefix scheme effectively canonicalises).
+///
+/// ```
+/// use phishsim_browser::{Verdict, VerdictCache};
+/// use phishsim_http::Url;
+/// use phishsim_simnet::{SimDuration, SimTime};
+///
+/// let mut cache = VerdictCache::new(SimDuration::from_mins(30));
+/// let url = Url::parse("https://site.com/p").unwrap();
+/// cache.store(&url, Verdict::Safe, SimTime::ZERO);
+/// // Within the TTL the stale verdict masks any later listing (§2.4).
+/// assert_eq!(cache.lookup(&url, SimTime::from_mins(29)), Some(Verdict::Safe));
+/// assert_eq!(cache.lookup(&url, SimTime::from_mins(31)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerdictCache {
+    ttl: SimDuration,
+    entries: HashMap<String, Entry>,
+    /// Count of lookups answered from cache.
+    pub hits: u64,
+    /// Count of lookups that had to go to the server.
+    pub misses: u64,
+}
+
+impl VerdictCache {
+    /// A cache with the given TTL. The real cache TTL varies between 5
+    /// and 60 minutes depending on the server's response.
+    pub fn new(ttl: SimDuration) -> Self {
+        VerdictCache {
+            ttl,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The conventional default (middle of the 5–60 minute range).
+    pub fn default_ttl() -> Self {
+        VerdictCache::new(SimDuration::from_mins(30))
+    }
+
+    fn key(url: &Url) -> String {
+        url.without_query().to_string()
+    }
+
+    /// Look up a verdict; `None` means the client must ask the server.
+    pub fn lookup(&mut self, url: &Url, now: SimTime) -> Option<Verdict> {
+        match self.entries.get(&Self::key(url)) {
+            Some(e) if e.expires_at > now => {
+                self.hits += 1;
+                Some(e.verdict)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a verdict obtained from the server at `now`.
+    pub fn store(&mut self, url: &Url, verdict: Verdict, now: SimTime) {
+        self.entries.insert(
+            Self::key(url),
+            Entry {
+                verdict,
+                expires_at: now + self.ttl,
+            },
+        );
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Number of (possibly expired) entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_within_ttl() {
+        let mut c = VerdictCache::new(SimDuration::from_mins(30));
+        let u = url("https://site.com/account/verify.php");
+        let t0 = SimTime::from_mins(10);
+        assert_eq!(c.lookup(&u, t0), None);
+        c.store(&u, Verdict::Safe, t0);
+        assert_eq!(c.lookup(&u, t0 + SimDuration::from_mins(29)), Some(Verdict::Safe));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn entry_expires_after_ttl() {
+        let mut c = VerdictCache::new(SimDuration::from_mins(5));
+        let u = url("https://site.com/p");
+        c.store(&u, Verdict::Safe, SimTime::ZERO);
+        assert_eq!(c.lookup(&u, SimTime::from_mins(5)), None);
+    }
+
+    #[test]
+    fn query_parameters_do_not_split_entries() {
+        let mut c = VerdictCache::default_ttl();
+        let a = url("https://site.com/p?x=1");
+        let b = url("https://site.com/p?x=2");
+        c.store(&a, Verdict::Safe, SimTime::ZERO);
+        assert_eq!(c.lookup(&b, SimTime::from_mins(1)), Some(Verdict::Safe));
+    }
+
+    #[test]
+    fn the_recaptcha_blind_spot() {
+        // The scenario from §2.4: the URL is checked (safe) when the
+        // benign CAPTCHA page loads; the user solves the challenge and
+        // the same URL now serves the phishing payload — but the client
+        // serves the cached "safe" verdict instead of re-checking.
+        let mut c = VerdictCache::new(SimDuration::from_mins(30));
+        let u = url("https://victim.com/account/verify.php");
+        let page_load = SimTime::from_mins(0);
+        assert_eq!(c.lookup(&u, page_load), None, "first load checks the server");
+        c.store(&u, Verdict::Safe, page_load);
+        // 45 seconds later the payload replaces the page content at the
+        // same URL; the cached verdict hides it.
+        let post_solve = page_load + SimDuration::from_secs(45);
+        assert_eq!(c.lookup(&u, post_solve), Some(Verdict::Safe));
+        // Only after the TTL does the client re-check.
+        assert_eq!(c.lookup(&u, page_load + SimDuration::from_mins(31)), None);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let mut c = VerdictCache::default_ttl();
+        let u = url("https://site.com/p");
+        c.store(&u, Verdict::Safe, SimTime::ZERO);
+        c.store(&u, Verdict::Phishing, SimTime::from_mins(1));
+        assert_eq!(c.lookup(&u, SimTime::from_mins(2)), Some(Verdict::Phishing));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The transport abstraction: how a browser reaches servers.
+//!
+//! The experiment world (in `phishsim-core`) implements [`Transport`]
+//! over DNS resolution, the hosting farm, and per-link latency/fault
+//! models. Unit tests implement it over an in-memory dispatch table.
+
+use phishsim_http::{Request, RequestCtx, Response, VirtualHosting};
+use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
+
+/// Errors a fetch can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The host did not resolve.
+    DnsFailure(String),
+    /// The exchange was lost on the link.
+    ConnectionLost,
+    /// Redirect chain exceeded the client's limit.
+    TooManyRedirects,
+    /// A redirect target could not be parsed.
+    BadRedirect(String),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::DnsFailure(h) => write!(f, "DNS failure for {h}"),
+            FetchError::ConnectionLost => write!(f, "connection lost"),
+            FetchError::TooManyRedirects => write!(f, "too many redirects"),
+            FetchError::BadRedirect(l) => write!(f, "bad redirect target {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Something that can carry an HTTP exchange end to end.
+pub trait Transport {
+    /// Perform one request/response exchange on behalf of
+    /// `actor`/`src`, starting at `now`. Returns the response and the
+    /// round-trip time it consumed.
+    fn fetch(
+        &mut self,
+        src: Ipv4Sim,
+        actor: &str,
+        req: &Request,
+        now: SimTime,
+    ) -> Result<(Response, SimDuration), FetchError>;
+}
+
+/// A direct in-memory transport over a [`VirtualHosting`] table, with a
+/// constant RTT. Used by unit tests and examples that do not need the
+/// full experiment world.
+pub struct DirectTransport {
+    /// The site table requests are dispatched against.
+    pub vhosts: VirtualHosting,
+    /// Constant round-trip time charged per exchange.
+    pub rtt: SimDuration,
+}
+
+impl DirectTransport {
+    /// Wrap a hosting table with a 50 ms RTT.
+    pub fn new(vhosts: VirtualHosting) -> Self {
+        DirectTransport {
+            vhosts,
+            rtt: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl Transport for DirectTransport {
+    fn fetch(
+        &mut self,
+        src: Ipv4Sim,
+        actor: &str,
+        req: &Request,
+        now: SimTime,
+    ) -> Result<(Response, SimDuration), FetchError> {
+        let ctx = RequestCtx {
+            src,
+            actor: actor.to_string(),
+            now: now + self.rtt.mul_f64(0.5),
+        };
+        Ok((self.vhosts.dispatch(req, &ctx), self.rtt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishsim_http::{Response, Url};
+
+    #[test]
+    fn direct_transport_dispatches() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "a.com",
+            Box::new(|_req: &Request, _ctx: &RequestCtx| Response::html("hello")),
+        );
+        let mut t = DirectTransport::new(v);
+        let (resp, rtt) = t
+            .fetch(
+                Ipv4Sim::new(1, 1, 1, 1),
+                "test",
+                &Request::get(Url::https("a.com", "/")),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(resp.body, "hello");
+        assert_eq!(rtt, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn unknown_host_404s_rather_than_failing() {
+        let mut t = DirectTransport::new(VirtualHosting::new());
+        let (resp, _) = t
+            .fetch(
+                Ipv4Sim::new(1, 1, 1, 1),
+                "test",
+                &Request::get(Url::https("nowhere.com", "/")),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(resp.status.code(), 404);
+    }
+}

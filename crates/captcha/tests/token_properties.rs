@@ -1,0 +1,83 @@
+//! Property-based tests on the CAPTCHA token protocol.
+
+use phishsim_captcha::{CaptchaProvider, ResponseToken, SolverProfile, TOKEN_TTL};
+use phishsim_simnet::{DetRng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// A token verifies successfully at most once, whatever the
+    /// interleaving of verification attempts.
+    #[test]
+    fn tokens_verify_at_most_once(
+        seed in any::<u64>(),
+        attempts in 1usize..12,
+    ) {
+        let mut p = CaptchaProvider::new(&DetRng::new(seed));
+        let (site, secret) = p.register_site();
+        let now = SimTime::from_mins(1);
+        let token = p
+            .attempt(&site, &SolverProfile::Human { skill: 1.0 }, now)
+            .unwrap();
+        let successes = (0..attempts)
+            .filter(|_| p.siteverify(&secret, &token, now).success)
+            .count();
+        prop_assert_eq!(successes, 1);
+    }
+
+    /// Forged token strings never verify, for any secret.
+    #[test]
+    fn forged_tokens_never_verify(seed in any::<u64>(), forged in "[ -~]{0,64}") {
+        let mut p = CaptchaProvider::new(&DetRng::new(seed));
+        let (_site, secret) = p.register_site();
+        let out = p.siteverify(&secret, &ResponseToken(forged), SimTime::ZERO);
+        prop_assert!(!out.success);
+    }
+
+    /// Verification honours the TTL boundary exactly.
+    #[test]
+    fn ttl_boundary(seed in any::<u64>(), offset_secs in 0u64..400) {
+        let mut p = CaptchaProvider::new(&DetRng::new(seed));
+        let (site, secret) = p.register_site();
+        let issued = SimTime::from_mins(10);
+        let token = p
+            .attempt(&site, &SolverProfile::Human { skill: 1.0 }, issued)
+            .unwrap();
+        let verify_at = issued + SimDuration::from_secs(offset_secs);
+        let out = p.siteverify(&secret, &token, verify_at);
+        let within = SimDuration::from_secs(offset_secs) <= TOKEN_TTL;
+        prop_assert_eq!(out.success, within, "offset {}s", offset_secs);
+    }
+
+    /// Tokens are bound to their site: the issuing site's secret is the
+    /// only one that verifies them.
+    #[test]
+    fn tokens_bound_to_site(seed in any::<u64>(), n_sites in 2usize..6) {
+        let mut p = CaptchaProvider::new(&DetRng::new(seed));
+        let sites: Vec<_> = (0..n_sites).map(|_| p.register_site()).collect();
+        let now = SimTime::ZERO;
+        let token = p
+            .attempt(&sites[0].0, &SolverProfile::Human { skill: 1.0 }, now)
+            .unwrap();
+        for (i, (_, secret)) in sites.iter().enumerate() {
+            let out = p.siteverify(secret, &token, now);
+            if i == 0 {
+                prop_assert!(out.success);
+            } else {
+                prop_assert!(!out.success, "cross-site verification succeeded");
+            }
+        }
+    }
+
+    /// Automated solvers never obtain a token, over any number of tries.
+    #[test]
+    fn automation_never_passes(seed in any::<u64>(), tries in 1usize..64) {
+        let mut p = CaptchaProvider::new(&DetRng::new(seed));
+        let (site, _) = p.register_site();
+        for i in 0..tries {
+            let t = p.attempt(&site, &SolverProfile::HeadlessBot, SimTime::from_secs(i as u64));
+            prop_assert!(t.is_none());
+            let t = p.attempt(&site, &SolverProfile::AutomatedBrowser, SimTime::from_secs(i as u64));
+            prop_assert!(t.is_none());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Deployment: registration → cover site → TLS → kit arming.
+//!
+//! One call deploys what the paper deploys per domain: a generated
+//! 30-page cover website on the hosting farm, a TLS certificate, a DNS
+//! delegation, and one phishing kit behind the chosen evasion gate,
+//! yielding the single phishing URL that gets reported.
+
+use crate::world::World;
+use phishsim_dns::{DomainName, Zone};
+use phishsim_http::Url;
+use phishsim_phishgen::{
+    Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit, SiteProbe,
+};
+use phishsim_simnet::{Ipv4Sim, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A deployed, armed experiment site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The domain.
+    pub domain: String,
+    /// The single phishing URL for this domain.
+    pub url: Url,
+    /// Brand the kit targets.
+    pub brand: Brand,
+    /// Evasion technique in force.
+    pub technique: EvasionTechnique,
+    /// Hosting address assigned by the farm.
+    #[serde(skip)]
+    pub addr: Option<Ipv4Sim>,
+    /// Server-side probe into the kit's serve log.
+    #[serde(skip, default)]
+    pub probe: Option<SiteProbe>,
+}
+
+/// Deploy a cover site + armed kit for `domain` at `now`.
+///
+/// The domain must already be registered in the world's registry (the
+/// acquisition stage does that); this stage uploads content, issues the
+/// certificate, and delegates DNS — then returns the phishing URL.
+pub fn deploy_armed_site(
+    world: &mut World,
+    domain: &DomainName,
+    brand: Brand,
+    technique: EvasionTechnique,
+    now: SimTime,
+) -> Deployment {
+    let config = match technique {
+        EvasionTechnique::CaptchaGate => GateConfig::captcha_gate(&world.captcha),
+        EvasionTechnique::Cloaking => {
+            // The kit ships a bot-subnet list; the experiment configures
+            // it per-arm (see the cloaking baseline), so the plain
+            // deployment uses an empty list (UA cloaking only).
+            GateConfig::cloaking(Vec::new())
+        }
+        t => GateConfig::simple(t),
+    };
+    deploy_with_config(world, domain, brand, config, now)
+}
+
+/// Deploy with an explicit gate configuration (used by the cloaking
+/// baseline to install its bot-subnet list).
+pub fn deploy_with_config(
+    world: &mut World,
+    domain: &DomainName,
+    brand: Brand,
+    config: GateConfig,
+    now: SimTime,
+) -> Deployment {
+    let host = domain.to_string();
+    let technique = config.technique;
+    let bundle = FakeSiteGenerator::new(&world.rng).generate(&host);
+    let kit = PhishKit::new(brand, config);
+    let url = kit.phishing_url(&host);
+    let site = CompromisedSite::new(bundle, kit, &world.rng);
+    let probe = site.probe();
+    let cert = world.ca.issue(&host, now);
+    let addr = world.farm.install_site(&host, Box::new(site), Some(cert));
+    world
+        .registry
+        .delegate(domain, Zone::hosting(domain.clone(), addr, 1, true), now)
+        .expect("domain must be registered before deployment");
+    Deployment {
+        domain: host,
+        url,
+        brand,
+        technique,
+        addr: Some(addr),
+        probe: Some(probe),
+    }
+}
+
+impl Deployment {
+    /// The probe (panics if deserialised from JSON, where probes are
+    /// not carried).
+    pub fn probe(&self) -> &SiteProbe {
+        self.probe.as_ref().expect("live deployment has a probe")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishsim_browser::{Browser, BrowserConfig, Transport};
+    use phishsim_http::Request;
+    use phishsim_simnet::SimDuration;
+
+    fn registered_world(host: &str) -> (World, DomainName) {
+        let mut w = World::new(9);
+        let d = DomainName::parse(host).unwrap();
+        w.registry
+            .register(d.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+            .unwrap();
+        (w, d)
+    }
+
+    #[test]
+    fn deployment_serves_cover_and_kit() {
+        let (mut w, d) = registered_world("green-energy.com");
+        let dep = deploy_armed_site(&mut w, &d, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+        assert_eq!(dep.url.host, "green-energy.com");
+        // Cover page resolves and serves.
+        let (resp, _) = w
+            .fetch(
+                Ipv4Sim::new(1, 1, 1, 1),
+                "human",
+                &Request::get(Url::https("green-energy.com", "/")),
+                SimTime::from_mins(1),
+            )
+            .unwrap();
+        assert!(resp.status.is_success());
+        // Kit serves the payload at the phishing URL.
+        let (resp, _) = w
+            .fetch(
+                Ipv4Sim::new(1, 1, 1, 1),
+                "human",
+                &Request::get(dep.url.clone()),
+                SimTime::from_mins(2),
+            )
+            .unwrap();
+        assert!(resp.body.to_lowercase().contains("paypal"));
+        assert!(dep.probe().payload_reached_by("human"));
+    }
+
+    #[test]
+    fn captcha_deployment_binds_to_world_provider() {
+        let (mut w, d) = registered_world("harbor-view.net");
+        let dep = deploy_armed_site(
+            &mut w,
+            &d,
+            Brand::PayPal,
+            EvasionTechnique::CaptchaGate,
+            SimTime::ZERO,
+        );
+        // A human browser attached to the world's provider passes the
+        // whole flow end to end.
+        let mut human = Browser::new(
+            BrowserConfig::human_firefox(),
+            Ipv4Sim::new(2, 2, 2, 2),
+            "human",
+        )
+        .with_captcha_provider(w.captcha.clone());
+        let view = human.visit(&mut w, &dep.url, SimTime::from_mins(5)).unwrap();
+        assert!(
+            view.summary.has_login_form(),
+            "human should reach the payload after solving the CAPTCHA"
+        );
+        assert!(dep.probe().payload_reached_by("human"));
+    }
+
+    #[test]
+    fn tls_certificate_validates() {
+        let (mut w, d) = registered_world("cedar-valley.org");
+        deploy_armed_site(&mut w, &d, Brand::Facebook, EvasionTechnique::SessionGate, SimTime::ZERO);
+        let cert = w.farm.certificate("cedar-valley.org").unwrap();
+        assert!(cert.validate("cedar-valley.org", SimTime::from_mins(1)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered before deployment")]
+    fn deploying_unregistered_domain_panics() {
+        let mut w = World::new(9);
+        let d = DomainName::parse("never-registered.com").unwrap();
+        deploy_armed_site(&mut w, &d, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,359 @@
+//! Domain acquisition: the drop-catch pipeline and the random-keyword
+//! registrations.
+//!
+//! Implements §3 "Registering Domains" end to end:
+//!
+//! 1. scan the Alexa top list for SOA/NS and keep NXDOMAIN answers;
+//! 2. check availability via the GoDaddy and Porkbun APIs;
+//! 3. keep domains whose WHOIS answers `NOT FOUND`;
+//! 4. keep domains with clean VirusTotal/GSB history;
+//! 5. keep domains archived at least once;
+//! 6. keep domains indexed at least once (`site:` query);
+//!
+//! then register the survivors plus randomly generated keyword domains
+//! (21 in new gTLDs, the rest in legacy gTLDs) manually over two weeks
+//! at OVH, deploying DNSSEC for all — "all steps are taken to reduce
+//! the chances of being blacklisted due to the low reputation of the
+//! domain".
+
+use phishsim_dns::{
+    DomainName, HistoryVerdict, Registrar, Registry, Resolver, TldKind, WhoisAnswer,
+};
+use phishsim_dns::reputation::{PopulationConfig, SyntheticPopulation, WORDS};
+use phishsim_simnet::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The funnel counts at each pipeline step (§3's 1M → 770 → 251 → 244
+/// → 244 → 50).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Funnel {
+    /// Alexa domains scanned.
+    pub scanned: usize,
+    /// Step 1: NXDOMAIN for SOA and NS.
+    pub nxdomain: usize,
+    /// Step 2: available per the registrar APIs.
+    pub available: usize,
+    /// Step 3: WHOIS answered NOT FOUND.
+    pub whois_not_found: usize,
+    /// Step 4: clean VT/GSB history.
+    pub clean_history: usize,
+    /// Step 5: archived at least once.
+    pub archived: usize,
+    /// Step 6: also indexed at least once (final selection pool).
+    pub indexed: usize,
+}
+
+/// Acquisition configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcquisitionConfig {
+    /// Synthetic-population calibration.
+    pub population: PopulationConfig,
+    /// Drop-catch domains to keep (paper: 50).
+    pub drop_catch_count: usize,
+    /// Random-keyword domains in new gTLDs (paper: 21).
+    pub random_new_gtld: usize,
+    /// Random-keyword domains in legacy gTLDs (paper: 41, for 112 total).
+    pub random_legacy: usize,
+    /// Days over which registrations are spread (paper: two weeks).
+    pub registration_days: u64,
+}
+
+impl AcquisitionConfig {
+    /// The paper's exact shape: 112 domains total.
+    pub fn paper() -> Self {
+        AcquisitionConfig {
+            population: PopulationConfig::paper(),
+            drop_catch_count: 50,
+            random_new_gtld: 21,
+            random_legacy: 41,
+            registration_days: 14,
+        }
+    }
+
+    /// A reduced configuration for fast tests (same funnel tail).
+    pub fn small() -> Self {
+        AcquisitionConfig {
+            population: PopulationConfig::small(),
+            ..Self::paper()
+        }
+    }
+}
+
+/// The acquisition outcome.
+#[derive(Debug)]
+pub struct AcquisitionResult {
+    /// Step-by-step funnel counts.
+    pub funnel: Funnel,
+    /// Selected drop-catch domains (now registered to the experiment).
+    pub drop_catch: Vec<DomainName>,
+    /// Random-keyword domains (now registered to the experiment).
+    pub random: Vec<DomainName>,
+    /// The registry holding all registrations (seeded population +
+    /// experiment registrations).
+    pub registry: Registry,
+    /// Largest registration burst within 24 h (bulk-pattern metric).
+    pub max_daily_registrations: usize,
+    /// When the last registration completed (experiments start after).
+    pub ready_at: SimTime,
+}
+
+impl AcquisitionResult {
+    /// All experiment domains, drop-catch first.
+    pub fn all_domains(&self) -> Vec<DomainName> {
+        self.drop_catch
+            .iter()
+            .chain(self.random.iter())
+            .cloned()
+            .collect()
+    }
+}
+
+/// Run the full acquisition: pipeline + random registrations.
+pub fn acquire_domains(config: &AcquisitionConfig, rng: &DetRng) -> AcquisitionResult {
+    let rng = rng.fork("acquisition");
+    // The population is seeded "in the past": the pipeline runs at
+    // pop.now, registrations spread over the following two weeks.
+    let pop_now = SimTime::from_hours(24 * 700);
+    let pop = SyntheticPopulation::generate(&config.population, &rng, pop_now);
+
+    let (funnel, candidates) = run_pipeline(&pop, config.drop_catch_count);
+
+    // Register: drop-catch survivors + random keyword names, manually
+    // spread over `registration_days` at OVH with DNSSEC.
+    let mut registry = pop.registry.clone();
+    let mut ovh = Registrar::new("ovh", 0.0, &rng);
+    let mut schedule_rng = rng.fork("registration-schedule");
+    let window = SimDuration::from_days(config.registration_days);
+
+    let mut register_spread = |registry: &mut Registry,
+                               ovh: &mut Registrar,
+                               name: DomainName|
+     -> SimTime {
+        let offset = SimDuration::from_millis(
+            schedule_rng.range(0..window.as_millis().max(1)),
+        );
+        let at = pop_now + offset;
+        ovh.register(registry, name, at, true)
+            .expect("selected domains must be registrable")
+            .at
+    };
+
+    let mut last = pop_now;
+    let mut drop_catch = Vec::new();
+    for name in candidates {
+        let at = register_spread(&mut registry, &mut ovh, name.clone());
+        last = last.max(at);
+        drop_catch.push(name);
+    }
+
+    // Random-keyword domains from the dictionary.
+    let mut random = Vec::new();
+    let mut name_rng = rng.fork("random-names");
+    let gen_name = |kind: TldKind, name_rng: &mut DetRng, registry: &Registry| -> DomainName {
+        loop {
+            let w1 = *name_rng.pick(WORDS);
+            let w2 = *name_rng.pick(WORDS);
+            let tld = *name_rng.pick(DomainName::known_tlds(kind));
+            let candidate = format!("{w1}-{w2}.{tld}");
+            if let Ok(d) = DomainName::parse(&candidate) {
+                if registry.state(&d, pop_now) == phishsim_dns::DomainState::Available {
+                    return d;
+                }
+            }
+        }
+    };
+    for _ in 0..config.random_new_gtld {
+        let d = gen_name(TldKind::NewGtld, &mut name_rng, &registry);
+        let at = register_spread(&mut registry, &mut ovh, d.clone());
+        last = last.max(at);
+        random.push(d);
+    }
+    for _ in 0..config.random_legacy {
+        let d = gen_name(TldKind::LegacyGtld, &mut name_rng, &registry);
+        let at = register_spread(&mut registry, &mut ovh, d.clone());
+        last = last.max(at);
+        random.push(d);
+    }
+
+    let max_daily = ovh.max_registrations_within(SimDuration::from_hours(24));
+
+    AcquisitionResult {
+        funnel,
+        drop_catch,
+        random,
+        registry,
+        max_daily_registrations: max_daily,
+        ready_at: last + SimDuration::from_days(7), // sites online a week before kits (§3)
+    }
+}
+
+/// Run only the drop-catch filtering pipeline over a population.
+pub fn run_pipeline(
+    pop: &SyntheticPopulation,
+    take: usize,
+) -> (Funnel, Vec<DomainName>) {
+    let now = pop.now;
+    let mut resolver = Resolver::uncached();
+    let rng = DetRng::new(0x5ca1ab1e);
+    let godaddy = Registrar::new("godaddy", 0.0, &rng)
+        .with_backorder()
+        .with_reserved_names(pop.reserved_names.iter().cloned());
+    let porkbun = Registrar::new("porkbun", 0.0, &rng)
+        .with_backorder()
+        .with_reserved_names(pop.reserved_names.iter().cloned());
+
+    let scanned = pop.alexa.len();
+
+    // Step 1: SOA/NS scan, keep NXDOMAIN.
+    let nxdomain: Vec<&DomainName> = pop
+        .alexa
+        .entries()
+        .iter()
+        .filter(|d| resolver.is_nxdomain(&pop.registry, d, now))
+        .collect();
+
+    // Step 2: availability per either registrar API.
+    let available: Vec<&DomainName> = nxdomain
+        .iter()
+        .copied()
+        .filter(|d| {
+            godaddy.check_available(&pop.registry, d, now)
+                || porkbun.check_available(&pop.registry, d, now)
+        })
+        .collect();
+
+    // Step 3: WHOIS NOT FOUND.
+    let whois_not_found: Vec<&DomainName> = available
+        .iter()
+        .copied()
+        .filter(|d| pop.registry.whois(d, now) == WhoisAnswer::NotFound)
+        .collect();
+
+    // Step 4: clean VT/GSB history.
+    let clean: Vec<&DomainName> = whois_not_found
+        .iter()
+        .copied()
+        .filter(|d| pop.history.check(d) == HistoryVerdict::Clean)
+        .collect();
+
+    // Step 5: archived at least once.
+    let archived: Vec<&DomainName> = clean
+        .iter()
+        .copied()
+        .filter(|d| pop.archive.has_snapshot(d))
+        .collect();
+
+    // Step 6: indexed at least once.
+    let indexed: Vec<&DomainName> = archived
+        .iter()
+        .copied()
+        .filter(|d| pop.index.site_query(d) > 0)
+        .collect();
+
+    let funnel = Funnel {
+        scanned,
+        nxdomain: nxdomain.len(),
+        available: available.len(),
+        whois_not_found: whois_not_found.len(),
+        clean_history: clean.len(),
+        archived: archived.len(),
+        indexed: indexed.len(),
+    };
+    let selected: Vec<DomainName> = indexed.into_iter().take(take).cloned().collect();
+    (funnel, selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishsim_dns::DomainState;
+
+    fn result() -> AcquisitionResult {
+        acquire_domains(&AcquisitionConfig::small(), &DetRng::new(2020))
+    }
+
+    #[test]
+    fn funnel_matches_paper_counts() {
+        let r = result();
+        assert_eq!(r.funnel.nxdomain, 770);
+        assert_eq!(r.funnel.available, 251);
+        assert_eq!(r.funnel.whois_not_found, 244);
+        assert_eq!(r.funnel.clean_history, 244);
+        assert_eq!(r.funnel.archived, 50);
+        assert_eq!(r.funnel.indexed, 50);
+    }
+
+    #[test]
+    fn acquires_112_domains_like_the_paper() {
+        let r = result();
+        assert_eq!(r.drop_catch.len(), 50);
+        assert_eq!(r.random.len(), 62);
+        assert_eq!(r.all_domains().len(), 112);
+    }
+
+    #[test]
+    fn random_split_by_tld_kind() {
+        let r = result();
+        let new_gtld = r
+            .random
+            .iter()
+            .filter(|d| d.tld_kind() == TldKind::NewGtld)
+            .count();
+        let legacy = r
+            .random
+            .iter()
+            .filter(|d| d.tld_kind() == TldKind::LegacyGtld)
+            .count();
+        assert_eq!(new_gtld, 21);
+        assert_eq!(legacy, 41);
+    }
+
+    #[test]
+    fn all_selected_domains_end_up_registered() {
+        let r = result();
+        for d in r.all_domains() {
+            assert_eq!(
+                r.registry.state(&d, r.ready_at),
+                DomainState::Registered,
+                "{d} must be registered when the experiment starts"
+            );
+        }
+    }
+
+    #[test]
+    fn registrations_avoid_bulk_pattern() {
+        let r = result();
+        // 112 registrations over 14 days: no single day should carry a
+        // bulk burst (paper's motivation for manual spreading).
+        assert!(
+            r.max_daily_registrations <= 25,
+            "burst of {} looks like bulk registration",
+            r.max_daily_registrations
+        );
+    }
+
+    #[test]
+    fn selected_drop_catch_domains_are_planted_targets() {
+        let cfg = AcquisitionConfig::small();
+        let pop_now = SimTime::from_hours(24 * 700);
+        let rng = DetRng::new(2020).fork("acquisition");
+        let pop = SyntheticPopulation::generate(&cfg.population, &rng, pop_now);
+        let (_, selected) = run_pipeline(&pop, 50);
+        for d in &selected {
+            assert_eq!(
+                pop.profiles.get(d),
+                Some(&phishsim_dns::DomainProfile::DropCatchTarget),
+                "{d} selected but not a planted target"
+            );
+        }
+    }
+
+    #[test]
+    fn acquisition_is_deterministic() {
+        let a = acquire_domains(&AcquisitionConfig::small(), &DetRng::new(7));
+        let b = acquire_domains(&AcquisitionConfig::small(), &DetRng::new(7));
+        assert_eq!(a.drop_catch, b.drop_catch);
+        assert_eq!(a.random, b.random);
+        assert_eq!(a.funnel, b.funnel);
+    }
+}

@@ -1,0 +1,222 @@
+//! The web-cloaking baseline (Oest et al., PhishFarm).
+//!
+//! The paper motivates its study by comparison: "the average blacklist
+//! time ... was 126 minutes without using the web-cloaking technique
+//! and 238 minutes with web-cloaking. They also showed that
+//! anti-phishing engines could only detect 23 % of the phishing URLs
+//! armed with web-cloaking." This module regenerates that baseline in
+//! the simulation: a *naked* arm and a *cloaked* arm (user-agent +
+//! IP-subnet cloaking, with the kit's bot-subnet list imperfectly
+//! covering the engines' crawler pools), reported round-robin to the
+//! six main-experiment engines.
+
+use crate::deploy::{deploy_with_config, Deployment};
+use crate::experiment::{register_spread, synth_domains};
+use crate::world::{World, DEFAULT_SEED};
+use phishsim_antiphish::{Engine, EngineId, ReportOutcome};
+use phishsim_phishgen::{Brand, EvasionTechnique, GateConfig};
+use phishsim_simnet::{
+    metrics::{DurationStats, Rate},
+    SimDuration, SimTime,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CloakingConfig {
+    /// Experiment seed.
+    pub seed: u64,
+    /// URLs per arm.
+    pub urls_per_arm: usize,
+    /// Background-traffic scale.
+    pub volume_scale: f64,
+    /// Probability that the kit's bot-subnet list covers a given
+    /// engine's crawler pool (phishers' lists are good but imperfect).
+    pub subnet_knowledge: f64,
+}
+
+impl CloakingConfig {
+    /// Default baseline shape (larger arms smooth the rate estimate).
+    pub fn paper() -> Self {
+        CloakingConfig {
+            seed: DEFAULT_SEED,
+            urls_per_arm: 60,
+            volume_scale: 0.0,
+            subnet_knowledge: 0.75,
+        }
+    }
+
+    /// Small arms for tests.
+    pub fn fast() -> Self {
+        CloakingConfig {
+            urls_per_arm: 24,
+            ..Self::paper()
+        }
+    }
+}
+
+/// Aggregate statistics for one arm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ArmStats {
+    /// Detections over reports.
+    pub detection: Rate,
+    /// Report→blacklist delays of the detections.
+    pub delays: DurationStats,
+}
+
+impl ArmStats {
+    /// Mean delay in minutes, if any detections occurred.
+    pub fn mean_delay_mins(&self) -> Option<f64> {
+        self.delays.mean().map(|d| d.as_mins_f64())
+    }
+}
+
+/// The baseline's output.
+#[derive(Debug)]
+pub struct CloakingResult {
+    /// The naked arm.
+    pub naked: ArmStats,
+    /// The cloaked arm.
+    pub cloaked: ArmStats,
+    /// Raw outcomes (naked, then cloaked).
+    pub outcomes: Vec<(bool, ReportOutcome)>,
+    /// Deployments.
+    pub deployments: Vec<Deployment>,
+}
+
+impl CloakingResult {
+    /// Ratio of cloaked to naked mean delays (the paper's 238/126 ≈ 1.9).
+    pub fn delay_ratio(&self) -> Option<f64> {
+        match (self.cloaked.mean_delay_mins(), self.naked.mean_delay_mins()) {
+            (Some(c), Some(n)) if n > 0.0 => Some(c / n),
+            _ => None,
+        }
+    }
+}
+
+/// Run both arms.
+pub fn run_cloaking_baseline(config: &CloakingConfig) -> CloakingResult {
+    let mut world = World::new(config.seed);
+    let engine_ids = EngineId::main_experiment();
+    let mut engines: Vec<Engine> = engine_ids
+        .iter()
+        .map(|id| Engine::new(*id, &world.rng))
+        .collect();
+    // The kit's bot-subnet list: each engine's /16, known with
+    // probability `subnet_knowledge` (drawn once per deployment).
+    let engine_subnets: Vec<phishsim_simnet::Ipv4Sim> = engines
+        .iter()
+        .map(|e| e.pool().addrs()[0])
+        .collect();
+
+    let total = config.urls_per_arm * 2;
+    let domains = synth_domains(&world.rng, &world.registry, total, "cloaking");
+    let reg_rng = world.rng.fork("cloak-registration");
+    register_spread(
+        &mut world.registry,
+        &domains,
+        SimTime::ZERO,
+        SimDuration::from_days(7),
+        &reg_rng,
+    );
+    let deploy_at = SimTime::ZERO + SimDuration::from_days(7);
+
+    let mut naked = ArmStats::default();
+    let mut cloaked = ArmStats::default();
+    let mut outcomes = Vec::new();
+    let mut deployments = Vec::new();
+    let mut arm_rng = world.rng.fork("cloak-arms");
+
+    for (i, domain) in domains.iter().enumerate() {
+        let is_cloaked = i >= config.urls_per_arm;
+        let brand = if i % 2 == 0 { Brand::PayPal } else { Brand::Facebook };
+        let gate = if is_cloaked {
+            let subnets: Vec<(phishsim_simnet::Ipv4Sim, u8)> = engine_subnets
+                .iter()
+                .filter(|_| arm_rng.chance(config.subnet_knowledge))
+                .map(|a| (*a, 16u8))
+                .collect();
+            GateConfig::cloaking(subnets)
+        } else {
+            GateConfig::simple(EvasionTechnique::None)
+        };
+        let deployment = deploy_with_config(&mut world, domain, brand, gate, deploy_at);
+        let engine_idx = i % engines.len();
+        let reported_at =
+            deploy_at + SimDuration::from_hours(1) + SimDuration::from_mins((i as u64) * 13);
+        let outcome = engines[engine_idx].process_report(
+            &mut world,
+            &deployment.url,
+            reported_at,
+            config.volume_scale,
+        );
+        let stats = if is_cloaked { &mut cloaked } else { &mut naked };
+        stats.detection.record(outcome.detected_at.is_some());
+        if let Some(d) = outcome.detection_delay() {
+            stats.delays.record(d);
+        }
+        outcomes.push((is_cloaked, outcome));
+        deployments.push(deployment);
+    }
+
+    CloakingResult {
+        naked,
+        cloaked,
+        outcomes,
+        deployments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> CloakingResult {
+        run_cloaking_baseline(&CloakingConfig::fast())
+    }
+
+    #[test]
+    fn naked_arm_detected_at_high_rate() {
+        let r = result();
+        assert!(
+            r.naked.detection.fraction() > 0.9,
+            "naked pages are easy: {}",
+            r.naked.detection.as_cell()
+        );
+    }
+
+    #[test]
+    fn cloaking_cuts_detections_sharply() {
+        let r = result();
+        let rate = r.cloaked.detection.fraction();
+        assert!(
+            rate < 0.5,
+            "cloaked detection rate {rate:.2} should collapse toward the paper's 23 %"
+        );
+        assert!(
+            rate > 0.0,
+            "stealth rechecks should still catch some cloaked pages"
+        );
+        assert!(r.cloaked.detection.fraction() < r.naked.detection.fraction());
+    }
+
+    #[test]
+    fn cloaking_slows_detection() {
+        let r = result();
+        let ratio = r.delay_ratio().expect("both arms have detections");
+        assert!(
+            ratio > 1.3,
+            "cloaked detections should be substantially slower (paper: 238 vs 126 min), ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn every_naked_payload_was_fetched() {
+        let r = result();
+        for (is_cloaked, o) in &r.outcomes {
+            if !is_cloaked {
+                assert!(o.payload_reached, "naked payloads are always served");
+            }
+        }
+    }
+}

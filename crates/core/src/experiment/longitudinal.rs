@@ -1,0 +1,219 @@
+//! A PhishTime-style longitudinal extension (related work: Oest et
+//! al., "PhishTime: Continuous Longitudinal Measurement of the
+//! Effectiveness of Anti-phishing Blacklists", USENIX Security 2020).
+//!
+//! The paper's framework is explicitly "semi-automated and scalable";
+//! this module exercises that claim: the same evasion experiment
+//! re-deployed in repeated waves over several weeks, tracking whether
+//! the engines *adapt* — i.e. whether detection rates move over time.
+//! With the engines' capability profiles fixed (as in 2020), the
+//! longitudinal curve is flat: the evasion techniques keep working
+//! wave after wave, which is exactly the risk the paper's mitigation
+//! section warns about. The harness also accepts an upgrade schedule,
+//! modelling engines that roll out counter-measures mid-study.
+
+use crate::deploy::deploy_armed_site;
+use crate::experiment::{register_spread, synth_domains};
+use crate::world::{World, DEFAULT_SEED};
+use phishsim_antiphish::{CapabilityUpgrade, Engine, EngineId, EngineProfile};
+use phishsim_phishgen::{Brand, EvasionTechnique};
+use phishsim_simnet::{metrics::Rate, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of the longitudinal study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LongitudinalConfig {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Number of deployment waves.
+    pub waves: usize,
+    /// Days between waves (PhishTime deployed monthly; weekly here).
+    pub wave_gap_days: u64,
+    /// URLs per technique per wave.
+    pub urls_per_technique: usize,
+    /// Wave index (0-based) at which engines adopt the server-side
+    /// mitigations, if ever.
+    pub upgrade_at_wave: Option<usize>,
+}
+
+impl LongitudinalConfig {
+    /// Six weekly waves, no mid-study upgrades (the 2020 status quo).
+    pub fn status_quo() -> Self {
+        LongitudinalConfig {
+            seed: DEFAULT_SEED,
+            waves: 6,
+            wave_gap_days: 7,
+            urls_per_technique: 4,
+            upgrade_at_wave: None,
+        }
+    }
+
+    /// Engines adopt the §5.1 server-side fixes from wave 3 on.
+    pub fn with_midstudy_upgrade() -> Self {
+        LongitudinalConfig {
+            upgrade_at_wave: Some(3),
+            ..Self::status_quo()
+        }
+    }
+}
+
+/// Per-wave detection rates by technique.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WaveResult {
+    /// 0-based wave index.
+    pub wave: usize,
+    /// When the wave's reports went out.
+    pub reported_at: SimTime,
+    /// Detection tally per technique.
+    pub per_technique: BTreeMap<String, Rate>,
+}
+
+/// The longitudinal study's output.
+#[derive(Debug)]
+pub struct LongitudinalResult {
+    /// One entry per wave, in order.
+    pub waves: Vec<WaveResult>,
+}
+
+impl LongitudinalResult {
+    /// The detection-rate series for one technique across waves.
+    pub fn series(&self, technique: EvasionTechnique) -> Vec<f64> {
+        self.waves
+            .iter()
+            .map(|w| {
+                w.per_technique
+                    .get(&technique.to_string())
+                    .map(|r| r.fraction())
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+}
+
+/// Run the longitudinal study.
+pub fn run_longitudinal(config: &LongitudinalConfig) -> LongitudinalResult {
+    let mut world = World::new(config.seed);
+    let techniques = EvasionTechnique::main_experiment();
+    let per_wave = techniques.len() * config.urls_per_technique;
+    let total = per_wave * config.waves;
+    let domains = synth_domains(&world.rng, &world.registry, total, "longitudinal");
+    let reg_rng = world.rng.fork("longitudinal-registration");
+    register_spread(
+        &mut world.registry,
+        &domains,
+        SimTime::ZERO,
+        SimDuration::from_days(7),
+        &reg_rng,
+    );
+
+    let engine_ids = EngineId::main_experiment();
+    let build_engines = |upgraded: bool, world: &World| -> Vec<Engine> {
+        engine_ids
+            .iter()
+            .map(|id| {
+                let profile = if upgraded {
+                    EngineProfile::of(*id).upgraded(&CapabilityUpgrade::server_side_only())
+                } else {
+                    EngineProfile::of(*id)
+                };
+                Engine::with_profile(profile, &world.rng)
+                    .with_captcha_provider(world.captcha.clone())
+            })
+            .collect()
+    };
+    let mut engines = build_engines(false, &world);
+    let mut upgraded = false;
+
+    let start = SimTime::ZERO + SimDuration::from_days(8);
+    let mut waves = Vec::new();
+    let mut domain_iter = domains.into_iter();
+
+    for wave in 0..config.waves {
+        if let Some(at) = config.upgrade_at_wave {
+            if wave >= at && !upgraded {
+                engines = build_engines(true, &world);
+                upgraded = true;
+            }
+        }
+        let wave_time = start + SimDuration::from_days(config.wave_gap_days * wave as u64);
+        let mut result = WaveResult {
+            wave,
+            reported_at: wave_time,
+            ..WaveResult::default()
+        };
+        let mut i = 0usize;
+        for technique in techniques {
+            for _ in 0..config.urls_per_technique {
+                let domain = domain_iter.next().expect("enough domains");
+                let brand = if i.is_multiple_of(2) { Brand::PayPal } else { Brand::Facebook };
+                let dep = deploy_armed_site(&mut world, &domain, brand, technique, wave_time);
+                let engine = &mut engines[i % engine_ids.len()];
+                let reported = wave_time
+                    + SimDuration::from_hours(1)
+                    + SimDuration::from_mins((i as u64) * 17);
+                let outcome = engine.process_report(&mut world, &dep.url, reported, 0.0);
+                result
+                    .per_technique
+                    .entry(technique.to_string())
+                    .or_default()
+                    .record(outcome.detected_at.is_some());
+                i += 1;
+            }
+        }
+        waves.push(result);
+    }
+
+    LongitudinalResult { waves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_quo_rates_are_flat_and_low() {
+        let r = run_longitudinal(&LongitudinalConfig::status_quo());
+        assert_eq!(r.waves.len(), 6);
+        let captcha = r.series(EvasionTechnique::CaptchaGate);
+        assert!(
+            captcha.iter().all(|&rate| rate == 0.0),
+            "reCAPTCHA stays undetected every wave: {captcha:?}"
+        );
+        // Without adaptation nothing improves wave over wave.
+        for technique in EvasionTechnique::main_experiment() {
+            let series = r.series(technique);
+            let first = series.first().copied().unwrap_or(0.0);
+            let last = series.last().copied().unwrap_or(0.0);
+            assert!(
+                last <= first + 0.5,
+                "{technique}: unexplained improvement {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn midstudy_upgrade_bends_the_curves() {
+        let r = run_longitudinal(&LongitudinalConfig::with_midstudy_upgrade());
+        let alert = r.series(EvasionTechnique::AlertBox);
+        let session = r.series(EvasionTechnique::SessionGate);
+        // After wave 3, the server-side fixes catch everything.
+        for w in 3..alert.len() {
+            assert!((alert[w] - 1.0).abs() < f64::EPSILON, "alert wave {w}: {alert:?}");
+            assert!((session[w] - 1.0).abs() < f64::EPSILON, "session wave {w}: {session:?}");
+        }
+        // Before it, the alert box defeats the five non-GSB engines.
+        assert!(alert[0] < 0.5, "pre-upgrade alert rate: {alert:?}");
+        // And CAPTCHA survives even the upgrade (no farm).
+        let captcha = r.series(EvasionTechnique::CaptchaGate);
+        assert!(captcha.iter().all(|&rate| rate == 0.0), "{captcha:?}");
+    }
+
+    #[test]
+    fn waves_are_time_ordered() {
+        let r = run_longitudinal(&LongitudinalConfig::status_quo());
+        for w in r.waves.windows(2) {
+            assert!(w[0].reported_at < w[1].reported_at);
+        }
+    }
+}

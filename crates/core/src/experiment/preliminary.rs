@@ -1,0 +1,325 @@
+//! The preliminary test (§4.1, Table 1).
+//!
+//! Three naked phishing URLs (Gmail, Facebook, PayPal) per engine —
+//! hosted on one fresh domain per engine — reported to all seven
+//! engines, monitored for 24 hours. This phase validates that the
+//! payloads are detectable at all before arming them, excludes YSB
+//! (which detects nothing), and excludes Gmail (which only GSB and
+//! NetCraft detect).
+
+use crate::experiment::synth_domains;
+use crate::monitor::{monitor_listings, Observation};
+use crate::tables::{Table1, Table1Row};
+use crate::world::{World, DEFAULT_SEED};
+use phishsim_antiphish::{intake, Engine, EngineId, FeedNetwork, ReportOutcome};
+use phishsim_dns::Zone;
+use phishsim_http::Url;
+use phishsim_phishgen::{
+    Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
+};
+use phishsim_simnet::{
+    Ipv4Sim, SimDuration, SimTime, TraceEvent, TraceKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the preliminary test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreliminaryConfig {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Background-traffic scale (1.0 regenerates Table 1's volumes).
+    pub volume_scale: f64,
+    /// Monitoring horizon (paper: 24 hours).
+    pub horizon: SimDuration,
+}
+
+impl PreliminaryConfig {
+    /// Full-volume paper configuration.
+    pub fn paper() -> Self {
+        PreliminaryConfig {
+            seed: DEFAULT_SEED,
+            volume_scale: 1.0,
+            horizon: SimDuration::from_hours(24),
+        }
+    }
+
+    /// Reduced-traffic configuration for tests.
+    pub fn fast() -> Self {
+        PreliminaryConfig {
+            volume_scale: 0.02,
+            ..Self::paper()
+        }
+    }
+}
+
+/// The preliminary test's full output.
+#[derive(Debug)]
+pub struct PreliminaryResult {
+    /// Table 1.
+    pub table: Table1,
+    /// Raw per-report outcomes.
+    pub outcomes: Vec<ReportOutcome>,
+    /// Blacklist appearances as the monitoring loop saw them.
+    pub observations: Vec<Observation>,
+    /// Largest report→first-visit gap over all reports, minutes
+    /// (paper: every engine arrived within 30 minutes).
+    pub max_first_visit_mins: u64,
+    /// Abuse-notification emails received (PhishLabs, for the
+    /// OpenPhish and PhishTank reports).
+    pub abuse_emails: usize,
+    /// The feed network after the run (for cross-checks).
+    pub feeds: FeedNetwork,
+    /// The world (trace log etc.).
+    pub world: World,
+}
+
+const BRAND_PATHS: [(Brand, &str); 3] = [
+    (Brand::Gmail, "/secure/gmail.php"),
+    (Brand::Facebook, "/secure/facebook.php"),
+    (Brand::PayPal, "/secure/paypal.php"),
+];
+
+/// Run the preliminary test.
+pub fn run_preliminary(config: &PreliminaryConfig) -> PreliminaryResult {
+    let mut world = World::new(config.seed);
+    let mut feeds = FeedNetwork::paper_topology(&world.rng);
+    let engines_ids = EngineId::all();
+
+    // One fresh domain per engine, registered at t=0, deployed with the
+    // three naked kits.
+    let domains = synth_domains(&world.rng, &world.registry, engines_ids.len(), "preliminary");
+    let mut urls_per_engine: Vec<Vec<Url>> = Vec::new();
+    for domain in &domains {
+        world
+            .registry
+            .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+            .expect("fresh preliminary domain");
+        let host = domain.to_string();
+        let bundle = FakeSiteGenerator::new(&world.rng).generate(&host);
+        let kits: Vec<PhishKit> = BRAND_PATHS
+            .iter()
+            .map(|(brand, path)| {
+                PhishKit::at_path(*brand, GateConfig::simple(EvasionTechnique::None), path)
+            })
+            .collect();
+        let urls: Vec<Url> = kits.iter().map(|k| k.phishing_url(&host)).collect();
+        let site = CompromisedSite::new_multi(bundle, kits, &world.rng);
+        let cert = world.ca.issue(&host, SimTime::ZERO);
+        let addr = world.farm.install_site(&host, Box::new(site), Some(cert));
+        world
+            .registry
+            .delegate(domain, Zone::hosting(domain.clone(), addr, 1, true), SimTime::ZERO)
+            .expect("registered above");
+        urls_per_engine.push(urls);
+    }
+
+    // Report and process: each engine gets its domain's three URLs.
+    let mut outcomes = Vec::new();
+    let mut report_rng = world.rng.fork("report-times");
+    let mut max_first_visit_mins = 0u64;
+    let mut abuse_emails = 0usize;
+    let mut all_urls = Vec::new();
+
+    for (i, id) in engines_ids.iter().enumerate() {
+        let mut engine = Engine::new(*id, &world.rng);
+        for url in &urls_per_engine[i] {
+            let reported_at =
+                SimTime::from_hours(1) + SimDuration::from_mins(report_rng.range(0..60u64));
+            world.log.record(TraceEvent {
+                at: reported_at,
+                kind: TraceKind::Report,
+                src: Ipv4Sim::new(192, 0, 2, 1),
+                host: url.host.clone(),
+                path: url.target(),
+                user_agent: None,
+                actor: id.key().to_string(),
+            });
+            let outcome = engine.process_report(&mut world, url, reported_at, config.volume_scale);
+            max_first_visit_mins = max_first_visit_mins
+                .max(outcome.first_visit_at.since(reported_at).as_mins());
+            if let Some(at) = outcome.detected_at {
+                feeds.publish(*id, url, at);
+            }
+            if intake::triggers_abuse_notification(*id) {
+                // PhishLabs notifies the hosting provider's abuse
+                // contact within a couple of hours of the report.
+                let at = reported_at + SimDuration::from_mins(report_rng.range(30..150u64));
+                world.log.record(TraceEvent {
+                    at,
+                    kind: TraceKind::AbuseEmail,
+                    src: Ipv4Sim::new(198, 51, 100, 7),
+                    host: url.host.clone(),
+                    path: url.target(),
+                    user_agent: None,
+                    actor: "phishlabs".to_string(),
+                });
+                abuse_emails += 1;
+            }
+            all_urls.push(url.clone());
+            outcomes.push(outcome);
+        }
+    }
+
+    // Monitor blacklists for the 24-hour horizon.
+    let horizon = SimTime::ZERO + SimDuration::from_hours(2) + config.horizon;
+    let observations = monitor_listings(&feeds, &all_urls, SimTime::ZERO, horizon, &world.log);
+
+    // Build Table 1.
+    let mut rows = Vec::new();
+    for (i, id) in engines_ids.iter().enumerate() {
+        let requests = world.log.requests_for(id.key(), None) as u64;
+        let unique_ips = world.log.unique_ips_for(id.key());
+        let mut also: Vec<EngineId> = Vec::new();
+        let mut targets: Vec<char> = Vec::new();
+        for (j, url) in urls_per_engine[i].iter().enumerate() {
+            let brand = BRAND_PATHS[j].0;
+            for (carrier, t) in feeds.carriers(url, horizon) {
+                if carrier == *id {
+                    if t <= horizon && !targets.contains(&brand.code()) {
+                        targets.push(brand.code());
+                    }
+                } else if !also.contains(&carrier) {
+                    also.push(carrier);
+                }
+            }
+        }
+        rows.push(Table1Row {
+            engine: *id,
+            requests,
+            unique_ips,
+            reported: vec!['G', 'F', 'P'],
+            also_blacklisted_by: also,
+            blacklisted_targets: targets,
+        });
+    }
+
+    PreliminaryResult {
+        table: Table1 { rows },
+        outcomes,
+        observations,
+        max_first_visit_mins,
+        abuse_emails,
+        feeds,
+        world,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> PreliminaryResult {
+        run_preliminary(&PreliminaryConfig::fast())
+    }
+
+    #[test]
+    fn gsb_and_netcraft_detect_all_three_brands() {
+        let r = result();
+        for row in &r.table.rows {
+            if matches!(row.engine, EngineId::Gsb | EngineId::NetCraft) {
+                assert_eq!(
+                    row.blacklisted_targets.len(),
+                    3,
+                    "{} should catch G, F, P: {:?}",
+                    row.engine,
+                    row.blacklisted_targets
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_only_engines_miss_gmail() {
+        let r = result();
+        for row in &r.table.rows {
+            if matches!(
+                row.engine,
+                EngineId::Apwg | EngineId::OpenPhish | EngineId::PhishTank | EngineId::SmartScreen
+            ) {
+                assert!(
+                    !row.blacklisted_targets.contains(&'G'),
+                    "{} should miss the scratch-built Gmail page",
+                    row.engine
+                );
+                assert!(row.blacklisted_targets.contains(&'F'), "{}", row.engine);
+                assert!(row.blacklisted_targets.contains(&'P'), "{}", row.engine);
+            }
+        }
+    }
+
+    #[test]
+    fn ysb_detects_nothing() {
+        let r = result();
+        let ysb = r.table.rows.iter().find(|r| r.engine == EngineId::Ysb).unwrap();
+        assert!(ysb.blacklisted_targets.is_empty());
+        assert!(ysb.also_blacklisted_by.is_empty());
+    }
+
+    #[test]
+    fn cross_feed_column_matches_topology() {
+        let r = result();
+        let row = |id: EngineId| {
+            r.table.rows.iter().find(|r| r.engine == id).unwrap()
+        };
+        assert!(row(EngineId::Gsb).also_blacklisted_by.is_empty(), "GSB row is '-'");
+        assert_eq!(row(EngineId::NetCraft).also_blacklisted_by, vec![EngineId::Gsb]);
+        assert_eq!(row(EngineId::Apwg).also_blacklisted_by, vec![EngineId::Gsb]);
+        let op = &row(EngineId::OpenPhish).also_blacklisted_by;
+        for e in [EngineId::PhishTank, EngineId::Gsb, EngineId::Apwg, EngineId::SmartScreen] {
+            assert!(op.contains(&e), "OpenPhish row missing {e}");
+        }
+        let pt = &row(EngineId::PhishTank).also_blacklisted_by;
+        assert!(pt.contains(&EngineId::OpenPhish));
+        assert!(pt.contains(&EngineId::Gsb));
+        assert_eq!(row(EngineId::SmartScreen).also_blacklisted_by, vec![EngineId::Gsb]);
+    }
+
+    #[test]
+    fn every_engine_visits_within_thirty_minutes() {
+        let r = result();
+        assert!(
+            r.max_first_visit_mins <= 40,
+            "first crawls must arrive promptly: {} min",
+            r.max_first_visit_mins
+        );
+        for row in &r.table.rows {
+            assert!(row.requests > 0, "{} sent no traffic", row.engine);
+            assert!(row.unique_ips > 0, "{}", row.engine);
+        }
+    }
+
+    #[test]
+    fn abuse_emails_for_openphish_and_phishtank_reports() {
+        let r = result();
+        // 3 URLs each to OpenPhish and PhishTank.
+        assert_eq!(r.abuse_emails, 6);
+        assert_eq!(
+            r.world.log.count(|e| e.kind == TraceKind::AbuseEmail),
+            6
+        );
+    }
+
+    #[test]
+    fn request_volume_ordering_follows_table1() {
+        let r = result();
+        let req = |id: EngineId| {
+            r.table.rows.iter().find(|r| r.engine == id).unwrap().requests
+        };
+        // OpenPhish dwarfs everyone; YSB is negligible (Table 1 shape).
+        assert!(req(EngineId::OpenPhish) > 3 * req(EngineId::Gsb));
+        assert!(req(EngineId::Ysb) < req(EngineId::SmartScreen));
+        assert!(req(EngineId::Gsb) > req(EngineId::Apwg));
+    }
+
+    #[test]
+    fn detections_observed_by_monitoring() {
+        let r = result();
+        // Every engine that blacklisted something must surface in the
+        // observation stream.
+        let observed: std::collections::HashSet<EngineId> =
+            r.observations.iter().map(|o| o.engine).collect();
+        assert!(observed.contains(&EngineId::Gsb));
+        assert!(observed.contains(&EngineId::NetCraft));
+        assert!(!observed.contains(&EngineId::Ysb));
+    }
+}

@@ -1,0 +1,286 @@
+//! Reporting and monitoring.
+//!
+//! §3 "Reporting and Monitoring Process": reports go out via online
+//! form or email (never publishing the URLs anywhere else); the
+//! framework then watches for blacklist appearances by calling the GSB
+//! Lookup API, downloading the OpenPhish/PhishTank/APWG feeds every
+//! half hour, reading NetCraft's notification emails, and — for
+//! SmartScreen, which has no API — loading the URL in Edge and taking
+//! screenshots every 10 minutes for the first 72 hours and every
+//! 5 hours afterwards.
+//!
+//! [`monitor_listings`] reproduces that polling loop on the
+//! discrete-event [`Scheduler`]: each engine has its own polling
+//! cadence, and a listing is *observed* at the first poll tick at or
+//! after it was published. The gap between listing and observation is
+//! the measurement error the paper's methodology accepts.
+
+use phishsim_antiphish::{EngineId, FeedNetwork};
+use phishsim_http::Url;
+use phishsim_simnet::{Scheduler, SimDuration, SimTime, TraceEvent, TraceKind, TraceLog};
+use serde::{Deserialize, Serialize};
+
+/// How the framework watches one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorMethod {
+    /// GSB Lookup API calls.
+    LookupApi,
+    /// Half-hourly feed downloads (OpenPhish, PhishTank, APWG).
+    FeedDownload,
+    /// Notification emails (NetCraft).
+    NotificationEmail,
+    /// Screenshot polling in a real browser (SmartScreen).
+    Screenshot,
+}
+
+impl MonitorMethod {
+    /// The method the paper uses for each engine.
+    pub fn for_engine(engine: EngineId) -> MonitorMethod {
+        match engine {
+            EngineId::Gsb | EngineId::Ysb => MonitorMethod::LookupApi,
+            EngineId::OpenPhish | EngineId::PhishTank | EngineId::Apwg => {
+                MonitorMethod::FeedDownload
+            }
+            EngineId::NetCraft => MonitorMethod::NotificationEmail,
+            EngineId::SmartScreen => MonitorMethod::Screenshot,
+        }
+    }
+
+    /// Polling period for the method. Screenshot polling uses the
+    /// paper's dense phase (10 minutes, first 72 h); email
+    /// notifications are effectively push (1 minute granularity).
+    pub fn poll_period(self) -> SimDuration {
+        self.poll_period_at(SimDuration::ZERO)
+    }
+
+    /// Polling period a given time into the monitoring run. The paper's
+    /// SmartScreen screenshots go from every 10 minutes (first 72 h) to
+    /// every 5 hours "for the rest of the experiment".
+    pub fn poll_period_at(self, elapsed: SimDuration) -> SimDuration {
+        match self {
+            MonitorMethod::LookupApi => SimDuration::from_mins(5),
+            MonitorMethod::FeedDownload => SimDuration::from_mins(30),
+            MonitorMethod::NotificationEmail => SimDuration::from_mins(1),
+            MonitorMethod::Screenshot => {
+                if elapsed < SimDuration::from_hours(72) {
+                    SimDuration::from_mins(10)
+                } else {
+                    SimDuration::from_hours(5)
+                }
+            }
+        }
+    }
+}
+
+/// One observed blacklist appearance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The engine whose list carried the URL.
+    pub engine: EngineId,
+    /// The URL observed.
+    pub url: Url,
+    /// When the listing was actually published.
+    pub listed_at: SimTime,
+    /// When the monitoring loop first saw it.
+    pub observed_at: SimTime,
+}
+
+impl Observation {
+    /// Monitoring lag (observation minus publication).
+    pub fn lag(&self) -> SimDuration {
+        self.observed_at.since(self.listed_at)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PollEvent {
+    engine_idx: usize,
+}
+
+/// Poll all engines' lists for `urls` from `start` until `horizon`,
+/// returning every appearance with its observation time. Appends
+/// `Blacklist` trace events to `log` as appearances are observed.
+pub fn monitor_listings(
+    feeds: &FeedNetwork,
+    urls: &[Url],
+    start: SimTime,
+    horizon: SimTime,
+    log: &TraceLog,
+) -> Vec<Observation> {
+    let engines = EngineId::all();
+    let mut sched: Scheduler<PollEvent> = Scheduler::new();
+    sched.advance_to(start);
+    for (i, engine) in engines.iter().enumerate() {
+        let period = MonitorMethod::for_engine(*engine).poll_period();
+        sched.schedule_at(start + period, PollEvent { engine_idx: i });
+    }
+
+    let mut seen: std::collections::HashSet<(EngineId, String)> =
+        std::collections::HashSet::new();
+    let mut observations = Vec::new();
+
+    while let Some((now, ev)) = sched.pop_until(horizon) {
+        let engine = engines[ev.engine_idx];
+        for url in urls {
+            if let Some(listed_at) = feeds.listed_at(engine, url) {
+                if listed_at <= now && seen.insert((engine, url.to_string())) {
+                    observations.push(Observation {
+                        engine,
+                        url: url.clone(),
+                        listed_at,
+                        observed_at: now,
+                    });
+                    log.record(TraceEvent {
+                        at: now,
+                        kind: TraceKind::Blacklist,
+                        src: phishsim_simnet::Ipv4Sim::new(0, 0, 0, 0),
+                        host: url.host.clone(),
+                        path: url.target(),
+                        user_agent: None,
+                        actor: engine.key().to_string(),
+                    });
+                }
+            }
+        }
+        let elapsed = now.since(start);
+        let period = MonitorMethod::for_engine(engine).poll_period_at(elapsed);
+        sched.schedule_after(period, PollEvent { engine_idx: ev.engine_idx });
+    }
+    observations.sort_by_key(|o| o.observed_at);
+    observations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishsim_simnet::DetRng;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn methods_match_paper() {
+        assert_eq!(MonitorMethod::for_engine(EngineId::Gsb), MonitorMethod::LookupApi);
+        assert_eq!(
+            MonitorMethod::for_engine(EngineId::OpenPhish),
+            MonitorMethod::FeedDownload
+        );
+        assert_eq!(
+            MonitorMethod::for_engine(EngineId::NetCraft),
+            MonitorMethod::NotificationEmail
+        );
+        assert_eq!(
+            MonitorMethod::for_engine(EngineId::SmartScreen),
+            MonitorMethod::Screenshot
+        );
+        assert_eq!(
+            MonitorMethod::FeedDownload.poll_period(),
+            SimDuration::from_mins(30),
+            "feeds are downloaded every half hour"
+        );
+    }
+
+    #[test]
+    fn screenshot_polling_has_two_phases() {
+        let m = MonitorMethod::Screenshot;
+        assert_eq!(m.poll_period_at(SimDuration::from_hours(1)), SimDuration::from_mins(10));
+        assert_eq!(m.poll_period_at(SimDuration::from_hours(71)), SimDuration::from_mins(10));
+        assert_eq!(m.poll_period_at(SimDuration::from_hours(72)), SimDuration::from_hours(5));
+        assert_eq!(m.poll_period_at(SimDuration::from_hours(200)), SimDuration::from_hours(5));
+        // Other methods are phase-less.
+        assert_eq!(
+            MonitorMethod::FeedDownload.poll_period_at(SimDuration::from_hours(100)),
+            SimDuration::from_mins(30)
+        );
+    }
+
+    #[test]
+    fn late_smartscreen_listing_observed_on_sparse_grid() {
+        // A SmartScreen listing landing after the 72 h dense phase is
+        // observed with up-to-5-hour lag, not 10 minutes.
+        let mut feeds = FeedNetwork::isolated(&DetRng::new(9));
+        let u = url("https://late-listing.com/p");
+        feeds.publish(
+            EngineId::SmartScreen,
+            &u,
+            SimTime::from_hours(80),
+        );
+        let log = TraceLog::new();
+        let obs = monitor_listings(
+            &feeds,
+            &[u],
+            SimTime::ZERO,
+            SimTime::from_hours(120),
+            &log,
+        );
+        let o = obs
+            .iter()
+            .find(|o| o.engine == EngineId::SmartScreen)
+            .expect("observed");
+        assert!(o.lag() > SimDuration::from_mins(10), "lag {}", o.lag());
+        assert!(o.lag() <= SimDuration::from_hours(5));
+    }
+
+    #[test]
+    fn listing_observed_at_next_poll_tick() {
+        let mut feeds = FeedNetwork::isolated(&DetRng::new(1));
+        let u = url("https://bad.com/p");
+        // Listed at minute 41; the 30-minute feed poll (ticks at 30,
+        // 60, ...) observes it at minute 60.
+        feeds.publish(EngineId::OpenPhish, &u, SimTime::from_mins(41));
+        let log = TraceLog::new();
+        let obs = monitor_listings(
+            &feeds,
+            std::slice::from_ref(&u),
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            &log,
+        );
+        let op: Vec<&Observation> = obs.iter().filter(|o| o.engine == EngineId::OpenPhish).collect();
+        assert_eq!(op.len(), 1);
+        assert_eq!(op[0].listed_at, SimTime::from_mins(41));
+        assert_eq!(op[0].observed_at, SimTime::from_mins(60));
+        assert_eq!(op[0].lag(), SimDuration::from_mins(19));
+    }
+
+    #[test]
+    fn each_appearance_observed_once() {
+        let mut feeds = FeedNetwork::paper_topology(&DetRng::new(2));
+        let u = url("https://bad.com/p");
+        feeds.publish(EngineId::NetCraft, &u, SimTime::from_mins(10));
+        let log = TraceLog::new();
+        let obs = monitor_listings(&feeds, &[u], SimTime::ZERO, SimTime::from_hours(24), &log);
+        // NetCraft listing + GSB propagation = exactly two observations.
+        assert_eq!(obs.len(), 2);
+        let engines: Vec<EngineId> = obs.iter().map(|o| o.engine).collect();
+        assert!(engines.contains(&EngineId::NetCraft));
+        assert!(engines.contains(&EngineId::Gsb));
+        assert_eq!(log.count(|e| e.kind == TraceKind::Blacklist), 2);
+    }
+
+    #[test]
+    fn unlisted_urls_never_observed() {
+        let feeds = FeedNetwork::isolated(&DetRng::new(3));
+        let log = TraceLog::new();
+        let obs = monitor_listings(
+            &feeds,
+            &[url("https://clean.com/")],
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            &log,
+        );
+        assert!(obs.is_empty());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn listings_after_horizon_missed() {
+        let mut feeds = FeedNetwork::isolated(&DetRng::new(4));
+        let u = url("https://late.com/p");
+        feeds.publish(EngineId::Gsb, &u, SimTime::from_hours(30));
+        let log = TraceLog::new();
+        let obs = monitor_listings(&feeds, &[u], SimTime::ZERO, SimTime::from_hours(24), &log);
+        assert!(obs.is_empty(), "24 h horizon must not see a 30 h listing");
+    }
+}

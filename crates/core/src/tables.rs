@@ -1,0 +1,315 @@
+//! Table data structures and rendering.
+//!
+//! Each experiment produces one of these structures; the bench harness
+//! binaries print them in the paper's layout and dump JSON records for
+//! `EXPERIMENTS.md`.
+
+use phishsim_antiphish::EngineId;
+use phishsim_phishgen::{Brand, EvasionTechnique};
+use phishsim_simnet::metrics::Rate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One row of Table 1 (preliminary test).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Engine the URLs were reported to.
+    pub engine: EngineId,
+    /// Requests received from that engine's crawlers.
+    pub requests: u64,
+    /// Unique source IPs observed.
+    pub unique_ips: usize,
+    /// Brands reported (always G, F, P).
+    pub reported: Vec<char>,
+    /// Other engines whose lists also carried the URLs.
+    pub also_blacklisted_by: Vec<EngineId>,
+    /// Brands the reported-to engine itself blacklisted.
+    pub blacklisted_targets: Vec<char>,
+}
+
+/// Table 1: the preliminary test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per engine, in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Table 1: Preliminary test results after reporting the Gmail (G), Facebook (F), and PayPal (P) phishing URLs.\n",
+        );
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10}  {:<8} {:<38} {:<18}\n",
+            "Reported to", "# requests", "Unique IPs", "Pages", "Also blacklisted by", "Blacklisted targets"
+        ));
+        for r in &self.rows {
+            let pages: String = join_chars(&r.reported);
+            let also = if r.also_blacklisted_by.is_empty() {
+                "-".to_string()
+            } else {
+                r.also_blacklisted_by
+                    .iter()
+                    .map(|e| e.display())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let targets = if r.blacklisted_targets.is_empty() {
+                "-".to_string()
+            } else {
+                join_chars(&r.blacklisted_targets)
+            };
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>10}  {:<8} {:<38} {:<18}\n",
+                r.engine.display(),
+                r.requests,
+                r.unique_ips,
+                pages,
+                also,
+                targets
+            ));
+        }
+        out
+    }
+}
+
+fn join_chars(cs: &[char]) -> String {
+    cs.iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Table 2: the main experiment's detection matrix.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Detection tallies per (engine, brand, technique).
+    pub cells: BTreeMap<String, Rate>,
+    /// Mean minutes from submission to GSB blacklisting of alert-box
+    /// URLs (the paper: 132).
+    pub gsb_alert_mean_mins: Option<f64>,
+    /// Minutes to detection for NetCraft's session-gate hits (the
+    /// paper: 6 and 9).
+    pub netcraft_session_delays_mins: Vec<f64>,
+    /// Overall detected / reported (the paper: 8 / 105).
+    pub total: Rate,
+}
+
+/// Key for one Table 2 cell.
+pub fn cell_key(engine: EngineId, brand: Brand, technique: EvasionTechnique) -> String {
+    format!(
+        "{}|{}|{}",
+        engine.key(),
+        brand.code(),
+        technique.code().unwrap_or('?')
+    )
+}
+
+impl Table2 {
+    /// Record one report's outcome.
+    pub fn record(
+        &mut self,
+        engine: EngineId,
+        brand: Brand,
+        technique: EvasionTechnique,
+        detected: bool,
+    ) {
+        self.cells
+            .entry(cell_key(engine, brand, technique))
+            .or_default()
+            .record(detected);
+        self.total.record(detected);
+    }
+
+    /// The tally for a cell (zero if absent).
+    pub fn cell(&self, engine: EngineId, brand: Brand, technique: EvasionTechnique) -> Rate {
+        self.cells
+            .get(&cell_key(engine, brand, technique))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Render in the paper's layout (brands × techniques as columns).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 2: Results of the main experiment after reporting phishing URLs.\n");
+        out.push_str("X/Y = detected X out of Y; A = Alert box, S = Session-based, R = Google reCAPTCHA.\n");
+        out.push_str(&format!(
+            "{:<14} {:^17} {:^17}\n",
+            "", "Facebook", "PayPal"
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}\n",
+            "Engine", "A", "S", "R", "A", "S", "R"
+        ));
+        let techniques = [
+            EvasionTechnique::AlertBox,
+            EvasionTechnique::SessionGate,
+            EvasionTechnique::CaptchaGate,
+        ];
+        for engine in EngineId::main_experiment() {
+            let mut row = format!("{:<14}", engine.display());
+            for brand in [Brand::Facebook, Brand::PayPal] {
+                for technique in techniques {
+                    row.push_str(&format!(" {:>5}", self.cell(engine, brand, technique).as_cell()));
+                }
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.push_str(&format!("\nTotal detected: {}\n", self.total.as_cell()));
+        if let Some(mean) = self.gsb_alert_mean_mins {
+            out.push_str(&format!(
+                "GSB alert-box detections: mean {:.0} min after submission\n",
+                mean
+            ));
+        }
+        if !self.netcraft_session_delays_mins.is_empty() {
+            let delays: Vec<String> = self
+                .netcraft_session_delays_mins
+                .iter()
+                .map(|m| format!("{m:.0} min"))
+                .collect();
+            out.push_str(&format!(
+                "NetCraft session-gate detections at: {}\n",
+                delays.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// One row of Table 3 (client-side extensions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Extension display name.
+    pub extension: String,
+    /// Vendor.
+    pub company: String,
+    /// Installation count.
+    pub installations: u64,
+    /// Sends URLs in plain text.
+    pub sends_plain: bool,
+    /// Sends query parameters.
+    pub sends_params: bool,
+    /// Detections over submissions.
+    pub rate: Rate,
+}
+
+/// Table 3: the extension experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table3 {
+    /// One row per extension, in installation order.
+    pub rows: Vec<Table3Row>,
+}
+
+impl Table3 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 3: Client-side anti-phishing extensions.\n");
+        out.push_str(&format!(
+            "{:<26} {:<12} {:>14} {:<14} {:<14} {:>5}\n",
+            "Extension", "Company", "# installs", "Sending URLs", "Sending Params", "X/Y"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:<12} {:>13}+ {:<14} {:<14} {:>5}\n",
+                r.extension,
+                r.company,
+                group_thousands(r.installations),
+                if r.sends_plain { "plain" } else { "hashed" },
+                if r.sends_params { "yes" } else { "no" },
+                r.rate.as_cell()
+            ));
+        }
+        out
+    }
+}
+
+fn group_thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_cells_accumulate() {
+        let mut t = Table2::default();
+        for detected in [true, true, true] {
+            t.record(EngineId::Gsb, Brand::Facebook, EvasionTechnique::AlertBox, detected);
+        }
+        for detected in [false, false, false] {
+            t.record(EngineId::Gsb, Brand::Facebook, EvasionTechnique::CaptchaGate, detected);
+        }
+        assert_eq!(
+            t.cell(EngineId::Gsb, Brand::Facebook, EvasionTechnique::AlertBox).as_cell(),
+            "3/3"
+        );
+        assert_eq!(
+            t.cell(EngineId::Gsb, Brand::Facebook, EvasionTechnique::CaptchaGate).as_cell(),
+            "0/3"
+        );
+        assert_eq!(
+            t.cell(EngineId::NetCraft, Brand::PayPal, EvasionTechnique::SessionGate).as_cell(),
+            "0/0"
+        );
+        assert_eq!(t.total.as_cell(), "3/6");
+    }
+
+    #[test]
+    fn table2_renders_all_engines() {
+        let t = Table2::default();
+        let s = t.render();
+        for e in EngineId::main_experiment() {
+            assert!(s.contains(e.display()), "{e} missing from render");
+        }
+        assert!(!s.contains("YSB"), "YSB was excluded from the main experiment");
+    }
+
+    #[test]
+    fn table1_renders_dashes_for_empty() {
+        let t = Table1 {
+            rows: vec![Table1Row {
+                engine: EngineId::Ysb,
+                requests: 82,
+                unique_ips: 34,
+                reported: vec!['G', 'F', 'P'],
+                also_blacklisted_by: vec![],
+                blacklisted_targets: vec![],
+            }],
+        };
+        let s = t.render();
+        assert!(s.contains("YSB"));
+        assert!(s.contains("82"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(14_000), "14,000");
+        assert_eq!(group_thousands(10_800_000), "10,800,000");
+        assert_eq!(group_thousands(999), "999");
+    }
+
+    #[test]
+    fn tables_serialize_to_json() {
+        let mut t2 = Table2::default();
+        t2.record(EngineId::Gsb, Brand::PayPal, EvasionTechnique::AlertBox, true);
+        let json = serde_json::to_string(&t2).unwrap();
+        let back: Table2 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total.as_cell(), "1/1");
+    }
+}

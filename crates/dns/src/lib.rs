@@ -1,0 +1,42 @@
+//! # phishsim-dns
+//!
+//! A simulated DNS and domain-registration ecosystem.
+//!
+//! The paper's methodology (§3, "Registering Domains") is a *filtering
+//! pipeline* over real-world data sources: the Alexa top-1M list, live DNS
+//! (SOA/NS lookups, NXDOMAIN answers), registrar availability APIs
+//! (GoDaddy, Porkbun), WHOIS, VirusTotal / Google Safe Browsing history,
+//! the Internet Archive, and the Google index. This crate rebuilds each of
+//! those sources as a deterministic simulation:
+//!
+//! * [`DomainName`] — validated domain names with TLD classification
+//!   (the paper registers both legacy and new gTLDs).
+//! * [`records`] — SOA / NS / A / TXT / DS records and zones.
+//! * [`Resolver`] — a caching stub resolver answering from the registry's
+//!   delegations, with negative caching (NXDOMAIN is what step 1 of the
+//!   pipeline scans for).
+//! * [`Registry`] — per-TLD registration state machine with the full
+//!   drop-catch lifecycle (registered → expired → redemption →
+//!   pending-delete → available) plus WHOIS.
+//! * [`Registrar`] — availability checks and (manual, spaced) registration
+//!   in the style of the paper's OVH registrations, including DNSSEC.
+//! * [`reputation`] — the synthetic Alexa population, Internet Archive,
+//!   search index, and VirusTotal/GSB history services, calibrated so the
+//!   paper's funnel (1 M → 770 → 251 → 244 → 244 → 50) regenerates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod name;
+pub mod records;
+pub mod registrar;
+pub mod registry;
+pub mod reputation;
+pub mod resolver;
+
+pub use name::{DomainName, NameError, TldKind};
+pub use records::{Record, RecordData, RecordType, Zone};
+pub use registrar::{Registrar, RegistrarError};
+pub use registry::{DomainState, Registry, WhoisAnswer};
+pub use reputation::{AlexaList, ArchiveService, DomainProfile, HistoryVerdict, SearchIndex, ThreatHistory};
+pub use resolver::{Rcode, Resolver, ResolverResponse};

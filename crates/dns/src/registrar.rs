@@ -1,0 +1,287 @@
+//! Registrars: availability APIs and registration front-ends.
+//!
+//! The paper uses GoDaddy and Porkbun *availability APIs* (pipeline step
+//! 2) and then registers the selected domains *manually over two weeks*
+//! at OVH "to reduce the impact of bulk registration patterns". The
+//! [`Registrar`] front-end exposes both: an availability check that is
+//! slightly conservative (some available domains are premium/reserved and
+//! reported unavailable, which is why the paper's funnel loses domains at
+//! this step), and a `register` call that records registration
+//! timestamps so bulk patterns are observable by reputation systems.
+
+use crate::name::DomainName;
+use crate::registry::{DomainState, Registry, RegistryError};
+use phishsim_simnet::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by registrar operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistrarError {
+    /// The registry refused the registration.
+    Registry(RegistryError),
+    /// The registrar refuses to sell this name (premium/reserved).
+    Reserved,
+}
+
+impl std::fmt::Display for RegistrarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistrarError::Registry(e) => write!(f, "registry: {e}"),
+            RegistrarError::Reserved => write!(f, "name is premium/reserved at this registrar"),
+        }
+    }
+}
+
+impl std::error::Error for RegistrarError {}
+
+impl From<RegistryError> for RegistrarError {
+    fn from(e: RegistryError) -> Self {
+        RegistrarError::Registry(e)
+    }
+}
+
+/// A record of one completed registration, kept for pattern analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistrationReceipt {
+    /// The registered name.
+    pub name: DomainName,
+    /// When the registration completed.
+    pub at: SimTime,
+    /// Whether DNSSEC was enabled at registration time.
+    pub dnssec: bool,
+}
+
+/// A registrar front-end over the shared registry.
+#[derive(Debug)]
+pub struct Registrar {
+    name: String,
+    /// Fraction of genuinely available names this registrar nonetheless
+    /// reports unavailable (premium/reserved inventory).
+    reserved_rate: f64,
+    /// Explicitly reserved inventory (population-seeded premium names).
+    reserved_names: std::collections::HashSet<DomainName>,
+    /// Whether the availability API optimistically reports
+    /// pending-delete domains as available (backorder/drop-catch
+    /// support — GoDaddy and Porkbun both do). This is the mechanism
+    /// behind the paper's step-2→step-3 attrition: the availability API
+    /// says "available" while WHOIS still shows the stale record.
+    backorder_pending_delete: bool,
+    rng: DetRng,
+    receipts: Vec<RegistrationReceipt>,
+}
+
+impl Registrar {
+    /// Create a registrar. `reserved_rate` models premium/reserved names.
+    pub fn new(name: &str, reserved_rate: f64, rng: &DetRng) -> Self {
+        Registrar {
+            name: name.to_string(),
+            reserved_rate,
+            reserved_names: std::collections::HashSet::new(),
+            backorder_pending_delete: false,
+            rng: rng.fork(&format!("registrar:{name}")),
+            receipts: Vec::new(),
+        }
+    }
+
+    /// Enable backorder-style availability answers (builder style).
+    pub fn with_backorder(mut self) -> Self {
+        self.backorder_pending_delete = true;
+        self
+    }
+
+    /// Add explicitly reserved inventory (builder style).
+    pub fn with_reserved_names(
+        mut self,
+        names: impl IntoIterator<Item = DomainName>,
+    ) -> Self {
+        self.reserved_names.extend(names);
+        self
+    }
+
+    /// The registrar's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Availability-API check (pipeline step 2). Deterministic per name:
+    /// the same name always gets the same premium/reserved verdict from
+    /// the same registrar instance configuration.
+    pub fn check_available(&self, registry: &Registry, name: &DomainName, now: SimTime) -> bool {
+        let state = registry.state(name, now);
+        let available = state == DomainState::Available
+            || (self.backorder_pending_delete && state == DomainState::PendingDelete);
+        available && !self.is_reserved(name)
+    }
+
+    fn is_reserved(&self, name: &DomainName) -> bool {
+        if self.reserved_names.contains(name) {
+            return true;
+        }
+        if self.reserved_rate <= 0.0 {
+            return false;
+        }
+        // Deterministic per (registrar, name): fork a stream keyed on the
+        // name and take one draw.
+        let mut stream = self.rng.fork(&format!("reserved:{name}"));
+        stream.chance(self.reserved_rate)
+    }
+
+    /// Register a domain for one year, optionally enabling DNSSEC.
+    pub fn register(
+        &mut self,
+        registry: &mut Registry,
+        name: DomainName,
+        now: SimTime,
+        dnssec: bool,
+    ) -> Result<RegistrationReceipt, RegistrarError> {
+        if self.is_reserved(&name) {
+            return Err(RegistrarError::Reserved);
+        }
+        registry.register(name.clone(), &self.name, now, SimDuration::from_days(365))?;
+        let receipt = RegistrationReceipt {
+            name,
+            at: now,
+            dnssec,
+        };
+        self.receipts.push(receipt.clone());
+        Ok(receipt)
+    }
+
+    /// All registrations performed through this registrar.
+    pub fn receipts(&self) -> &[RegistrationReceipt] {
+        &self.receipts
+    }
+
+    /// A simple bulk-registration heuristic as reputation systems apply
+    /// it: the largest number of registrations within any window of the
+    /// given length. The paper spreads registrations over two weeks to
+    /// keep this low.
+    pub fn max_registrations_within(&self, window: SimDuration) -> usize {
+        let mut times: Vec<SimTime> = self.receipts.iter().map(|r| r.at).collect();
+        times.sort_unstable();
+        let mut best = 0;
+        for (i, &start) in times.iter().enumerate() {
+            let end = start + window;
+            let count = times[i..].iter().take_while(|&&t| t <= end).count();
+            best = best.max(count);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn available_then_registered() {
+        let rng = DetRng::new(1);
+        let mut reg = Registry::new();
+        let mut ovh = Registrar::new("ovh", 0.0, &rng);
+        let d = dom("catchable.com");
+        let now = SimTime::ZERO;
+        assert!(ovh.check_available(&reg, &d, now));
+        ovh.register(&mut reg, d.clone(), now, true).unwrap();
+        assert!(!ovh.check_available(&reg, &d, now));
+        assert_eq!(ovh.receipts().len(), 1);
+        assert!(ovh.receipts()[0].dnssec);
+    }
+
+    #[test]
+    fn registered_elsewhere_is_unavailable() {
+        let rng = DetRng::new(2);
+        let mut reg = Registry::new();
+        let mut godaddy = Registrar::new("godaddy", 0.0, &rng);
+        let porkbun = Registrar::new("porkbun", 0.0, &rng);
+        let d = dom("taken.net");
+        godaddy.register(&mut reg, d.clone(), SimTime::ZERO, false).unwrap();
+        assert!(!porkbun.check_available(&reg, &d, SimTime::ZERO));
+    }
+
+    #[test]
+    fn reserved_names_are_refused_consistently() {
+        let rng = DetRng::new(3);
+        let mut reg = Registry::new();
+        let mut r = Registrar::new("godaddy", 0.5, &rng);
+        // With a 50% reserved rate over many names, some are refused; the
+        // verdict for each name is stable across repeated checks.
+        let mut reserved = 0;
+        for i in 0..100 {
+            let d = dom(&format!("name{i}.com"));
+            let a1 = r.check_available(&reg, &d, SimTime::ZERO);
+            let a2 = r.check_available(&reg, &d, SimTime::ZERO);
+            assert_eq!(a1, a2, "availability verdict must be stable");
+            if !a1 {
+                reserved += 1;
+                assert_eq!(
+                    r.register(&mut reg, d, SimTime::ZERO, false).unwrap_err(),
+                    RegistrarError::Reserved
+                );
+            }
+        }
+        assert!((20..=80).contains(&reserved), "reserved count {reserved}");
+    }
+
+    #[test]
+    fn bulk_pattern_metric() {
+        let rng = DetRng::new(4);
+        let mut reg = Registry::new();
+        let mut r = Registrar::new("ovh", 0.0, &rng);
+        // 10 registrations over two weeks, ~1.4 days apart.
+        for i in 0..10u64 {
+            let t = SimTime::from_hours(i * 34);
+            r.register(&mut reg, dom(&format!("spread{i}.com")), t, true).unwrap();
+        }
+        assert!(r.max_registrations_within(SimDuration::from_hours(24)) <= 2);
+        // Bulk: 10 in one minute.
+        let mut bulk = Registrar::new("bulk", 0.0, &rng);
+        let mut reg2 = Registry::new();
+        for i in 0..10u64 {
+            let t = SimTime::from_secs(i);
+            bulk.register(&mut reg2, dom(&format!("bulk{i}.com")), t, false).unwrap();
+        }
+        assert_eq!(bulk.max_registrations_within(SimDuration::from_hours(24)), 10);
+    }
+}
+
+#[cfg(test)]
+mod backorder_tests {
+    use super::*;
+    use crate::registry::DomainState;
+    use phishsim_simnet::{DetRng, SimDuration, SimTime};
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn backorder_reports_pending_delete_as_available() {
+        let rng = DetRng::new(1);
+        let mut reg = Registry::new();
+        let d = dom("dropping.com");
+        // Seeded so that "now" falls in the pending-delete window.
+        reg.seed(d.clone(), "old", SimTime::ZERO, SimTime::from_hours(24), true);
+        let now = SimTime::from_hours(24) + SimDuration::from_days(77);
+        assert_eq!(reg.state(&d, now), DomainState::PendingDelete);
+        let plain = Registrar::new("plain", 0.0, &rng);
+        let backorder = Registrar::new("backorder", 0.0, &rng).with_backorder();
+        assert!(!plain.check_available(&reg, &d, now));
+        assert!(backorder.check_available(&reg, &d, now), "backorder APIs say yes");
+        // WHOIS still shows the stale record — the step-3 filter's prey.
+        assert!(matches!(reg.whois(&d, now), crate::registry::WhoisAnswer::Found { .. }));
+    }
+
+    #[test]
+    fn explicit_reserved_names_refused() {
+        let rng = DetRng::new(2);
+        let reg = Registry::new();
+        let d = dom("premium.com");
+        let r = Registrar::new("r", 0.0, &rng).with_reserved_names([d.clone()]);
+        assert!(!r.check_available(&reg, &d, SimTime::ZERO));
+        assert!(r.check_available(&reg, &dom("ordinary.com"), SimTime::ZERO));
+    }
+}

@@ -1,0 +1,300 @@
+//! A caching stub resolver.
+//!
+//! The paper's pipeline (step 1) issues SOA/NS queries against the Alexa
+//! population and keeps NXDOMAIN answers; its crawlers later resolve the
+//! registered domains to reach the hosting servers. [`Resolver`] answers
+//! from the registry's delegations, with positive and negative caching
+//! governed by record TTLs.
+
+use crate::name::DomainName;
+use crate::records::{Record, RecordType};
+use crate::registry::Registry;
+use phishsim_simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// DNS response codes the simulation distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// Answer present (or empty answer for the requested type).
+    NoError,
+    /// The name does not exist.
+    NxDomain,
+}
+
+/// A resolver answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolverResponse {
+    /// Response code.
+    pub rcode: Rcode,
+    /// Matching records (empty for NXDOMAIN or NODATA).
+    pub answers: Vec<Record>,
+    /// Whether the answer came from the resolver cache.
+    pub from_cache: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    rcode: Rcode,
+    answers: Vec<Record>,
+    expires_at: SimTime,
+}
+
+/// Negative-cache TTL (SOA minimum in real life; fixed here).
+const NEGATIVE_TTL: SimDuration = SimDuration::from_mins(15);
+
+/// A caching stub resolver over a [`Registry`].
+#[derive(Debug)]
+pub struct Resolver {
+    cache: HashMap<(DomainName, RecordType), CacheEntry>,
+    caching: bool,
+    /// Count of queries answered from cache / from authority.
+    pub cache_hits: u64,
+    /// Count of authoritative lookups performed.
+    pub authoritative_lookups: u64,
+}
+
+impl Default for Resolver {
+    fn default() -> Self {
+        Resolver {
+            cache: HashMap::new(),
+            caching: true,
+            cache_hits: 0,
+            authoritative_lookups: 0,
+        }
+    }
+}
+
+impl Resolver {
+    /// A resolver with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A resolver that never caches. Population-scale scans (the
+    /// 1M-domain pipeline) use this to keep memory flat.
+    pub fn uncached() -> Self {
+        Resolver {
+            caching: false,
+            ..Self::default()
+        }
+    }
+
+    /// Resolve `name`/`rtype` at time `now` against `registry`.
+    pub fn query(
+        &mut self,
+        registry: &Registry,
+        name: &DomainName,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> ResolverResponse {
+        let key = (name.clone(), rtype);
+        if let Some(entry) = self.cache.get(&key) {
+            if entry.expires_at > now {
+                self.cache_hits += 1;
+                return ResolverResponse {
+                    rcode: entry.rcode,
+                    answers: entry.answers.clone(),
+                    from_cache: true,
+                };
+            }
+        }
+        self.authoritative_lookups += 1;
+        let (rcode, answers) = match registry.zone(name, now) {
+            None if registry.has_synthetic_delegation(name, now) => {
+                // Healthy population domain: synthesise a conventional
+                // answer on demand rather than storing a zone per domain.
+                let data = match rtype {
+                    RecordType::Soa => Some(crate::records::RecordData::Soa {
+                        mname: "ns1.dns-host.net".to_string(),
+                        serial: 1,
+                    }),
+                    RecordType::Ns => {
+                        Some(crate::records::RecordData::Ns("ns1.dns-host.net".to_string()))
+                    }
+                    _ => None,
+                };
+                let answers = data
+                    .map(|d| {
+                        vec![Record {
+                            name: name.clone(),
+                            ttl: 3600,
+                            data: d,
+                        }]
+                    })
+                    .unwrap_or_default();
+                (Rcode::NoError, answers)
+            }
+            None => (Rcode::NxDomain, Vec::new()),
+            Some(zone) => {
+                let answers: Vec<Record> = zone
+                    .records_of(rtype)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                (Rcode::NoError, answers)
+            }
+        };
+        if self.caching {
+            let ttl = match rcode {
+                Rcode::NxDomain => NEGATIVE_TTL,
+                Rcode::NoError => {
+                    let min_ttl = answers.iter().map(|r| r.ttl).min().unwrap_or(300);
+                    SimDuration::from_secs(min_ttl as u64)
+                }
+            };
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    rcode,
+                    answers: answers.clone(),
+                    expires_at: now + ttl,
+                },
+            );
+        }
+        ResolverResponse {
+            rcode,
+            answers,
+            from_cache: false,
+        }
+    }
+
+    /// Convenience: resolve the A record of `name` to an address.
+    pub fn resolve_addr(
+        &mut self,
+        registry: &Registry,
+        name: &DomainName,
+        now: SimTime,
+    ) -> Option<phishsim_simnet::Ipv4Sim> {
+        let resp = self.query(registry, name, RecordType::A, now);
+        resp.answers.iter().find_map(|r| match r.data {
+            crate::records::RecordData::A(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// The SOA/NS probe the paper's pipeline performs: returns true when
+    /// the domain answers NXDOMAIN for both SOA and NS.
+    pub fn is_nxdomain(&mut self, registry: &Registry, name: &DomainName, now: SimTime) -> bool {
+        let soa = self.query(registry, name, RecordType::Soa, now);
+        let ns = self.query(registry, name, RecordType::Ns, now);
+        soa.rcode == Rcode::NxDomain && ns.rcode == Rcode::NxDomain
+    }
+
+    /// Drop all cached entries.
+    pub fn flush(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::Zone;
+    use phishsim_simnet::Ipv4Sim;
+
+    fn setup() -> (Registry, DomainName) {
+        let mut reg = Registry::new();
+        let d = DomainName::parse("hosted.com").unwrap();
+        reg.register(d.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+            .unwrap();
+        let zone = Zone::hosting(d.clone(), Ipv4Sim::new(10, 1, 1, 1), 1, true);
+        reg.delegate(&d, zone, SimTime::ZERO).unwrap();
+        (reg, d)
+    }
+
+    #[test]
+    fn resolves_a_record() {
+        let (reg, d) = setup();
+        let mut res = Resolver::new();
+        let addr = res.resolve_addr(&reg, &d, SimTime::from_mins(1));
+        assert_eq!(addr, Some(Ipv4Sim::new(10, 1, 1, 1)));
+    }
+
+    #[test]
+    fn nxdomain_for_unknown() {
+        let reg = Registry::new();
+        let mut res = Resolver::new();
+        let d = DomainName::parse("ghost.com").unwrap();
+        assert!(res.is_nxdomain(&reg, &d, SimTime::ZERO));
+    }
+
+    #[test]
+    fn registered_domain_is_not_nxdomain() {
+        let (reg, d) = setup();
+        let mut res = Resolver::new();
+        assert!(!res.is_nxdomain(&reg, &d, SimTime::from_mins(1)));
+    }
+
+    #[test]
+    fn positive_cache_hits_within_ttl() {
+        let (reg, d) = setup();
+        let mut res = Resolver::new();
+        let t0 = SimTime::from_mins(1);
+        let first = res.query(&reg, &d, RecordType::A, t0);
+        assert!(!first.from_cache);
+        let second = res.query(&reg, &d, RecordType::A, t0 + SimDuration::from_secs(60));
+        assert!(second.from_cache);
+        assert_eq!(res.cache_hits, 1);
+        // The A record TTL is 300 s; beyond it we re-query authority.
+        let third = res.query(&reg, &d, RecordType::A, t0 + SimDuration::from_secs(301));
+        assert!(!third.from_cache);
+        assert_eq!(res.authoritative_lookups, 2);
+    }
+
+    #[test]
+    fn negative_cache_expires() {
+        let reg = Registry::new();
+        let mut res = Resolver::new();
+        let d = DomainName::parse("gone.com").unwrap();
+        let t0 = SimTime::ZERO;
+        let first = res.query(&reg, &d, RecordType::Soa, t0);
+        assert_eq!(first.rcode, Rcode::NxDomain);
+        let second = res.query(&reg, &d, RecordType::Soa, t0 + SimDuration::from_mins(5));
+        assert!(second.from_cache);
+        let third = res.query(&reg, &d, RecordType::Soa, t0 + SimDuration::from_mins(16));
+        assert!(!third.from_cache);
+    }
+
+    #[test]
+    fn nodata_is_noerror_with_empty_answers() {
+        let (reg, d) = setup();
+        let mut res = Resolver::new();
+        let resp = res.query(&reg, &d, RecordType::Txt, SimTime::from_mins(1));
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn flush_clears_cache() {
+        let (reg, d) = setup();
+        let mut res = Resolver::new();
+        res.query(&reg, &d, RecordType::A, SimTime::from_mins(1));
+        res.flush();
+        let again = res.query(&reg, &d, RecordType::A, SimTime::from_mins(2));
+        assert!(!again.from_cache);
+    }
+
+    #[test]
+    fn expired_domain_goes_nxdomain() {
+        let mut reg = Registry::new();
+        let d = DomainName::parse("lapsed.com").unwrap();
+        reg.register(d.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(30))
+            .unwrap();
+        let zone = Zone::hosting(d.clone(), Ipv4Sim::new(10, 2, 2, 2), 1, false);
+        reg.delegate(&d, zone, SimTime::ZERO).unwrap();
+        reg.abandon(&d).unwrap();
+        let mut res = Resolver::new();
+        assert!(!res.is_nxdomain(&reg, &d, SimTime::from_days_helper(1)));
+        assert!(res.is_nxdomain(&reg, &d, SimTime::from_days_helper(31)));
+    }
+
+    // Small helper since SimTime has no from_days constructor.
+    trait Days {
+        fn from_days_helper(d: u64) -> SimTime;
+    }
+    impl Days for SimTime {
+        fn from_days_helper(d: u64) -> SimTime {
+            SimTime::from_hours(d * 24)
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! DOM tree construction and traversal.
+
+use crate::tokenizer::{encode_entities, tokenize, Token};
+
+/// Elements that never have children.
+const VOID: &[&str] = &[
+    "br", "img", "input", "meta", "link", "hr", "area", "base", "col", "embed", "source", "wbr",
+];
+
+/// Maximum element nesting depth. Crawlers parse attacker-controlled
+/// markup; without a cap, a page of a million nested `<div>`s would
+/// blow the stack in the recursive traversals. Elements opened beyond
+/// the cap are treated as siblings of the deepest allowed element,
+/// which keeps their text and attributes observable.
+const MAX_DEPTH: usize = 256;
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with a tag name, attributes, and children.
+    Element {
+        /// Lower-cased tag name.
+        tag: String,
+        /// Attributes in source order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<Node>,
+    },
+    /// A text run.
+    Text(String),
+    /// A comment.
+    Comment(String),
+}
+
+impl Node {
+    /// The tag name, if this is an element.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            Node::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// An attribute value, if this is an element carrying it.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Children, or an empty slice for non-elements.
+    pub fn children(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// Concatenated text content of the subtree.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => out.push_str(t),
+            Node::Element { tag, children, .. } => {
+                // Script/style text is not user-visible content.
+                if tag == "script" || tag == "style" {
+                    return;
+                }
+                for c in children {
+                    c.collect_text(out);
+                }
+            }
+            Node::Comment(_) => {}
+        }
+    }
+}
+
+/// A parsed HTML document.
+///
+/// ```
+/// use phishsim_html::Document;
+///
+/// let doc = Document::parse("<form action=\"/login\"><input type=\"password\" name=\"pw\"></form>");
+/// let form = doc.find_first("form").unwrap();
+/// assert_eq!(form.attr("action"), Some("/login"));
+/// assert_eq!(doc.find_all("input").len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Top-level nodes.
+    pub roots: Vec<Node>,
+}
+
+impl Document {
+    /// Parse HTML into a document. Lenient: unclosed elements close at
+    /// EOF, stray end tags are ignored.
+    pub fn parse(html: &str) -> Document {
+        #[derive(Debug)]
+        struct Open {
+            tag: String,
+            attrs: Vec<(String, String)>,
+            children: Vec<Node>,
+        }
+        let mut stack: Vec<Open> = Vec::new();
+        let mut roots: Vec<Node> = Vec::new();
+
+        fn push_node(stack: &mut [Open], roots: &mut Vec<Node>, node: Node) {
+            if let Some(top) = stack.last_mut() {
+                top.children.push(node);
+            } else {
+                roots.push(node);
+            }
+        }
+
+        for token in tokenize(html) {
+            match token {
+                Token::Doctype(_) => {}
+                Token::Comment(c) => push_node(&mut stack, &mut roots, Node::Comment(c)),
+                Token::Text(t) => push_node(&mut stack, &mut roots, Node::Text(t)),
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    if self_closing || VOID.contains(&name.as_str()) || stack.len() >= MAX_DEPTH
+                    {
+                        push_node(
+                            &mut stack,
+                            &mut roots,
+                            Node::Element {
+                                tag: name,
+                                attrs,
+                                children: Vec::new(),
+                            },
+                        );
+                    } else {
+                        stack.push(Open {
+                            tag: name,
+                            attrs,
+                            children: Vec::new(),
+                        });
+                    }
+                }
+                Token::EndTag { name } => {
+                    // Find the matching open element; ignore stray ends.
+                    if let Some(idx) = stack.iter().rposition(|o| o.tag == name) {
+                        // Close everything above it implicitly.
+                        while stack.len() > idx {
+                            let open = stack.pop().expect("stack non-empty");
+                            let node = Node::Element {
+                                tag: open.tag,
+                                attrs: open.attrs,
+                                children: open.children,
+                            };
+                            push_node(&mut stack, &mut roots, node);
+                        }
+                    }
+                }
+            }
+        }
+        // Close any remaining open elements at EOF.
+        while let Some(open) = stack.pop() {
+            let node = Node::Element {
+                tag: open.tag,
+                attrs: open.attrs,
+                children: open.children,
+            };
+            if let Some(top) = stack.last_mut() {
+                top.children.push(node);
+            } else {
+                roots.push(node);
+            }
+        }
+        Document { roots }
+    }
+
+    /// Depth-first iterator over all nodes.
+    pub fn walk(&self) -> Vec<&Node> {
+        let mut out = Vec::new();
+        fn rec<'a>(node: &'a Node, out: &mut Vec<&'a Node>) {
+            out.push(node);
+            for c in node.children() {
+                rec(c, out);
+            }
+        }
+        for r in &self.roots {
+            rec(r, &mut out);
+        }
+        out
+    }
+
+    /// All elements with the given tag name.
+    pub fn find_all(&self, tag: &str) -> Vec<&Node> {
+        self.walk()
+            .into_iter()
+            .filter(|n| n.tag() == Some(tag))
+            .collect()
+    }
+
+    /// First element with the given tag name.
+    pub fn find_first(&self, tag: &str) -> Option<&Node> {
+        self.find_all(tag).into_iter().next()
+    }
+
+    /// User-visible text of the whole document.
+    pub fn text_content(&self) -> String {
+        self.roots
+            .iter()
+            .map(|n| n.text_content())
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Serialize back to HTML (normalised form).
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        for n in &self.roots {
+            serialize(n, &mut out);
+        }
+        out
+    }
+}
+
+fn serialize(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&encode_entities(t)),
+        Node::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Node::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            out.push('<');
+            out.push_str(tag);
+            for (n, v) in attrs {
+                out.push(' ');
+                out.push_str(n);
+                if !v.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&encode_entities(v));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if VOID.contains(&tag.as_str()) {
+                return;
+            }
+            for c in children {
+                if tag == "script" || tag == "style" || tag == "title" {
+                    // Raw text: emit verbatim.
+                    if let Node::Text(t) = c {
+                        out.push_str(t);
+                        continue;
+                    }
+                }
+                serialize(c, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nested_structure() {
+        let doc = Document::parse("<div><p>one</p><p>two <b>bold</b></p></div>");
+        let div = doc.find_first("div").unwrap();
+        assert_eq!(div.children().len(), 2);
+        let ps = doc.find_all("p");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[1].text_content(), "two bold");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = Document::parse("<p><img src=\"a.png\"><input name=\"x\">text</p>");
+        let p = doc.find_first("p").unwrap();
+        assert_eq!(p.children().len(), 3, "img, input, text are siblings");
+    }
+
+    #[test]
+    fn attr_lookup_case_insensitive() {
+        let doc = Document::parse(r#"<form ACTION="/login.php" method="post"></form>"#);
+        let form = doc.find_first("form").unwrap();
+        assert_eq!(form.attr("action"), Some("/login.php"));
+        assert_eq!(form.attr("METHOD"), Some("post"));
+        assert_eq!(form.attr("missing"), None);
+    }
+
+    #[test]
+    fn unclosed_elements_close_at_eof() {
+        let doc = Document::parse("<div><p>text");
+        let div = doc.find_first("div").unwrap();
+        assert_eq!(div.children()[0].tag(), Some("p"));
+        assert_eq!(doc.text_content(), "text");
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let doc = Document::parse("</div><p>ok</p></span>");
+        assert_eq!(doc.find_all("p").len(), 1);
+        assert_eq!(doc.text_content(), "ok");
+    }
+
+    #[test]
+    fn implicit_close_of_inner_elements() {
+        let doc = Document::parse("<div><span>inner</div>");
+        let div = doc.find_first("div").unwrap();
+        assert_eq!(div.children()[0].tag(), Some("span"));
+    }
+
+    #[test]
+    fn text_content_skips_script_and_style() {
+        let doc = Document::parse(
+            "<body>visible<script>var hidden = 1;</script><style>.x{}</style></body>",
+        );
+        assert_eq!(doc.text_content(), "visible");
+    }
+
+    #[test]
+    fn serialization_round_trips_structure() {
+        let html = r#"<div class="a"><p>x &amp; y</p><img src="l.png"></div>"#;
+        let doc = Document::parse(html);
+        let out = doc.to_html();
+        let reparsed = Document::parse(&out);
+        assert_eq!(doc, reparsed, "serialize/parse must be stable");
+    }
+
+    #[test]
+    fn script_serializes_raw() {
+        let html = r#"<script>if (a < b) alert("hi");</script>"#;
+        let doc = Document::parse(html);
+        assert_eq!(doc.to_html(), html);
+    }
+
+    #[test]
+    fn adversarial_nesting_does_not_overflow() {
+        // A million nested divs: parse, walk, summarise, serialize —
+        // all must survive (the crawler parses attacker markup).
+        let n = 1_000_000;
+        let mut html = String::with_capacity(n * 5 + 20);
+        for _ in 0..n {
+            html.push_str("<div>");
+        }
+        html.push_str("deep text");
+        let doc = Document::parse(&html);
+        assert!(doc.text_content().contains("deep text"));
+        assert!(doc.walk().len() >= n);
+        let _ = doc.to_html();
+    }
+
+    #[test]
+    fn depth_cap_preserves_content_as_siblings() {
+        let mut html = String::new();
+        for _ in 0..400 {
+            html.push_str("<section>");
+        }
+        html.push_str("<input type=\"password\" name=\"pw\"><p>visible</p>");
+        let doc = Document::parse(&html);
+        // The password input beyond the cap is still findable.
+        assert_eq!(doc.find_all("input").len(), 1);
+        assert!(doc.text_content().contains("visible"));
+    }
+
+    #[test]
+    fn walk_counts_all_nodes() {
+        let doc = Document::parse("<a><b></b><c><d></d></c></a>");
+        assert_eq!(doc.walk().len(), 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! The declarative script-effect model.
+//!
+//! The phishing kits in the paper's Appendix C drive their evasion with
+//! small amounts of JavaScript: Listing 2 pops a modal `confirm()`
+//! dialog and, on confirmation, dynamically generates and submits a
+//! form with a hidden `get_data=getData` field; Listing 1 registers a
+//! reCAPTCHA callback that dynamically generates and submits a form
+//! carrying the `gresponse` token.
+//!
+//! The simulation does not interpret JavaScript. Instead, generated
+//! pages *declare* those observable behaviours in dedicated script
+//! elements:
+//!
+//! ```html
+//! <script data-sim-effect="alert-confirm"
+//!         data-message="Please sign in to continue..."
+//!         data-delay-ms="2000"
+//!         data-confirm-field="get_data=getData"
+//!         data-guard="first-visit"></script>
+//!
+//! <script data-sim-effect="captcha-callback"
+//!         data-field-name="gresponse"></script>
+//! ```
+//!
+//! The browser crate reads these via [`ScriptEffect::extract`] and
+//! reacts exactly the way a real browser reacts to the real scripts: a
+//! modal dialog blocks the page until dismissed; solving the CAPTCHA
+//! triggers a same-URL form POST. Anti-phishing bots see the *effects*
+//! (dialog present, dynamically-generated form), which is what they key
+//! on in the wild too.
+
+use crate::dom::Document;
+use serde::{Deserialize, Serialize};
+
+/// A declared script behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScriptEffect {
+    /// Listing 2: after `delay_ms`, open a modal confirm dialog showing
+    /// `message`. Confirming POSTs `confirm_field` to the same URL;
+    /// cancelling POSTs an empty form. With `guard_first_visit`, the
+    /// dialog only opens on the first (benign) page state.
+    AlertConfirm {
+        /// Dialog message.
+        message: String,
+        /// Delay before the dialog opens, in milliseconds.
+        delay_ms: u64,
+        /// `name=value` posted when the dialog is confirmed.
+        confirm_field: (String, String),
+        /// Only fire on the first visit (the kit sets a JS variable).
+        guard_first_visit: bool,
+    },
+    /// Listing 1: when the page's CAPTCHA challenge is solved, generate
+    /// a form with the token under `field_name` and POST it to the same
+    /// URL.
+    CaptchaCallback {
+        /// POST field carrying the CAPTCHA response token.
+        field_name: String,
+    },
+    /// A timed redirect (used by some redirection-based kits; kept for
+    /// completeness of the evasion taxonomy).
+    AutoRedirect {
+        /// Target URL or path.
+        to: String,
+        /// Delay before the redirect fires, in milliseconds.
+        delay_ms: u64,
+    },
+}
+
+impl ScriptEffect {
+    /// Extract all declared effects from a document, in source order.
+    pub fn extract(doc: &Document) -> Vec<ScriptEffect> {
+        doc.find_all("script")
+            .into_iter()
+            .filter_map(|s| {
+                let kind = s.attr("data-sim-effect")?;
+                match kind {
+                    "alert-confirm" => {
+                        let field = s.attr("data-confirm-field").unwrap_or("get_data=getData");
+                        let (name, value) = field.split_once('=').unwrap_or((field, ""));
+                        Some(ScriptEffect::AlertConfirm {
+                            message: s
+                                .attr("data-message")
+                                .unwrap_or("Please sign in to continue...")
+                                .to_string(),
+                            delay_ms: s
+                                .attr("data-delay-ms")
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or(2_000),
+                            confirm_field: (name.to_string(), value.to_string()),
+                            guard_first_visit: s.attr("data-guard") == Some("first-visit"),
+                        })
+                    }
+                    "captcha-callback" => Some(ScriptEffect::CaptchaCallback {
+                        field_name: s
+                            .attr("data-field-name")
+                            .unwrap_or("gresponse")
+                            .to_string(),
+                    }),
+                    "auto-redirect" => Some(ScriptEffect::AutoRedirect {
+                        to: s.attr("data-to")?.to_string(),
+                        delay_ms: s
+                            .attr("data-delay-ms")
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(0),
+                    }),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Render the effect back to its declaration markup.
+    pub fn to_markup(&self) -> String {
+        match self {
+            ScriptEffect::AlertConfirm {
+                message,
+                delay_ms,
+                confirm_field,
+                guard_first_visit,
+            } => {
+                let guard = if *guard_first_visit {
+                    " data-guard=\"first-visit\""
+                } else {
+                    ""
+                };
+                format!(
+                    "<script data-sim-effect=\"alert-confirm\" data-message=\"{}\" data-delay-ms=\"{}\" data-confirm-field=\"{}={}\"{}></script>",
+                    message, delay_ms, confirm_field.0, confirm_field.1, guard
+                )
+            }
+            ScriptEffect::CaptchaCallback { field_name } => format!(
+                "<script data-sim-effect=\"captcha-callback\" data-field-name=\"{field_name}\"></script>"
+            ),
+            ScriptEffect::AutoRedirect { to, delay_ms } => format!(
+                "<script data-sim-effect=\"auto-redirect\" data-to=\"{to}\" data-delay-ms=\"{delay_ms}\"></script>"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_alert_confirm() {
+        let html = r#"<body><script data-sim-effect="alert-confirm"
+            data-message="Please sign in to continue..."
+            data-delay-ms="2000"
+            data-confirm-field="get_data=getData"
+            data-guard="first-visit"></script></body>"#;
+        let effects = ScriptEffect::extract(&Document::parse(html));
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            ScriptEffect::AlertConfirm {
+                message,
+                delay_ms,
+                confirm_field,
+                guard_first_visit,
+            } => {
+                assert_eq!(message, "Please sign in to continue...");
+                assert_eq!(*delay_ms, 2000);
+                assert_eq!(confirm_field, &("get_data".to_string(), "getData".to_string()));
+                assert!(guard_first_visit);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_captcha_callback_with_defaults() {
+        let html = r#"<script data-sim-effect="captcha-callback"></script>"#;
+        let effects = ScriptEffect::extract(&Document::parse(html));
+        assert_eq!(
+            effects,
+            vec![ScriptEffect::CaptchaCallback {
+                field_name: "gresponse".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn plain_scripts_are_not_effects() {
+        let html = r#"<script>var x = 1;</script><script src="jquery.js"></script>"#;
+        assert!(ScriptEffect::extract(&Document::parse(html)).is_empty());
+    }
+
+    #[test]
+    fn unknown_effect_kinds_ignored() {
+        let html = r#"<script data-sim-effect="teleport"></script>"#;
+        assert!(ScriptEffect::extract(&Document::parse(html)).is_empty());
+    }
+
+    #[test]
+    fn auto_redirect_requires_target() {
+        let ok = r#"<script data-sim-effect="auto-redirect" data-to="/next" data-delay-ms="5"></script>"#;
+        let effects = ScriptEffect::extract(&Document::parse(ok));
+        assert_eq!(
+            effects,
+            vec![ScriptEffect::AutoRedirect {
+                to: "/next".to_string(),
+                delay_ms: 5
+            }]
+        );
+        let missing = r#"<script data-sim-effect="auto-redirect"></script>"#;
+        assert!(ScriptEffect::extract(&Document::parse(missing)).is_empty());
+    }
+
+    #[test]
+    fn markup_round_trips() {
+        let effects = vec![
+            ScriptEffect::AlertConfirm {
+                message: "Please sign in to continue...".to_string(),
+                delay_ms: 1500,
+                confirm_field: ("get_data".to_string(), "getData".to_string()),
+                guard_first_visit: true,
+            },
+            ScriptEffect::CaptchaCallback {
+                field_name: "gresponse".to_string(),
+            },
+            ScriptEffect::AutoRedirect {
+                to: "/x".to_string(),
+                delay_ms: 9,
+            },
+        ];
+        for e in effects {
+            let html = e.to_markup();
+            let parsed = ScriptEffect::extract(&Document::parse(&html));
+            assert_eq!(parsed, vec![e]);
+        }
+    }
+
+    #[test]
+    fn multiple_effects_in_order() {
+        let html = format!(
+            "{}{}",
+            ScriptEffect::CaptchaCallback { field_name: "g".into() }.to_markup(),
+            ScriptEffect::AutoRedirect { to: "/a".into(), delay_ms: 1 }.to_markup()
+        );
+        let effects = ScriptEffect::extract(&Document::parse(&html));
+        assert_eq!(effects.len(), 2);
+        assert!(matches!(effects[0], ScriptEffect::CaptchaCallback { .. }));
+        assert!(matches!(effects[1], ScriptEffect::AutoRedirect { .. }));
+    }
+}

@@ -1,0 +1,37 @@
+//! # phishsim-html
+//!
+//! HTML parsing and the *script-effect* model.
+//!
+//! Anti-phishing bots and the paper's evasion techniques meet in the
+//! page markup: classifiers look for login forms, password inputs,
+//! brand logos, favicons and title text; the evasion gates hide exactly
+//! those elements behind dialogs, sessions, and CAPTCHAs. This crate
+//! provides:
+//!
+//! * [`tokenizer`] — an HTML tokenizer (tags, attributes, text,
+//!   comments, raw-text elements).
+//! * [`dom`] — a DOM tree with parse, traversal, and serialization.
+//! * [`query`] — the page-level questions the rest of the workspace
+//!   asks: forms and their fields, password inputs, links, images,
+//!   title, favicon, visible text.
+//! * [`effects`] — the declarative stand-in for the phishing kits'
+//!   JavaScript. Real anti-phishing crawlers do not execute arbitrary
+//!   JS either; they react to *observable behaviours* (a modal dialog
+//!   opens; a form is dynamically generated and submitted). Pages in
+//!   this workspace declare those behaviours in
+//!   `<script data-sim-effect="...">` elements, and the browser crate
+//!   interprets them. This preserves exactly the observables the
+//!   paper's techniques rely on (Appendix C, Listings 1 and 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod effects;
+pub mod query;
+pub mod tokenizer;
+
+pub use dom::{Document, Node};
+pub use effects::ScriptEffect;
+pub use query::{FormField, FormInfo, PageSummary};
+pub use tokenizer::{tokenize, Token};

@@ -1,0 +1,354 @@
+//! HTML tokenizer.
+//!
+//! A pragmatic tokenizer for the HTML this workspace generates and
+//! consumes: start/end tags with quoted or unquoted attributes,
+//! self-closing tags, text, comments, doctype, and raw-text handling
+//! for `<script>` and `<style>` (their content is not parsed as
+//! markup). Error recovery is lenient, as in real parsers: malformed
+//! constructs degrade to text rather than failing.
+
+/// A token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A start tag: name, attributes, and whether it was self-closing.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order (names lower-cased).
+        attrs: Vec<(String, String)>,
+        /// `<br/>`-style self-closing marker.
+        self_closing: bool,
+    },
+    /// An end tag.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A text run (entity-decoded for the common entities).
+    Text(String),
+    /// A comment (without the delimiters).
+    Comment(String),
+    /// A doctype declaration (content after `<!doctype`).
+    Doctype(String),
+}
+
+/// Elements whose content is raw text until the matching end tag.
+const RAW_TEXT: &[&str] = &["script", "style", "title", "textarea"];
+
+/// Decode the handful of entities the workspace uses.
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&nbsp;", " ")
+}
+
+/// Encode text for embedding into markup.
+pub fn encode_entities(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+    fn starts_with_ci(&self, s: &str) -> bool {
+        let end = self.pos + s.len();
+        if end > self.input.len() {
+            return false;
+        }
+        self.input[self.pos..end].eq_ignore_ascii_case(s.as_bytes())
+    }
+    fn take_until(&mut self, delim: &str) -> String {
+        let start = self.pos;
+        while self.pos < self.input.len() && !self.starts_with_ci(delim) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned()
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+}
+
+fn read_tag_name(c: &mut Cursor) -> String {
+    let start = c.pos;
+    while matches!(c.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+        c.pos += 1;
+    }
+    String::from_utf8_lossy(&c.input[start..c.pos]).to_ascii_lowercase()
+}
+
+fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            None | Some(b'>') => {
+                c.bump();
+                break;
+            }
+            Some(b'/') => {
+                c.bump();
+                c.skip_ws();
+                if c.peek() == Some(b'>') {
+                    c.bump();
+                    self_closing = true;
+                    break;
+                }
+            }
+            _ => {
+                // Attribute name.
+                let start = c.pos;
+                while matches!(c.peek(), Some(b) if !b.is_ascii_whitespace() && b != b'=' && b != b'>' && b != b'/')
+                {
+                    c.pos += 1;
+                }
+                if c.pos == start {
+                    c.bump();
+                    continue;
+                }
+                let name =
+                    String::from_utf8_lossy(&c.input[start..c.pos]).to_ascii_lowercase();
+                c.skip_ws();
+                let value = if c.peek() == Some(b'=') {
+                    c.bump();
+                    c.skip_ws();
+                    match c.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            c.bump();
+                            let vstart = c.pos;
+                            while matches!(c.peek(), Some(b) if b != q) {
+                                c.pos += 1;
+                            }
+                            let v = String::from_utf8_lossy(&c.input[vstart..c.pos])
+                                .into_owned();
+                            c.bump(); // closing quote
+                            decode_entities(&v)
+                        }
+                        _ => {
+                            let vstart = c.pos;
+                            while matches!(c.peek(), Some(b) if !b.is_ascii_whitespace() && b != b'>')
+                            {
+                                c.pos += 1;
+                            }
+                            String::from_utf8_lossy(&c.input[vstart..c.pos]).into_owned()
+                        }
+                    }
+                } else {
+                    String::new()
+                };
+                attrs.push((name, value));
+            }
+        }
+    }
+    (attrs, self_closing)
+}
+
+/// Tokenize an HTML document.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let mut tokens = Vec::new();
+    let mut raw_until: Option<String> = None;
+
+    while c.pos < c.input.len() {
+        if let Some(end_tag) = raw_until.clone() {
+            // Inside a raw-text element: take everything until its end tag.
+            let close = format!("</{end_tag}");
+            let text = c.take_until(&close);
+            if !text.is_empty() {
+                tokens.push(Token::Text(text));
+            }
+            raw_until = None;
+            continue;
+        }
+        if c.peek() == Some(b'<') {
+            if c.starts_with_ci("<!--") {
+                c.pos += 4;
+                let comment = c.take_until("-->");
+                c.pos = (c.pos + 3).min(c.input.len());
+                tokens.push(Token::Comment(comment));
+                continue;
+            }
+            if c.starts_with_ci("<!doctype") {
+                c.pos += "<!doctype".len();
+                let content = c.take_until(">");
+                c.bump();
+                tokens.push(Token::Doctype(content.trim().to_string()));
+                continue;
+            }
+            if c.starts_with_ci("</") {
+                c.pos += 2;
+                let name = read_tag_name(&mut c);
+                c.take_until(">");
+                c.bump();
+                if !name.is_empty() {
+                    tokens.push(Token::EndTag { name });
+                }
+                continue;
+            }
+            // A start tag only if followed by a letter; otherwise text.
+            if matches!(c.input.get(c.pos + 1), Some(b) if b.is_ascii_alphabetic()) {
+                c.bump(); // <
+                let name = read_tag_name(&mut c);
+                let (attrs, self_closing) = read_attrs(&mut c);
+                if RAW_TEXT.contains(&name.as_str()) && !self_closing {
+                    raw_until = Some(name.clone());
+                }
+                tokens.push(Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                });
+                continue;
+            }
+        }
+        // Text run until the next '<'.
+        let text = c.take_until("<");
+        if !text.is_empty() {
+            tokens.push(Token::Text(decode_entities(&text)));
+        } else {
+            // A lone '<' at EOF or similar: consume to make progress.
+            c.bump();
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<html><body>Hello</body></html>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag { name: "html".into(), attrs: vec![], self_closing: false },
+                Token::StartTag { name: "body".into(), attrs: vec![], self_closing: false },
+                Token::Text("Hello".into()),
+                Token::EndTag { name: "body".into() },
+                Token::EndTag { name: "html".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokenize(r#"<input type="password" name='login_pass' required maxlength=20>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "input");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("type".to_string(), "password".to_string()),
+                        ("name".to_string(), "login_pass".to_string()),
+                        ("required".to_string(), String::new()),
+                        ("maxlength".to_string(), "20".to_string()),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let toks = tokenize("<br/><img src=\"x.png\" />");
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hidden --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("html".into()));
+        assert_eq!(toks[1], Token::Comment(" hidden ".into()));
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        let html = r#"<script>if (a < b) { alert("x < y"); }</script><p>after</p>"#;
+        let toks = tokenize(html);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
+        assert_eq!(
+            toks[1],
+            Token::Text(r#"if (a < b) { alert("x < y"); }"#.into())
+        );
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert!(matches!(&toks[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn title_is_raw_text() {
+        let toks = tokenize("<title>PayPal: Login & Pay</title>");
+        assert_eq!(toks[1], Token::Text("PayPal: Login & Pay".into()));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = tokenize(r#"<p title="a &amp; b">x &lt; y</p>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "a & b"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(toks[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn lenient_on_stray_angle_brackets() {
+        let toks = tokenize("1 < 2 but > 0");
+        // No panic and all text preserved (split across tokens is fine).
+        let text: String = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Text(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(text.contains("1 "));
+        assert!(text.contains('2'));
+    }
+
+    #[test]
+    fn empty_and_truncated_inputs() {
+        assert!(tokenize("").is_empty());
+        let _ = tokenize("<");
+        let _ = tokenize("<div");
+        let _ = tokenize("<div class=");
+        let _ = tokenize("<!-- unterminated");
+        let _ = tokenize("<script>never closed");
+    }
+
+    #[test]
+    fn encode_entities_round_trip() {
+        let s = r#"<a href="x">&"#;
+        assert_eq!(decode_entities(&encode_entities(s)), s);
+    }
+}

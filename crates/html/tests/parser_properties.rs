@@ -1,0 +1,80 @@
+//! Property-based tests for the HTML parser.
+
+use phishsim_html::{Document, Node, PageSummary};
+use proptest::prelude::*;
+
+/// A strategy producing random well-formed-ish HTML trees.
+fn html_tree(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        "[a-zA-Z0-9 .,!-]{0,30}".prop_map(|t| t),
+        Just("<img src=\"x.png\">".to_string()),
+        Just("<input type=\"text\" name=\"q\">".to_string()),
+        Just("<br>".to_string()),
+    ];
+    leaf.prop_recursive(depth, 64, 5, |inner| {
+        (
+            prop_oneof![
+                Just("div"),
+                Just("p"),
+                Just("span"),
+                Just("form"),
+                Just("a"),
+                Just("body")
+            ],
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, children)| {
+                format!("<{tag}>{}</{tag}>", children.join(""))
+            })
+    })
+    .boxed()
+}
+
+proptest! {
+    /// The parser is total: no input panics it.
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "\\PC{0,500}") {
+        let doc = Document::parse(&s);
+        let _ = doc.text_content();
+        let _ = doc.to_html();
+        let _ = PageSummary::extract(&doc);
+    }
+
+    /// Parsing serialized output reproduces the same tree (normalisation
+    /// fixpoint after one round).
+    #[test]
+    fn serialize_parse_fixpoint(html in html_tree(4)) {
+        let doc = Document::parse(&html);
+        let once = doc.to_html();
+        let reparsed = Document::parse(&once);
+        prop_assert_eq!(&doc, &reparsed);
+        let twice = reparsed.to_html();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Every element reachable by walk() is findable by tag.
+    #[test]
+    fn walk_find_consistency(html in html_tree(3)) {
+        let doc = Document::parse(&html);
+        let all = doc.walk();
+        for node in &all {
+            if let Node::Element { tag, .. } = node {
+                let found = doc.find_all(tag);
+                prop_assert!(
+                    found.iter().any(|n| std::ptr::eq(*n, *node)),
+                    "element {} not found by find_all", tag
+                );
+            }
+        }
+    }
+
+    /// Text content never contains markup characters introduced by the
+    /// parser itself.
+    #[test]
+    fn text_content_has_no_tags(html in html_tree(3)) {
+        let doc = Document::parse(&html);
+        let text = doc.text_content();
+        prop_assert!(!text.contains("<div>"));
+        prop_assert!(!text.contains("</"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Cookies and the client-side cookie jar.
+//!
+//! The session-based evasion technique (§2.3) rides on PHP sessions:
+//! the cover page sets a `PHPSESSID` cookie, and the payload page is
+//! only served to requests presenting a session that has passed through
+//! the cover page. The browser's [`CookieJar`] therefore needs correct
+//! host matching, path matching, and expiry.
+
+use phishsim_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A single cookie as stored by a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Host the cookie was set by (exact host-only matching; the
+    /// simulation does not model the `Domain` attribute's subdomain
+    /// scoping since all sites live on registrable domains).
+    pub host: String,
+    /// Path scope.
+    pub path: String,
+    /// Absolute expiry, if any (session cookies have none).
+    pub expires: Option<SimTime>,
+}
+
+impl Cookie {
+    /// Parse a `Set-Cookie` header value in the context of `host`.
+    ///
+    /// Supports the attributes the simulation uses: `Path` and
+    /// `Max-Age` (seconds, relative to `now`). Unknown attributes are
+    /// ignored, like real clients do.
+    pub fn parse_set_cookie(header: &str, host: &str, now: SimTime) -> Option<Cookie> {
+        let mut parts = header.split(';').map(|s| s.trim());
+        let (name, value) = parts.next()?.split_once('=')?;
+        if name.is_empty() {
+            return None;
+        }
+        let mut cookie = Cookie {
+            name: name.to_string(),
+            value: value.to_string(),
+            host: host.to_ascii_lowercase(),
+            path: "/".to_string(),
+            expires: None,
+        };
+        for attr in parts {
+            match attr.split_once('=') {
+                Some((k, v)) if k.eq_ignore_ascii_case("path")
+                    && v.starts_with('/') => {
+                        cookie.path = v.to_string();
+                    }
+                Some((k, v)) if k.eq_ignore_ascii_case("max-age") => {
+                    if let Ok(secs) = v.parse::<u64>() {
+                        cookie.expires =
+                            Some(now + phishsim_simnet::SimDuration::from_secs(secs));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(cookie)
+    }
+
+    /// Whether this cookie should be sent for `host`/`path` at `now`.
+    pub fn matches(&self, host: &str, path: &str, now: SimTime) -> bool {
+        if !self.host.eq_ignore_ascii_case(host) {
+            return false;
+        }
+        if let Some(exp) = self.expires {
+            if now >= exp {
+                return false;
+            }
+        }
+        path == self.path
+            || (path.starts_with(&self.path)
+                && (self.path.ends_with('/')
+                    || path.as_bytes().get(self.path.len()) == Some(&b'/')))
+    }
+}
+
+/// A client-side cookie store.
+#[derive(Debug, Clone, Default)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+impl CookieJar {
+    /// An empty jar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a cookie, replacing any with the same (name, host, path).
+    pub fn store(&mut self, cookie: Cookie) {
+        self.cookies.retain(|c| {
+            !(c.name == cookie.name && c.host == cookie.host && c.path == cookie.path)
+        });
+        self.cookies.push(cookie);
+    }
+
+    /// Process all `Set-Cookie` headers of a response from `host`.
+    pub fn ingest(&mut self, set_cookie_headers: &[&str], host: &str, now: SimTime) {
+        for h in set_cookie_headers {
+            if let Some(c) = Cookie::parse_set_cookie(h, host, now) {
+                self.store(c);
+            }
+        }
+    }
+
+    /// The `Cookie` header value for a request to `host`/`path`, or an
+    /// empty string if no cookies match.
+    pub fn cookie_header(&self, host: &str, path: &str, now: SimTime) -> String {
+        self.cookies
+            .iter()
+            .filter(|c| c.matches(host, path, now))
+            .map(|c| format!("{}={}", c.name, c.value))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Look up a cookie value by name for a host.
+    pub fn get(&self, host: &str, name: &str, now: SimTime) -> Option<&str> {
+        self.cookies
+            .iter()
+            .find(|c| c.host.eq_ignore_ascii_case(host) && c.name == name && c.matches(host, "/", now))
+            .map(|c| c.value.as_str())
+    }
+
+    /// Number of stored cookies (including expired ones not yet purged).
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True if the jar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// Drop all cookies (a fresh browser profile).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishsim_simnet::SimDuration;
+
+    #[test]
+    fn parse_basic_set_cookie() {
+        let c = Cookie::parse_set_cookie("PHPSESSID=abc123; Path=/", "site.com", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.name, "PHPSESSID");
+        assert_eq!(c.value, "abc123");
+        assert_eq!(c.path, "/");
+        assert_eq!(c.expires, None);
+    }
+
+    #[test]
+    fn parse_rejects_nameless() {
+        assert!(Cookie::parse_set_cookie("=v", "h.com", SimTime::ZERO).is_none());
+        assert!(Cookie::parse_set_cookie("novalue", "h.com", SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn max_age_expiry() {
+        let now = SimTime::from_mins(10);
+        let c = Cookie::parse_set_cookie("s=1; Max-Age=60", "h.com", now).unwrap();
+        assert!(c.matches("h.com", "/", now + SimDuration::from_secs(59)));
+        assert!(!c.matches("h.com", "/", now + SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn host_matching_is_exact() {
+        let c = Cookie::parse_set_cookie("s=1", "site.com", SimTime::ZERO).unwrap();
+        assert!(c.matches("site.com", "/", SimTime::ZERO));
+        assert!(c.matches("SITE.com", "/", SimTime::ZERO));
+        assert!(!c.matches("other.com", "/", SimTime::ZERO));
+        assert!(!c.matches("sub.site.com", "/", SimTime::ZERO));
+    }
+
+    #[test]
+    fn path_matching() {
+        let c =
+            Cookie::parse_set_cookie("s=1; Path=/app", "h.com", SimTime::ZERO).unwrap();
+        assert!(c.matches("h.com", "/app", SimTime::ZERO));
+        assert!(c.matches("h.com", "/app/page.php", SimTime::ZERO));
+        assert!(!c.matches("h.com", "/application", SimTime::ZERO));
+        assert!(!c.matches("h.com", "/", SimTime::ZERO));
+    }
+
+    #[test]
+    fn jar_replaces_same_name_host_path() {
+        let mut jar = CookieJar::new();
+        jar.ingest(&["s=old"], "h.com", SimTime::ZERO);
+        jar.ingest(&["s=new"], "h.com", SimTime::ZERO);
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.get("h.com", "s", SimTime::ZERO), Some("new"));
+    }
+
+    #[test]
+    fn jar_header_joins_matching_cookies() {
+        let mut jar = CookieJar::new();
+        jar.ingest(&["a=1", "b=2"], "h.com", SimTime::ZERO);
+        jar.ingest(&["c=3"], "other.com", SimTime::ZERO);
+        let header = jar.cookie_header("h.com", "/", SimTime::ZERO);
+        assert_eq!(header, "a=1; b=2");
+        assert_eq!(jar.cookie_header("nowhere.com", "/", SimTime::ZERO), "");
+    }
+
+    #[test]
+    fn jar_clear() {
+        let mut jar = CookieJar::new();
+        jar.ingest(&["a=1"], "h.com", SimTime::ZERO);
+        jar.clear();
+        assert!(jar.is_empty());
+    }
+
+    #[test]
+    fn php_session_flow() {
+        // The session-gate pattern: server sets PHPSESSID on first visit,
+        // client presents it on the next request.
+        let mut jar = CookieJar::new();
+        let now = SimTime::from_mins(1);
+        jar.ingest(&["PHPSESSID=deadbeef; Path=/"], "phish.com", now);
+        let header = jar.cookie_header("phish.com", "/login.php", now);
+        assert_eq!(header, "PHPSESSID=deadbeef");
+    }
+}

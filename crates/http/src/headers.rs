@@ -1,0 +1,117 @@
+//! Case-insensitive header map.
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered, case-insensitive multimap of HTTP headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header (duplicates allowed, as for `Set-Cookie`).
+    pub fn append(&mut self, name: &str, value: &str) {
+        self.entries.push((name.to_string(), value.to_string()));
+    }
+
+    /// Replace all values of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: &str) {
+        self.entries
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.append(name, value);
+    }
+
+    /// First value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Remove all values of `name`; returns whether anything was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Whether `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// All `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_get() {
+        let mut h = Headers::new();
+        h.append("User-Agent", "bot/1.0");
+        assert_eq!(h.get("user-agent"), Some("bot/1.0"));
+        assert_eq!(h.get("USER-AGENT"), Some("bot/1.0"));
+        assert!(h.contains("User-agent"));
+        assert!(!h.contains("Host"));
+    }
+
+    #[test]
+    fn append_keeps_duplicates_set_replaces() {
+        let mut h = Headers::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2"]);
+        h.set("Set-Cookie", "c=3");
+        assert_eq!(h.get_all("set-cookie"), vec!["c=3"]);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut h = Headers::new();
+        h.append("X", "1");
+        assert!(h.remove("x"));
+        assert!(!h.remove("x"));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_insertion() {
+        let mut h = Headers::new();
+        h.append("A", "1");
+        h.append("B", "2");
+        let pairs: Vec<(&str, &str)> = h.iter().collect();
+        assert_eq!(pairs, vec![("A", "1"), ("B", "2")]);
+        assert_eq!(h.len(), 2);
+    }
+}

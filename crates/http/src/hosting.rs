@@ -1,0 +1,288 @@
+//! Virtual hosting: the simulated Nginx front end.
+//!
+//! The paper uploads its generated sites to "hosting infrastructures in
+//! one of the European countries with 22 different IP addresses and the
+//! Nginx web server". [`HostingFarm`] reproduces that layer: a farm of
+//! hosting IPs, a `Host`-header dispatch table of per-site handlers, TLS
+//! certificates per site, and an access log (the shared
+//! [`TraceLog`]) that the experiment's log analysis queries.
+
+use crate::message::{Request, Response};
+use crate::tls::TlsCertificate;
+use phishsim_simnet::{Ipv4Sim, SimTime, TraceEvent, TraceKind, TraceLog};
+use std::collections::HashMap;
+
+/// Per-request context a handler sees (the server-side view).
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// Source address of the client.
+    pub src: Ipv4Sim,
+    /// Ground-truth actor name (engine name or "human"); real servers
+    /// infer this from IP ranges, the simulation records it for
+    /// verification.
+    pub actor: String,
+    /// Server-side timestamp of the request.
+    pub now: SimTime,
+}
+
+/// A site: something that turns requests into responses. Handlers are
+/// stateful (`&mut self`) — the session-gate site stores sessions, the
+/// alert-box site logs payload retrievals.
+pub trait Handler: Send {
+    /// Handle one request.
+    fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: FnMut(&Request, &RequestCtx) -> Response + Send,
+{
+    fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Response {
+        self(req, ctx)
+    }
+}
+
+/// `Host`-header dispatch over boxed handlers.
+#[derive(Default)]
+pub struct VirtualHosting {
+    sites: HashMap<String, Box<dyn Handler>>,
+}
+
+impl VirtualHosting {
+    /// An empty dispatch table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a site for `host`, replacing any existing one.
+    pub fn install(&mut self, host: &str, handler: Box<dyn Handler>) {
+        self.sites.insert(host.to_ascii_lowercase(), handler);
+    }
+
+    /// Remove a site.
+    pub fn remove(&mut self, host: &str) -> bool {
+        self.sites.remove(&host.to_ascii_lowercase()).is_some()
+    }
+
+    /// Hosts currently served.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.sites.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Dispatch a request by its URL host; unknown hosts get Nginx's 404.
+    pub fn dispatch(&mut self, req: &Request, ctx: &RequestCtx) -> Response {
+        match self.sites.get_mut(&req.url.host) {
+            Some(handler) => handler.handle(req, ctx),
+            None => Response::not_found(),
+        }
+    }
+}
+
+impl std::fmt::Debug for VirtualHosting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualHosting")
+            .field("hosts", &self.hosts())
+            .finish()
+    }
+}
+
+/// The full hosting farm: IPs, sites, certificates, and the access log.
+pub struct HostingFarm {
+    /// Hosting IP addresses (the paper used 22).
+    addrs: Vec<Ipv4Sim>,
+    vhosts: VirtualHosting,
+    certs: HashMap<String, TlsCertificate>,
+    log: TraceLog,
+    next_addr: usize,
+}
+
+impl HostingFarm {
+    /// Create a farm over the given addresses, logging to `log`.
+    pub fn new(addrs: Vec<Ipv4Sim>, log: TraceLog) -> Self {
+        assert!(!addrs.is_empty(), "hosting farm needs at least one IP");
+        HostingFarm {
+            addrs,
+            vhosts: VirtualHosting::new(),
+            certs: HashMap::new(),
+            log,
+            next_addr: 0,
+        }
+    }
+
+    /// Install a site and return the hosting address assigned to it
+    /// (round-robin over the farm's IPs, as the paper spread 112 sites
+    /// over 22 addresses).
+    pub fn install_site(
+        &mut self,
+        host: &str,
+        handler: Box<dyn Handler>,
+        cert: Option<TlsCertificate>,
+    ) -> Ipv4Sim {
+        self.vhosts.install(host, handler);
+        if let Some(c) = cert {
+            self.certs.insert(host.to_ascii_lowercase(), c);
+        }
+        let addr = self.addrs[self.next_addr % self.addrs.len()];
+        self.next_addr += 1;
+        addr
+    }
+
+    /// The certificate presented for `host`, if TLS is deployed.
+    pub fn certificate(&self, host: &str) -> Option<&TlsCertificate> {
+        self.certs.get(&host.to_ascii_lowercase())
+    }
+
+    /// Serve one request: append to the access log, then dispatch.
+    pub fn serve(&mut self, req: &Request, ctx: &RequestCtx) -> Response {
+        self.log.record(TraceEvent {
+            at: ctx.now,
+            kind: TraceKind::HttpRequest,
+            src: ctx.src,
+            host: req.url.host.clone(),
+            path: req.url.target(),
+            user_agent: req.user_agent().map(|s| s.to_string()),
+            actor: ctx.actor.clone(),
+        });
+        self.vhosts.dispatch(req, ctx)
+    }
+
+    /// The farm's access log.
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// Hosts currently served.
+    pub fn hosts(&self) -> Vec<String> {
+        self.vhosts.hosts()
+    }
+
+    /// The farm's addresses.
+    pub fn addrs(&self) -> &[Ipv4Sim] {
+        &self.addrs
+    }
+}
+
+impl std::fmt::Debug for HostingFarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostingFarm")
+            .field("addrs", &self.addrs.len())
+            .field("hosts", &self.vhosts.hosts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use crate::url::Url;
+
+    fn ctx() -> RequestCtx {
+        RequestCtx {
+            src: Ipv4Sim::new(9, 9, 9, 9),
+            actor: "test".to_string(),
+            now: SimTime::from_mins(1),
+        }
+    }
+
+    #[test]
+    fn dispatch_by_host() {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "a.com",
+            Box::new(|_req: &Request, _ctx: &RequestCtx| Response::html("site A")),
+        );
+        v.install(
+            "b.com",
+            Box::new(|_req: &Request, _ctx: &RequestCtx| Response::html("site B")),
+        );
+        let ra = v.dispatch(&Request::get(Url::https("a.com", "/")), &ctx());
+        assert_eq!(ra.body, "site A");
+        let rb = v.dispatch(&Request::get(Url::https("B.COM", "/")), &ctx());
+        assert_eq!(rb.body, "site B");
+        let rn = v.dispatch(&Request::get(Url::https("c.com", "/")), &ctx());
+        assert_eq!(rn.status, Status::NotFound);
+    }
+
+    #[test]
+    fn stateful_handler_keeps_state() {
+        let mut v = VirtualHosting::new();
+        let mut hits = 0u32;
+        v.install(
+            "counter.com",
+            Box::new(move |_req: &Request, _ctx: &RequestCtx| {
+                hits += 1;
+                Response::html(format!("hits={hits}"))
+            }),
+        );
+        let r1 = v.dispatch(&Request::get(Url::https("counter.com", "/")), &ctx());
+        let r2 = v.dispatch(&Request::get(Url::https("counter.com", "/")), &ctx());
+        assert_eq!(r1.body, "hits=1");
+        assert_eq!(r2.body, "hits=2");
+    }
+
+    #[test]
+    fn remove_site() {
+        let mut v = VirtualHosting::new();
+        v.install("a.com", Box::new(|_: &Request, _: &RequestCtx| Response::html("x")));
+        assert!(v.remove("A.com"));
+        assert!(!v.remove("a.com"));
+        let r = v.dispatch(&Request::get(Url::https("a.com", "/")), &ctx());
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn farm_logs_and_assigns_addrs_round_robin() {
+        let log = TraceLog::new();
+        let addrs = vec![Ipv4Sim::new(10, 0, 0, 1), Ipv4Sim::new(10, 0, 0, 2)];
+        let mut farm = HostingFarm::new(addrs, log.clone());
+        let a1 = farm.install_site(
+            "a.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("A")),
+            None,
+        );
+        let a2 = farm.install_site(
+            "b.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("B")),
+            None,
+        );
+        let a3 = farm.install_site(
+            "c.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("C")),
+            None,
+        );
+        assert_ne!(a1, a2);
+        assert_eq!(a1, a3, "round robin wraps");
+        let req = Request::get(Url::https("a.com", "/index.php").with_param("q", "1"))
+            .with_user_agent("TestAgent/1.0");
+        farm.serve(&req, &ctx());
+        assert_eq!(log.len(), 1);
+        let e = &log.snapshot()[0];
+        assert_eq!(e.host, "a.com");
+        assert_eq!(e.path, "/index.php?q=1");
+        assert_eq!(e.user_agent.as_deref(), Some("TestAgent/1.0"));
+        assert_eq!(e.actor, "test");
+    }
+
+    #[test]
+    fn farm_serves_certificates() {
+        let log = TraceLog::new();
+        let mut farm = HostingFarm::new(vec![Ipv4Sim::new(10, 0, 0, 1)], log);
+        let cert = crate::tls::CertificateAuthority::acme().issue("tls.com", SimTime::ZERO);
+        farm.install_site(
+            "tls.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("ok")),
+            Some(cert),
+        );
+        assert!(farm.certificate("TLS.com").is_some());
+        assert!(farm.certificate("other.com").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one IP")]
+    fn empty_farm_panics() {
+        HostingFarm::new(vec![], TraceLog::new());
+    }
+}

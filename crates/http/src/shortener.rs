@@ -1,0 +1,165 @@
+//! A URL-shortener service.
+//!
+//! The paper's introduction lists URL shorteners among the established
+//! evasion techniques phishers misuse (Chhabra et al., "The Phishing
+//! Landscape through Short URLs") — and notes that, unlike
+//! human-verification evasion, "all major anti-phishing systems can
+//! cope with them". [`UrlShortener`] is a hosting-layer service that
+//! issues short codes and answers them with 302 redirects, so the
+//! redirection baseline can measure exactly that claim.
+
+use crate::hosting::{Handler, RequestCtx};
+use crate::message::{Request, Response};
+use crate::url::Url;
+use std::collections::HashMap;
+
+/// A URL-shortener site (e.g. `sho.rt`), installable on a hosting farm.
+#[derive(Debug, Clone)]
+pub struct UrlShortener {
+    host: String,
+    mappings: HashMap<String, Url>,
+    counter: u64,
+}
+
+impl UrlShortener {
+    /// Create a shortener served at `host`.
+    pub fn new(host: &str) -> Self {
+        UrlShortener {
+            host: host.to_ascii_lowercase(),
+            mappings: HashMap::new(),
+            counter: 0,
+        }
+    }
+
+    /// The service's host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Shorten `target`, returning the short URL.
+    pub fn shorten(&mut self, target: &Url) -> Url {
+        self.counter += 1;
+        let code = base36(self.counter);
+        self.mappings.insert(code.clone(), target.clone());
+        Url::https(&self.host, &format!("/{code}"))
+    }
+
+    /// Resolve a code without issuing a request (admin view).
+    pub fn resolve(&self, code: &str) -> Option<&Url> {
+        self.mappings.get(code.trim_start_matches('/'))
+    }
+
+    /// Number of shortened URLs.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// True if no URLs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+}
+
+impl Handler for UrlShortener {
+    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Response {
+        let code = req.url.path.trim_start_matches('/');
+        match self.mappings.get(code) {
+            Some(target) => Response::redirect(&target.to_string()),
+            None => Response::not_found(),
+        }
+    }
+}
+
+fn base36(mut n: u64) -> String {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = Vec::new();
+    loop {
+        out.push(DIGITS[(n % 36) as usize]);
+        n /= 36;
+        if n == 0 {
+            break;
+        }
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii digits")
+}
+
+/// A single-purpose redirect hop: any request 302s to the fixed target
+/// (the building block of redirection-chain evasion).
+#[derive(Debug, Clone)]
+pub struct RedirectHop {
+    target: Url,
+}
+
+impl RedirectHop {
+    /// A hop redirecting everything to `target`.
+    pub fn to(target: Url) -> Self {
+        RedirectHop { target }
+    }
+}
+
+impl Handler for RedirectHop {
+    fn handle(&mut self, _req: &Request, _ctx: &RequestCtx) -> Response {
+        Response::redirect(&self.target.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishsim_simnet::{Ipv4Sim, SimTime};
+
+    fn ctx() -> RequestCtx {
+        RequestCtx {
+            src: Ipv4Sim::new(1, 1, 1, 1),
+            actor: "t".into(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn shorten_and_follow() {
+        let mut s = UrlShortener::new("SHO.RT");
+        assert_eq!(s.host(), "sho.rt");
+        let target = Url::parse("https://victim.com/secure/login.php?x=1").unwrap();
+        let short = s.shorten(&target);
+        assert_eq!(short.host, "sho.rt");
+        assert!(short.path.len() >= 2);
+        let resp = s.handle(&Request::get(short.clone()), &ctx());
+        assert_eq!(resp.location(), Some(target.to_string().as_str()));
+        assert_eq!(s.resolve(&short.path), Some(&target));
+    }
+
+    #[test]
+    fn distinct_codes_per_target() {
+        let mut s = UrlShortener::new("sho.rt");
+        let a = s.shorten(&Url::parse("https://a.com/").unwrap());
+        let b = s.shorten(&Url::parse("https://b.com/").unwrap());
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn unknown_code_404s() {
+        let mut s = UrlShortener::new("sho.rt");
+        let resp = s.handle(&Request::get(Url::https("sho.rt", "/zzz")), &ctx());
+        assert_eq!(resp.status.code(), 404);
+        assert!(s.resolve("zzz").is_none());
+    }
+
+    #[test]
+    fn redirect_hop_always_redirects() {
+        let target = Url::parse("https://next-hop.com/p").unwrap();
+        let mut hop = RedirectHop::to(target.clone());
+        let resp = hop.handle(&Request::get(Url::https("hop1.com", "/anything")), &ctx());
+        assert_eq!(resp.location(), Some(target.to_string().as_str()));
+    }
+
+    #[test]
+    fn base36_codes() {
+        assert_eq!(base36(1), "1");
+        assert_eq!(base36(35), "z");
+        assert_eq!(base36(36), "10");
+        assert_eq!(base36(36 * 36), "100");
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulated TLS certificates.
+//!
+//! The paper issues TLS certificates for all 112 domains, both for user
+//! safety (no plaintext credential leakage) and because modern
+//! anti-phishing classifiers treat the absence of HTTPS as a feature.
+//! The simulation models certificate *metadata* only — subjects,
+//! issuers, validity windows — which is all the classifiers consume.
+
+use phishsim_simnet::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Errors from certificate issuance/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// Validation failed: wrong host.
+    HostMismatch {
+        /// Host the certificate covers.
+        expected: String,
+        /// Host that was requested.
+        got: String,
+    },
+    /// Validation failed: outside the validity window.
+    Expired,
+    /// Validation failed: self-signed chain.
+    UntrustedIssuer(String),
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::HostMismatch { expected, got } => {
+                write!(f, "certificate for {expected:?} presented for {got:?}")
+            }
+            TlsError::Expired => write!(f, "certificate outside validity window"),
+            TlsError::UntrustedIssuer(i) => write!(f, "untrusted issuer {i:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+/// A simulated X.509 leaf certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlsCertificate {
+    /// Subject common name (the host).
+    pub subject: String,
+    /// Issuer common name.
+    pub issuer: String,
+    /// Start of validity.
+    pub not_before: SimTime,
+    /// End of validity.
+    pub not_after: SimTime,
+    /// Whether the issuer chain terminates in a trusted root.
+    pub trusted_chain: bool,
+}
+
+impl TlsCertificate {
+    /// Validate for a handshake with `host` at `now`.
+    pub fn validate(&self, host: &str, now: SimTime) -> Result<(), TlsError> {
+        if !self.subject.eq_ignore_ascii_case(host) {
+            return Err(TlsError::HostMismatch {
+                expected: self.subject.clone(),
+                got: host.to_string(),
+            });
+        }
+        if now < self.not_before || now >= self.not_after {
+            return Err(TlsError::Expired);
+        }
+        if !self.trusted_chain {
+            return Err(TlsError::UntrustedIssuer(self.issuer.clone()));
+        }
+        Ok(())
+    }
+
+    /// Age of the certificate at `now` (very young certificates are a
+    /// phishing signal some classifiers use).
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.since(self.not_before)
+    }
+}
+
+/// A certificate authority in the ACME style (90-day certificates, as
+/// Let's Encrypt issues them).
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    name: String,
+    trusted: bool,
+}
+
+impl CertificateAuthority {
+    /// A trusted ACME CA.
+    pub fn acme() -> Self {
+        CertificateAuthority {
+            name: "SimEncrypt R3".to_string(),
+            trusted: true,
+        }
+    }
+
+    /// An untrusted (self-signing) issuer.
+    pub fn self_signed() -> Self {
+        CertificateAuthority {
+            name: "self-signed".to_string(),
+            trusted: false,
+        }
+    }
+
+    /// Issue a 90-day certificate for `host` at `now`.
+    pub fn issue(&self, host: &str, now: SimTime) -> TlsCertificate {
+        TlsCertificate {
+            subject: host.to_ascii_lowercase(),
+            issuer: self.name.clone(),
+            not_before: now,
+            not_after: now + SimDuration::from_days(90),
+            trusted_chain: self.trusted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issued_cert_validates() {
+        let ca = CertificateAuthority::acme();
+        let now = SimTime::from_hours(1);
+        let cert = ca.issue("site.com", now);
+        assert!(cert.validate("site.com", now + SimDuration::from_days(30)).is_ok());
+        assert!(cert.validate("SITE.COM", now).is_ok(), "host check is case-insensitive");
+    }
+
+    #[test]
+    fn host_mismatch_rejected() {
+        let cert = CertificateAuthority::acme().issue("a.com", SimTime::ZERO);
+        assert!(matches!(
+            cert.validate("b.com", SimTime::ZERO),
+            Err(TlsError::HostMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn expiry_window_enforced() {
+        let now = SimTime::from_hours(1);
+        let cert = CertificateAuthority::acme().issue("a.com", now);
+        assert_eq!(cert.validate("a.com", SimTime::ZERO), Err(TlsError::Expired));
+        assert_eq!(
+            cert.validate("a.com", now + SimDuration::from_days(90)),
+            Err(TlsError::Expired)
+        );
+        assert!(cert
+            .validate("a.com", now + SimDuration::from_days(89))
+            .is_ok());
+    }
+
+    #[test]
+    fn self_signed_untrusted() {
+        let cert = CertificateAuthority::self_signed().issue("a.com", SimTime::ZERO);
+        assert!(matches!(
+            cert.validate("a.com", SimTime::from_mins(1)),
+            Err(TlsError::UntrustedIssuer(_))
+        ));
+    }
+
+    #[test]
+    fn age_computation() {
+        let cert = CertificateAuthority::acme().issue("a.com", SimTime::from_hours(10));
+        assert_eq!(
+            cert.age(SimTime::from_hours(34)).as_hours(),
+            24
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! User-agent strings and classification.
+//!
+//! The web-cloaking baseline (Oest et al., reproduced as experiment E2)
+//! serves different content depending on whether the visitor *looks
+//! like* an anti-phishing bot. The classic tells are the user-agent
+//! string and the source IP range; this module provides the user-agent
+//! half: realistic strings for browsers and crawlers, plus the
+//! bot-detection heuristic a cloaking kit embeds.
+
+use serde::{Deserialize, Serialize};
+
+/// A categorized user agent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserAgent {
+    /// Desktop Firefox.
+    Firefox,
+    /// Desktop Chrome.
+    Chrome,
+    /// Microsoft Edge.
+    Edge,
+    /// Mobile Safari (iPhone).
+    MobileSafari,
+    /// Googlebot crawler.
+    Googlebot,
+    /// Bingbot crawler.
+    Bingbot,
+    /// A generic Python-requests style script.
+    PythonRequests,
+    /// A curl invocation.
+    Curl,
+    /// A custom string (crawlers masquerading as browsers use these).
+    Custom(String),
+}
+
+impl UserAgent {
+    /// The wire string.
+    pub fn as_str(&self) -> &str {
+        match self {
+            UserAgent::Firefox => {
+                "Mozilla/5.0 (X11; Linux x86_64; rv:76.0) Gecko/20100101 Firefox/76.0"
+            }
+            UserAgent::Chrome => {
+                "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/81.0.4044.138 Safari/537.36"
+            }
+            UserAgent::Edge => {
+                "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/81.0.4044.138 Safari/537.36 Edg/81.0.416.72"
+            }
+            UserAgent::MobileSafari => {
+                "Mozilla/5.0 (iPhone; CPU iPhone OS 13_4 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/13.1 Mobile/15E148 Safari/604.1"
+            }
+            UserAgent::Googlebot => {
+                "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"
+            }
+            UserAgent::Bingbot => {
+                "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)"
+            }
+            UserAgent::PythonRequests => "python-requests/2.23.0",
+            UserAgent::Curl => "curl/7.68.0",
+            UserAgent::Custom(s) => s,
+        }
+    }
+
+    /// The bot-detection heuristic a cloaking phishing kit ships: does
+    /// this user-agent *look like* an automated client? (Substring rules
+    /// copied from real kits: "bot", "crawl", "spider", script tools.)
+    pub fn looks_like_bot(ua: &str) -> bool {
+        let l = ua.to_ascii_lowercase();
+        ["bot", "crawl", "spider", "slurp", "python", "curl", "wget", "scan", "preview"]
+            .iter()
+            .any(|m| l.contains(m))
+    }
+
+    /// Whether this user agent self-identifies as a browser on a mobile
+    /// device (the paper notes desktop/mobile inconsistencies).
+    pub fn is_mobile(ua: &str) -> bool {
+        let l = ua.to_ascii_lowercase();
+        l.contains("mobile") || l.contains("iphone") || l.contains("android")
+    }
+}
+
+impl std::fmt::Display for UserAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn browser_agents_do_not_look_like_bots() {
+        for ua in [UserAgent::Firefox, UserAgent::Chrome, UserAgent::Edge, UserAgent::MobileSafari]
+        {
+            assert!(
+                !UserAgent::looks_like_bot(ua.as_str()),
+                "{ua:?} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn crawler_agents_look_like_bots() {
+        for ua in [
+            UserAgent::Googlebot,
+            UserAgent::Bingbot,
+            UserAgent::PythonRequests,
+            UserAgent::Curl,
+        ] {
+            assert!(UserAgent::looks_like_bot(ua.as_str()), "{ua:?} missed");
+        }
+    }
+
+    #[test]
+    fn custom_agents_pass_through() {
+        let ua = UserAgent::Custom("MySpecialScanner/1.0".into());
+        assert_eq!(ua.as_str(), "MySpecialScanner/1.0");
+        assert!(UserAgent::looks_like_bot(ua.as_str()));
+        let stealth = UserAgent::Custom(UserAgent::Firefox.as_str().to_string());
+        assert!(!UserAgent::looks_like_bot(stealth.as_str()));
+    }
+
+    #[test]
+    fn mobile_detection() {
+        assert!(UserAgent::is_mobile(UserAgent::MobileSafari.as_str()));
+        assert!(!UserAgent::is_mobile(UserAgent::Firefox.as_str()));
+    }
+}

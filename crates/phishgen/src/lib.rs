@@ -1,0 +1,40 @@
+//! # phishsim-phishgen
+//!
+//! Website and phishing-kit generation, plus the evasion gates.
+//!
+//! The paper's methodology (§3) builds three artefacts per experiment
+//! domain, all reproduced here:
+//!
+//! 1. **A full-fledged cover website** ([`sitegen`]): the paper extracts
+//!    keywords from the domain name, expands them via the Datamuse API,
+//!    pulls matching Wikipedia pages, and emits 30 interlinked PHP pages
+//!    — emulating a *compromised* (legitimately content-rich) site
+//!    rather than a maliciously registered shell. [`sitegen`] does the
+//!    same from an embedded synonym/topic vocabulary ([`vocab`]).
+//! 2. **A phishing payload** ([`brands`]): PayPal and Facebook login
+//!    pages *cloned* from the originals (externals stripped, assets
+//!    localised) and a Gmail page *built from scratch* — a design
+//!    difference the paper suspects explains Gmail's lower detection.
+//! 3. **An evasion gate** ([`evasion`]): the server-side logic of
+//!    Appendix C — alert box (Listing 2), PHP session gating, reCAPTCHA
+//!    (Listing 1) — plus the web-cloaking baseline from Oest et al. that
+//!    the paper compares against.
+//!
+//! [`kit`] assembles the three into a deployable compromised-site
+//! handler for the hosting farm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brands;
+pub mod evasion;
+pub mod kit;
+pub mod listings;
+pub mod sitegen;
+pub mod vocab;
+
+pub use brands::{Brand, DesignProvenance};
+pub use evasion::{EvasionTechnique, GateConfig, PhishingSite, ServeRecord, SiteProbe};
+pub use kit::{CompromisedSite, PhishKit};
+pub use listings::kit_source_php;
+pub use sitegen::{FakeSiteGenerator, GeneratedPage, SiteBundle};

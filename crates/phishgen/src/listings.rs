@@ -1,0 +1,211 @@
+//! Kit source listings: the PHP the paper prints in Appendix C.
+//!
+//! The paper documents its kits as PHP source (Listing 1: the
+//! reCAPTCHA single-page kit; Listing 2: the alert-box kit). The
+//! simulation's gates implement the same logic in Rust; this module
+//! renders the equivalent PHP back out, so that (a) the leftover-kit
+//! archive served by a sloppy deployment contains realistic source,
+//! and (b) the correspondence between the paper's listings and our
+//! handlers is reviewable line by line.
+
+use crate::brands::Brand;
+use crate::evasion::EvasionTechnique;
+
+/// Render the PHP-equivalent source of a kit (what `kit.zip` holds).
+pub fn kit_source_php(brand: Brand, technique: EvasionTechnique) -> String {
+    match technique {
+        EvasionTechnique::CaptchaGate => captcha_listing(brand),
+        EvasionTechnique::AlertBox => alert_listing(brand),
+        EvasionTechnique::SessionGate => session_listing(brand),
+        EvasionTechnique::Cloaking => cloaking_listing(brand),
+        EvasionTechnique::None => naked_listing(brand),
+    }
+}
+
+/// Listing 1 — single-page PHP phishing code with Google reCAPTCHA
+/// protection (Appendix C).
+fn captcha_listing(brand: Brand) -> String {
+    format!(
+        r#"<?php
+/* {brand} kit, reCAPTCHA-protected (cf. paper Listing 1) */
+$isvalid = false;
+if (isset($_POST['gresponse'])) {{
+    $secret = 'Google CAPTCHA secret key';
+    $captcha = $_POST['gresponse'];
+    /* Check CAPTCHA result */
+    $ans = chk_captcha($secret, $captcha);
+    if ($ans->success)
+        $isvalid = true;
+    else
+        $isvalid = false;
+}}
+if ($isvalid) {{
+    echo "Serve phishing payload HTML"; /* {brand} login clone */
+}} else {{
+    echo "Serve CAPTCHA page HTML";     /* no <form> tag at all */
+}}
+?>
+<script>
+function capback(g_response) {{
+    $form = $("<form>").attr({{ method: 'post' }});
+    $input = $("<input>");
+    $input.attr({{ name: "gresponse" }});
+    $input.attr({{ value: g_response }});
+    $form.append($input);
+    $('body').append($form);
+    $form.submit();
+}}
+</script>
+"#,
+        brand = brand.name()
+    )
+}
+
+/// Listing 2 — PHP phishing code with alert-box protection (Appendix C).
+fn alert_listing(brand: Brand) -> String {
+    format!(
+        r#"<?php
+/* {brand} kit, alert-box-protected (cf. paper Listing 2) */
+$log_file = "name of log file";
+$a = $_POST['get_data'];
+if (isset($a) && $a == 'getData') {{
+    /* Anti-phishing engine or user managed
+       to confirm the alert box */
+    $d = array('ip' => getip(), 'page' => 'payload');
+    log_data($d, $log_file);
+    echo "SERVE PHISHING HTML";          /* {brand} login clone */
+}} else {{
+    $d = array('ip' => get_ip(), 'page' => 'benign');
+    log_data($d, $log_file);
+    echo "SERVE BENIGN CONTENT WITH ALERT BOX";
+}}
+?>
+<script>
+window.onload = function() {{
+    if (first_visit && already_served) {{
+        setTimeout(get_real_data, 2000);
+    }}
+}}
+function get_real_data() {{
+    var msg = 'Please sing in to continue...';
+    var result = confirm(msg);
+    if (result) {{
+        /* dynamically generate and submit a form
+           with hidden value 'getData' */
+    }} else {{
+        /* submit an empty form */
+    }}
+}}
+</script>
+"#,
+        brand = brand.name()
+    )
+}
+
+/// The session-gated kit (§2.3's pattern, not printed in the paper).
+fn session_listing(brand: Brand) -> String {
+    format!(
+        r#"<?php
+/* {brand} kit, session-gated (cf. paper §2.3) */
+session_start();
+if (isset($_POST['proceed']) && $_SESSION['saw_cover'] === true) {{
+    echo "SERVE PHISHING HTML";          /* {brand} login clone */
+}} else {{
+    $_SESSION['saw_cover'] = true;
+    echo "SERVE COVER PAGE";             /* 'Join Chat' button */
+}}
+?>
+"#,
+        brand = brand.name()
+    )
+}
+
+fn cloaking_listing(brand: Brand) -> String {
+    format!(
+        r#"<?php
+/* {brand} kit, UA/IP-cloaked (cf. Oest et al. baseline) */
+$ua = strtolower($_SERVER['HTTP_USER_AGENT']);
+$bots = array('bot', 'crawl', 'spider', 'python', 'curl');
+foreach ($bots as $b) {{
+    if (strpos($ua, $b) !== false) {{
+        echo "SERVE BENIGN CONTENT";
+        exit;
+    }}
+}}
+if (ip_in_blocklist($_SERVER['REMOTE_ADDR'])) {{
+    echo "SERVE BENIGN CONTENT";
+    exit;
+}}
+echo "SERVE PHISHING HTML";              /* {brand} login clone */
+?>
+"#,
+        brand = brand.name()
+    )
+}
+
+fn naked_listing(brand: Brand) -> String {
+    format!(
+        r#"<?php
+/* {brand} kit, no protection (preliminary test) */
+echo "SERVE PHISHING HTML";              /* {brand} login clone */
+?>
+"#,
+        brand = brand.name()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captcha_listing_matches_paper_listing1() {
+        let src = kit_source_php(Brand::PayPal, EvasionTechnique::CaptchaGate);
+        // The load-bearing lines of the paper's Listing 1.
+        assert!(src.contains("$_POST['gresponse']"));
+        assert!(src.contains("chk_captcha($secret, $captcha)"));
+        assert!(src.contains("Serve CAPTCHA page HTML"));
+        assert!(src.contains("function capback(g_response)"));
+        assert!(src.contains("$form.submit();"));
+        assert!(src.contains("PayPal"));
+    }
+
+    #[test]
+    fn alert_listing_matches_paper_listing2() {
+        let src = kit_source_php(Brand::Facebook, EvasionTechnique::AlertBox);
+        assert!(src.contains("$_POST['get_data']"));
+        assert!(src.contains("$a == 'getData'"));
+        assert!(src.contains("SERVE BENIGN CONTENT WITH ALERT BOX"));
+        // The paper's own typo, faithfully preserved:
+        assert!(src.contains("Please sing in to continue..."));
+        assert!(src.contains("confirm(msg)"));
+        assert!(src.contains("setTimeout(get_real_data, 2000)"));
+    }
+
+    #[test]
+    fn every_combination_renders() {
+        for brand in Brand::all() {
+            for technique in [
+                EvasionTechnique::None,
+                EvasionTechnique::AlertBox,
+                EvasionTechnique::SessionGate,
+                EvasionTechnique::CaptchaGate,
+                EvasionTechnique::Cloaking,
+            ] {
+                let src = kit_source_php(brand, technique);
+                assert!(src.starts_with("<?php"), "{brand}/{technique}");
+                assert!(src.contains(brand.name()), "{brand}/{technique}");
+            }
+        }
+    }
+
+    #[test]
+    fn listings_differ_by_technique() {
+        let a = kit_source_php(Brand::PayPal, EvasionTechnique::AlertBox);
+        let r = kit_source_php(Brand::PayPal, EvasionTechnique::CaptchaGate);
+        let s = kit_source_php(Brand::PayPal, EvasionTechnique::SessionGate);
+        assert_ne!(a, r);
+        assert_ne!(a, s);
+        assert_ne!(r, s);
+    }
+}

@@ -1,0 +1,170 @@
+//! Embedded vocabulary: synonyms and topic prose.
+//!
+//! Stands in for the Datamuse synonym API and the English Wikipedia
+//! corpus the paper's fake-site generator consumes. Synonym groups are
+//! rings: every member of a group is a synonym of every other member,
+//! which gives the generator related-keyword fan-out in the same shape
+//! as "for each keyword, find synonyms / for each related keyword,
+//! download the related page".
+
+use phishsim_simnet::DetRng;
+
+/// Synonym groups. Each row is a set of mutually related words.
+const SYNONYM_GROUPS: &[&[&str]] = &[
+    &["green", "verdant", "leafy", "emerald", "lush"],
+    &["energy", "power", "vigor", "force", "electricity"],
+    &["garden", "yard", "plot", "allotment", "greenhouse"],
+    &["river", "stream", "creek", "waterway", "brook"],
+    &["stone", "rock", "granite", "pebble", "boulder"],
+    &["cloud", "vapor", "mist", "nimbus", "haze"],
+    &["harbor", "port", "dock", "marina", "wharf"],
+    &["summit", "peak", "apex", "crest", "pinnacle"],
+    &["field", "meadow", "pasture", "prairie", "grassland"],
+    &["bright", "luminous", "radiant", "vivid", "brilliant"],
+    &["ocean", "sea", "deep", "marine", "maritime"],
+    &["valley", "vale", "glen", "basin", "dale"],
+    &["trade", "commerce", "business", "exchange", "market"],
+    &["craft", "skill", "art", "trade", "workmanship"],
+    &["studio", "workshop", "atelier", "lab", "space"],
+    &["media", "press", "news", "broadcast", "journalism"],
+    &["global", "worldwide", "international", "planetary", "universal"],
+    &["travel", "journey", "voyage", "trip", "tour"],
+    &["health", "wellness", "fitness", "vitality", "wellbeing"],
+    &["school", "academy", "college", "institute", "university"],
+    &["finance", "capital", "funding", "investment", "banking"],
+    &["legal", "judicial", "lawful", "statutory", "juridical"],
+    &["motor", "engine", "drive", "machine", "turbine"],
+    &["service", "support", "assistance", "help", "maintenance"],
+    &["venture", "startup", "enterprise", "initiative", "undertaking"],
+    &["network", "grid", "mesh", "web", "lattice"],
+    &["light", "illumination", "glow", "radiance", "luminosity"],
+    &["forest", "woodland", "grove", "timberland", "wood"],
+    &["kitchen", "cuisine", "cookery", "culinary", "gastronomy"],
+    &["market", "bazaar", "marketplace", "fair", "exchange"],
+    &["data", "information", "records", "statistics", "figures"],
+    &["secure", "safe", "protected", "guarded", "shielded"],
+];
+
+/// Topic sentences keyed by theme; the generator stitches paragraphs
+/// from these (the Wikipedia-article substitute).
+const TOPIC_SENTENCES: &[&str] = &[
+    "The subject has a long and well-documented history across many regions.",
+    "Early practitioners developed techniques that remain influential today.",
+    "Modern approaches combine traditional methods with new technology.",
+    "Researchers continue to study its effects on communities and industry.",
+    "Several regional variations have emerged over the past decades.",
+    "The annual cycle plays an important role in planning and maintenance.",
+    "Local organizations offer courses and workshops for newcomers.",
+    "Standards bodies publish guidelines that practitioners widely follow.",
+    "Environmental considerations increasingly shape current practice.",
+    "Notable examples can be found in museums and public collections.",
+    "Economic analyses show steady growth in related sectors.",
+    "International cooperation has accelerated the exchange of ideas.",
+    "Educational institutions have incorporated the topic into curricula.",
+    "Digital tools have transformed how enthusiasts share their work.",
+    "Historical records describe similar practices in antiquity.",
+    "Quality assessment relies on a combination of measurable criteria.",
+    "Seasonal conditions strongly influence outcomes in most regions.",
+    "Professional associations maintain registries of certified experts.",
+];
+
+/// Synonyms of `word` (excluding the word itself). Empty if unknown —
+/// the generator then falls back to the word alone, as the paper's
+/// generator falls back when Datamuse has no entries.
+pub fn synonyms(word: &str) -> Vec<&'static str> {
+    for group in SYNONYM_GROUPS {
+        if group.contains(&word) {
+            return group.iter().copied().filter(|w| *w != word).collect();
+        }
+    }
+    Vec::new()
+}
+
+/// All base words with synonym entries (group heads).
+pub fn known_words() -> Vec<&'static str> {
+    SYNONYM_GROUPS.iter().map(|g| g[0]).collect()
+}
+
+/// Generate `n` paragraphs of topic prose about `keyword`.
+pub fn topic_paragraphs(keyword: &str, n: usize, rng: &mut DetRng) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let count = rng.range(3..6usize);
+            let mut sentences = Vec::with_capacity(count + 1);
+            sentences.push(format!(
+                "{} is discussed here in depth.",
+                capitalize(keyword)
+            ));
+            for _ in 0..count {
+                sentences.push((*rng.pick(TOPIC_SENTENCES)).to_string());
+            }
+            sentences.join(" ")
+        })
+        .collect()
+}
+
+/// Capitalize the first letter.
+pub fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonyms_exclude_self() {
+        let syns = synonyms("green");
+        assert!(!syns.is_empty());
+        assert!(!syns.contains(&"green"));
+        assert!(syns.contains(&"verdant"));
+    }
+
+    #[test]
+    fn synonyms_work_from_any_group_member() {
+        assert!(synonyms("verdant").contains(&"green"));
+    }
+
+    #[test]
+    fn unknown_word_has_no_synonyms() {
+        assert!(synonyms("qwertyuiop").is_empty());
+    }
+
+    #[test]
+    fn paragraphs_mention_keyword() {
+        let mut rng = DetRng::new(1);
+        let paras = topic_paragraphs("garden", 3, &mut rng);
+        assert_eq!(paras.len(), 3);
+        for p in &paras {
+            assert!(p.contains("Garden"));
+            assert!(p.split(". ").count() >= 3);
+        }
+    }
+
+    #[test]
+    fn paragraphs_deterministic() {
+        let a = topic_paragraphs("river", 2, &mut DetRng::new(5));
+        let b = topic_paragraphs("river", 2, &mut DetRng::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capitalize_handles_edge_cases() {
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("a"), "A");
+        assert_eq!(capitalize("word"), "Word");
+    }
+
+    #[test]
+    fn known_words_nonempty_and_resolvable() {
+        let words = known_words();
+        assert!(words.len() >= 30);
+        for w in words {
+            assert!(!synonyms(w).is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the simulation substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An exchange was lost to fault injection.
+    LinkLost,
+    /// An address could not be parsed or routed.
+    BadAddress(String),
+    /// A scheduler invariant was violated.
+    Scheduler(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LinkLost => write!(f, "exchange lost on link"),
+            SimError::BadAddress(a) => write!(f, "bad address: {a}"),
+            SimError::Scheduler(m) => write!(f, "scheduler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(SimError::LinkLost.to_string(), "exchange lost on link");
+        assert_eq!(
+            SimError::BadAddress("x".into()).to_string(),
+            "bad address: x"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # phishsim-simnet
+//!
+//! Deterministic discrete-event substrate for the `phishsim` workspace.
+//!
+//! The paper this workspace reproduces ("Are You Human?", IMC 2020) is an
+//! Internet measurement study: its results are *times* (minutes until a URL
+//! appears on a blacklist), *volumes* (requests sent by anti-phishing
+//! crawlers), and *counts* (URLs detected). Reproducing those offline
+//! requires a simulated network in which time, latency, and randomness are
+//! fully controlled. This crate provides that substrate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a millisecond-resolution simulated
+//!   clock with convenient minute/hour arithmetic (blacklist delays in the
+//!   paper are reported in minutes).
+//! * [`DetRng`] — a seedable, forkable random-number generator. Every
+//!   stochastic decision in the workspace flows from one root seed, so the
+//!   same seed regenerates byte-identical experiment tables.
+//! * [`Scheduler`] — a priority event queue with stable FIFO ordering for
+//!   simultaneous events.
+//! * [`Ipv4Sim`] / [`IpPool`] — simulated IPv4 addressing; anti-phishing
+//!   bots crawl from pools of distinct addresses (Table 1 reports unique
+//!   source IPs per engine).
+//! * [`LatencyModel`] / [`FaultInjector`] / [`Link`] — per-link delay and
+//!   loss models in the spirit of smoltcp's fault-injection examples.
+//! * [`TraceLog`] — an append-only traffic log; the paper's server-side log
+//!   analysis (request bursts, kit probing, "90 % of traffic in the first
+//!   two hours") is reproduced by querying this log.
+//! * [`metrics`] — counters, histograms and summary statistics used by the
+//!   experiment harness.
+//!
+//! The design follows the event-driven, poll-based style of smoltcp rather
+//! than an async runtime: simplicity and reproducibility are design goals,
+//! clever type tricks are an anti-goal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ip;
+pub mod link;
+pub mod metrics;
+pub mod rng;
+pub mod sched;
+pub mod time;
+pub mod trace;
+
+pub use error::SimError;
+pub use ip::{IpPool, Ipv4Sim};
+pub use link::{FaultInjector, LatencyModel, Link, LinkConfig};
+pub use rng::DetRng;
+pub use sched::{EventId, Scheduler};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -1,0 +1,322 @@
+//! Link models: latency, loss, and fault injection.
+//!
+//! Every simulated HTTP exchange crosses a [`Link`], which samples a
+//! round-trip latency and may drop the exchange entirely. Fault injection
+//! follows the smoltcp examples: configurable drop chance and rate
+//! limiting, so tests can exercise how the experiment framework behaves
+//! under adverse network conditions (e.g. a crawler visit that never
+//! arrives).
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A latency distribution for one direction of a link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly this latency.
+    Constant(SimDuration),
+    /// Uniform between the two bounds (inclusive of low, exclusive of high).
+    Uniform(SimDuration, SimDuration),
+    /// Truncated normal: mean, standard deviation, and a floor; useful for
+    /// Internet-path RTTs which cluster around a mean with a long tail.
+    Normal {
+        /// Mean latency.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+        /// Values below this floor are clamped up to it.
+        floor: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Sample a latency from the model.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform(lo, hi) => {
+                assert!(lo <= hi, "uniform latency bounds inverted");
+                if lo == hi {
+                    *lo
+                } else {
+                    SimDuration::from_millis(rng.range(lo.as_millis()..hi.as_millis()))
+                }
+            }
+            LatencyModel::Normal {
+                mean,
+                std_dev,
+                floor,
+            } => {
+                let v = rng.normal_clamped(
+                    mean.as_millis() as f64,
+                    std_dev.as_millis() as f64,
+                    floor.as_millis() as f64,
+                    (mean.as_millis() as f64) * 10.0 + 1.0,
+                );
+                SimDuration::from_millis(v as u64)
+            }
+        }
+    }
+
+    /// A typical intra-European Internet path (the paper hosted in one
+    /// European country; most crawlers are a few dozen ms away).
+    pub fn internet_default() -> Self {
+        LatencyModel::Normal {
+            mean: SimDuration::from_millis(45),
+            std_dev: SimDuration::from_millis(15),
+            floor: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Random faults applied to traffic crossing a link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultInjector {
+    /// Probability in `[0, 1]` that an exchange is dropped outright.
+    pub drop_chance: f64,
+    /// Probability in `[0, 1]` that an exchange is duplicated (delivered
+    /// twice; relevant for idempotence of report intake).
+    pub duplicate_chance: f64,
+    /// Extra latency added to a random subset of exchanges, modelling
+    /// transient congestion: `(probability, extra_delay)`.
+    pub congestion: Option<(f64, SimDuration)>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+/// Outcome of passing one exchange through a fault injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver normally with the given extra delay.
+    Deliver {
+        /// Additional latency injected by congestion, if any.
+        extra_delay: SimDuration,
+        /// Whether the exchange should be delivered a second time.
+        duplicated: bool,
+    },
+    /// The exchange is lost.
+    Dropped,
+}
+
+impl FaultInjector {
+    /// No faults at all (the default for calibrated experiment runs).
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_chance: 0.0,
+            duplicate_chance: 0.0,
+            congestion: None,
+        }
+    }
+
+    /// A lossy profile useful in robustness tests.
+    pub fn lossy(drop_chance: f64) -> Self {
+        FaultInjector {
+            drop_chance,
+            duplicate_chance: 0.0,
+            congestion: None,
+        }
+    }
+
+    /// Decide the fate of one exchange.
+    pub fn apply(&self, rng: &mut DetRng) -> FaultOutcome {
+        if rng.chance(self.drop_chance) {
+            return FaultOutcome::Dropped;
+        }
+        let extra_delay = match self.congestion {
+            Some((p, d)) if rng.chance(p) => d,
+            _ => SimDuration::ZERO,
+        };
+        FaultOutcome::Deliver {
+            extra_delay,
+            duplicated: rng.chance(self.duplicate_chance),
+        }
+    }
+}
+
+/// Configuration of a bidirectional link between two network actors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// One-way latency model (applied twice for a round trip).
+    pub latency: LatencyModel,
+    /// Fault injection profile.
+    pub faults: FaultInjector,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: LatencyModel::internet_default(),
+            faults: FaultInjector::none(),
+        }
+    }
+}
+
+/// A live link with its own RNG stream.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: DetRng,
+}
+
+/// The result of sending one request/response exchange across a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeResult {
+    /// The exchange completed with this round-trip time.
+    Completed {
+        /// Total round-trip time including injected congestion delay.
+        rtt: SimDuration,
+        /// Whether fault injection duplicated the delivery.
+        duplicated: bool,
+    },
+    /// The exchange was lost to fault injection.
+    Lost,
+}
+
+impl Link {
+    /// Create a link from a config, forking the RNG under a stable label.
+    pub fn new(config: LinkConfig, rng: &DetRng, label: &str) -> Self {
+        Link {
+            config,
+            rng: rng.fork(&format!("link:{label}")),
+        }
+    }
+
+    /// Simulate one request/response exchange, returning its RTT or loss.
+    pub fn exchange(&mut self) -> ExchangeResult {
+        match self.config.faults.apply(&mut self.rng) {
+            FaultOutcome::Dropped => ExchangeResult::Lost,
+            FaultOutcome::Deliver {
+                extra_delay,
+                duplicated,
+            } => {
+                let out = self.config.latency.sample(&mut self.rng);
+                let back = self.config.latency.sample(&mut self.rng);
+                ExchangeResult::Completed {
+                    rtt: out + back + extra_delay,
+                    duplicated,
+                }
+            }
+        }
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let mut rng = DetRng::new(1);
+        let m = LatencyModel::Constant(SimDuration::from_millis(30));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = DetRng::new(2);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(50);
+        let m = LatencyModel::Uniform(lo, hi);
+        for _ in 0..200 {
+            let s = m.sample(&mut rng);
+            assert!(s >= lo && s < hi);
+        }
+        // Degenerate bounds.
+        let m = LatencyModel::Uniform(lo, lo);
+        assert_eq!(m.sample(&mut rng), lo);
+    }
+
+    #[test]
+    fn normal_latency_respects_floor() {
+        let mut rng = DetRng::new(3);
+        let m = LatencyModel::Normal {
+            mean: SimDuration::from_millis(20),
+            std_dev: SimDuration::from_millis(50),
+            floor: SimDuration::from_millis(5),
+        };
+        for _ in 0..500 {
+            assert!(m.sample(&mut rng) >= SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let mut rng = DetRng::new(4);
+        let f = FaultInjector::none();
+        for _ in 0..100 {
+            assert!(matches!(f.apply(&mut rng), FaultOutcome::Deliver { .. }));
+        }
+    }
+
+    #[test]
+    fn full_drop_always_drops() {
+        let mut rng = DetRng::new(5);
+        let f = FaultInjector::lossy(1.0);
+        for _ in 0..100 {
+            assert_eq!(f.apply(&mut rng), FaultOutcome::Dropped);
+        }
+    }
+
+    #[test]
+    fn lossy_drop_rate_roughly_matches() {
+        let mut rng = DetRng::new(6);
+        let f = FaultInjector::lossy(0.15);
+        let n = 20_000;
+        let drops = (0..n)
+            .filter(|_| f.apply(&mut rng) == FaultOutcome::Dropped)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.01, "drop rate {rate}");
+    }
+
+    #[test]
+    fn congestion_adds_delay() {
+        let mut rng = DetRng::new(7);
+        let f = FaultInjector {
+            drop_chance: 0.0,
+            duplicate_chance: 0.0,
+            congestion: Some((1.0, SimDuration::from_millis(500))),
+        };
+        match f.apply(&mut rng) {
+            FaultOutcome::Deliver { extra_delay, .. } => {
+                assert_eq!(extra_delay, SimDuration::from_millis(500))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_exchange_produces_rtt() {
+        let rng = DetRng::new(8);
+        let mut link = Link::new(LinkConfig::default(), &rng, "gsb->host");
+        match link.exchange() {
+            ExchangeResult::Completed { rtt, .. } => {
+                assert!(rtt > SimDuration::ZERO);
+                assert!(rtt < SimDuration::from_secs(5));
+            }
+            ExchangeResult::Lost => panic!("no-fault link lost an exchange"),
+        }
+    }
+
+    #[test]
+    fn link_is_deterministic_per_label() {
+        let rng = DetRng::new(8);
+        let mut a = Link::new(LinkConfig::default(), &rng, "x");
+        let mut b = Link::new(LinkConfig::default(), &rng, "x");
+        for _ in 0..10 {
+            assert_eq!(a.exchange(), b.exchange());
+        }
+    }
+}

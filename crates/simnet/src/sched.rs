@@ -1,0 +1,272 @@
+//! Discrete-event scheduler.
+//!
+//! A [`Scheduler`] is a time-ordered queue of typed events. Events
+//! scheduled for the same instant pop in FIFO order (stable sequence
+//! numbers), which keeps simulations deterministic. The experiment
+//! framework in `phishsim-core` drives one scheduler per experiment run:
+//! report submissions, crawl visits, blacklist publications and feed
+//! polls are all events.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time pops first,
+        // breaking ties by insertion order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use phishsim_simnet::{Scheduler, SimTime, SimDuration};
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_at(SimTime::from_mins(10), "crawl");
+/// sched.schedule_at(SimTime::from_mins(5), "report");
+/// let (t, ev) = sched.pop().unwrap();
+/// assert_eq!((t.as_mins(), ev), (5, "report"));
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Create an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule an event at an absolute time. Scheduling in the past is a
+    /// logic error and panics: discrete-event time must be monotonic.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {} < now {}",
+            at,
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a pending event. Returns true if the event was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Lazy deletion: mark and skip at pop time.
+        self.cancelled.insert(id)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Pop the next event only if it occurs at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Advance the clock manually (e.g. to close out an experiment horizon
+    /// with no remaining events). Panics if `to` is in the past.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(to >= self.now, "cannot rewind the clock");
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_mins(30), 3);
+        s.schedule_at(SimTime::from_mins(10), 1);
+        s.schedule_at(SimTime::from_mins(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = SimTime::from_mins(5);
+        for i in 0..10 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_mins(7), "a");
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_mins(7));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_mins(10), "first");
+        s.pop();
+        s.schedule_after(SimDuration::from_mins(5), "second");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_mins(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_past_panics() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_mins(10), "a");
+        s.pop();
+        s.schedule_at(SimTime::from_mins(5), "too late");
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_mins(1), "cancel me");
+        s.schedule_at(SimTime::from_mins(2), "keep");
+        assert!(s.cancel(id));
+        assert!(!s.cancel(id), "double-cancel reports false");
+        assert_eq!(s.len(), 1);
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "keep");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        assert!(!s.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_mins(10), "early");
+        s.schedule_at(SimTime::from_hours(30), "late");
+        assert!(s.pop_until(SimTime::from_hours(24)).is_some());
+        assert!(s.pop_until(SimTime::from_hours(24)).is_none());
+        assert_eq!(s.len(), 1, "late event still pending");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_mins(1), "gone");
+        s.schedule_at(SimTime::from_mins(2), "next");
+        s.cancel(id);
+        assert_eq!(s.peek_time(), Some(SimTime::from_mins(2)));
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.advance_to(SimTime::from_hours(24));
+        assert_eq!(s.now(), SimTime::from_hours(24));
+    }
+}

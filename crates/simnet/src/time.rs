@@ -1,0 +1,259 @@
+//! Simulated time.
+//!
+//! All timestamps in the workspace are [`SimTime`]: milliseconds elapsed
+//! since the start of the simulated experiment. The paper reports results
+//! at minute granularity ("GSB detected the URLs on average 132 minutes
+//! after submission"), so the API leans on minute/hour constructors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in milliseconds since experiment start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The instant the simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// Raw milliseconds since experiment start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since experiment start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole minutes since experiment start (truncating).
+    pub const fn as_mins(self) -> u64 {
+        self.0 / 60_000
+    }
+
+    /// Minutes since experiment start as a float (for averages).
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// Whole hours since experiment start (truncating).
+    pub const fn as_hours(self) -> u64 {
+        self.0 / 3_600_000
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Construct from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole minutes (truncating).
+    pub const fn as_mins(self) -> u64 {
+        self.0 / 60_000
+    }
+
+    /// Minutes as a float (for averages such as "132 minutes on average").
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// Whole hours (truncating).
+    pub const fn as_hours(self) -> u64 {
+        self.0 / 3_600_000
+    }
+
+    /// Scale the duration by a float factor (used by jittered latency
+    /// models). Saturates at `u64::MAX` and clamps negative factors to 0.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let scaled = (self.0 as f64) * factor;
+        if scaled >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(scaled as u64)
+        }
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(other.0).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.as_secs();
+        let h = total_secs / 3600;
+        let m = (total_secs % 3600) / 60;
+        let s = total_secs % 60;
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ms", self.0)
+        } else if self.0 < 60_000 {
+            write!(f, "{:.1}s", self.0 as f64 / 1_000.0)
+        } else if self.0 < 3_600_000 {
+            write!(f, "{:.1}min", self.as_mins_f64())
+        } else {
+            write!(f, "{:.1}h", self.0 as f64 / 3_600_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_mins(132).as_mins(), 132);
+        assert_eq!(SimTime::from_hours(2).as_mins(), 120);
+        assert_eq!(SimDuration::from_days(14).as_hours(), 336);
+        assert_eq!(SimTime::from_secs(90).as_mins(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_mins(10) + SimDuration::from_mins(5);
+        assert_eq!(t.as_mins(), 15);
+        let d = SimTime::from_mins(15) - SimTime::from_mins(5);
+        assert_eq!(d.as_mins(), 10);
+        // Subtraction saturates rather than underflowing.
+        let d = SimTime::from_mins(5) - SimTime::from_mins(15);
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_mins(1);
+        let late = SimTime::from_mins(3);
+        assert_eq!(late.since(early).as_mins(), 2);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_clamps() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d.mul_f64(0.5).as_millis(), 5_000);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis(u64::MAX).mul_f64(2.0).as_millis(), u64::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(3661).to_string(), "01:01:01");
+        assert_eq!(SimDuration::from_millis(500).to_string(), "500ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.0s");
+        assert_eq!(SimDuration::from_mins(132).to_string(), "2.2h");
+        assert_eq!(SimDuration::from_mins(9).to_string(), "9.0min");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_mins(1) < SimTime::from_mins(2));
+        assert!(SimDuration::from_secs(59) < SimDuration::from_mins(1));
+    }
+}

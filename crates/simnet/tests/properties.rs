@@ -1,0 +1,88 @@
+//! Property-based tests for the simulation substrate.
+
+use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, Scheduler, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping a scheduler always yields events in nondecreasing time
+    /// order, regardless of insertion order.
+    #[test]
+    fn scheduler_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_millis(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = s.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Events at the same timestamp preserve insertion order.
+    #[test]
+    fn scheduler_stable_at_equal_times(n in 1usize..100) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for i in 0..n {
+            s.schedule_at(SimTime::from_secs(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<usize>>());
+    }
+
+    /// Time conversions are consistent: ms -> mins truncates correctly.
+    #[test]
+    fn time_conversion_consistent(ms in 0u64..u64::MAX / 2) {
+        let t = SimTime::from_millis(ms);
+        prop_assert_eq!(t.as_mins(), ms / 60_000);
+        prop_assert_eq!(t.as_secs(), ms / 1_000);
+        prop_assert!(t.as_mins_f64() >= t.as_mins() as f64);
+    }
+
+    /// Duration addition is commutative and associative within range.
+    #[test]
+    fn duration_add_commutative(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let da = SimDuration::from_millis(a);
+        let db = SimDuration::from_millis(b);
+        prop_assert_eq!(da + db, db + da);
+    }
+
+    /// Forked RNG streams with equal labels are identical; with different
+    /// labels they diverge (overwhelmingly likely on 8 draws).
+    #[test]
+    fn rng_fork_determinism(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = DetRng::new(seed);
+        let mut a = root.fork(&label);
+        let mut b = root.fork(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// IP parse/display round-trips.
+    #[test]
+    fn ip_round_trip(a in any::<u8>(), b in any::<u8>(), c in any::<u8>(), d in any::<u8>()) {
+        let ip = Ipv4Sim::new(a, b, c, d);
+        prop_assert_eq!(Ipv4Sim::parse(&ip.to_string()), Some(ip));
+    }
+
+    /// IP pools contain exactly the requested number of distinct in-subnet
+    /// addresses.
+    #[test]
+    fn ip_pool_invariants(seed in any::<u64>(), size in 1usize..200) {
+        let mut rng = DetRng::new(seed);
+        let base = Ipv4Sim::new(100, 64, 0, 0);
+        let pool = IpPool::allocate(base, 16, size, &mut rng);
+        prop_assert_eq!(pool.len(), size);
+        let mut addrs = pool.addrs().to_vec();
+        addrs.sort_unstable();
+        addrs.dedup();
+        prop_assert_eq!(addrs.len(), size);
+        prop_assert!(pool.addrs().iter().all(|a| a.in_subnet(base, 16)));
+    }
+}
+
+use rand::RngCore;

@@ -1,0 +1,107 @@
+//! A single phishing campaign, end to end, through the attacker's and
+//! the defender's eyes.
+//!
+//! This walks the exact flow of the paper's reCAPTCHA kit (Appendix C,
+//! Listing 1): a reputed drop-catch domain is acquired, a full cover
+//! website is generated, the kit is armed behind the CAPTCHA gate, and
+//! then three very different visitors arrive — a human victim, GSB's
+//! crawler, and NetCraft's crawler — while the server logs who reached
+//! the payload.
+//!
+//! ```text
+//! cargo run --example campaign_lifecycle
+//! ```
+
+use phishsim::deploy::deploy_armed_site;
+use phishsim::domains::{acquire_domains, AcquisitionConfig};
+use phishsim::prelude::*;
+use phishsim::simnet::Ipv4Sim;
+
+fn main() {
+    let rng = DetRng::new(DEFAULT_SEED);
+
+    // ---- acquisition: the drop-catch pipeline ----
+    println!("== Stage 1: domain acquisition (drop-catch pipeline) ==");
+    let acq = acquire_domains(&AcquisitionConfig::small(), &rng);
+    let f = acq.funnel;
+    println!(
+        "  scanned {} Alexa domains -> {} NXDOMAIN -> {} available -> {} WHOIS-free \
+         -> {} clean -> {} archived -> {} archived+indexed",
+        f.scanned, f.nxdomain, f.available, f.whois_not_found, f.clean_history, f.archived, f.indexed
+    );
+    let domain = acq.drop_catch[0].clone();
+    println!("  selected reputed domain: {domain}\n");
+
+    // ---- deployment ----
+    println!("== Stage 2: deployment ==");
+    let mut world = World::new(DEFAULT_SEED);
+    world.registry = acq.registry;
+    let deploy_at = acq.ready_at;
+    let dep = deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::PayPal,
+        EvasionTechnique::CaptchaGate,
+        deploy_at,
+    );
+    println!("  cover site + PayPal kit behind reCAPTCHA at {}", dep.url);
+    println!(
+        "  TLS: {}\n",
+        world
+            .farm
+            .certificate(&dep.domain)
+            .map(|c| format!("issued by {} (90 days)", c.issuer))
+            .unwrap_or_default()
+    );
+
+    // ---- visitors ----
+    println!("== Stage 3: visitors ==");
+    let t0 = deploy_at + SimDuration::from_hours(1);
+
+    // A human victim: solves the challenge, sees the payload.
+    let mut victim = Browser::new(
+        BrowserConfig::human_firefox(),
+        Ipv4Sim::new(203, 0, 113, 77),
+        "human",
+    )
+    .with_captcha_provider(world.captcha.clone());
+    let view = victim.visit(&mut world, &dep.url, t0).expect("fetch");
+    println!(
+        "  human victim: steps {:?}\n                -> final page is {} (login form: {})",
+        view.steps
+            .iter()
+            .map(|s| format!("{s:?}").split(' ').next().unwrap().trim_matches('{').to_string())
+            .collect::<Vec<_>>(),
+        view.summary.title,
+        view.summary.has_login_form()
+    );
+
+    // GSB and NetCraft crawlers: recognize the widget, cannot solve it.
+    for id in [EngineId::Gsb, EngineId::NetCraft] {
+        let mut engine = Engine::new(id, &world.rng);
+        let outcome = engine.process_report(&mut world, &dep.url, t0, 0.01);
+        println!(
+            "  {}: payload reached: {}, CAPTCHA recognised: {}, detected: {}",
+            id,
+            outcome.payload_reached,
+            outcome.captcha_recognised,
+            outcome.detected_at.is_some()
+        );
+    }
+
+    // ---- the server's view ----
+    println!("\n== Stage 4: the kit's log (who got the payload?) ==");
+    let probe = dep.probe();
+    for rec in probe.payload_serves() {
+        println!("  {} <- payload served to {} ({})", rec.at, rec.actor, rec.src);
+    }
+    let benign = probe.records().iter().filter(|r| !r.payload).count();
+    println!(
+        "  {} requests served the benign CAPTCHA cover instead",
+        benign
+    );
+    assert!(probe.payload_reached_by("human"));
+    assert!(!probe.payload_reached_by("gsb"));
+    assert!(!probe.payload_reached_by("netcraft"));
+    println!("\nOnly the human ever saw the phishing page — the paper's core finding.");
+}

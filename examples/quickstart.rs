@@ -1,0 +1,53 @@
+//! Quickstart: run the paper's main experiment and print Table 2.
+//!
+//! ```text
+//! cargo run --example quickstart            # fast (no background traffic)
+//! cargo run --example quickstart -- full    # full Table-1-scale traffic
+//! ```
+
+use phishsim::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let config = if full {
+        MainConfig::paper()
+    } else {
+        MainConfig::fast()
+    };
+    println!(
+        "Running the main experiment (seed {}, {} traffic)...\n",
+        config.seed,
+        if full { "full" } else { "reduced" }
+    );
+    let result = run_main_experiment(&config);
+
+    println!("{}", result.table.render());
+
+    println!("Headline findings, as in the paper:");
+    println!(
+        "  * {} of 105 phishing URLs were detected in total.",
+        result.table.total.hits
+    );
+    if let Some(mean) = result.table.gsb_alert_mean_mins {
+        println!(
+            "  * GSB was the only engine to defeat the alert box, averaging {mean:.0} minutes \
+             (paper: 132)."
+        );
+    }
+    println!(
+        "  * NetCraft bypassed every session gate but blacklisted only {} URLs ({}).",
+        result.table.netcraft_session_delays_mins.len(),
+        result
+            .table
+            .netcraft_session_delays_mins
+            .iter()
+            .map(|m| format!("{m:.0} min"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  * No engine detected a single reCAPTCHA-protected URL (0/35).");
+    println!(
+        "  * {:.0}% of crawler traffic arrived within two hours of each report (paper: ~90%).",
+        result.traffic_within_2h * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! A tour of the Safe-Browsing Update-API protocol and its two blind
+//! windows — the mechanism behind §2.1's privacy claim and §2.4's
+//! caching caveat.
+//!
+//! ```text
+//! cargo run --example sb_protocol
+//! ```
+
+use phishsim::antiphish::sbapi::CheckTrace;
+use phishsim::antiphish::{Blacklist, SbClient, SbServer, SbVerdict};
+use phishsim::http::Url;
+use phishsim::simnet::{SimDuration, SimTime};
+
+fn main() {
+    let phishing = Url::parse("https://victim.com/account/verify.php").unwrap();
+    let clean = Url::parse("https://green-energy.com/articles/garden.php").unwrap();
+
+    // The engine's list: empty at first (the kit just went live).
+    let mut list = Blacklist::new();
+    let mut client = SbClient::new(SimDuration::from_mins(30));
+
+    println!("== t = 0: the kit is live, nothing is listed yet ==");
+    {
+        let server = SbServer::new(&list);
+        let v = client.check(&phishing, &server, SimTime::ZERO);
+        println!("  check({phishing}) -> {v:?}  [{:?}]", client.traces.last().unwrap());
+        let v = client.check(&clean, &server, SimTime::ZERO);
+        println!("  check({clean}) -> {v:?}  [{:?}]", client.traces.last().unwrap());
+    }
+
+    // 20 minutes in, GSB lists the URL (say, via an alert-box detection).
+    list.add(&phishing, SimTime::from_mins(20));
+    println!("\n== t = 20 min: the URL gets blacklisted server-side ==");
+
+    println!("\n== t = 25 min: blind window 1 — the client's prefix set is stale ==");
+    {
+        let server = SbServer::new(&list);
+        let v = client.check(&phishing, &server, SimTime::from_mins(25));
+        println!(
+            "  check({phishing}) -> {v:?}  [{:?}]  (prefix set from t=0)",
+            client.traces.last().unwrap()
+        );
+        assert_eq!(v, SbVerdict::Safe, "stale prefixes miss the listing");
+    }
+
+    println!("\n== t = 31 min: the periodic update closes the window ==");
+    {
+        let server = SbServer::new(&list);
+        let v = client.check(&phishing, &server, SimTime::from_mins(31));
+        println!(
+            "  check({phishing}) -> {v:?}  [{:?}]",
+            client.traces.last().unwrap()
+        );
+        assert_eq!(v, SbVerdict::Unsafe);
+    }
+
+    println!("\n== privacy: what did the server ever see? ==");
+    let mut prefix_queries = 0;
+    let mut local = 0;
+    for t in &client.traces {
+        match t {
+            CheckTrace::PrefixQuery(p) => {
+                prefix_queries += 1;
+                println!("  full-hash request for 32-bit prefix {:08x}", p.0);
+            }
+            CheckTrace::LocalMiss => local += 1,
+            CheckTrace::CachedHit => {}
+        }
+    }
+    println!(
+        "  {local} checks answered entirely on-device; {prefix_queries} prefix-only queries;\n\
+         \u{20}\u{20}no URL ever left the machine — §2.1's privacy property."
+    );
+}

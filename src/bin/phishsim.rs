@@ -1,0 +1,157 @@
+//! The `phishsim` command-line interface.
+//!
+//! ```text
+//! phishsim list                         # what can run
+//! phishsim run table2                   # regenerate a paper artifact
+//! phishsim run table2 --seed 99 --full  # other seeds / full traffic
+//! ```
+
+use phishsim::experiment::{
+    run_cloaking_baseline, run_extension_experiment, run_longitudinal, run_main_experiment,
+    run_preliminary, run_redirection_baseline, CloakingConfig, EntryKind, ExtensionConfig,
+    LongitudinalConfig, MainConfig, PreliminaryConfig, RedirectionConfig,
+};
+use phishsim::domains::{acquire_domains, AcquisitionConfig};
+use phishsim::phishgen::EvasionTechnique;
+use phishsim::simnet::DetRng;
+use phishsim::DEFAULT_SEED;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "preliminary test: 3 naked URLs x 7 engines (paper Table 1)"),
+    ("table2", "main experiment: 105 armed URLs x 6 engines (paper Table 2)"),
+    ("table3", "client-side extension experiment (paper Table 3)"),
+    ("funnel", "drop-catch domain-acquisition funnel (paper §3)"),
+    ("cloaking", "web-cloaking baseline (Oest et al. comparison)"),
+    ("redirection", "URL-shortener / redirect-chain baseline (§1)"),
+    ("longitudinal", "PhishTime-style weekly waves extension"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("list") => {
+            println!("available experiments:");
+            for (name, desc) in EXPERIMENTS {
+                println!("  {name:<14} {desc}");
+            }
+        }
+        Some("run") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: phishsim run <experiment> [--seed N] [--full]");
+                std::process::exit(2);
+            };
+            let seed = parse_flag_value(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_SEED);
+            let full = args.iter().any(|a| a == "--full");
+            run(name, seed, full);
+        }
+        _ => {
+            eprintln!("phishsim — reproduction of 'Are You Human?' (IMC 2020)");
+            eprintln!("usage:");
+            eprintln!("  phishsim list");
+            eprintln!("  phishsim run <experiment> [--seed N] [--full]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn run(name: &str, seed: u64, full: bool) {
+    match name {
+        "table1" => {
+            let mut cfg = if full {
+                PreliminaryConfig::paper()
+            } else {
+                PreliminaryConfig::fast()
+            };
+            cfg.seed = seed;
+            let r = run_preliminary(&cfg);
+            println!("{}", r.table.render());
+        }
+        "table2" => {
+            let mut cfg = if full { MainConfig::paper() } else { MainConfig::fast() };
+            cfg.seed = seed;
+            let r = run_main_experiment(&cfg);
+            println!("{}", r.table.render());
+        }
+        "table3" => {
+            let mut cfg = ExtensionConfig::paper();
+            cfg.seed = seed;
+            let r = run_extension_experiment(&cfg);
+            println!("{}", r.table.render());
+        }
+        "funnel" => {
+            let mut cfg = if full {
+                AcquisitionConfig::paper()
+            } else {
+                AcquisitionConfig::small()
+            };
+            cfg.registration_days = 14;
+            let r = acquire_domains(&cfg, &DetRng::new(seed));
+            let f = r.funnel;
+            println!(
+                "scanned {} -> NXDOMAIN {} -> available {} -> WHOIS-free {} -> clean {} -> archived {} -> indexed {}",
+                f.scanned, f.nxdomain, f.available, f.whois_not_found, f.clean_history, f.archived, f.indexed
+            );
+            println!(
+                "registered {} drop-catch + {} random = {} domains",
+                r.drop_catch.len(),
+                r.random.len(),
+                r.all_domains().len()
+            );
+        }
+        "cloaking" => {
+            let mut cfg = if full { CloakingConfig::paper() } else { CloakingConfig::fast() };
+            cfg.seed = seed;
+            let r = run_cloaking_baseline(&cfg);
+            println!(
+                "naked:   {} detected, mean {:.0} min",
+                r.naked.detection.as_cell(),
+                r.naked.mean_delay_mins().unwrap_or(0.0)
+            );
+            println!(
+                "cloaked: {} detected, mean {:.0} min",
+                r.cloaked.detection.as_cell(),
+                r.cloaked.mean_delay_mins().unwrap_or(0.0)
+            );
+        }
+        "redirection" => {
+            let mut cfg = RedirectionConfig::paper();
+            cfg.seed = seed;
+            let r = run_redirection_baseline(&cfg);
+            for kind in EntryKind::all() {
+                let arm = r.arm(kind);
+                println!(
+                    "{:<12} {} detected, mean {:.0} min",
+                    kind.to_string(),
+                    arm.detection.as_cell(),
+                    arm.mean_delay_mins().unwrap_or(0.0)
+                );
+            }
+        }
+        "longitudinal" => {
+            let mut cfg = LongitudinalConfig::status_quo();
+            cfg.seed = seed;
+            let r = run_longitudinal(&cfg);
+            for technique in EvasionTechnique::main_experiment() {
+                let series: Vec<String> = r
+                    .series(technique)
+                    .iter()
+                    .map(|v| format!("{:.0}%", v * 100.0))
+                    .collect();
+                println!("{:<12} {}", technique.to_string(), series.join(" "));
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; try `phishsim list`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # phishsim
+//!
+//! A deterministic laboratory reproduction of *"Are You Human?
+//! Resilience of Phishing Detection to Evasion Techniques Based on
+//! Human Verification"* (Maroofi, Korczyński, Duda — IMC 2020).
+//!
+//! The paper measured how seven production anti-phishing engines and
+//! six browser extensions cope with phishing pages hidden behind
+//! *human-verification* evasion: JavaScript alert boxes, PHP session
+//! gating, and Google reCAPTCHA. This workspace rebuilds the entire
+//! measurement ecosystem as a simulation — DNS and domain registration,
+//! HTTP hosting, browsers, CAPTCHA, crawler fleets, blacklist feeds —
+//! and re-runs the paper's experiments end to end.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use phishsim::experiment::{run_main_experiment, MainConfig};
+//!
+//! // A reduced-traffic run of the paper's main experiment (Table 2).
+//! let result = run_main_experiment(&MainConfig::fast());
+//! assert_eq!(result.table.total.as_cell(), "8/105");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Role |
+//! |---|---|---|
+//! | [`simnet`] | `phishsim-simnet` | clock, RNG, scheduler, links, tracing |
+//! | [`dns`] | `phishsim-dns` | registry, resolver, registrars, reputation |
+//! | [`http`] | `phishsim-http` | messages, codec, cookies, TLS, hosting |
+//! | [`html`] | `phishsim-html` | parser, DOM, queries, script effects |
+//! | [`captcha`] | `phishsim-captcha` | reCAPTCHA-style challenge flow |
+//! | [`browser`] | `phishsim-browser` | headless browser, SB verdict cache |
+//! | [`phishgen`] | `phishsim-phishgen` | site generator, brand kits, gates |
+//! | [`antiphish`] | `phishsim-antiphish` | engines, classifier, feeds |
+//! | [`extensions`] | `phishsim-extensions` | the six client-side extensions |
+//! | [`experiment`] etc. | `phishsim-core` | the paper's framework |
+
+#![forbid(unsafe_code)]
+
+pub use phishsim_antiphish as antiphish;
+pub use phishsim_browser as browser;
+pub use phishsim_captcha as captcha;
+pub use phishsim_dns as dns;
+pub use phishsim_extensions as extensions;
+pub use phishsim_html as html;
+pub use phishsim_http as http;
+pub use phishsim_phishgen as phishgen;
+pub use phishsim_simnet as simnet;
+
+pub use phishsim_core::{analysis, deploy, domains, experiment, monitor, tables, world};
+pub use phishsim_core::{World, DEFAULT_SEED};
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use crate::antiphish::{Engine, EngineId, FeedNetwork};
+    pub use crate::browser::{Browser, BrowserConfig, DialogPolicy, Transport};
+    pub use crate::deploy::deploy_armed_site;
+    pub use crate::experiment::{
+        run_cloaking_baseline, run_extension_experiment, run_main_experiment, run_preliminary,
+        CloakingConfig, ExtensionConfig, MainConfig, PreliminaryConfig,
+    };
+    pub use crate::phishgen::{Brand, EvasionTechnique};
+    pub use crate::simnet::{DetRng, SimDuration, SimTime};
+    pub use crate::world::{World, DEFAULT_SEED};
+}

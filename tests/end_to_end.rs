@@ -1,0 +1,133 @@
+//! Cross-crate integration: the full measurement pipeline, from domain
+//! acquisition through deployment, reporting, detection, feed
+//! propagation, and monitoring.
+
+use phishsim::deploy::deploy_armed_site;
+use phishsim::domains::{acquire_domains, AcquisitionConfig};
+use phishsim::monitor::monitor_listings;
+use phishsim::prelude::*;
+use phishsim::simnet::TraceKind;
+
+/// Acquisition output feeds directly into deployment and the engines:
+/// a drop-catch domain hosts an armed kit, gets reported, detected,
+/// propagated, and observed by the monitoring loop.
+#[test]
+fn acquisition_to_observation() {
+    let rng = DetRng::new(DEFAULT_SEED);
+    let acq = acquire_domains(&AcquisitionConfig::small(), &rng);
+    assert_eq!(acq.all_domains().len(), 112);
+
+    let mut world = World::new(DEFAULT_SEED);
+    world.registry = acq.registry;
+    let mut feeds = FeedNetwork::paper_topology(&world.rng);
+
+    // Deploy a naked PayPal kit on the first drop-catch domain.
+    let domain = acq.drop_catch[0].clone();
+    let dep = deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::PayPal,
+        EvasionTechnique::None,
+        acq.ready_at,
+    );
+
+    // Report to NetCraft.
+    let reported_at = acq.ready_at + SimDuration::from_hours(1);
+    let mut engine = Engine::new(EngineId::NetCraft, &world.rng);
+    let outcome = engine.process_report(&mut world, &dep.url, reported_at, 0.05);
+    let detected_at = outcome.detected_at.expect("naked PayPal must be detected");
+    feeds.publish(EngineId::NetCraft, &dep.url, detected_at);
+
+    // The detection propagates to GSB and is observed by monitoring.
+    let horizon = detected_at + SimDuration::from_hours(6);
+    let obs = monitor_listings(&feeds, std::slice::from_ref(&dep.url), acq.ready_at, horizon, &world.log);
+    let engines: Vec<EngineId> = obs.iter().map(|o| o.engine).collect();
+    assert!(engines.contains(&EngineId::NetCraft));
+    assert!(engines.contains(&EngineId::Gsb), "cross-feed propagation observed");
+
+    // The hosting farm logged the crawl, and the kit's probe agrees.
+    assert!(world.log.requests_for("netcraft", Some(&dep.domain)) > 0);
+    assert!(dep.probe().payload_reached_by("netcraft"));
+    assert!(world.log.count(|e| e.kind == TraceKind::Blacklist) >= 2);
+}
+
+/// The three evasion techniques, driven by a human through the world
+/// transport: every gate admits the human and records it server-side.
+#[test]
+fn humans_pass_every_gate() {
+    for technique in [
+        EvasionTechnique::AlertBox,
+        EvasionTechnique::SessionGate,
+        EvasionTechnique::CaptchaGate,
+    ] {
+        let mut world = World::new(7);
+        let domain = phishsim::dns::DomainName::parse("river-stone.net").unwrap();
+        world
+            .registry
+            .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+            .unwrap();
+        let dep = deploy_armed_site(&mut world, &domain, Brand::Facebook, technique, SimTime::ZERO);
+        let mut human = Browser::new(
+            BrowserConfig::human_firefox(),
+            phishsim::simnet::Ipv4Sim::new(203, 0, 113, 9),
+            "human",
+        )
+        .with_captcha_provider(world.captcha.clone());
+        let view = human
+            .visit(&mut world, &dep.url, SimTime::from_mins(10))
+            .expect("fetch");
+        let final_view = if view.summary.has_login_form() {
+            view
+        } else {
+            // Session gate: the human presses the button.
+            let form = view.summary.forms[0].clone();
+            human
+                .submit_form(&mut world, &view, &form, "", SimTime::from_mins(12))
+                .expect("submit")
+        };
+        assert!(
+            final_view.summary.has_login_form(),
+            "human blocked by {technique}"
+        );
+        assert!(dep.probe().payload_reached_by("human"), "{technique}");
+    }
+}
+
+/// A lossy network degrades the experiment gracefully: no panics, and
+/// engines that lose their crawl simply fail to detect.
+#[test]
+fn lossy_network_degrades_gracefully() {
+    let mut world =
+        World::new(11).with_faults(phishsim::simnet::FaultInjector::lossy(0.9));
+    let domain = phishsim::dns::DomainName::parse("cedar-grove.org").unwrap();
+    world
+        .registry
+        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .unwrap();
+    let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+    let mut engine = Engine::new(EngineId::Gsb, &world.rng);
+    // Must not panic; outcome may or may not be a detection.
+    let outcome = engine.process_report(&mut world, &dep.url, SimTime::from_hours(1), 0.01);
+    let _ = outcome.detected_at;
+}
+
+/// Expired experiment domains stop resolving, and crawls fail with DNS
+/// errors rather than phantom content.
+#[test]
+fn lapsed_domain_stops_resolving() {
+    let mut world = World::new(3);
+    let domain = phishsim::dns::DomainName::parse("bright-meadow.com").unwrap();
+    world
+        .registry
+        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(30))
+        .unwrap();
+    deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+    world.registry.abandon(&domain).unwrap();
+    assert!(world.resolve("bright-meadow.com", SimTime::from_mins(10)).is_some());
+    assert!(
+        world
+            .resolve("bright-meadow.com", SimTime::ZERO + SimDuration::from_days(31))
+            .is_none(),
+        "abandoned registration must lapse"
+    );
+}

@@ -1,0 +1,72 @@
+//! Integration: the Safe-Browsing hash-prefix protocol against a real
+//! experiment's blacklists — the §2.1/§2.4 client behaviours on top of
+//! live main-experiment data.
+
+use phishsim::antiphish::{SbClient, SbServer, SbVerdict};
+use phishsim::prelude::*;
+use phishsim::simnet::SimDuration;
+
+#[test]
+fn sb_client_flags_the_experiments_detections() {
+    let r = run_main_experiment(&MainConfig::fast());
+    let gsb_list = r.feeds.list(EngineId::Gsb);
+    let server = SbServer::new(gsb_list);
+    let mut client = SbClient::new(SimDuration::from_mins(30));
+
+    // Long after the run: the client's update sees the final list.
+    let late = phishsim::simnet::SimTime::from_hours(24 * 40);
+    let mut flagged = 0;
+    let mut clean = 0;
+    for arm in &r.arms {
+        match client.check(&arm.url, &server, late) {
+            SbVerdict::Unsafe => flagged += 1,
+            SbVerdict::Safe => clean += 1,
+        }
+    }
+    // GSB's list carries its own 6 alert-box detections plus the
+    // propagated NetCraft session hits — every one must round-trip
+    // through the prefix protocol; everything else stays clean.
+    let expected: usize = r
+        .arms
+        .iter()
+        .filter(|a| gsb_list.listed_at(&a.url).is_some())
+        .count();
+    assert_eq!(flagged, expected, "prefix protocol must agree with the list");
+    assert!(expected >= 6, "at least GSB's own detections propagate");
+    assert_eq!(flagged + clean, 105);
+}
+
+#[test]
+fn sb_client_blind_window_applies_to_live_detections() {
+    // Take a real GSB detection time from the experiment and show the
+    // protocol-level blind window around it.
+    let r = run_main_experiment(&MainConfig::fast());
+    let detection = r
+        .arms
+        .iter()
+        .find(|a| a.engine == EngineId::Gsb && a.outcome.detected_at.is_some())
+        .expect("GSB detected the alert-box URLs");
+    let listed_at = detection.outcome.detected_at.unwrap();
+    let gsb_list = r.feeds.list(EngineId::Gsb);
+    let server = SbServer::new(gsb_list);
+
+    // A client whose last update happened just before the listing…
+    let mut client = SbClient::new(SimDuration::from_mins(30));
+    let just_before = phishsim::simnet::SimTime::from_millis(
+        listed_at.as_millis().saturating_sub(SimDuration::from_mins(1).as_millis()),
+    );
+    client.update(&server, just_before);
+    // …remains blind to it until the next update period.
+    let during = listed_at + SimDuration::from_mins(5);
+    assert_eq!(
+        client.check(&detection.url, &server, during),
+        SbVerdict::Safe,
+        "stale prefix set: the listing is invisible"
+    );
+    let after = listed_at + SimDuration::from_mins(31);
+    assert_eq!(
+        client.check(&detection.url, &server, after),
+        SbVerdict::Unsafe,
+        "the periodic update closes the window"
+    );
+}
