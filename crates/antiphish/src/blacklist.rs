@@ -105,7 +105,10 @@ mod tests {
         assert!(!b.is_listed(&u, SimTime::from_hours(10)));
         b.add(&u, SimTime::from_mins(90));
         assert_eq!(b.listed_at(&u), Some(SimTime::from_mins(90)));
-        assert!(!b.is_listed(&u, SimTime::from_mins(89)), "not listed before listing time");
+        assert!(
+            !b.is_listed(&u, SimTime::from_mins(89)),
+            "not listed before listing time"
+        );
         assert!(b.is_listed(&u, SimTime::from_mins(90)));
     }
 

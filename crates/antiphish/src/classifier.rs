@@ -73,7 +73,10 @@ const SIGNATURES: &[BrandSignature] = &[
     },
     BrandSignature {
         brand: "Facebook",
-        cloned_titles: &["Facebook - Log In or Sign Up", "Facebook – log in or sign up"],
+        cloned_titles: &[
+            "Facebook - Log In or Sign Up",
+            "Facebook – log in or sign up",
+        ],
         state_fields: &["lsd", "lgndim", "timezone"],
         asset_markers: &["fb-logo", "facebook-favicon", "fbcdn"],
         tokens: &["facebook"],
@@ -109,10 +112,7 @@ pub fn classify(summary: &PageSummary, host: &str) -> Classification {
     let mut best_heuristic: f64 = 0.0;
 
     for sig in SIGNATURES {
-        let on_legit_host = sig
-            .legit_hosts
-            .iter()
-            .any(|h| host.eq_ignore_ascii_case(h));
+        let on_legit_host = sig.legit_hosts.iter().any(|h| host.eq_ignore_ascii_case(h));
         if on_legit_host {
             // The brand's real site is not phishing.
             continue;
@@ -233,13 +233,22 @@ mod tests {
         for brand in Brand::all() {
             let c = classify_brand(brand);
             let strong = c.score(ClassifierMode::SignatureAndHeuristics);
-            assert!(strong >= 0.5, "{brand}: strong engines must flag ({strong:.2})");
+            assert!(
+                strong >= 0.5,
+                "{brand}: strong engines must flag ({strong:.2})"
+            );
         }
         let weak_gmail = classify_brand(Brand::Gmail).score(ClassifierMode::SignatureOnly);
-        assert!(weak_gmail < 0.9, "signature-only engines miss Gmail ({weak_gmail:.2})");
+        assert!(
+            weak_gmail < 0.9,
+            "signature-only engines miss Gmail ({weak_gmail:.2})"
+        );
         for brand in [Brand::PayPal, Brand::Facebook] {
             let weak = classify_brand(brand).score(ClassifierMode::SignatureOnly);
-            assert!(weak >= 0.9, "{brand}: signature-only engines still flag ({weak:.2})");
+            assert!(
+                weak >= 0.9,
+                "{brand}: signature-only engines still flag ({weak:.2})"
+            );
         }
     }
 

@@ -12,16 +12,30 @@
 //! through the transport, so the hosting farm's access log sees the
 //! same request mix the paper analysed.
 
-use crate::classifier::classify;
+use crate::classifier::{classify, Classification};
 use crate::kit_probe;
 use crate::profiles::{EngineId, EngineProfile};
 use parking_lot::Mutex;
-use phishsim_browser::{Browser, BrowserConfig, BrowseStep, DialogPolicy, PageView, Transport};
+use phishsim_browser::rendercache::content_hash;
+use phishsim_browser::{
+    BrowseStep, Browser, BrowserConfig, DialogPolicy, PageView, RenderCache, Transport,
+};
 use phishsim_captcha::CaptchaProvider;
 use phishsim_http::{Request, Url, UserAgent};
+use phishsim_simnet::metrics::CounterSet;
 use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Whether the content-keyed render/classification caches are enabled.
+/// On by default; set `PHISHSIM_RENDER_CACHE=0` (or `off`/`false`) to
+/// disable — results are byte-identical either way, only speed changes.
+pub fn render_cache_enabled() -> bool {
+    !matches!(
+        std::env::var("PHISHSIM_RENDER_CACHE").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
 
 /// How the payload was reached, when it was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,8 +93,16 @@ pub struct Engine {
     pool: IpPool,
     rng: DetRng,
     captcha_provider: Option<Arc<Mutex<CaptchaProvider>>>,
-    /// Recently processed URLs, for report deduplication.
-    recent_reports: std::collections::HashMap<String, SimTime>,
+    /// Recently processed URLs for report deduplication, keyed by a
+    /// query-stripped URL hash (no per-check String materialization).
+    recent_reports: std::collections::HashMap<u64, SimTime>,
+    /// Render cache shared by every browser this engine spawns. `None`
+    /// when disabled via `PHISHSIM_RENDER_CACHE=0`.
+    render_cache: Option<Arc<RenderCache>>,
+    /// Memoized page classifications keyed by (body hash, host hash).
+    classify_cache: std::collections::HashMap<(u64, u64), Classification>,
+    classify_hits: u64,
+    classify_misses: u64,
 }
 
 impl Engine {
@@ -95,12 +117,7 @@ impl Engine {
         let id = profile.id;
         let mut pool_rng = rng.fork(&format!("engine-pool:{}", id.key()));
         // Each engine's crawler fleet lives in its own /16.
-        let base = Ipv4Sim::new(
-            20 + (id as u8) * 10,
-            40 + (id as u8) * 7,
-            0,
-            0,
-        );
+        let base = Ipv4Sim::new(20 + (id as u8) * 10, 40 + (id as u8) * 7, 0, 0);
         let pool = IpPool::allocate(base, 16, profile.ip_pool_size, &mut pool_rng);
         Engine {
             profile,
@@ -108,15 +125,67 @@ impl Engine {
             rng: rng.fork(&format!("engine:{}", id.key())),
             captcha_provider: None,
             recent_reports: std::collections::HashMap::new(),
+            render_cache: render_cache_enabled().then(|| Arc::new(RenderCache::new())),
+            classify_cache: std::collections::HashMap::new(),
+            classify_hits: 0,
+            classify_misses: 0,
         }
+    }
+
+    /// Deduplication key: FNV-1a over scheme, host and path — the
+    /// identity of `url.without_query()` without building the string.
+    fn report_key(url: &Url) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&[u8::from(url.https)]);
+        eat(url.host.as_bytes());
+        eat(&[0]);
+        eat(url.path.as_bytes());
+        hash
     }
 
     /// Whether a fresh report of `url` at `now` would be deduplicated
     /// (the engine already processed it within the last 24 hours).
     pub fn is_duplicate_report(&self, url: &Url, now: SimTime) -> bool {
         self.recent_reports
-            .get(&url.without_query().to_string())
+            .get(&Self::report_key(url))
             .is_some_and(|&t| now.since(t) < SimDuration::from_hours(24))
+    }
+
+    /// Classify `view` against `host`, memoized by page content. The
+    /// classifier is pure in (summary, host), and the summary is fully
+    /// determined by the body hash — so (body, host) keys the verdict.
+    fn classify_score(&mut self, view: &PageView, host: &str) -> f64 {
+        let mode = self.profile.classifier_mode;
+        if self.render_cache.is_none() {
+            return classify(&view.summary, host).score(mode);
+        }
+        let key = (view.body_hash, content_hash(host));
+        if let Some(c) = self.classify_cache.get(&key) {
+            self.classify_hits += 1;
+            return c.score(mode);
+        }
+        self.classify_misses += 1;
+        let c = classify(&view.summary, host);
+        let score = c.score(mode);
+        self.classify_cache.insert(key, c);
+        score
+    }
+
+    /// Hit/miss counters for the render and classification caches.
+    pub fn cache_counters(&self) -> CounterSet {
+        let mut c = match &self.render_cache {
+            Some(rc) => rc.counters(),
+            None => CounterSet::new(),
+        };
+        c.add("classify_cache.hit", self.classify_hits);
+        c.add("classify_cache.miss", self.classify_misses);
+        c
     }
 
     /// Attach the CAPTCHA provider so an upgraded profile's solver can
@@ -171,6 +240,9 @@ impl Engine {
         if let Some(p) = &self.captcha_provider {
             browser = browser.with_captcha_provider(Arc::clone(p));
         }
+        if let Some(cache) = &self.render_cache {
+            browser = browser.with_render_cache(Arc::clone(cache));
+        }
         browser
     }
 
@@ -190,12 +262,7 @@ impl Engine {
 
     /// Fetch a handful of page assets/links the way crawlers do after
     /// loading a page (favicon, logo images, first links).
-    fn fetch_assets(
-        &mut self,
-        t: &mut dyn Transport,
-        view: &PageView,
-        at: SimTime,
-    ) -> u64 {
+    fn fetch_assets(&mut self, t: &mut dyn Transport, view: &PageView, at: SimTime) -> u64 {
         let mut paths: Vec<String> = Vec::new();
         if let Some(f) = &view.summary.favicon {
             paths.push(f.clone());
@@ -239,28 +306,25 @@ impl Engine {
         // day gets a cheap revalidation, not a second full crawl.
         if self.is_duplicate_report(url, reported_at) {
             let mut browser = self.browser(self.profile.dialog_policy);
-            let recheck_at = reported_at
-                + self.profile.channel.intake_delay(&mut self.rng);
+            let recheck_at = reported_at + self.profile.channel.intake_delay(&mut self.rng);
             let mut requests = 0;
             let mut best_score = 0.0;
             let mut payload_reached = false;
             let mut payload_reached_at = None;
             if let Ok(view) = browser.visit(t, url, recheck_at) {
                 requests = Self::exchanges_in(&view);
-                let c = classify(&view.summary, &url.host);
-                best_score = c.score(self.profile.classifier_mode);
+                best_score = self.classify_score(&view, &url.host);
                 if view.summary.has_login_form() {
                     payload_reached = true;
                     payload_reached_at = Some(recheck_at + view.elapsed);
                 }
             }
-            let detected_at = (best_score >= self.profile.threshold)
-                .then(|| {
-                    let (mean, sd) = self.profile.verdict_delay_mins;
-                    let delay = self.rng.normal_clamped(mean, sd, 1.0, mean * 4.0 + 10.0);
-                    payload_reached_at.unwrap_or(recheck_at)
-                        + SimDuration::from_millis((delay * 60_000.0) as u64)
-                });
+            let detected_at = (best_score >= self.profile.threshold).then(|| {
+                let (mean, sd) = self.profile.verdict_delay_mins;
+                let delay = self.rng.normal_clamped(mean, sd, 1.0, mean * 4.0 + 10.0);
+                payload_reached_at.unwrap_or(recheck_at)
+                    + SimDuration::from_millis((delay * 60_000.0) as u64)
+            });
             return ReportOutcome {
                 engine: self.profile.id,
                 url: url.clone(),
@@ -277,7 +341,7 @@ impl Engine {
             };
         }
         self.recent_reports
-            .insert(url.without_query().to_string(), reported_at);
+            .insert(Self::report_key(url), reported_at);
 
         let intake_at = reported_at + self.profile.channel.intake_delay(&mut self.rng);
         let (lo, hi) = self.profile.first_visit_mins;
@@ -305,10 +369,8 @@ impl Engine {
                     .filter(|l| l.starts_with('/'))
                     .cloned(),
             );
-            captcha_recognised |=
-                view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
-            let c = classify(&view.summary, &url.host);
-            let score = c.score(self.profile.classifier_mode);
+            captcha_recognised |= view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
+            let score = self.classify_score(view, &url.host);
             if view.summary.has_login_form() {
                 payload_reached = true;
                 let at = first_visit_at + view.elapsed;
@@ -343,8 +405,7 @@ impl Engine {
                 };
                 if let Some(form) = candidate {
                     let submit_at = first_visit_at + view.elapsed;
-                    if let Ok(after) =
-                        browser.submit_form(t, view, &form, "probe-user", submit_at)
+                    if let Ok(after) = browser.submit_form(t, view, &form, "probe-user", submit_at)
                     {
                         requests += Self::exchanges_in(&after)
                             + after
@@ -352,8 +413,7 @@ impl Engine {
                                 .iter()
                                 .filter(|s| matches!(s, BrowseStep::FormSubmitted { .. }))
                                 .count() as u64;
-                        let c = classify(&after.summary, &url.host);
-                        let score = c.score(self.profile.classifier_mode);
+                        let score = self.classify_score(&after, &url.host);
                         if after.summary.has_login_form() {
                             payload_reached = true;
                             let at = submit_at + after.elapsed;
@@ -379,14 +439,12 @@ impl Engine {
                     requests += Self::exchanges_in(&view);
                     captcha_recognised |=
                         view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
-                    let c = classify(&view.summary, &url.host);
-                    let score = c.score(self.profile.classifier_mode);
+                    let score = self.classify_score(&view, &url.host);
                     if view.summary.has_login_form() {
                         payload_reached = true;
                         let at = deep_at + view.elapsed;
                         payload_reached_at.get_or_insert(at);
-                        let via = if view.has_step(|s| matches!(s, BrowseStep::DialogConfirmed))
-                        {
+                        let via = if view.has_step(|s| matches!(s, BrowseStep::DialogConfirmed)) {
                             PayloadPath::DialogConfirm
                         } else {
                             PayloadPath::Direct
@@ -416,8 +474,7 @@ impl Engine {
                     requests += Self::exchanges_in(&view);
                     captcha_recognised |=
                         view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
-                    let c = classify(&view.summary, &url.host);
-                    let score = c.score(self.profile.classifier_mode);
+                    let score = self.classify_score(&view, &url.host);
                     if view.summary.has_login_form() {
                         payload_reached = true;
                         let at = recheck_at + view.elapsed;
@@ -454,8 +511,7 @@ impl Engine {
                 let (mean, sd) = self.profile.verdict_delay_mins;
                 let delay_mins = self.rng.normal_clamped(mean, sd, 1.0, mean * 4.0 + 10.0);
                 let base = payload_reached_at.unwrap_or(first_visit_at);
-                detected_at =
-                    Some(base + SimDuration::from_millis((delay_mins * 60_000.0) as u64));
+                detected_at = Some(base + SimDuration::from_millis((delay_mins * 60_000.0) as u64));
             }
         }
 
@@ -468,21 +524,27 @@ impl Engine {
         // from the first visit to report + 2 h.
         let burst_end = reported_at + SimDuration::from_hours(2);
         let burst_len = burst_end.since(first_visit_at).as_millis().max(1);
+        let archives = kit_probe::kit_archives(&url.host);
         for _ in 0..budget {
             let at = if self.rng.chance(0.9) {
                 first_visit_at + SimDuration::from_millis(self.rng.range(0..burst_len))
             } else {
                 burst_end + SimDuration::from_secs(self.rng.range(0..79_200u64))
             };
-            let path =
-                kit_probe::sample_path(&url.host, &site_paths, self.profile.kit_probing, &mut self.rng);
+            let path = kit_probe::sample_path_with_archives(
+                &site_paths,
+                &archives,
+                self.profile.kit_probing,
+                &mut self.rng,
+            );
             let ua = self.crawler_user_agent();
             let probing = self.profile.kit_probing
                 && kit_probe::classify_path(&path) != kit_probe::ProbeKind::Crawl;
             let req = Request::get(Url::https(&url.host, &path)).with_user_agent(&ua);
             let src = self.pool.draw(&mut self.rng);
             match t.fetch(src, self.profile.id.key(), &req, at) {
-                Ok((resp, _)) if probing
+                Ok((resp, _))
+                    if probing
                     // A 200 with zip content on a probe path is a live
                     // kit archive: the analyst pulls the kit's source,
                     // which exposes the payload regardless of any gate.
@@ -490,13 +552,13 @@ impl Engine {
                         && resp
                             .headers
                             .get("content-type")
-                            .is_some_and(|ct| ct.contains("zip"))
-                    => {
-                        let found = kit_archive_found_at.get_or_insert(at);
-                        if at < *found {
-                            *found = at;
-                        }
+                            .is_some_and(|ct| ct.contains("zip")) =>
+                {
+                    let found = kit_archive_found_at.get_or_insert(at);
+                    if at < *found {
+                        *found = at;
                     }
+                }
                 _ => {}
             }
             requests += 1;
@@ -536,7 +598,7 @@ mod tests {
     use phishsim_captcha::CaptchaProvider;
     use phishsim_http::VirtualHosting;
     use phishsim_phishgen::{
-        Brand, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit, CompromisedSite,
+        Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
     };
     use std::sync::Arc;
 
@@ -576,7 +638,11 @@ mod tests {
     #[test]
     fn naked_paypal_detected_by_everyone_but_ysb() {
         for id in EngineId::all() {
-            let (o, _) = run(id, Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+            let (o, _) = run(
+                id,
+                Brand::PayPal,
+                GateConfig::simple(EvasionTechnique::None),
+            );
             assert!(o.payload_reached, "{id}: naked payload must be fetched");
             if id == EngineId::Ysb {
                 assert!(o.detected_at.is_none(), "YSB detects nothing");
@@ -606,7 +672,11 @@ mod tests {
     #[test]
     fn alert_box_defeats_everyone_but_gsb() {
         for id in EngineId::main_experiment() {
-            let (o, d) = run(id, Brand::PayPal, GateConfig::simple(EvasionTechnique::AlertBox));
+            let (o, d) = run(
+                id,
+                Brand::PayPal,
+                GateConfig::simple(EvasionTechnique::AlertBox),
+            );
             if id == EngineId::Gsb {
                 assert!(o.payload_reached, "GSB confirms the dialog");
                 assert_eq!(o.payload_via, Some(PayloadPath::DialogConfirm));
@@ -772,6 +842,48 @@ mod tests {
     }
 
     #[test]
+    fn render_and_classify_caches_hit_on_rechecks() {
+        // YSB never crosses its threshold, so it runs the full recheck
+        // schedule against the same static naked page: every revisit
+        // after the first must be served from the render cache, and the
+        // repeated classifications from the verdict cache.
+        let (o, _) = run(
+            EngineId::Ysb,
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::None),
+        );
+        assert!(o.payload_reached);
+        let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        let mut engine = Engine::new(EngineId::Ysb, &DetRng::new(2020));
+        engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE);
+        let c = engine.cache_counters();
+        println!("cache counters: {c:?}");
+        assert!(c.get("render_cache.miss") >= 1);
+        assert!(
+            c.get("render_cache.hit") >= 2,
+            "rechecks of an unchanged page must hit the render cache: {c:?}"
+        );
+        assert!(
+            c.get("classify_cache.hit") >= 2,
+            "repeat classifications must hit the verdict cache: {c:?}"
+        );
+    }
+
+    #[test]
+    fn caches_disabled_by_env_are_absent() {
+        // `render_cache_enabled` is read at engine construction; a
+        // profile built while the override is off carries no caches and
+        // reports zero counter activity.
+        let mut engine = Engine {
+            render_cache: None,
+            ..Engine::new(EngineId::Gsb, &DetRng::new(1))
+        };
+        let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE);
+        assert_eq!(engine.cache_counters().total(), 0);
+    }
+
+    #[test]
     fn cloaking_blocks_identifiable_crawlers() {
         // With the engine's own subnets on the kit's bot list and a
         // non-stealth UA, the payload stays hidden; the baseline bench
@@ -891,7 +1003,12 @@ mod multi_page_session_tests {
 
     #[test]
     fn login_form_fillers_do_not_advance() {
-        for id in [EngineId::OpenPhish, EngineId::PhishTank, EngineId::Apwg, EngineId::Gsb] {
+        for id in [
+            EngineId::OpenPhish,
+            EngineId::PhishTank,
+            EngineId::Apwg,
+            EngineId::Gsb,
+        ] {
             let (mut t, url) = deploy_multipage();
             let mut engine = Engine::new(id, &DetRng::new(3));
             let o = engine.process_report(&mut t, &url, SimTime::from_mins(30), 0.0);
@@ -906,7 +1023,9 @@ mod dedup_tests {
     use super::*;
     use phishsim_browser::transport::DirectTransport;
     use phishsim_http::VirtualHosting;
-    use phishsim_phishgen::{Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit};
+    use phishsim_phishgen::{
+        Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
+    };
 
     fn deploy() -> (DirectTransport, Url) {
         let rng = DetRng::new(77);

@@ -53,15 +53,51 @@ impl FeedNetwork {
     pub fn paper_topology(rng: &DetRng) -> Self {
         use EngineId::*;
         let edges = vec![
-            FeedEdge { from: NetCraft, to: Gsb, delay_mins: (20, 90) },
-            FeedEdge { from: Apwg, to: Gsb, delay_mins: (20, 90) },
-            FeedEdge { from: OpenPhish, to: PhishTank, delay_mins: (15, 60) },
-            FeedEdge { from: OpenPhish, to: Gsb, delay_mins: (20, 90) },
-            FeedEdge { from: OpenPhish, to: Apwg, delay_mins: (15, 60) },
-            FeedEdge { from: OpenPhish, to: SmartScreen, delay_mins: (30, 120) },
-            FeedEdge { from: PhishTank, to: OpenPhish, delay_mins: (15, 60) },
-            FeedEdge { from: PhishTank, to: Gsb, delay_mins: (20, 90) },
-            FeedEdge { from: SmartScreen, to: Gsb, delay_mins: (20, 90) },
+            FeedEdge {
+                from: NetCraft,
+                to: Gsb,
+                delay_mins: (20, 90),
+            },
+            FeedEdge {
+                from: Apwg,
+                to: Gsb,
+                delay_mins: (20, 90),
+            },
+            FeedEdge {
+                from: OpenPhish,
+                to: PhishTank,
+                delay_mins: (15, 60),
+            },
+            FeedEdge {
+                from: OpenPhish,
+                to: Gsb,
+                delay_mins: (20, 90),
+            },
+            FeedEdge {
+                from: OpenPhish,
+                to: Apwg,
+                delay_mins: (15, 60),
+            },
+            FeedEdge {
+                from: OpenPhish,
+                to: SmartScreen,
+                delay_mins: (30, 120),
+            },
+            FeedEdge {
+                from: PhishTank,
+                to: OpenPhish,
+                delay_mins: (15, 60),
+            },
+            FeedEdge {
+                from: PhishTank,
+                to: Gsb,
+                delay_mins: (20, 90),
+            },
+            FeedEdge {
+                from: SmartScreen,
+                to: Gsb,
+                delay_mins: (20, 90),
+            },
         ];
         Self::with_edges(edges, rng)
     }
@@ -94,7 +130,12 @@ impl FeedNetwork {
     /// the edges (one hop; feeds republish primary detections, not
     /// third-hand entries). Returns every `(engine, time)` listing that
     /// resulted, including the original.
-    pub fn publish(&mut self, engine: EngineId, url: &Url, at: SimTime) -> Vec<(EngineId, SimTime)> {
+    pub fn publish(
+        &mut self,
+        engine: EngineId,
+        url: &Url,
+        at: SimTime,
+    ) -> Vec<(EngineId, SimTime)> {
         let mut listed = Vec::new();
         self.lists
             .get_mut(&engine)
@@ -108,7 +149,8 @@ impl FeedNetwork {
             .copied()
             .collect();
         for edge in edges {
-            let delay = SimDuration::from_mins(self.rng.range(edge.delay_mins.0..=edge.delay_mins.1));
+            let delay =
+                SimDuration::from_mins(self.rng.range(edge.delay_mins.0..=edge.delay_mins.1));
             let t = at + delay;
             self.lists
                 .get_mut(&edge.to)
@@ -217,7 +259,9 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         // Before any listing, no carriers.
-        assert!(n.carriers(&url("https://clean.com/"), SimTime::from_hours(12)).is_empty());
+        assert!(n
+            .carriers(&url("https://clean.com/"), SimTime::from_hours(12))
+            .is_empty());
     }
 
     #[test]

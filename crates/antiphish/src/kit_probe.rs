@@ -88,10 +88,24 @@ pub fn sample_path(
     kit_probing: bool,
     rng: &mut DetRng,
 ) -> String {
+    sample_path_with_archives(site_paths, &kit_archives(host), kit_probing, rng)
+}
+
+/// [`sample_path`] with the host's archive candidates precomputed.
+/// High-volume probe loops (tens of thousands of requests per report)
+/// call [`kit_archives`] once and reuse the list instead of
+/// re-allocating seven strings per request. Draws the same RNG
+/// sequence as [`sample_path`], so outputs are identical.
+pub fn sample_path_with_archives(
+    site_paths: &[String],
+    archives: &[String],
+    kit_probing: bool,
+    rng: &mut DetRng,
+) -> String {
     if kit_probing && rng.chance(0.6) {
         match rng.range(0..3u32) {
             0 => (*rng.pick(WEB_SHELLS)).to_string(),
-            1 => rng.pick(&kit_archives(host)).clone(),
+            1 => rng.pick(archives).clone(),
             _ => (*rng.pick(CREDENTIAL_STORES)).to_string(),
         }
     } else if site_paths.is_empty() {

@@ -46,8 +46,8 @@ pub mod sbapi;
 pub mod voting;
 
 pub use blacklist::Blacklist;
-pub use classifier::{classify, ClassifierMode, Classification};
-pub use engine::{Engine, ReportOutcome};
+pub use classifier::{classify, Classification, ClassifierMode};
+pub use engine::{render_cache_enabled, Engine, ReportOutcome};
 pub use feeds::{FeedEdge, FeedNetwork};
 pub use intake::ReportChannel;
 pub use profiles::{CapabilityUpgrade, DeepPass, EngineId, EngineProfile};

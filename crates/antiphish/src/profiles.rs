@@ -362,8 +362,7 @@ mod tests {
         for id in EngineId::all() {
             let p = EngineProfile::of(id);
             let confirms = p.dialog_policy == DialogPolicy::Confirm
-                || p
-                    .deep_pass
+                || p.deep_pass
                     .as_ref()
                     .is_some_and(|d| d.dialog_policy == DialogPolicy::Confirm);
             assert_eq!(confirms, id == EngineId::Gsb, "{id}");
@@ -396,7 +395,11 @@ mod tests {
         for id in EngineId::all() {
             let p = EngineProfile::of(id);
             let strong = p.classifier_mode == ClassifierMode::SignatureAndHeuristics;
-            assert_eq!(strong, matches!(id, EngineId::Gsb | EngineId::NetCraft), "{id}");
+            assert_eq!(
+                strong,
+                matches!(id, EngineId::Gsb | EngineId::NetCraft),
+                "{id}"
+            );
         }
     }
 
@@ -466,7 +469,10 @@ mod upgrade_tests {
         assert_eq!(p.dialog_policy, DialogPolicy::Confirm);
         assert!(p.submits_any_form);
         assert!(p.submits_login_forms);
-        assert!(matches!(p.captcha_solver, Some(SolverProfile::FarmService { .. })));
+        assert!(matches!(
+            p.captcha_solver,
+            Some(SolverProfile::FarmService { .. })
+        ));
         assert_eq!(p.form_path_detect_prob, 1.0);
     }
 

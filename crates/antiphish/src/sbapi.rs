@@ -209,7 +209,10 @@ mod tests {
         let list = list_with(&[&u], SimTime::from_mins(1));
         let server = SbServer::new(&list);
         let mut client = SbClient::default();
-        assert_eq!(client.check(&u, &server, SimTime::from_mins(5)), SbVerdict::Unsafe);
+        assert_eq!(
+            client.check(&u, &server, SimTime::from_mins(5)),
+            SbVerdict::Unsafe
+        );
     }
 
     #[test]
@@ -226,10 +229,7 @@ mod tests {
         }
         // With a 50-entry probe over a 1-entry list, 32-bit prefixes
         // should never collide: every trace is a local miss.
-        assert!(client
-            .traces
-            .iter()
-            .all(|t| *t == CheckTrace::LocalMiss));
+        assert!(client.traces.iter().all(|t| *t == CheckTrace::LocalMiss));
     }
 
     #[test]
@@ -326,11 +326,13 @@ mod tests {
         client.update(&server, SimTime::from_mins(2));
         // Inject the unlisted URL's prefix into the client set to
         // simulate a collision.
-        client
-            .prefixes
-            .insert(HashPrefix::of(full_hash(&unlisted)));
+        client.prefixes.insert(HashPrefix::of(full_hash(&unlisted)));
         let v = client.check(&unlisted, &server, SimTime::from_mins(3));
-        assert_eq!(v, SbVerdict::Safe, "collision must not produce a false positive");
+        assert_eq!(
+            v,
+            SbVerdict::Safe,
+            "collision must not produce a false positive"
+        );
         assert!(matches!(
             client.traces.last(),
             Some(CheckTrace::PrefixQuery(_))

@@ -140,15 +140,12 @@ impl VotingQueue {
     /// One voter examines one pending submission (round-robin over the
     /// unpublished queue). Returns the vote cast, if any work existed.
     pub fn vote_once(&mut self, voter: &VoterProfile, at: SimTime) -> Option<Vote> {
-        let idx = self
-            .pending
-            .iter()
-            .position(|p| p.published_at.is_none())?;
+        let idx = self.pending.iter().position(|p| p.published_at.is_none())?;
         // Deterministic per (queue rng); examine the submission.
         let diligent = self.rng.chance(voter.diligence);
         let sub = &self.pending[idx];
-        let saw_payload = sub.view.first_page_is_phishy
-            || (diligent && sub.view.gated_payload_reachable);
+        let saw_payload =
+            sub.view.first_page_is_phishy || (diligent && sub.view.gated_payload_reachable);
         let vote = if saw_payload && self.rng.chance(voter.accuracy_on_payload) {
             Vote::Phishing
         } else {

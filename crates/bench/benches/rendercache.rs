@@ -1,0 +1,61 @@
+//! Criterion benches over the crawl hot path's memoized pieces: a
+//! render-cache hit vs a full `Rendered::compute`, the body hash, and
+//! the classifier with and without a warm verdict. These are the
+//! micro-costs behind the `bench_baseline` wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use phishsim_antiphish::classify;
+use phishsim_browser::rendercache::{content_hash, RenderCache, Rendered};
+
+/// A representative phishing login page body.
+fn page_body() -> String {
+    let mut b = String::from(
+        "<html><head><title>PayPal - Log In</title>\
+         <link rel=\"icon\" href=\"/favicon.ico\"></head><body>",
+    );
+    for i in 0..40 {
+        b.push_str(&format!(
+            "<p>Secure account notice {i}: verify your information to \
+             restore access.</p><a href=\"/article-{i}.php\">more</a>"
+        ));
+    }
+    b.push_str(
+        "<form method=\"post\" action=\"/login.php\">\
+         <input type=\"text\" name=\"email\">\
+         <input type=\"password\" name=\"pass\">\
+         <button type=\"submit\">Log In</button></form>\
+         <img src=\"/logo.png\"></body></html>",
+    );
+    b
+}
+
+fn bench_render_path(c: &mut Criterion) {
+    let body = page_body();
+    let mut g = c.benchmark_group("rendercache");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.bench_function("content_hash", |b| {
+        b.iter(|| content_hash(black_box(&body)))
+    });
+    g.bench_function("compute_uncached", |b| {
+        b.iter(|| Rendered::compute(black_box(&body)))
+    });
+    let cache = RenderCache::new();
+    cache.render(&body); // warm
+    g.bench_function("cache_hit", |b| b.iter(|| cache.render(black_box(&body))));
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let body = page_body();
+    let rendered = Rendered::compute(&body);
+    let mut g = c.benchmark_group("classify");
+    g.bench_function("classify_summary", |b| {
+        b.iter(|| classify(black_box(&rendered.summary), black_box("evil-host.com")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_render_path, bench_classify);
+criterion_main!(benches);

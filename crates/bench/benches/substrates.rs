@@ -22,7 +22,10 @@ use phishsim_simnet::{DetRng, Scheduler, SimTime};
 fn bench_http_codec(c: &mut Criterion) {
     let req = Request::post_form(
         Url::https("victim-site.com", "/secure/login.php").with_param("step", "2"),
-        &[("login_email", "user@example.com"), ("login_pass", "hunter2")],
+        &[
+            ("login_email", "user@example.com"),
+            ("login_pass", "hunter2"),
+        ],
     )
     .with_user_agent(phishsim_http::UserAgent::Firefox.as_str());
     let wire = encode_request(&req);
@@ -61,10 +64,15 @@ fn bench_classifier(c: &mut Criterion) {
     let benign = PageSummary::from_html(&bundle.pages.values().next().unwrap().html);
     let mut g = c.benchmark_group("classifier");
     g.bench_function("classify_phishing_payload", |b| {
-        b.iter(|| classify(black_box(&phishing), "green-energy.com").score(ClassifierMode::SignatureAndHeuristics))
+        b.iter(|| {
+            classify(black_box(&phishing), "green-energy.com")
+                .score(ClassifierMode::SignatureAndHeuristics)
+        })
     });
     g.bench_function("classify_benign_cover", |b| {
-        b.iter(|| classify(black_box(&benign), "green-energy.com").score(ClassifierMode::SignatureOnly))
+        b.iter(|| {
+            classify(black_box(&benign), "green-energy.com").score(ClassifierMode::SignatureOnly)
+        })
     });
     g.finish();
 }
@@ -88,7 +96,10 @@ fn bench_scheduler(c: &mut Criterion) {
         b.iter(|| {
             let mut s: Scheduler<u32> = Scheduler::new();
             for i in 0..10_000u32 {
-                s.schedule_at(SimTime::from_millis(((i * 2_654_435_761) % 1_000_000) as u64), i);
+                s.schedule_at(
+                    SimTime::from_millis(((i * 2_654_435_761) % 1_000_000) as u64),
+                    i,
+                );
             }
             let mut n = 0;
             while s.pop().is_some() {

@@ -11,11 +11,12 @@
 //! cargo run --release -p phishsim-bench --bin ablation_capabilities
 //! ```
 
+use phishsim_antiphish::{classify, ClassifierMode};
 use phishsim_browser::{Browser, BrowserConfig, DialogPolicy};
 use phishsim_captcha::SolverProfile;
 use phishsim_core::deploy::deploy_armed_site;
+use phishsim_core::runner::run_sweep;
 use phishsim_core::World;
-use phishsim_antiphish::{classify, ClassifierMode};
 use phishsim_dns::DomainName;
 use phishsim_phishgen::{Brand, EvasionTechnique};
 use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
@@ -29,11 +30,46 @@ struct Caps {
 
 fn main() {
     let variants: [(&str, Caps); 5] = [
-        ("baseline (no capabilities)", Caps { dialogs: false, forms: false, captcha: false }),
-        ("+dialogs only", Caps { dialogs: true, forms: false, captcha: false }),
-        ("+forms only", Caps { dialogs: false, forms: true, captcha: false }),
-        ("+captcha-farm only", Caps { dialogs: false, forms: false, captcha: true }),
-        ("all three", Caps { dialogs: true, forms: true, captcha: true }),
+        (
+            "baseline (no capabilities)",
+            Caps {
+                dialogs: false,
+                forms: false,
+                captcha: false,
+            },
+        ),
+        (
+            "+dialogs only",
+            Caps {
+                dialogs: true,
+                forms: false,
+                captcha: false,
+            },
+        ),
+        (
+            "+forms only",
+            Caps {
+                dialogs: false,
+                forms: true,
+                captcha: false,
+            },
+        ),
+        (
+            "+captcha-farm only",
+            Caps {
+                dialogs: false,
+                forms: false,
+                captcha: true,
+            },
+        ),
+        (
+            "all three",
+            Caps {
+                dialogs: true,
+                forms: true,
+                captcha: true,
+            },
+        ),
     ];
     let techniques = [
         EvasionTechnique::AlertBox,
@@ -45,12 +81,16 @@ fn main() {
         "{:<30} {:>9} {:>9} {:>9}",
         "capability set", "AlertBox", "Session", "reCAPTCHA"
     );
+    // Every (capability set, technique) cell is an independent one-site
+    // simulation; fan the whole grid out through the sweep runner.
+    let grid: Vec<(Caps, EvasionTechnique)> = variants
+        .iter()
+        .flat_map(|(_, caps)| techniques.iter().map(move |t| (*caps, *t)))
+        .collect();
+    let cells = run_sweep(&grid, |&(caps, technique)| detects(caps, technique));
     let mut rows = Vec::new();
-    for (name, caps) in variants {
-        let mut detections = Vec::new();
-        for technique in techniques {
-            detections.push(detects(caps, technique));
-        }
+    for (v, (name, _)) in variants.iter().enumerate() {
+        let detections = &cells[v * techniques.len()..(v + 1) * techniques.len()];
         println!(
             "{:<30} {:>9} {:>9} {:>9}",
             name,
@@ -76,7 +116,11 @@ fn main() {
 }
 
 fn yn(b: bool) -> &'static str {
-    if b { "DETECT" } else { "miss" }
+    if b {
+        "DETECT"
+    } else {
+        "miss"
+    }
 }
 
 /// Would a crawler with `caps` detect a PayPal kit behind `technique`?
@@ -85,7 +129,12 @@ fn detects(caps: Caps, technique: EvasionTechnique) -> bool {
     let domain = DomainName::parse("prairie-signal.com").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
         .unwrap();
     let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, technique, SimTime::ZERO);
 

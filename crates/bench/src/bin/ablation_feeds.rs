@@ -12,6 +12,7 @@
 
 use phishsim_antiphish::{EngineId, FeedNetwork};
 use phishsim_core::experiment::{run_preliminary, PreliminaryConfig};
+use phishsim_core::runner::run_sweep;
 use phishsim_http::Url;
 use phishsim_simnet::{DetRng, SimTime};
 
@@ -31,9 +32,15 @@ fn main() {
         }
     }
 
-    println!("{:<14} {:<38} {:<38}", "Reported to", "Also blacklisted by (paper graph)", "Also blacklisted by (no edges)");
+    println!(
+        "{:<14} {:<38} {:<38}",
+        "Reported to", "Also blacklisted by (paper graph)", "Also blacklisted by (no edges)"
+    );
     let horizon = SimTime::from_hours(48);
-    for id in EngineId::all() {
+    // Both arms' "also blacklisted by" cells are pure reads against the
+    // two feed networks — compute every engine's row in parallel.
+    let engines = EngineId::all();
+    let table = run_sweep(&engines, |&id| {
         let urls: Vec<&Url> = with_edges
             .outcomes
             .iter()
@@ -49,14 +56,16 @@ fn main() {
                     }
                 }
             }
-            if v.is_empty() { "-".into() } else { v.join(", ") }
+            if v.is_empty() {
+                "-".into()
+            } else {
+                v.join(", ")
+            }
         };
-        println!(
-            "{:<14} {:<38} {:<38}",
-            id.display(),
-            carriers(&with_edges.feeds),
-            carriers(&isolated)
-        );
+        (carriers(&with_edges.feeds), carriers(&isolated))
+    });
+    for (id, (paper_graph, no_edges)) in engines.iter().zip(&table) {
+        println!("{:<14} {:<38} {:<38}", id.display(), paper_graph, no_edges);
     }
     println!(
         "\nWith the edges removed, every 'Also blacklisted by' cell collapses to '-':\n\

@@ -1,0 +1,128 @@
+//! Persistent performance baseline: `results/BENCH_1.json`.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin bench_baseline [--quick]
+//! ```
+//!
+//! Times the two single-run table harnesses with the render/verdict
+//! cache on and off, and a `run_sweep` seed sweep serially and at full
+//! parallelism, then writes a machine-readable record. Re-run after
+//! perf-relevant changes and compare against the committed baseline;
+//! `--quick` shrinks reps and the sweep size for CI-style smoke runs.
+//!
+//! The harness also cross-checks determinism: Table 2 cells must be
+//! identical with the cache on and off, and the sweep histogram must be
+//! identical at 1 thread and N threads. A mismatch aborts the run.
+
+use phishsim_antiphish::render_cache_enabled;
+use phishsim_bench::write_record;
+use phishsim_core::experiment::{
+    run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
+};
+use phishsim_core::runner::{run_sweep_with_threads, sweep_threads};
+use std::time::Instant;
+
+fn set_cache(on: bool) {
+    std::env::set_var("PHISHSIM_RENDER_CACHE", if on { "1" } else { "0" });
+    assert_eq!(render_cache_enabled(), on);
+}
+
+/// Best-of-`reps` paired wall times in milliseconds, cache on vs off.
+/// The two settings are interleaved within each rep so slow drift in
+/// background load hits both sides equally — unpaired best-of-N is
+/// dominated by that drift on busy machines.
+fn time_pair<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64, R, R) {
+    let mut run = |on: bool| {
+        set_cache(on);
+        let start = Instant::now();
+        let out = f();
+        (start.elapsed().as_secs_f64() * 1e3, out)
+    };
+    let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+    let (t, mut out_on) = run(true);
+    best_on = best_on.min(t);
+    let (t, mut out_off) = run(false);
+    best_off = best_off.min(t);
+    for _ in 1..reps {
+        let (t, o) = run(true);
+        best_on = best_on.min(t);
+        out_on = o;
+        let (t, o) = run(false);
+        best_off = best_off.min(t);
+        out_off = o;
+    }
+    set_cache(true);
+    (best_on, best_off, out_on, out_off)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let reps = if quick { 1 } else { 3 };
+    let sweep_seeds: u64 = if quick { 8 } else { 48 };
+    let threads = sweep_threads();
+    eprintln!(
+        "perf baseline: reps={reps}, sweep={sweep_seeds} seeds, {threads} threads{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // ---- single-run harnesses, cache on vs off ----
+    let (t1_on_ms, t1_off_ms, _, _) =
+        time_pair(reps, || run_preliminary(&PreliminaryConfig::paper()));
+    let (t2_on_ms, t2_off_ms, r2_on, r2_off) =
+        time_pair(reps, || run_main_experiment(&MainConfig::paper()));
+    assert_eq!(
+        r2_on.table.cells, r2_off.table.cells,
+        "cache on/off must not change Table 2"
+    );
+    println!("table1 (preliminary): cache on {t1_on_ms:.0} ms, off {t1_off_ms:.0} ms");
+    println!("table2 (main):        cache on {t2_on_ms:.0} ms, off {t2_off_ms:.0} ms");
+
+    // ---- sweep throughput, 1 thread vs N ----
+    let seeds: Vec<u64> = (0..sweep_seeds).collect();
+    let sweep_one = |seed: &u64| {
+        let r = run_main_experiment(&MainConfig {
+            seed: *seed,
+            ..MainConfig::fast()
+        });
+        r.table.total.hits
+    };
+    let start = Instant::now();
+    let serial = run_sweep_with_threads(&seeds, 1, sweep_one);
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let parallel = run_sweep_with_threads(&seeds, threads, sweep_one);
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial, parallel, "sweep must be thread-count invariant");
+    let speedup = serial_ms / parallel_ms;
+    println!(
+        "sweep ({sweep_seeds} runs): serial {serial_ms:.0} ms, {threads} threads {parallel_ms:.0} ms ({speedup:.2}x)"
+    );
+
+    write_record(
+        "BENCH_1",
+        &serde_json::json!({
+            "bench": "BENCH_1",
+            "quick": quick,
+            "reps": reps,
+            "threads": threads,
+            "single_run_ms": {
+                "table1_cache_on": t1_on_ms,
+                "table1_cache_off": t1_off_ms,
+                "table2_cache_on": t2_on_ms,
+                "table2_cache_off": t2_off_ms,
+                "table2_cache_speedup": t2_off_ms / t2_on_ms,
+            },
+            "sweep": {
+                "n_runs": sweep_seeds,
+                "serial_ms": serial_ms,
+                "parallel_ms": parallel_ms,
+                "speedup": speedup,
+                "runs_per_sec_parallel": sweep_seeds as f64 / (parallel_ms / 1e3),
+            },
+            "determinism": {
+                "table2_cache_on_off_identical": true,
+                "sweep_thread_count_invariant": true,
+            },
+        }),
+    );
+}

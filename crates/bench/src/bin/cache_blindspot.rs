@@ -3,26 +3,32 @@
 //! resend [the URL] to the server and serves instead the cached result
 //! usually valid for 5 to 60 minutes."
 //!
-//! For each cache TTL, we measure the *blind window*: how long a
-//! same-URL content swap (the reCAPTCHA kit's trick) stays invisible
-//! to a client that checked the URL while it was still benign — even
-//! when the URL gets blacklisted immediately after the swap.
+//! For each cache TTL (evaluated in parallel through the shared sweep
+//! runner — each TTL is an independent simulation), we measure the
+//! *blind window*: how long a same-URL content swap (the reCAPTCHA
+//! kit's trick) stays invisible to a client that checked the URL while
+//! it was still benign — even when the URL gets blacklisted immediately
+//! after the swap.
 //!
 //! ```text
 //! cargo run --release -p phishsim-bench --bin cache_blindspot
 //! ```
 
 use phishsim_browser::{Verdict, VerdictCache};
+use phishsim_core::runner::run_sweep;
 use phishsim_http::Url;
 use phishsim_simnet::{SimDuration, SimTime};
 
 fn main() {
-    let url = Url::parse("https://victim.example.com/account/verify.php").unwrap();
+    let ttls = [5u64, 10, 15, 30, 45, 60];
     println!("Verdict-cache blind spot vs cache TTL (probe every minute):");
-    println!("{:>10} {:>16} {:>22}", "TTL (min)", "blind window", "lookups suppressed");
+    println!(
+        "{:>10} {:>16} {:>22}",
+        "TTL (min)", "blind window", "lookups suppressed"
+    );
 
-    let mut rows = Vec::new();
-    for ttl_mins in [5u64, 10, 15, 30, 45, 60] {
+    let results = run_sweep(&ttls, |&ttl_mins| {
+        let url = Url::parse("https://victim.example.com/account/verify.php").unwrap();
         let mut cache = VerdictCache::new(SimDuration::from_mins(ttl_mins));
         let t_check = SimTime::from_mins(0);
         // The URL is checked (benign) at t=0; the payload swap and the
@@ -46,16 +52,15 @@ fn main() {
                 }
             }
         }
-        let blind = blind_until.since(listed_at);
-        println!(
-            "{:>10} {:>13} min {:>22}",
-            ttl_mins,
-            blind.as_mins(),
-            suppressed
-        );
+        (blind_until.since(listed_at).as_mins(), suppressed)
+    });
+
+    let mut rows = Vec::new();
+    for (&ttl_mins, (blind_mins, suppressed)) in ttls.iter().zip(&results) {
+        println!("{:>10} {:>13} min {:>22}", ttl_mins, blind_mins, suppressed);
         rows.push(serde_json::json!({
             "ttl_mins": ttl_mins,
-            "blind_window_mins": blind.as_mins(),
+            "blind_window_mins": blind_mins,
             "suppressed_lookups": suppressed,
         }));
     }

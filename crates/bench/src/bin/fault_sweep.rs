@@ -2,8 +2,9 @@
 //!
 //! The substrate follows smoltcp's fault-injection philosophy: every
 //! exchange can be dropped with a configurable probability. This sweep
-//! re-runs the main experiment across loss rates and reports how the
-//! detection totals degrade — a sanity check that the experiment
+//! re-runs the main experiment across loss rates — in parallel, one
+//! worker per loss rate via the shared sweep runner — and reports how
+//! the detection totals degrade: a sanity check that the experiment
 //! framework fails *soft* (lost crawls mean missed detections, never
 //! crashes or phantom results).
 //!
@@ -12,42 +13,57 @@
 //! ```
 
 use phishsim_core::experiment::{run_main_experiment, MainConfig};
+use phishsim_core::runner::run_sweep;
 use phishsim_simnet::FaultInjector;
 
 fn main() {
+    let drops = [0.0f64, 0.2, 0.4, 0.6, 0.8];
     println!("Main experiment vs network loss rate:");
     println!(
         "{:>10} {:>12} {:>14} {:>16}",
         "drop rate", "detected", "GSB alert", "NetCraft session"
     );
-    let mut rows = Vec::new();
-    for drop in [0.0, 0.2, 0.4, 0.6, 0.8] {
+
+    let results = run_sweep(&drops, |&drop| {
         let mut config = MainConfig::fast();
         config.faults = FaultInjector::lossy(drop);
         let r = run_main_experiment(&config);
-        let gsb_alert: u64 = [phishsim_phishgen::Brand::Facebook, phishsim_phishgen::Brand::PayPal]
-            .iter()
-            .map(|b| {
-                r.table
-                    .cell(
-                        phishsim_antiphish::EngineId::Gsb,
-                        *b,
-                        phishsim_phishgen::EvasionTechnique::AlertBox,
-                    )
-                    .hits
-            })
-            .sum();
+        let gsb_alert: u64 = [
+            phishsim_phishgen::Brand::Facebook,
+            phishsim_phishgen::Brand::PayPal,
+        ]
+        .iter()
+        .map(|b| {
+            r.table
+                .cell(
+                    phishsim_antiphish::EngineId::Gsb,
+                    *b,
+                    phishsim_phishgen::EvasionTechnique::AlertBox,
+                )
+                .hits
+        })
+        .sum();
         let nc_session = r.table.netcraft_session_delays_mins.len();
+        (
+            r.table.total.as_cell(),
+            r.table.total.hits,
+            gsb_alert,
+            nc_session,
+        )
+    });
+
+    let mut rows = Vec::new();
+    for (&drop, (cell, hits, gsb_alert, nc_session)) in drops.iter().zip(&results) {
         println!(
             "{:>9.0}% {:>12} {:>11}/6 {:>14}/6",
             drop * 100.0,
-            r.table.total.as_cell(),
+            cell,
             gsb_alert,
             nc_session
         );
         rows.push(serde_json::json!({
             "drop_rate": drop,
-            "detected": r.table.total.hits,
+            "detected": hits,
             "gsb_alert": gsb_alert,
             "netcraft_session": nc_session,
         }));

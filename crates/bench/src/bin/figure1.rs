@@ -10,7 +10,7 @@
 //! ```
 
 use phishsim_bench::render_page_state;
-use phishsim_browser::{Browser, BrowserConfig, BrowseStep, DialogPolicy};
+use phishsim_browser::{BrowseStep, Browser, BrowserConfig, DialogPolicy};
 use phishsim_core::deploy::deploy_armed_site;
 use phishsim_core::World;
 use phishsim_dns::DomainName;
@@ -22,9 +22,20 @@ fn main() {
     let domain = DomainName::parse("summit-light.com").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
         .unwrap();
-    let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::AlertBox, SimTime::ZERO);
+    let dep = deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::PayPal,
+        EvasionTechnique::AlertBox,
+        SimTime::ZERO,
+    );
     println!("Figure 1 — Alert box evasion ({})\n", dep.url);
 
     // Top of the figure: what every first GET returns.
@@ -36,7 +47,13 @@ fn main() {
     let cover = fetcher
         .visit(&mut world, &dep.url, SimTime::from_mins(1))
         .unwrap();
-    println!("{}", render_page_state("page state 1: first load (benign cover + modal)", &cover.html));
+    println!(
+        "{}",
+        render_page_state(
+            "page state 1: first load (benign cover + modal)",
+            &cover.html
+        )
+    );
 
     // The interaction: a dialog-confirming client (a human, or GSB).
     let mut config = BrowserConfig::human_firefox();
@@ -57,7 +74,13 @@ fn main() {
             _ => {}
         }
     }
-    println!("{}", render_page_state("page state 2: after confirming (Figure 1 bottom)", &payload.html));
+    println!(
+        "{}",
+        render_page_state(
+            "page state 2: after confirming (Figure 1 bottom)",
+            &payload.html
+        )
+    );
 
     // The defender's problem: a client that ignores dialogs never moves on.
     let mut bot = Browser::new(
@@ -65,7 +88,9 @@ fn main() {
         Ipv4Sim::new(20, 40, 0, 2),
         "bot",
     );
-    let stuck = bot.visit(&mut world, &dep.url, SimTime::from_mins(3)).unwrap();
+    let stuck = bot
+        .visit(&mut world, &dep.url, SimTime::from_mins(3))
+        .unwrap();
     println!(
         "A crawler that cannot interact with dialogs stays on the benign page \
          (login form present: {}).",

@@ -9,12 +9,12 @@
 //! ```
 
 use phishsim_bench::render_page_state;
+use phishsim_browser::Transport;
 use phishsim_browser::{Browser, BrowserConfig};
 use phishsim_core::deploy::deploy_armed_site;
 use phishsim_core::World;
 use phishsim_dns::DomainName;
 use phishsim_http::Request;
-use phishsim_browser::Transport;
 use phishsim_phishgen::{Brand, EvasionTechnique};
 use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
 
@@ -23,9 +23,20 @@ fn main() {
     let domain = DomainName::parse("vivid-journey.net").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
         .unwrap();
-    let dep = deploy_armed_site(&mut world, &domain, Brand::Facebook, EvasionTechnique::SessionGate, SimTime::ZERO);
+    let dep = deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::Facebook,
+        EvasionTechnique::SessionGate,
+        SimTime::ZERO,
+    );
     println!("Figure 2 — Session-based evasion ({})\n", dep.url);
 
     // Page state 1: the cover, planting a session.
@@ -37,7 +48,10 @@ fn main() {
     let cover = visitor
         .visit(&mut world, &dep.url, SimTime::from_mins(1))
         .unwrap();
-    println!("{}", render_page_state("page state 1: cover page (Figure 2 top)", &cover.html));
+    println!(
+        "{}",
+        render_page_state("page state 1: cover page (Figure 2 top)", &cover.html)
+    );
     println!(
         "  [Set-Cookie planted a PHP session: {}]\n  [visitor presses \"Join Chat\"]\n",
         visitor
@@ -52,14 +66,28 @@ fn main() {
     let payload = visitor
         .submit_form(&mut world, &cover, &form, "", SimTime::from_mins(2))
         .unwrap();
-    println!("{}", render_page_state("page state 2: after Join Chat (Figure 2 bottom)", &payload.html));
+    println!(
+        "{}",
+        render_page_state(
+            "page state 2: after Join Chat (Figure 2 bottom)",
+            &payload.html
+        )
+    );
 
     // The gate: a direct POST without the session gets the cover again.
     let blind = Request::post_form(dep.url.clone(), &[("proceed", "1")]);
     let (resp, _) = world
-        .fetch(Ipv4Sim::new(20, 40, 0, 9), "bot", &blind, SimTime::from_mins(3))
+        .fetch(
+            Ipv4Sim::new(20, 40, 0, 9),
+            "bot",
+            &blind,
+            SimTime::from_mins(3),
+        )
         .unwrap();
-    println!("{}", render_page_state("control: POST without a session (bot's view)", &resp.body));
+    println!(
+        "{}",
+        render_page_state("control: POST without a session (bot's view)", &resp.body)
+    );
 
     let record = serde_json::json!({
         "experiment": "figure2",

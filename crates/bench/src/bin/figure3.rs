@@ -22,9 +22,20 @@ fn main() {
     let domain = DomainName::parse("quantum-harbor.org").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
         .unwrap();
-    let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::CaptchaGate, SimTime::ZERO);
+    let dep = deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::PayPal,
+        EvasionTechnique::CaptchaGate,
+        SimTime::ZERO,
+    );
     println!("Figure 3 — Google reCAPTCHA evasion ({})\n", dep.url);
 
     // Page state 1: the challenge page (note: no HTML form tag at all).
@@ -36,7 +47,13 @@ fn main() {
     let challenge = crawler
         .visit(&mut world, &dep.url, SimTime::from_mins(1))
         .unwrap();
-    println!("{}", render_page_state("page state 1: challenge page (Figure 3 top)", &challenge.html));
+    println!(
+        "{}",
+        render_page_state(
+            "page state 1: challenge page (Figure 3 top)",
+            &challenge.html
+        )
+    );
 
     // The browser's Safe-Browsing client checks the URL now — benign.
     let mut human = Browser::new(
@@ -47,13 +64,25 @@ fn main() {
     .with_captcha_provider(world.captcha.clone());
     let t_check = SimTime::from_mins(2);
     human.sb_cache.store(&dep.url, Verdict::Safe, t_check);
-    println!("  [SB client checks the URL -> Safe; verdict cached for {}]", human.sb_cache.ttl());
+    println!(
+        "  [SB client checks the URL -> Safe; verdict cached for {}]",
+        human.sb_cache.ttl()
+    );
     println!("  [visitor ticks the checkbox and solves the challenge]\n");
 
     // Page state 2: same URL, now the payload.
     let payload = human.visit(&mut world, &dep.url, t_check).unwrap();
-    println!("{}", render_page_state("page state 2: after solving — same URL (Figure 3 bottom)", &payload.html));
-    assert_eq!(payload.url, dep.url, "no redirection: the URL never changes");
+    println!(
+        "{}",
+        render_page_state(
+            "page state 2: after solving — same URL (Figure 3 bottom)",
+            &payload.html
+        )
+    );
+    assert_eq!(
+        payload.url, dep.url,
+        "no redirection: the URL never changes"
+    );
 
     // §2.4's consequence: the cached verdict still says Safe.
     let after_solve = t_check + payload.elapsed;

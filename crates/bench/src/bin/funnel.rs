@@ -30,15 +30,40 @@ fn main() {
 
     let f = r.funnel;
     println!("Domain-acquisition funnel (paper §3)     measured   paper");
-    println!("  Alexa domains scanned               {:>10}   1,000,000", f.scanned);
-    println!("  1. SOA/NS scan -> NXDOMAIN          {:>10}   770", f.nxdomain);
-    println!("  2. registrar availability APIs      {:>10}   251", f.available);
-    println!("  3. WHOIS 'NOT FOUND'                {:>10}   244", f.whois_not_found);
-    println!("  4. VT + GSB history clean           {:>10}   244", f.clean_history);
-    println!("  5. archived at least once           {:>10}   50", f.archived);
-    println!("  6. indexed at least once            {:>10}   50", f.indexed);
+    println!(
+        "  Alexa domains scanned               {:>10}   1,000,000",
+        f.scanned
+    );
+    println!(
+        "  1. SOA/NS scan -> NXDOMAIN          {:>10}   770",
+        f.nxdomain
+    );
+    println!(
+        "  2. registrar availability APIs      {:>10}   251",
+        f.available
+    );
+    println!(
+        "  3. WHOIS 'NOT FOUND'                {:>10}   244",
+        f.whois_not_found
+    );
+    println!(
+        "  4. VT + GSB history clean           {:>10}   244",
+        f.clean_history
+    );
+    println!(
+        "  5. archived at least once           {:>10}   50",
+        f.archived
+    );
+    println!(
+        "  6. indexed at least once            {:>10}   50",
+        f.indexed
+    );
     println!();
-    let new_gtld = r.random.iter().filter(|d| d.tld_kind() == TldKind::NewGtld).count();
+    let new_gtld = r
+        .random
+        .iter()
+        .filter(|d| d.tld_kind() == TldKind::NewGtld)
+        .count();
     println!(
         "Registered: {} drop-catch + {} random ({} new gTLD, {} legacy) = {} domains",
         r.drop_catch.len(),
@@ -52,7 +77,10 @@ fn main() {
         r.max_daily_registrations, config.registration_days
     );
     println!("Scan wall-clock: {elapsed:.2?}");
-    println!("\nSample selections: {:?}", &r.drop_catch[..5.min(r.drop_catch.len())]);
+    println!(
+        "\nSample selections: {:?}",
+        &r.drop_catch[..5.min(r.drop_catch.len())]
+    );
 
     let record = serde_json::json!({
         "experiment": "funnel",

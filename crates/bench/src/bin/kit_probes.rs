@@ -45,7 +45,10 @@ fn main() {
     );
     println!("\nProbe taxonomy (the paper's three categories + crawl):");
     for (label, n) in &counts {
-        println!("  {label:<32} {n:>8}  ({:.1}%)", *n as f64 * 100.0 / paths.len().max(1) as f64);
+        println!(
+            "  {label:<32} {n:>8}  ({:.1}%)",
+            *n as f64 * 100.0 / paths.len().max(1) as f64
+        );
     }
     println!("\nMost-probed attack paths:");
     let mut top: Vec<(String, usize)> = top.into_iter().collect();

@@ -1,12 +1,15 @@
 //! PhishTime-style longitudinal study: the evasion techniques
 //! re-deployed in weekly waves, with and without a mid-study
-//! mitigation rollout.
+//! mitigation rollout. The two study arms are independent full
+//! simulations, so they run concurrently through the shared sweep
+//! runner.
 //!
 //! ```text
 //! cargo run --release -p phishsim-bench --bin longitudinal
 //! ```
 
 use phishsim_core::experiment::{run_longitudinal, LongitudinalConfig};
+use phishsim_core::runner::run_sweep;
 use phishsim_phishgen::EvasionTechnique;
 
 fn print_series(label: &str, r: &phishsim_core::experiment::LongitudinalResult) {
@@ -21,19 +24,26 @@ fn print_series(label: &str, r: &phishsim_core::experiment::LongitudinalResult) 
     );
     for technique in EvasionTechnique::main_experiment() {
         let series = r.series(technique);
-        let cells: Vec<String> = series.iter().map(|v| format!("{:>4.0}%", v * 100.0)).collect();
+        let cells: Vec<String> = series
+            .iter()
+            .map(|v| format!("{:>4.0}%", v * 100.0))
+            .collect();
         println!("  {:<12} {}", technique.to_string(), cells.join(" "));
     }
     println!();
 }
 
 fn main() {
-    eprintln!("running six weekly waves, status quo...");
-    let status_quo = run_longitudinal(&LongitudinalConfig::status_quo());
-    print_series("Status quo (2020 engine capabilities):", &status_quo);
+    eprintln!("running both six-wave arms (status quo, wave-3 rollout) in parallel...");
+    let arms = [
+        LongitudinalConfig::status_quo(),
+        LongitudinalConfig::with_midstudy_upgrade(),
+    ];
+    let mut results = run_sweep(&arms, run_longitudinal);
+    let upgraded = results.pop().expect("two arms");
+    let status_quo = results.pop().expect("two arms");
 
-    eprintln!("running six weekly waves with a wave-3 mitigation rollout...");
-    let upgraded = run_longitudinal(&LongitudinalConfig::with_midstudy_upgrade());
+    print_series("Status quo (2020 engine capabilities):", &status_quo);
     print_series("Server-side mitigations rolled out at week 3:", &upgraded);
 
     println!(

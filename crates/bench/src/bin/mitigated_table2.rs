@@ -21,7 +21,10 @@ use phishsim_core::experiment::{run_main_experiment, MainConfig};
 fn main() {
     let variants: [(&str, Option<CapabilityUpgrade>); 3] = [
         ("as measured (paper)", None),
-        ("server-side fixes", Some(CapabilityUpgrade::server_side_only())),
+        (
+            "server-side fixes",
+            Some(CapabilityUpgrade::server_side_only()),
+        ),
         ("+ CAPTCHA farm", Some(CapabilityUpgrade::full())),
     ];
 

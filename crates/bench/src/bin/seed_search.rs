@@ -1,16 +1,34 @@
 //! Search for a DEFAULT_SEED that reproduces Table 2 exactly.
+//!
+//! Seeds are checked in parallel batches through the shared sweep
+//! runner; the first matching seed (in numeric order) wins, and the
+//! search stops at the end of the first batch that contains a match.
 
 use phishsim_bench::seedsearch::seed_matches_table2;
+use phishsim_core::runner::{run_sweep, sweep_threads};
 
 fn main() {
-    let from: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let to: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200);
-    for seed in from..to {
-        if seed_matches_table2(seed) {
-            println!("MATCH seed={seed}");
+    let from: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let to: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let batch = (sweep_threads() * 4).max(8) as u64;
+
+    let mut lo = from;
+    while lo < to {
+        let hi = (lo + batch).min(to);
+        let seeds: Vec<u64> = (lo..hi).collect();
+        let matches = run_sweep(&seeds, |&seed| seed_matches_table2(seed));
+        if let Some(i) = matches.iter().position(|&m| m) {
+            println!("MATCH seed={}", seeds[i]);
             return;
         }
-        eprintln!("seed {seed}: no");
+        eprintln!("seeds {lo}..{hi}: no match");
+        lo = hi;
     }
     println!("no match in {from}..{to}");
 }

@@ -3,10 +3,10 @@
 //!
 //! The main experiment has exactly one stochastic cell family —
 //! NetCraft's unreliable post-form-submission classification. This
-//! harness runs the experiment across many seeds **in parallel**
-//! (crossbeam scoped threads; every other run is fully independent and
-//! deterministic) and reports the distribution of the headline
-//! numbers.
+//! harness runs the experiment across many seeds **in parallel** through
+//! the shared sweep runner (`phishsim_core::runner`; every run is fully
+//! independent and deterministic) and reports the distribution of the
+//! headline numbers.
 //!
 //! ```text
 //! cargo run --release -p phishsim-bench --bin seed_sensitivity [n_seeds]
@@ -14,57 +14,32 @@
 
 use phishsim_antiphish::EngineId;
 use phishsim_core::experiment::{run_main_experiment, MainConfig};
+use phishsim_core::runner::{run_sweep, sweep_threads};
 use phishsim_phishgen::{Brand, EvasionTechnique};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 fn main() {
     let n_seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(48);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
-    eprintln!("running {n_seeds} seeds on {threads} threads...");
+    eprintln!("running {n_seeds} seeds on {} threads...", sweep_threads());
 
-    let results: Mutex<Vec<(u64, u64, u64)>> = Mutex::new(Vec::new());
-    let next: Mutex<u64> = Mutex::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let seed = {
-                    let mut n = next.lock().expect("lock");
-                    if *n >= n_seeds {
-                        return;
-                    }
-                    let s = *n;
-                    *n += 1;
-                    s
-                };
-                let mut config = MainConfig::fast();
-                config.seed = seed;
-                let r = run_main_experiment(&config);
-                let nc_sessions: u64 = [Brand::Facebook, Brand::PayPal]
-                    .iter()
-                    .map(|b| {
-                        r.table
-                            .cell(EngineId::NetCraft, *b, EvasionTechnique::SessionGate)
-                            .hits
-                    })
-                    .sum();
-                results
-                    .lock()
-                    .expect("lock")
-                    .push((seed, r.table.total.hits, nc_sessions));
-            });
-        }
-    })
-    .expect("threads join");
-
-    let mut rows = results.into_inner().expect("lock");
-    rows.sort();
+    let seeds: Vec<u64> = (0..n_seeds).collect();
+    let rows: Vec<(u64, u64, u64)> = run_sweep(&seeds, |&seed| {
+        let mut config = MainConfig::fast();
+        config.seed = seed;
+        let r = run_main_experiment(&config);
+        let nc_sessions: u64 = [Brand::Facebook, Brand::PayPal]
+            .iter()
+            .map(|b| {
+                r.table
+                    .cell(EngineId::NetCraft, *b, EvasionTechnique::SessionGate)
+                    .hits
+            })
+            .sum();
+        (seed, r.table.total.hits, nc_sessions)
+    });
 
     let mut total_hist: BTreeMap<u64, u64> = BTreeMap::new();
     let mut session_hist: BTreeMap<u64, u64> = BTreeMap::new();

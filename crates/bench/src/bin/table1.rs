@@ -13,7 +13,10 @@ fn main() {
     } else {
         PreliminaryConfig::paper()
     };
-    eprintln!("running the preliminary test (volume x{})...", config.volume_scale);
+    eprintln!(
+        "running the preliminary test (volume x{})...",
+        config.volume_scale
+    );
     let r = run_preliminary(&config);
 
     println!("{}", r.table.render());

@@ -14,7 +14,10 @@ fn main() {
     } else {
         MainConfig::paper()
     };
-    eprintln!("running the main experiment (105 URLs, volume x{})...", config.volume_scale);
+    eprintln!(
+        "running the main experiment (105 URLs, volume x{})...",
+        config.volume_scale
+    );
     let r = run_main_experiment(&config);
 
     println!("{}", r.table.render());

@@ -15,7 +15,10 @@ fn main() {
     if std::env::args().any(|a| a == "fast") {
         config.volume_scale = 0.05;
     }
-    eprintln!("running the main experiment for its traffic log (volume x{})...", config.volume_scale);
+    eprintln!(
+        "running the main experiment for its traffic log (volume x{})...",
+        config.volume_scale
+    );
     let r = run_main_experiment(&config);
 
     // Aggregate arrival histogram over all hosts, offset from each

@@ -70,7 +70,11 @@ pub fn render_page_state(label: &str, html: &str) -> String {
     }
     out.push_str(&format!(
         "│ verdict : {}\n",
-        if s.has_login_form() { "PHISHING PAYLOAD (credential form)" } else { "benign" }
+        if s.has_login_form() {
+            "PHISHING PAYLOAD (credential form)"
+        } else {
+            "benign"
+        }
     ));
     out.push_str("└──\n");
     out

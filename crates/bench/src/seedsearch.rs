@@ -1,8 +1,8 @@
 //! Seed calibration: find seeds whose main-experiment run lands the
 //! stochastic cells on the paper's exact values.
 
-use phishsim_core::experiment::{run_main_experiment, MainConfig};
 use phishsim_antiphish::EngineId;
+use phishsim_core::experiment::{run_main_experiment, MainConfig};
 use phishsim_phishgen::{Brand, EvasionTechnique};
 
 /// Whether `seed` reproduces Table 2 exactly (NetCraft session:
@@ -11,7 +11,15 @@ pub fn seed_matches_table2(seed: u64) -> bool {
     let mut cfg = MainConfig::fast();
     cfg.seed = seed;
     let r = run_main_experiment(&cfg);
-    let f = r.table.cell(EngineId::NetCraft, Brand::Facebook, EvasionTechnique::SessionGate);
-    let p = r.table.cell(EngineId::NetCraft, Brand::PayPal, EvasionTechnique::SessionGate);
+    let f = r.table.cell(
+        EngineId::NetCraft,
+        Brand::Facebook,
+        EvasionTechnique::SessionGate,
+    );
+    let p = r.table.cell(
+        EngineId::NetCraft,
+        Brand::PayPal,
+        EvasionTechnique::SessionGate,
+    );
     f.hits == 2 && p.hits == 0 && r.table.total.hits == 8
 }

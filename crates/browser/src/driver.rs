@@ -8,11 +8,12 @@
 //! [`BrowseStep`], which is what the experiment's log analysis and the
 //! figure harnesses consume.
 
+use crate::rendercache::{RenderCache, Rendered};
 use crate::sbcache::VerdictCache;
 use crate::transport::{FetchError, Transport};
 use parking_lot::Mutex;
-use phishsim_captcha::{find_widget, CaptchaProvider, SolverProfile};
-use phishsim_html::{Document, FormInfo, PageSummary, ScriptEffect};
+use phishsim_captcha::{CaptchaProvider, SolverProfile};
+use phishsim_html::{FormInfo, PageSummary, ScriptEffect};
 use phishsim_http::{CookieJar, Request, Response, Status, Url};
 use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -129,8 +130,12 @@ pub struct PageView {
     pub status: Status,
     /// Final HTML.
     pub html: String,
-    /// Summary of the final page.
-    pub summary: PageSummary,
+    /// Content hash of the final HTML (the render-cache key), reusable
+    /// as a memoization key for downstream per-body work such as
+    /// classification.
+    pub body_hash: u64,
+    /// Summary of the final page, shared with the render cache.
+    pub summary: Arc<PageSummary>,
     /// Everything that happened, in order.
     pub steps: Vec<BrowseStep>,
     /// Simulated time the visit consumed (network + effect delays).
@@ -160,6 +165,8 @@ pub struct Browser {
     /// Provider used to attempt CAPTCHA challenges, when present in the
     /// environment.
     pub captcha_provider: Option<Arc<Mutex<CaptchaProvider>>>,
+    /// Shared render cache; without one, every page is parsed directly.
+    render_cache: Option<Arc<RenderCache>>,
     history: Vec<Url>,
 }
 
@@ -173,6 +180,7 @@ impl Browser {
             src,
             actor: actor.to_string(),
             captcha_provider: None,
+            render_cache: None,
             history: Vec::new(),
         }
     }
@@ -181,6 +189,22 @@ impl Browser {
     pub fn with_captcha_provider(mut self, p: Arc<Mutex<CaptchaProvider>>) -> Self {
         self.captcha_provider = Some(p);
         self
+    }
+
+    /// Attach a shared render cache (builder style). Browsers spawned by
+    /// the same engine share one cache so repeat visits to an unchanged
+    /// body parse it only once.
+    pub fn with_render_cache(mut self, cache: Arc<RenderCache>) -> Self {
+        self.render_cache = Some(cache);
+        self
+    }
+
+    /// Render a body through the shared cache, or directly without one.
+    fn render(&self, body: &str) -> Arc<Rendered> {
+        match &self.render_cache {
+            Some(cache) => cache.render(body),
+            None => Arc::new(Rendered::compute(body)),
+        }
     }
 
     /// Visit history.
@@ -205,9 +229,16 @@ impl Browser {
         let req = self.build_request(req, *now);
         let (resp, rtt) = t.fetch(self.src, &self.actor, &req, *now)?;
         *now += rtt;
-        let cookies = resp.set_cookies().into_iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        self.jar
-            .ingest(&cookies.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &host, *now);
+        let cookies = resp
+            .set_cookies()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        self.jar.ingest(
+            &cookies.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            &host,
+            *now,
+        );
         Ok(resp)
     }
 
@@ -247,22 +278,23 @@ impl Browser {
     ) -> Result<PageView, FetchError> {
         let mut now = start;
         let mut steps = Vec::new();
-        let (mut current, mut resp) =
-            self.fetch_following(t, url.clone(), &mut now, &mut steps)?;
+        let (mut current, mut resp) = self.fetch_following(t, url.clone(), &mut now, &mut steps)?;
         steps.push(BrowseStep::Loaded {
             url: current.to_string(),
             status: resp.status.code(),
         });
 
+        // One render per body: the parse, summary extraction and widget
+        // scan are a single (cacheable) product instead of three
+        // independent passes per effect round.
+        let mut rendered = self.render(&resp.body);
         for _round in 0..self.config.max_effect_rounds {
-            let doc = Document::parse(&resp.body);
-            let effects = ScriptEffect::extract(&doc);
-            let widget = find_widget(&resp.body);
-            if effects.is_empty() && widget.is_none() {
+            if rendered.effects.is_empty() && rendered.widget.is_none() {
                 break;
             }
+            let widget = rendered.widget.clone();
             let mut acted = false;
-            for effect in effects {
+            for effect in rendered.effects.iter() {
                 match effect {
                     ScriptEffect::AlertConfirm {
                         message,
@@ -276,7 +308,7 @@ impl Browser {
                         }
                         // The dialog opens after the kit's delay and
                         // blocks until handled.
-                        now += SimDuration::from_millis(delay_ms);
+                        now += SimDuration::from_millis(*delay_ms);
                         steps.push(BrowseStep::DialogOpened {
                             message: message.clone(),
                         });
@@ -340,8 +372,8 @@ impl Browser {
                         }
                     }
                     ScriptEffect::AutoRedirect { to, delay_ms } => {
-                        now += SimDuration::from_millis(delay_ms);
-                        let next = resolve_location(&current, &to)
+                        now += SimDuration::from_millis(*delay_ms);
+                        let next = resolve_location(&current, to)
                             .ok_or_else(|| FetchError::BadRedirect(to.clone()))?;
                         steps.push(BrowseStep::AutoRedirected {
                             to: next.to_string(),
@@ -362,21 +394,25 @@ impl Browser {
             // to do this round.
             if !acted {
                 if widget.is_some()
-                    && !steps.iter().any(|s| matches!(s, BrowseStep::CaptchaPresent))
+                    && !steps
+                        .iter()
+                        .any(|s| matches!(s, BrowseStep::CaptchaPresent))
                 {
                     steps.push(BrowseStep::CaptchaPresent);
                 }
                 break;
             }
+            // An interaction replaced the page; render the new body.
+            rendered = self.render(&resp.body);
         }
 
         self.history.push(current.clone());
-        let summary = PageSummary::from_html(&resp.body);
         Ok(PageView {
             url: current,
             status: resp.status,
             html: resp.body,
-            summary,
+            body_hash: rendered.body_hash,
+            summary: Arc::clone(&rendered.summary),
             steps,
             elapsed: now.since(start),
         })
@@ -425,8 +461,7 @@ impl Browser {
         // Follow a post-submit redirect if the server issues one.
         let (final_url, resp) = if resp.location().is_some() {
             let loc = resp.location().unwrap().to_string();
-            let next = resolve_location(&action_url, &loc)
-                .ok_or(FetchError::BadRedirect(loc))?;
+            let next = resolve_location(&action_url, &loc).ok_or(FetchError::BadRedirect(loc))?;
             steps.push(BrowseStep::Redirected {
                 to: next.to_string(),
             });
@@ -440,10 +475,12 @@ impl Browser {
             status: resp.status.code(),
         });
         self.history.push(final_url.clone());
+        let rendered = self.render(&resp.body);
         Ok(PageView {
             url: final_url,
             status: resp.status,
-            summary: PageSummary::from_html(&resp.body),
+            body_hash: rendered.body_hash,
+            summary: Arc::clone(&rendered.summary),
             html: resp.body,
             steps,
             elapsed: now.since(start),
@@ -486,7 +523,9 @@ mod tests {
     fn resolve_location_variants() {
         let base = Url::parse("https://h.com/a/b.php").unwrap();
         assert_eq!(
-            resolve_location(&base, "https://x.com/p").unwrap().to_string(),
+            resolve_location(&base, "https://x.com/p")
+                .unwrap()
+                .to_string(),
             "https://x.com/p"
         );
         assert_eq!(
@@ -544,12 +583,12 @@ mod tests {
         let mut v = VirtualHosting::new();
         v.install(
             "c.com",
-            Box::new(|req: &Request, _: &RequestCtx| {
-                match req.headers.get("Cookie") {
+            Box::new(
+                |req: &Request, _: &RequestCtx| match req.headers.get("Cookie") {
                     Some(c) => Response::html(format!("cookie:{c}")),
                     None => Response::html("no-cookie").with_set_cookie("sid=xyz; Path=/"),
-                }
-            }),
+                },
+            ),
         );
         let mut t = DirectTransport::new(v);
         let mut b = browser(DialogPolicy::Ignore);
@@ -649,8 +688,7 @@ mod tests {
 
     #[test]
     fn captcha_without_solver_only_recognised() {
-        let widget =
-            "<div class=\"g-recaptcha\" data-sitekey=\"6Labc\"></div>\
+        let widget = "<div class=\"g-recaptcha\" data-sitekey=\"6Labc\"></div>\
              <script data-sim-effect=\"captcha-callback\"></script>";
         let mut v = VirtualHosting::new();
         let page = format!("<html><body>{widget}</body></html>");
@@ -676,8 +714,10 @@ mod tests {
         );
         let mut t = DirectTransport::new(v);
         let mut b = browser(DialogPolicy::Ignore);
-        b.visit(&mut t, &Url::https("h.com", "/a"), SimTime::ZERO).unwrap();
-        b.visit(&mut t, &Url::https("h.com", "/b"), SimTime::ZERO).unwrap();
+        b.visit(&mut t, &Url::https("h.com", "/a"), SimTime::ZERO)
+            .unwrap();
+        b.visit(&mut t, &Url::https("h.com", "/b"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(b.history().len(), 2);
         assert_eq!(b.history()[1].path, "/b");
     }

@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod rendercache;
 pub mod sbcache;
 pub mod transport;
 
-pub use driver::{Browser, BrowserConfig, BrowseStep, DialogPolicy, PageView};
+pub use driver::{BrowseStep, Browser, BrowserConfig, DialogPolicy, PageView};
+pub use rendercache::{RenderCache, Rendered};
 pub use sbcache::{Verdict, VerdictCache};
 pub use transport::{FetchError, Transport};

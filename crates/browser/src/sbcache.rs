@@ -131,7 +131,10 @@ mod tests {
         let t0 = SimTime::from_mins(10);
         assert_eq!(c.lookup(&u, t0), None);
         c.store(&u, Verdict::Safe, t0);
-        assert_eq!(c.lookup(&u, t0 + SimDuration::from_mins(29)), Some(Verdict::Safe));
+        assert_eq!(
+            c.lookup(&u, t0 + SimDuration::from_mins(29)),
+            Some(Verdict::Safe)
+        );
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
     }
@@ -162,7 +165,11 @@ mod tests {
         let mut c = VerdictCache::new(SimDuration::from_mins(30));
         let u = url("https://victim.com/account/verify.php");
         let page_load = SimTime::from_mins(0);
-        assert_eq!(c.lookup(&u, page_load), None, "first load checks the server");
+        assert_eq!(
+            c.lookup(&u, page_load),
+            None,
+            "first load checks the server"
+        );
         c.store(&u, Verdict::Safe, page_load);
         // 45 seconds later the payload replaces the page content at the
         // same URL; the cached verdict hides it.

@@ -250,7 +250,9 @@ mod tests {
         assert!(t.is_some());
         // Automation never passes.
         for _ in 0..50 {
-            assert!(p.attempt(&site, &SolverProfile::AutomatedBrowser, now).is_none());
+            assert!(p
+                .attempt(&site, &SolverProfile::AutomatedBrowser, now)
+                .is_none());
             assert!(p.attempt(&site, &SolverProfile::HeadlessBot, now).is_none());
         }
     }

@@ -139,7 +139,10 @@ mod tests {
 
     fn engines() -> Vec<Engine> {
         let rng = DetRng::new(5);
-        EngineId::all().iter().map(|id| Engine::new(*id, &rng)).collect()
+        EngineId::all()
+            .iter()
+            .map(|id| Engine::new(*id, &rng))
+            .collect()
     }
 
     #[test]
@@ -156,9 +159,17 @@ mod tests {
     #[test]
     fn ua_fallback_for_unknown_ranges() {
         let book = IpRangeBook::default();
-        let bot = event(Ipv4Sim::new(1, 2, 3, 4), "x", Some(UserAgent::Googlebot.as_str()));
+        let bot = event(
+            Ipv4Sim::new(1, 2, 3, 4),
+            "x",
+            Some(UserAgent::Googlebot.as_str()),
+        );
         assert_eq!(infer_actor(&bot, &book), InferredActor::UnknownBot);
-        let human = event(Ipv4Sim::new(1, 2, 3, 4), "x", Some(UserAgent::Firefox.as_str()));
+        let human = event(
+            Ipv4Sim::new(1, 2, 3, 4),
+            "x",
+            Some(UserAgent::Firefox.as_str()),
+        );
         assert_eq!(infer_actor(&human, &book), InferredActor::LikelyHuman);
         let silent = event(Ipv4Sim::new(1, 2, 3, 4), "x", None);
         assert_eq!(infer_actor(&silent, &book), InferredActor::UnknownBot);
@@ -212,6 +223,9 @@ mod tests {
             ..event(Ipv4Sim::new(1, 1, 1, 1), "x", None)
         });
         let report = attribute_traffic(&log, &book);
-        assert_eq!(report.attributed + report.unknown_bot + report.likely_human, 0);
+        assert_eq!(
+            report.attributed + report.unknown_bot + report.likely_human,
+            0
+        );
     }
 }

@@ -117,7 +117,13 @@ mod tests {
     #[test]
     fn deployment_serves_cover_and_kit() {
         let (mut w, d) = registered_world("green-energy.com");
-        let dep = deploy_armed_site(&mut w, &d, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+        let dep = deploy_armed_site(
+            &mut w,
+            &d,
+            Brand::PayPal,
+            EvasionTechnique::None,
+            SimTime::ZERO,
+        );
         assert_eq!(dep.url.host, "green-energy.com");
         // Cover page resolves and serves.
         let (resp, _) = w
@@ -160,7 +166,9 @@ mod tests {
             "human",
         )
         .with_captcha_provider(w.captcha.clone());
-        let view = human.visit(&mut w, &dep.url, SimTime::from_mins(5)).unwrap();
+        let view = human
+            .visit(&mut w, &dep.url, SimTime::from_mins(5))
+            .unwrap();
         assert!(
             view.summary.has_login_form(),
             "human should reach the payload after solving the CAPTCHA"
@@ -171,9 +179,17 @@ mod tests {
     #[test]
     fn tls_certificate_validates() {
         let (mut w, d) = registered_world("cedar-valley.org");
-        deploy_armed_site(&mut w, &d, Brand::Facebook, EvasionTechnique::SessionGate, SimTime::ZERO);
+        deploy_armed_site(
+            &mut w,
+            &d,
+            Brand::Facebook,
+            EvasionTechnique::SessionGate,
+            SimTime::ZERO,
+        );
         let cert = w.farm.certificate("cedar-valley.org").unwrap();
-        assert!(cert.validate("cedar-valley.org", SimTime::from_mins(1)).is_ok());
+        assert!(cert
+            .validate("cedar-valley.org", SimTime::from_mins(1))
+            .is_ok());
     }
 
     #[test]
@@ -181,6 +197,12 @@ mod tests {
     fn deploying_unregistered_domain_panics() {
         let mut w = World::new(9);
         let d = DomainName::parse("never-registered.com").unwrap();
-        deploy_armed_site(&mut w, &d, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+        deploy_armed_site(
+            &mut w,
+            &d,
+            Brand::PayPal,
+            EvasionTechnique::None,
+            SimTime::ZERO,
+        );
     }
 }

@@ -16,10 +16,10 @@
 //! the chances of being blacklisted due to the low reputation of the
 //! domain".
 
+use phishsim_dns::reputation::{PopulationConfig, SyntheticPopulation, WORDS};
 use phishsim_dns::{
     DomainName, HistoryVerdict, Registrar, Registry, Resolver, TldKind, WhoisAnswer,
 };
-use phishsim_dns::reputation::{PopulationConfig, SyntheticPopulation, WORDS};
 use phishsim_simnet::{DetRng, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -125,18 +125,14 @@ pub fn acquire_domains(config: &AcquisitionConfig, rng: &DetRng) -> AcquisitionR
     let mut schedule_rng = rng.fork("registration-schedule");
     let window = SimDuration::from_days(config.registration_days);
 
-    let mut register_spread = |registry: &mut Registry,
-                               ovh: &mut Registrar,
-                               name: DomainName|
-     -> SimTime {
-        let offset = SimDuration::from_millis(
-            schedule_rng.range(0..window.as_millis().max(1)),
-        );
-        let at = pop_now + offset;
-        ovh.register(registry, name, at, true)
-            .expect("selected domains must be registrable")
-            .at
-    };
+    let mut register_spread =
+        |registry: &mut Registry, ovh: &mut Registrar, name: DomainName| -> SimTime {
+            let offset = SimDuration::from_millis(schedule_rng.range(0..window.as_millis().max(1)));
+            let at = pop_now + offset;
+            ovh.register(registry, name, at, true)
+                .expect("selected domains must be registrable")
+                .at
+        };
 
     let mut last = pop_now;
     let mut drop_catch = Vec::new();
@@ -188,10 +184,7 @@ pub fn acquire_domains(config: &AcquisitionConfig, rng: &DetRng) -> AcquisitionR
 }
 
 /// Run only the drop-catch filtering pipeline over a population.
-pub fn run_pipeline(
-    pop: &SyntheticPopulation,
-    take: usize,
-) -> (Funnel, Vec<DomainName>) {
+pub fn run_pipeline(pop: &SyntheticPopulation, take: usize) -> (Funnel, Vec<DomainName>) {
     let now = pop.now;
     let mut resolver = Resolver::uncached();
     let rng = DetRng::new(0x5ca1ab1e);

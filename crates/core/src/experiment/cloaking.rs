@@ -104,10 +104,8 @@ pub fn run_cloaking_baseline(config: &CloakingConfig) -> CloakingResult {
         .collect();
     // The kit's bot-subnet list: each engine's /16, known with
     // probability `subnet_knowledge` (drawn once per deployment).
-    let engine_subnets: Vec<phishsim_simnet::Ipv4Sim> = engines
-        .iter()
-        .map(|e| e.pool().addrs()[0])
-        .collect();
+    let engine_subnets: Vec<phishsim_simnet::Ipv4Sim> =
+        engines.iter().map(|e| e.pool().addrs()[0]).collect();
 
     let total = config.urls_per_arm * 2;
     let domains = synth_domains(&world.rng, &world.registry, total, "cloaking");
@@ -129,7 +127,11 @@ pub fn run_cloaking_baseline(config: &CloakingConfig) -> CloakingResult {
 
     for (i, domain) in domains.iter().enumerate() {
         let is_cloaked = i >= config.urls_per_arm;
-        let brand = if i % 2 == 0 { Brand::PayPal } else { Brand::Facebook };
+        let brand = if i % 2 == 0 {
+            Brand::PayPal
+        } else {
+            Brand::Facebook
+        };
         let gate = if is_cloaked {
             let subnets: Vec<(phishsim_simnet::Ipv4Sim, u8)> = engine_subnets
                 .iter()

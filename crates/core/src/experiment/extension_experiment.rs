@@ -79,8 +79,14 @@ pub fn run_extension_experiment(config: &ExtensionConfig) -> ExtensionResult {
     let mut deployments = Vec::new();
     for (i, domain) in domains.iter().enumerate() {
         let technique = techniques[i / 3];
-        let brand = if i % 2 == 0 { Brand::PayPal } else { Brand::Facebook };
-        deployments.push(deploy_armed_site(&mut world, domain, brand, technique, deploy_at));
+        let brand = if i % 2 == 0 {
+            Brand::PayPal
+        } else {
+            Brand::Facebook
+        };
+        deployments.push(deploy_armed_site(
+            &mut world, domain, brand, technique, deploy_at,
+        ));
     }
 
     let mut capture = TelemetryCapture::default();
@@ -107,8 +113,7 @@ pub fn run_extension_experiment(config: &ExtensionConfig) -> ExtensionResult {
                     + SimDuration::from_hours((u as u64) * 16)
                     + config.visit_gap.mul_f64(visit as f64);
                 // The extension sees the navigation as it starts...
-                let pre =
-                    extension.on_navigation(&dep.url, "", now, &feeds, &mut capture);
+                let pre = extension.on_navigation(&dep.url, "", now, &feeds, &mut capture);
                 // ...the human works through the gate...
                 let view = drive_like_human(&mut browser, &mut world, &dep.url, now);
                 if !view.summary.has_login_form() {
@@ -173,7 +178,9 @@ pub fn drive_like_human(
     url: &phishsim_http::Url,
     now: SimTime,
 ) -> phishsim_browser::PageView {
-    let view = browser.visit(world, url, now).expect("deployed URL must fetch");
+    let view = browser
+        .visit(world, url, now)
+        .expect("deployed URL must fetch");
     if view.summary.has_login_form() || view.summary.forms.is_empty() {
         return view;
     }

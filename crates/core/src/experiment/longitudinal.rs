@@ -146,7 +146,11 @@ pub fn run_longitudinal(config: &LongitudinalConfig) -> LongitudinalResult {
         for technique in techniques {
             for _ in 0..config.urls_per_technique {
                 let domain = domain_iter.next().expect("enough domains");
-                let brand = if i.is_multiple_of(2) { Brand::PayPal } else { Brand::Facebook };
+                let brand = if i.is_multiple_of(2) {
+                    Brand::PayPal
+                } else {
+                    Brand::Facebook
+                };
                 let dep = deploy_armed_site(&mut world, &domain, brand, technique, wave_time);
                 let engine = &mut engines[i % engine_ids.len()];
                 let reported = wave_time
@@ -199,8 +203,14 @@ mod tests {
         let session = r.series(EvasionTechnique::SessionGate);
         // After wave 3, the server-side fixes catch everything.
         for w in 3..alert.len() {
-            assert!((alert[w] - 1.0).abs() < f64::EPSILON, "alert wave {w}: {alert:?}");
-            assert!((session[w] - 1.0).abs() < f64::EPSILON, "session wave {w}: {session:?}");
+            assert!(
+                (alert[w] - 1.0).abs() < f64::EPSILON,
+                "alert wave {w}: {alert:?}"
+            );
+            assert!(
+                (session[w] - 1.0).abs() < f64::EPSILON,
+                "session wave {w}: {session:?}"
+            );
         }
         // Before it, the alert box defeats the five non-GSB engines.
         assert!(alert[0] < 0.5, "pre-upgrade alert rate: {alert:?}");

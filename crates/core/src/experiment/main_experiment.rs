@@ -13,7 +13,9 @@ use crate::experiment::{register_spread, synth_domains};
 use crate::monitor::{monitor_listings, Observation};
 use crate::tables::Table2;
 use crate::world::{World, DEFAULT_SEED};
-use phishsim_antiphish::{CapabilityUpgrade, Engine, EngineId, EngineProfile, FeedNetwork, ReportOutcome};
+use phishsim_antiphish::{
+    CapabilityUpgrade, Engine, EngineId, EngineProfile, FeedNetwork, ReportOutcome,
+};
 use phishsim_http::Url;
 use phishsim_phishgen::{Brand, EvasionTechnique};
 use phishsim_simnet::{FaultInjector, Ipv4Sim, SimDuration, SimTime, TraceEvent, TraceKind};
@@ -163,8 +165,8 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
             let deployment = deploy_armed_site(&mut world, &domain, brand, technique, deploy_at);
             let url = deployment.url.clone();
             // Reports spread across the two-week window.
-            let reported_at = report_start
-                + SimDuration::from_mins(report_rng.range(0..(12 * 24 * 60) as u64));
+            let reported_at =
+                report_start + SimDuration::from_mins(report_rng.range(0..(12 * 24 * 60) as u64));
             world.log.record(TraceEvent {
                 at: reported_at,
                 kind: TraceKind::Report,
@@ -175,8 +177,7 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
                 actor: engine_id.key().to_string(),
             });
             let engine = engines.get_mut(&engine_id).expect("engine exists");
-            let outcome =
-                engine.process_report(&mut world, &url, reported_at, config.volume_scale);
+            let outcome = engine.process_report(&mut world, &url, reported_at, config.volume_scale);
             let detected = outcome.detected_at.is_some();
             if let Some(at) = outcome.detected_at {
                 feeds.publish(engine_id, &url, at);
@@ -297,7 +298,10 @@ mod tests {
         for engine in EngineId::main_experiment() {
             for brand in [Brand::Facebook, Brand::PayPal] {
                 let cell = r.table.cell(engine, brand, EvasionTechnique::CaptchaGate);
-                assert_eq!(cell.hits, 0, "{engine}/{brand} reCAPTCHA must be undetected");
+                assert_eq!(
+                    cell.hits, 0,
+                    "{engine}/{brand} reCAPTCHA must be undetected"
+                );
             }
         }
     }
@@ -326,9 +330,7 @@ mod tests {
     fn netcraft_reaches_all_session_payloads() {
         let r = result();
         for arm in &r.arms {
-            if arm.engine == EngineId::NetCraft
-                && arm.technique == EvasionTechnique::SessionGate
-            {
+            if arm.engine == EngineId::NetCraft && arm.technique == EvasionTechnique::SessionGate {
                 assert!(
                     arm.outcome.payload_reached,
                     "NetCraft bypassed all six session pages in the paper"

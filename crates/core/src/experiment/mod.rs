@@ -23,8 +23,8 @@ pub use main_experiment::{run_main_experiment, MainConfig, MainResult};
 pub use preliminary::{run_preliminary, PreliminaryConfig, PreliminaryResult};
 pub use redirection::{run_redirection_baseline, EntryKind, RedirectionConfig, RedirectionResult};
 
-use phishsim_dns::{DomainName, Registry};
 use phishsim_dns::reputation::WORDS;
+use phishsim_dns::{DomainName, Registry};
 use phishsim_simnet::{DetRng, SimDuration, SimTime};
 
 /// Generate `n` distinct registrable domain names, deterministically
@@ -45,7 +45,9 @@ pub fn synth_domains(rng: &DetRng, registry: &Registry, n: usize, label: &str) -
         } else {
             format!("{w1}-{w2}.{tld}")
         };
-        let Ok(d) = DomainName::parse(&s) else { continue };
+        let Ok(d) = DomainName::parse(&s) else {
+            continue;
+        };
         if seen.contains(&d) {
             continue;
         }

@@ -17,9 +17,7 @@ use phishsim_http::Url;
 use phishsim_phishgen::{
     Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
 };
-use phishsim_simnet::{
-    Ipv4Sim, SimDuration, SimTime, TraceEvent, TraceKind,
-};
+use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime, TraceEvent, TraceKind};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the preliminary test.
@@ -87,12 +85,22 @@ pub fn run_preliminary(config: &PreliminaryConfig) -> PreliminaryResult {
 
     // One fresh domain per engine, registered at t=0, deployed with the
     // three naked kits.
-    let domains = synth_domains(&world.rng, &world.registry, engines_ids.len(), "preliminary");
+    let domains = synth_domains(
+        &world.rng,
+        &world.registry,
+        engines_ids.len(),
+        "preliminary",
+    );
     let mut urls_per_engine: Vec<Vec<Url>> = Vec::new();
     for domain in &domains {
         world
             .registry
-            .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+            .register(
+                domain.clone(),
+                "ovh",
+                SimTime::ZERO,
+                SimDuration::from_days(365),
+            )
             .expect("fresh preliminary domain");
         let host = domain.to_string();
         let bundle = FakeSiteGenerator::new(&world.rng).generate(&host);
@@ -108,7 +116,11 @@ pub fn run_preliminary(config: &PreliminaryConfig) -> PreliminaryResult {
         let addr = world.farm.install_site(&host, Box::new(site), Some(cert));
         world
             .registry
-            .delegate(domain, Zone::hosting(domain.clone(), addr, 1, true), SimTime::ZERO)
+            .delegate(
+                domain,
+                Zone::hosting(domain.clone(), addr, 1, true),
+                SimTime::ZERO,
+            )
             .expect("registered above");
         urls_per_engine.push(urls);
     }
@@ -135,8 +147,8 @@ pub fn run_preliminary(config: &PreliminaryConfig) -> PreliminaryResult {
                 actor: id.key().to_string(),
             });
             let outcome = engine.process_report(&mut world, url, reported_at, config.volume_scale);
-            max_first_visit_mins = max_first_visit_mins
-                .max(outcome.first_visit_at.since(reported_at).as_mins());
+            max_first_visit_mins =
+                max_first_visit_mins.max(outcome.first_visit_at.since(reported_at).as_mins());
             if let Some(at) = outcome.detected_at {
                 feeds.publish(*id, url, at);
             }
@@ -250,7 +262,12 @@ mod tests {
     #[test]
     fn ysb_detects_nothing() {
         let r = result();
-        let ysb = r.table.rows.iter().find(|r| r.engine == EngineId::Ysb).unwrap();
+        let ysb = r
+            .table
+            .rows
+            .iter()
+            .find(|r| r.engine == EngineId::Ysb)
+            .unwrap();
         assert!(ysb.blacklisted_targets.is_empty());
         assert!(ysb.also_blacklisted_by.is_empty());
     }
@@ -258,20 +275,32 @@ mod tests {
     #[test]
     fn cross_feed_column_matches_topology() {
         let r = result();
-        let row = |id: EngineId| {
-            r.table.rows.iter().find(|r| r.engine == id).unwrap()
-        };
-        assert!(row(EngineId::Gsb).also_blacklisted_by.is_empty(), "GSB row is '-'");
-        assert_eq!(row(EngineId::NetCraft).also_blacklisted_by, vec![EngineId::Gsb]);
+        let row = |id: EngineId| r.table.rows.iter().find(|r| r.engine == id).unwrap();
+        assert!(
+            row(EngineId::Gsb).also_blacklisted_by.is_empty(),
+            "GSB row is '-'"
+        );
+        assert_eq!(
+            row(EngineId::NetCraft).also_blacklisted_by,
+            vec![EngineId::Gsb]
+        );
         assert_eq!(row(EngineId::Apwg).also_blacklisted_by, vec![EngineId::Gsb]);
         let op = &row(EngineId::OpenPhish).also_blacklisted_by;
-        for e in [EngineId::PhishTank, EngineId::Gsb, EngineId::Apwg, EngineId::SmartScreen] {
+        for e in [
+            EngineId::PhishTank,
+            EngineId::Gsb,
+            EngineId::Apwg,
+            EngineId::SmartScreen,
+        ] {
             assert!(op.contains(&e), "OpenPhish row missing {e}");
         }
         let pt = &row(EngineId::PhishTank).also_blacklisted_by;
         assert!(pt.contains(&EngineId::OpenPhish));
         assert!(pt.contains(&EngineId::Gsb));
-        assert_eq!(row(EngineId::SmartScreen).also_blacklisted_by, vec![EngineId::Gsb]);
+        assert_eq!(
+            row(EngineId::SmartScreen).also_blacklisted_by,
+            vec![EngineId::Gsb]
+        );
     }
 
     #[test]
@@ -293,17 +322,19 @@ mod tests {
         let r = result();
         // 3 URLs each to OpenPhish and PhishTank.
         assert_eq!(r.abuse_emails, 6);
-        assert_eq!(
-            r.world.log.count(|e| e.kind == TraceKind::AbuseEmail),
-            6
-        );
+        assert_eq!(r.world.log.count(|e| e.kind == TraceKind::AbuseEmail), 6);
     }
 
     #[test]
     fn request_volume_ordering_follows_table1() {
         let r = result();
         let req = |id: EngineId| {
-            r.table.rows.iter().find(|r| r.engine == id).unwrap().requests
+            r.table
+                .rows
+                .iter()
+                .find(|r| r.engine == id)
+                .unwrap()
+                .requests
         };
         // OpenPhish dwarfs everyone; YSB is negligible (Table 1 shape).
         assert!(req(EngineId::OpenPhish) > 3 * req(EngineId::Gsb));

@@ -92,12 +92,7 @@ impl RedirectionResult {
     }
 }
 
-fn register_and_install_hop(
-    world: &mut World,
-    host: &str,
-    target: Url,
-    now: SimTime,
-) -> Url {
+fn register_and_install_hop(world: &mut World, host: &str, target: Url, now: SimTime) -> Url {
     let d = DomainName::parse(host).expect("valid hop host");
     world
         .registry
@@ -128,7 +123,12 @@ pub fn run_redirection_baseline(config: &RedirectionConfig) -> RedirectionResult
         let d = DomainName::parse(shortener_host).expect("valid host");
         world
             .registry
-            .register(d.clone(), "shortcorp", SimTime::ZERO, SimDuration::from_days(365))
+            .register(
+                d.clone(),
+                "shortcorp",
+                SimTime::ZERO,
+                SimDuration::from_days(365),
+            )
             .expect("fresh");
     }
 
@@ -158,7 +158,11 @@ pub fn run_redirection_baseline(config: &RedirectionConfig) -> RedirectionResult
 
     for (i, domain) in domains.iter().enumerate() {
         let kind = EntryKind::all()[i / config.urls_per_arm];
-        let brand = if i % 2 == 0 { Brand::PayPal } else { Brand::Facebook };
+        let brand = if i % 2 == 0 {
+            Brand::PayPal
+        } else {
+            Brand::Facebook
+        };
         let dep = deploy_armed_site(&mut world, domain, brand, EvasionTechnique::None, deploy_at);
         let entry = match kind {
             EntryKind::Direct => dep.url.clone(),
@@ -203,8 +207,12 @@ pub fn run_redirection_baseline(config: &RedirectionConfig) -> RedirectionResult
         let engine_idx = i % engines.len();
         let reported_at =
             deploy_at + SimDuration::from_hours(1) + SimDuration::from_mins((i as u64) * 11);
-        let outcome =
-            engines[engine_idx].process_report(&mut world, &entry, reported_at, config.volume_scale);
+        let outcome = engines[engine_idx].process_report(
+            &mut world,
+            &entry,
+            reported_at,
+            config.volume_scale,
+        );
         let stats = &mut arms_out
             .iter_mut()
             .find(|(k, _)| *k == kind)

@@ -115,15 +115,24 @@ pub fn monitor_listings(
         sched.schedule_at(start + period, PollEvent { engine_idx: i });
     }
 
-    let mut seen: std::collections::HashSet<(EngineId, String)> =
-        std::collections::HashSet::new();
+    // The feeds are frozen while the monitor polls, so every
+    // (engine, URL) listing time can be resolved once up front. The
+    // poll loop itself then runs on plain indices — previously it
+    // re-canonicalised every URL on every tick (millions of String
+    // allocations across a 21-day NetCraft cadence).
+    let listed: Vec<Vec<Option<SimTime>>> = engines
+        .iter()
+        .map(|engine| urls.iter().map(|u| feeds.listed_at(*engine, u)).collect())
+        .collect();
+
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut observations = Vec::new();
 
     while let Some((now, ev)) = sched.pop_until(horizon) {
         let engine = engines[ev.engine_idx];
-        for url in urls {
-            if let Some(listed_at) = feeds.listed_at(engine, url) {
-                if listed_at <= now && seen.insert((engine, url.to_string())) {
+        for (url_idx, url) in urls.iter().enumerate() {
+            if let Some(listed_at) = listed[ev.engine_idx][url_idx] {
+                if listed_at <= now && seen.insert((ev.engine_idx, url_idx)) {
                     observations.push(Observation {
                         engine,
                         url: url.clone(),
@@ -144,7 +153,12 @@ pub fn monitor_listings(
         }
         let elapsed = now.since(start);
         let period = MonitorMethod::for_engine(engine).poll_period_at(elapsed);
-        sched.schedule_after(period, PollEvent { engine_idx: ev.engine_idx });
+        sched.schedule_after(
+            period,
+            PollEvent {
+                engine_idx: ev.engine_idx,
+            },
+        );
     }
     observations.sort_by_key(|o| o.observed_at);
     observations
@@ -161,7 +175,10 @@ mod tests {
 
     #[test]
     fn methods_match_paper() {
-        assert_eq!(MonitorMethod::for_engine(EngineId::Gsb), MonitorMethod::LookupApi);
+        assert_eq!(
+            MonitorMethod::for_engine(EngineId::Gsb),
+            MonitorMethod::LookupApi
+        );
         assert_eq!(
             MonitorMethod::for_engine(EngineId::OpenPhish),
             MonitorMethod::FeedDownload
@@ -184,10 +201,22 @@ mod tests {
     #[test]
     fn screenshot_polling_has_two_phases() {
         let m = MonitorMethod::Screenshot;
-        assert_eq!(m.poll_period_at(SimDuration::from_hours(1)), SimDuration::from_mins(10));
-        assert_eq!(m.poll_period_at(SimDuration::from_hours(71)), SimDuration::from_mins(10));
-        assert_eq!(m.poll_period_at(SimDuration::from_hours(72)), SimDuration::from_hours(5));
-        assert_eq!(m.poll_period_at(SimDuration::from_hours(200)), SimDuration::from_hours(5));
+        assert_eq!(
+            m.poll_period_at(SimDuration::from_hours(1)),
+            SimDuration::from_mins(10)
+        );
+        assert_eq!(
+            m.poll_period_at(SimDuration::from_hours(71)),
+            SimDuration::from_mins(10)
+        );
+        assert_eq!(
+            m.poll_period_at(SimDuration::from_hours(72)),
+            SimDuration::from_hours(5)
+        );
+        assert_eq!(
+            m.poll_period_at(SimDuration::from_hours(200)),
+            SimDuration::from_hours(5)
+        );
         // Other methods are phase-less.
         assert_eq!(
             MonitorMethod::FeedDownload.poll_period_at(SimDuration::from_hours(100)),
@@ -201,19 +230,9 @@ mod tests {
         // observed with up-to-5-hour lag, not 10 minutes.
         let mut feeds = FeedNetwork::isolated(&DetRng::new(9));
         let u = url("https://late-listing.com/p");
-        feeds.publish(
-            EngineId::SmartScreen,
-            &u,
-            SimTime::from_hours(80),
-        );
+        feeds.publish(EngineId::SmartScreen, &u, SimTime::from_hours(80));
         let log = TraceLog::new();
-        let obs = monitor_listings(
-            &feeds,
-            &[u],
-            SimTime::ZERO,
-            SimTime::from_hours(120),
-            &log,
-        );
+        let obs = monitor_listings(&feeds, &[u], SimTime::ZERO, SimTime::from_hours(120), &log);
         let o = obs
             .iter()
             .find(|o| o.engine == EngineId::SmartScreen)
@@ -237,7 +256,10 @@ mod tests {
             SimTime::from_hours(24),
             &log,
         );
-        let op: Vec<&Observation> = obs.iter().filter(|o| o.engine == EngineId::OpenPhish).collect();
+        let op: Vec<&Observation> = obs
+            .iter()
+            .filter(|o| o.engine == EngineId::OpenPhish)
+            .collect();
         assert_eq!(op.len(), 1);
         assert_eq!(op[0].listed_at, SimTime::from_mins(41));
         assert_eq!(op[0].observed_at, SimTime::from_mins(60));

@@ -43,7 +43,12 @@ impl Table1 {
         );
         out.push_str(&format!(
             "{:<12} {:>10} {:>10}  {:<8} {:<38} {:<18}\n",
-            "Reported to", "# requests", "Unique IPs", "Pages", "Also blacklisted by", "Blacklisted targets"
+            "Reported to",
+            "# requests",
+            "Unique IPs",
+            "Pages",
+            "Also blacklisted by",
+            "Blacklisted targets"
         ));
         for r in &self.rows {
             let pages: String = join_chars(&r.reported);
@@ -135,11 +140,10 @@ impl Table2 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("Table 2: Results of the main experiment after reporting phishing URLs.\n");
-        out.push_str("X/Y = detected X out of Y; A = Alert box, S = Session-based, R = Google reCAPTCHA.\n");
-        out.push_str(&format!(
-            "{:<14} {:^17} {:^17}\n",
-            "", "Facebook", "PayPal"
-        ));
+        out.push_str(
+            "X/Y = detected X out of Y; A = Alert box, S = Session-based, R = Google reCAPTCHA.\n",
+        );
+        out.push_str(&format!("{:<14} {:^17} {:^17}\n", "", "Facebook", "PayPal"));
         out.push_str(&format!(
             "{:<14} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}\n",
             "Engine", "A", "S", "R", "A", "S", "R"
@@ -153,7 +157,10 @@ impl Table2 {
             let mut row = format!("{:<14}", engine.display());
             for brand in [Brand::Facebook, Brand::PayPal] {
                 for technique in techniques {
-                    row.push_str(&format!(" {:>5}", self.cell(engine, brand, technique).as_cell()));
+                    row.push_str(&format!(
+                        " {:>5}",
+                        self.cell(engine, brand, technique).as_cell()
+                    ));
                 }
             }
             out.push_str(&row);
@@ -249,21 +256,42 @@ mod tests {
     fn table2_cells_accumulate() {
         let mut t = Table2::default();
         for detected in [true, true, true] {
-            t.record(EngineId::Gsb, Brand::Facebook, EvasionTechnique::AlertBox, detected);
+            t.record(
+                EngineId::Gsb,
+                Brand::Facebook,
+                EvasionTechnique::AlertBox,
+                detected,
+            );
         }
         for detected in [false, false, false] {
-            t.record(EngineId::Gsb, Brand::Facebook, EvasionTechnique::CaptchaGate, detected);
+            t.record(
+                EngineId::Gsb,
+                Brand::Facebook,
+                EvasionTechnique::CaptchaGate,
+                detected,
+            );
         }
         assert_eq!(
-            t.cell(EngineId::Gsb, Brand::Facebook, EvasionTechnique::AlertBox).as_cell(),
+            t.cell(EngineId::Gsb, Brand::Facebook, EvasionTechnique::AlertBox)
+                .as_cell(),
             "3/3"
         );
         assert_eq!(
-            t.cell(EngineId::Gsb, Brand::Facebook, EvasionTechnique::CaptchaGate).as_cell(),
+            t.cell(
+                EngineId::Gsb,
+                Brand::Facebook,
+                EvasionTechnique::CaptchaGate
+            )
+            .as_cell(),
             "0/3"
         );
         assert_eq!(
-            t.cell(EngineId::NetCraft, Brand::PayPal, EvasionTechnique::SessionGate).as_cell(),
+            t.cell(
+                EngineId::NetCraft,
+                Brand::PayPal,
+                EvasionTechnique::SessionGate
+            )
+            .as_cell(),
             "0/0"
         );
         assert_eq!(t.total.as_cell(), "3/6");
@@ -276,7 +304,10 @@ mod tests {
         for e in EngineId::main_experiment() {
             assert!(s.contains(e.display()), "{e} missing from render");
         }
-        assert!(!s.contains("YSB"), "YSB was excluded from the main experiment");
+        assert!(
+            !s.contains("YSB"),
+            "YSB was excluded from the main experiment"
+        );
     }
 
     #[test]
@@ -307,7 +338,12 @@ mod tests {
     #[test]
     fn tables_serialize_to_json() {
         let mut t2 = Table2::default();
-        t2.record(EngineId::Gsb, Brand::PayPal, EvasionTechnique::AlertBox, true);
+        t2.record(
+            EngineId::Gsb,
+            Brand::PayPal,
+            EvasionTechnique::AlertBox,
+            true,
+        );
         let json = serde_json::to_string(&t2).unwrap();
         let back: Table2 = serde_json::from_str(&json).unwrap();
         assert_eq!(back.total.as_cell(), "1/1");

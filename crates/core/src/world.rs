@@ -24,8 +24,9 @@ use std::sync::Arc;
 /// the paper's exact values (NetCraft's session-gate detections: 2 of
 /// the 6, both on Facebook URLs). Any other seed preserves the *shape*
 /// (≈1/3 of session payloads flagged; every other cell is
-/// deterministic).
-pub const DEFAULT_SEED: u64 = 37;
+/// deterministic). Recalibrate with the `seed_search` harness whenever
+/// the RNG stream changes.
+pub const DEFAULT_SEED: u64 = 17;
 
 /// Everything one experiment run shares.
 pub struct World {
@@ -153,7 +154,12 @@ mod tests {
         install_site(&mut w, "hosted-site.com");
         let req = Request::get(Url::https("hosted-site.com", "/"));
         let (resp, rtt) = w
-            .fetch(Ipv4Sim::new(9, 9, 9, 9), "test", &req, SimTime::from_mins(1))
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(1),
+            )
             .unwrap();
         assert_eq!(resp.body, "served");
         assert!(rtt > SimDuration::ZERO);
@@ -177,7 +183,12 @@ mod tests {
         install_site(&mut w, "hosted-site.com");
         let req = Request::get(Url::https("hosted-site.com", "/"));
         let err = w
-            .fetch(Ipv4Sim::new(9, 9, 9, 9), "test", &req, SimTime::from_mins(1))
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(1),
+            )
             .unwrap_err();
         assert_eq!(err, FetchError::ConnectionLost);
     }
@@ -187,7 +198,9 @@ mod tests {
         let mut w = World::new(1);
         install_site(&mut w, "hosted-site.com");
         let cert = w.farm.certificate("hosted-site.com").unwrap();
-        assert!(cert.validate("hosted-site.com", SimTime::from_mins(5)).is_ok());
+        assert!(cert
+            .validate("hosted-site.com", SimTime::from_mins(5))
+            .is_ok());
     }
 
     #[test]
@@ -197,8 +210,12 @@ mod tests {
         install_site(&mut a, "hosted-site.com");
         install_site(&mut b, "hosted-site.com");
         let req = Request::get(Url::https("hosted-site.com", "/"));
-        let ra = a.fetch(Ipv4Sim::new(1, 1, 1, 1), "x", &req, SimTime::from_mins(1)).unwrap();
-        let rb = b.fetch(Ipv4Sim::new(1, 1, 1, 1), "x", &req, SimTime::from_mins(1)).unwrap();
+        let ra = a
+            .fetch(Ipv4Sim::new(1, 1, 1, 1), "x", &req, SimTime::from_mins(1))
+            .unwrap();
+        let rb = b
+            .fetch(Ipv4Sim::new(1, 1, 1, 1), "x", &req, SimTime::from_mins(1))
+            .unwrap();
         assert_eq!(ra.1, rb.1, "same seed, same latency draw");
     }
 }

@@ -38,5 +38,7 @@ pub use name::{DomainName, NameError, TldKind};
 pub use records::{Record, RecordData, RecordType, Zone};
 pub use registrar::{Registrar, RegistrarError};
 pub use registry::{DomainState, Registry, WhoisAnswer};
-pub use reputation::{AlexaList, ArchiveService, DomainProfile, HistoryVerdict, SearchIndex, ThreatHistory};
+pub use reputation::{
+    AlexaList, ArchiveService, DomainProfile, HistoryVerdict, SearchIndex, ThreatHistory,
+};
 pub use resolver::{Rcode, Resolver, ResolverResponse};

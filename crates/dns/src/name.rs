@@ -174,21 +174,48 @@ mod tests {
 
     #[test]
     fn tld_classification() {
-        assert_eq!(DomainName::parse("a1.xyz").unwrap().tld_kind(), TldKind::NewGtld);
-        assert_eq!(DomainName::parse("abc.fr").unwrap().tld_kind(), TldKind::CcTld);
-        assert_eq!(DomainName::parse("abc.net").unwrap().tld_kind(), TldKind::LegacyGtld);
+        assert_eq!(
+            DomainName::parse("a1.xyz").unwrap().tld_kind(),
+            TldKind::NewGtld
+        );
+        assert_eq!(
+            DomainName::parse("abc.fr").unwrap().tld_kind(),
+            TldKind::CcTld
+        );
+        assert_eq!(
+            DomainName::parse("abc.net").unwrap().tld_kind(),
+            TldKind::LegacyGtld
+        );
     }
 
     #[test]
     fn rejects_bad_names() {
         assert_eq!(DomainName::parse("nodots"), Err(NameError::MissingTld));
-        assert!(matches!(DomainName::parse("-bad.com"), Err(NameError::BadLabel(_))));
-        assert!(matches!(DomainName::parse("bad-.com"), Err(NameError::BadLabel(_))));
-        assert!(matches!(DomainName::parse("has space.com"), Err(NameError::BadLabel(_))));
-        assert!(matches!(DomainName::parse("a.b.com"), Err(NameError::BadLabel(_))));
-        assert!(matches!(DomainName::parse("x.zzzz"), Err(NameError::UnknownTld(_))));
+        assert!(matches!(
+            DomainName::parse("-bad.com"),
+            Err(NameError::BadLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("bad-.com"),
+            Err(NameError::BadLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("has space.com"),
+            Err(NameError::BadLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("a.b.com"),
+            Err(NameError::BadLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("x.zzzz"),
+            Err(NameError::UnknownTld(_))
+        ));
         let long = format!("{}.com", "a".repeat(64));
-        assert!(matches!(DomainName::parse(&long), Err(NameError::BadLabel(_))));
+        assert!(matches!(
+            DomainName::parse(&long),
+            Err(NameError::BadLabel(_))
+        ));
         let too_long = format!("{}.com", "a".repeat(300));
         assert_eq!(DomainName::parse(&too_long), Err(NameError::TooLong));
     }

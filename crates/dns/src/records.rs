@@ -123,7 +123,10 @@ impl Zone {
 
     /// All records of a given type.
     pub fn records_of(&self, rtype: RecordType) -> Vec<&Record> {
-        self.records.iter().filter(|r| r.data.rtype() == rtype).collect()
+        self.records
+            .iter()
+            .filter(|r| r.data.rtype() == rtype)
+            .collect()
     }
 
     /// The zone's A record address, if any.
@@ -167,11 +170,18 @@ mod tests {
     #[test]
     fn record_data_type_mapping() {
         assert_eq!(RecordData::Ns("x".into()).rtype(), RecordType::Ns);
-        assert_eq!(RecordData::A(Ipv4Sim::new(1, 2, 3, 4)).rtype(), RecordType::A);
+        assert_eq!(
+            RecordData::A(Ipv4Sim::new(1, 2, 3, 4)).rtype(),
+            RecordType::A
+        );
         assert_eq!(RecordData::Txt("t".into()).rtype(), RecordType::Txt);
         assert_eq!(RecordData::Ds(1).rtype(), RecordType::Ds);
         assert_eq!(
-            RecordData::Soa { mname: "m".into(), serial: 1 }.rtype(),
+            RecordData::Soa {
+                mname: "m".into(),
+                serial: 1
+            }
+            .rtype(),
             RecordType::Soa
         );
     }

@@ -90,10 +90,7 @@ impl Registrar {
     }
 
     /// Add explicitly reserved inventory (builder style).
-    pub fn with_reserved_names(
-        mut self,
-        names: impl IntoIterator<Item = DomainName>,
-    ) -> Self {
+    pub fn with_reserved_names(mut self, names: impl IntoIterator<Item = DomainName>) -> Self {
         self.reserved_names.extend(names);
         self
     }
@@ -198,7 +195,9 @@ mod tests {
         let mut godaddy = Registrar::new("godaddy", 0.0, &rng);
         let porkbun = Registrar::new("porkbun", 0.0, &rng);
         let d = dom("taken.net");
-        godaddy.register(&mut reg, d.clone(), SimTime::ZERO, false).unwrap();
+        godaddy
+            .register(&mut reg, d.clone(), SimTime::ZERO, false)
+            .unwrap();
         assert!(!porkbun.check_available(&reg, &d, SimTime::ZERO));
     }
 
@@ -234,7 +233,8 @@ mod tests {
         // 10 registrations over two weeks, ~1.4 days apart.
         for i in 0..10u64 {
             let t = SimTime::from_hours(i * 34);
-            r.register(&mut reg, dom(&format!("spread{i}.com")), t, true).unwrap();
+            r.register(&mut reg, dom(&format!("spread{i}.com")), t, true)
+                .unwrap();
         }
         assert!(r.max_registrations_within(SimDuration::from_hours(24)) <= 2);
         // Bulk: 10 in one minute.
@@ -242,9 +242,13 @@ mod tests {
         let mut reg2 = Registry::new();
         for i in 0..10u64 {
             let t = SimTime::from_secs(i);
-            bulk.register(&mut reg2, dom(&format!("bulk{i}.com")), t, false).unwrap();
+            bulk.register(&mut reg2, dom(&format!("bulk{i}.com")), t, false)
+                .unwrap();
         }
-        assert_eq!(bulk.max_registrations_within(SimDuration::from_hours(24)), 10);
+        assert_eq!(
+            bulk.max_registrations_within(SimDuration::from_hours(24)),
+            10
+        );
     }
 }
 
@@ -264,15 +268,27 @@ mod backorder_tests {
         let mut reg = Registry::new();
         let d = dom("dropping.com");
         // Seeded so that "now" falls in the pending-delete window.
-        reg.seed(d.clone(), "old", SimTime::ZERO, SimTime::from_hours(24), true);
+        reg.seed(
+            d.clone(),
+            "old",
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            true,
+        );
         let now = SimTime::from_hours(24) + SimDuration::from_days(77);
         assert_eq!(reg.state(&d, now), DomainState::PendingDelete);
         let plain = Registrar::new("plain", 0.0, &rng);
         let backorder = Registrar::new("backorder", 0.0, &rng).with_backorder();
         assert!(!plain.check_available(&reg, &d, now));
-        assert!(backorder.check_available(&reg, &d, now), "backorder APIs say yes");
+        assert!(
+            backorder.check_available(&reg, &d, now),
+            "backorder APIs say yes"
+        );
         // WHOIS still shows the stale record — the step-3 filter's prey.
-        assert!(matches!(reg.whois(&d, now), crate::registry::WhoisAnswer::Found { .. }));
+        assert!(matches!(
+            reg.whois(&d, now),
+            crate::registry::WhoisAnswer::Found { .. }
+        ));
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl Registry {
     /// the drop lifecycle at its expiry. Used to seed drop-catchable
     /// domains in the synthetic population.
     pub fn abandon(&mut self, name: &DomainName) -> Result<(), RegistryError> {
-        let reg = self.domains.get_mut(name).ok_or(RegistryError::NotRegistered)?;
+        let reg = self
+            .domains
+            .get_mut(name)
+            .ok_or(RegistryError::NotRegistered)?;
         reg.abandoned = true;
         Ok(())
     }
@@ -245,7 +248,12 @@ impl Registry {
     }
 
     /// Attach (delegate) a zone to an actively registered domain.
-    pub fn delegate(&mut self, name: &DomainName, zone: Zone, now: SimTime) -> Result<(), RegistryError> {
+    pub fn delegate(
+        &mut self,
+        name: &DomainName,
+        zone: Zone,
+        now: SimTime,
+    ) -> Result<(), RegistryError> {
         if self.state(name, now) != DomainState::Registered {
             return Err(RegistryError::NotRegistered);
         }
@@ -313,9 +321,13 @@ mod tests {
         let d = dom("fresh.com");
         let now = SimTime::from_hours(1);
         assert_eq!(r.state(&d, now), DomainState::Available);
-        r.register(d.clone(), "ovh", now, SimDuration::from_days(365)).unwrap();
+        r.register(d.clone(), "ovh", now, SimDuration::from_days(365))
+            .unwrap();
         assert_eq!(r.state(&d, now), DomainState::Registered);
-        assert_eq!(r.state(&d, now + SimDuration::from_days(200)), DomainState::Registered);
+        assert_eq!(
+            r.state(&d, now + SimDuration::from_days(200)),
+            DomainState::Registered
+        );
     }
 
     #[test]
@@ -323,8 +335,11 @@ mod tests {
         let mut r = Registry::new();
         let d = dom("taken.com");
         let now = SimTime::ZERO;
-        r.register(d.clone(), "ovh", now, SimDuration::from_days(365)).unwrap();
-        let err = r.register(d, "godaddy", now, SimDuration::from_days(365)).unwrap_err();
+        r.register(d.clone(), "ovh", now, SimDuration::from_days(365))
+            .unwrap();
+        let err = r
+            .register(d, "godaddy", now, SimDuration::from_days(365))
+            .unwrap_err();
         assert_eq!(err, RegistryError::NotAvailable(DomainState::Registered));
     }
 
@@ -364,7 +379,13 @@ mod tests {
     fn non_abandoned_domains_auto_renew() {
         let mut r = Registry::new();
         let d = dom("renewed.com");
-        r.seed(d.clone(), "corp", SimTime::ZERO, SimTime::from_hours(24), false);
+        r.seed(
+            d.clone(),
+            "corp",
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            false,
+        );
         assert_eq!(
             r.state(&d, SimTime::from_hours(24) + SimDuration::from_days(400)),
             DomainState::Registered
@@ -375,10 +396,17 @@ mod tests {
     fn dropped_domain_can_be_reregistered() {
         let mut r = Registry::new();
         let d = dom("catchme.com");
-        r.seed(d.clone(), "oldcorp", SimTime::ZERO, SimTime::from_hours(24), true);
+        r.seed(
+            d.clone(),
+            "oldcorp",
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            true,
+        );
         let after_drop = SimTime::from_hours(24) + SimDuration::from_days(81);
         assert_eq!(r.state(&d, after_drop), DomainState::Available);
-        r.register(d.clone(), "ovh", after_drop, SimDuration::from_days(365)).unwrap();
+        r.register(d.clone(), "ovh", after_drop, SimDuration::from_days(365))
+            .unwrap();
         assert_eq!(r.state(&d, after_drop), DomainState::Registered);
     }
 
@@ -387,10 +415,19 @@ mod tests {
         let mut r = Registry::new();
         let d = dom("whoised.com");
         assert_eq!(r.whois(&d, SimTime::ZERO), WhoisAnswer::NotFound);
-        r.seed(d.clone(), "oldcorp", SimTime::ZERO, SimTime::from_hours(24), true);
+        r.seed(
+            d.clone(),
+            "oldcorp",
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            true,
+        );
         // During redemption WHOIS still shows the stale record.
         let in_redemption = SimTime::from_hours(24) + SimDuration::from_days(50);
-        assert!(matches!(r.whois(&d, in_redemption), WhoisAnswer::Found { .. }));
+        assert!(matches!(
+            r.whois(&d, in_redemption),
+            WhoisAnswer::Found { .. }
+        ));
         // After the drop, NOT FOUND.
         let after_drop = SimTime::from_hours(24) + SimDuration::from_days(81);
         assert_eq!(r.whois(&d, after_drop), WhoisAnswer::NotFound);
@@ -403,7 +440,8 @@ mod tests {
         let now = SimTime::ZERO;
         let zone = Zone::hosting(d.clone(), Ipv4Sim::new(10, 0, 0, 9), 1, true);
         assert!(r.delegate(&d, zone.clone(), now).is_err());
-        r.register(d.clone(), "ovh", now, SimDuration::from_days(30)).unwrap();
+        r.register(d.clone(), "ovh", now, SimDuration::from_days(30))
+            .unwrap();
         r.delegate(&d, zone, now).unwrap();
         assert!(r.zone(&d, now).is_some());
         // After abandonment + expiry, the zone stops resolving.

@@ -34,30 +34,234 @@ use std::collections::{HashMap, HashSet};
 /// A compact word list used to synthesise plausible domain names (the
 /// paper draws random keywords from the Unix dictionary).
 pub const WORDS: &[&str] = &[
-    "green", "energy", "garden", "river", "stone", "cloud", "maple", "harbor", "summit", "field",
-    "bright", "ocean", "cedar", "valley", "north", "south", "east", "west", "rapid", "silver",
-    "golden", "iron", "copper", "crystal", "meadow", "forest", "spring", "winter", "autumn",
-    "summer", "trade", "market", "craft", "works", "studio", "media", "press", "journal", "daily",
-    "weekly", "global", "local", "prime", "alpha", "delta", "omega", "vector", "matrix", "pixel",
-    "byte", "data", "logic", "smart", "swift", "solid", "clear", "pure", "fresh", "vivid",
-    "travel", "voyage", "journey", "trail", "path", "bridge", "tower", "castle", "garden",
-    "kitchen", "recipe", "flavor", "spice", "honey", "berry", "apple", "lemon", "olive", "grape",
-    "health", "fitness", "yoga", "sport", "active", "vital", "care", "clinic", "dental", "vision",
-    "school", "academy", "campus", "learn", "study", "tutor", "class", "course", "skill", "talent",
-    "finance", "capital", "asset", "fund", "invest", "credit", "wealth", "broker", "ledger",
-    "audit", "legal", "justice", "counsel", "notary", "estate", "realty", "housing", "rental",
-    "motor", "drive", "wheel", "engine", "garage", "repair", "service", "support", "expert",
-    "master", "guild", "union", "alliance", "partner", "venture", "startup", "launch", "rocket",
-    "orbit", "lunar", "solar", "stellar", "cosmic", "photon", "quantum", "atomic", "micro",
-    "macro", "mega", "ultra", "super", "hyper", "turbo", "rapidly", "quick", "instant", "direct",
-    "secure", "trusted", "verified", "certified", "official", "premium", "select", "choice",
-    "quality", "classic", "modern", "urban", "rural", "coastal", "alpine", "desert", "tropic",
-    "arctic", "island", "lagoon", "canyon", "mesa", "prairie", "tundra", "grove", "orchard",
-    "vineyard", "farm", "ranch", "barn", "mill", "forge", "anvil", "hammer", "chisel", "plane",
-    "timber", "lumber", "brick", "mortar", "granite", "marble", "quartz", "basalt", "flint",
-    "ember", "flame", "torch", "beacon", "signal", "relay", "network", "node", "link", "mesh",
-    "grid", "panel", "module", "sensor", "probe", "scope", "lens", "prism", "mirror", "shade",
-    "light", "shadow", "dawn", "dusk", "noon", "midnight", "horizon", "zenith", "nadir", "apex",
+    "green",
+    "energy",
+    "garden",
+    "river",
+    "stone",
+    "cloud",
+    "maple",
+    "harbor",
+    "summit",
+    "field",
+    "bright",
+    "ocean",
+    "cedar",
+    "valley",
+    "north",
+    "south",
+    "east",
+    "west",
+    "rapid",
+    "silver",
+    "golden",
+    "iron",
+    "copper",
+    "crystal",
+    "meadow",
+    "forest",
+    "spring",
+    "winter",
+    "autumn",
+    "summer",
+    "trade",
+    "market",
+    "craft",
+    "works",
+    "studio",
+    "media",
+    "press",
+    "journal",
+    "daily",
+    "weekly",
+    "global",
+    "local",
+    "prime",
+    "alpha",
+    "delta",
+    "omega",
+    "vector",
+    "matrix",
+    "pixel",
+    "byte",
+    "data",
+    "logic",
+    "smart",
+    "swift",
+    "solid",
+    "clear",
+    "pure",
+    "fresh",
+    "vivid",
+    "travel",
+    "voyage",
+    "journey",
+    "trail",
+    "path",
+    "bridge",
+    "tower",
+    "castle",
+    "garden",
+    "kitchen",
+    "recipe",
+    "flavor",
+    "spice",
+    "honey",
+    "berry",
+    "apple",
+    "lemon",
+    "olive",
+    "grape",
+    "health",
+    "fitness",
+    "yoga",
+    "sport",
+    "active",
+    "vital",
+    "care",
+    "clinic",
+    "dental",
+    "vision",
+    "school",
+    "academy",
+    "campus",
+    "learn",
+    "study",
+    "tutor",
+    "class",
+    "course",
+    "skill",
+    "talent",
+    "finance",
+    "capital",
+    "asset",
+    "fund",
+    "invest",
+    "credit",
+    "wealth",
+    "broker",
+    "ledger",
+    "audit",
+    "legal",
+    "justice",
+    "counsel",
+    "notary",
+    "estate",
+    "realty",
+    "housing",
+    "rental",
+    "motor",
+    "drive",
+    "wheel",
+    "engine",
+    "garage",
+    "repair",
+    "service",
+    "support",
+    "expert",
+    "master",
+    "guild",
+    "union",
+    "alliance",
+    "partner",
+    "venture",
+    "startup",
+    "launch",
+    "rocket",
+    "orbit",
+    "lunar",
+    "solar",
+    "stellar",
+    "cosmic",
+    "photon",
+    "quantum",
+    "atomic",
+    "micro",
+    "macro",
+    "mega",
+    "ultra",
+    "super",
+    "hyper",
+    "turbo",
+    "rapidly",
+    "quick",
+    "instant",
+    "direct",
+    "secure",
+    "trusted",
+    "verified",
+    "certified",
+    "official",
+    "premium",
+    "select",
+    "choice",
+    "quality",
+    "classic",
+    "modern",
+    "urban",
+    "rural",
+    "coastal",
+    "alpine",
+    "desert",
+    "tropic",
+    "arctic",
+    "island",
+    "lagoon",
+    "canyon",
+    "mesa",
+    "prairie",
+    "tundra",
+    "grove",
+    "orchard",
+    "vineyard",
+    "farm",
+    "ranch",
+    "barn",
+    "mill",
+    "forge",
+    "anvil",
+    "hammer",
+    "chisel",
+    "plane",
+    "timber",
+    "lumber",
+    "brick",
+    "mortar",
+    "granite",
+    "marble",
+    "quartz",
+    "basalt",
+    "flint",
+    "ember",
+    "flame",
+    "torch",
+    "beacon",
+    "signal",
+    "relay",
+    "network",
+    "node",
+    "link",
+    "mesh",
+    "grid",
+    "panel",
+    "module",
+    "sensor",
+    "probe",
+    "scope",
+    "lens",
+    "prism",
+    "mirror",
+    "shade",
+    "light",
+    "shadow",
+    "dawn",
+    "dusk",
+    "noon",
+    "midnight",
+    "horizon",
+    "zenith",
+    "nadir",
+    "apex",
 ];
 
 /// Verdict from the combined VirusTotal + GSB history check.
@@ -276,7 +480,9 @@ impl SyntheticPopulation {
             WORDS.iter().copied().filter(|w| seen.insert(*w)).collect()
         };
         let mut names = Vec::with_capacity(config.alexa_size);
-        let tlds = ["com", "net", "org", "fr", "de", "io", "xyz", "online", "co", "uk"];
+        let tlds = [
+            "com", "net", "org", "fr", "de", "io", "xyz", "online", "co", "uk",
+        ];
         let mut counter = 0usize;
         while names.len() < config.alexa_size {
             let w1 = words[counter % words.len()];

@@ -108,9 +108,9 @@ impl Resolver {
                         mname: "ns1.dns-host.net".to_string(),
                         serial: 1,
                     }),
-                    RecordType::Ns => {
-                        Some(crate::records::RecordData::Ns("ns1.dns-host.net".to_string()))
-                    }
+                    RecordType::Ns => Some(crate::records::RecordData::Ns(
+                        "ns1.dns-host.net".to_string(),
+                    )),
                     _ => None,
                 };
                 let answers = data
@@ -126,11 +126,7 @@ impl Resolver {
             }
             None => (Rcode::NxDomain, Vec::new()),
             Some(zone) => {
-                let answers: Vec<Record> = zone
-                    .records_of(rtype)
-                    .into_iter()
-                    .cloned()
-                    .collect();
+                let answers: Vec<Record> = zone.records_of(rtype).into_iter().cloned().collect();
                 (Rcode::NoError, answers)
             }
         };

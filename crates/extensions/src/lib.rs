@@ -228,7 +228,10 @@ impl Extension {
             capture.records.push(TelemetryRecord {
                 at: now,
                 extension: self.profile.id,
-                endpoint: format!("https://lookup.{}.example/v1/check", self.profile.company.to_ascii_lowercase()),
+                endpoint: format!(
+                    "https://lookup.{}.example/v1/check",
+                    self.profile.company.to_ascii_lowercase()
+                ),
                 payload: self.payload_for(url),
                 from_cache: true,
             });
@@ -329,14 +332,20 @@ mod tests {
         let f = feeds();
         let mut avast = Extension::install(ExtensionId::AvastOnlineSecurity);
         avast.on_navigation(&url(), "<html>page</html>", SimTime::ZERO, &f, &mut capture);
-        assert!(capture.leaked("session=abc123"), "plain senders leak query params");
+        assert!(
+            capture.leaked("session=abc123"),
+            "plain senders leak query params"
+        );
     }
 
     #[test]
     fn hashed_senders_do_not_leak() {
         let mut capture = TelemetryCapture::default();
         let f = feeds();
-        for id in [ExtensionId::EmsisoftBrowserSecurity, ExtensionId::NetcraftAntiPhishing] {
+        for id in [
+            ExtensionId::EmsisoftBrowserSecurity,
+            ExtensionId::NetcraftAntiPhishing,
+        ] {
             let mut ext = Extension::install(id);
             ext.on_navigation(&url(), "<html>page</html>", SimTime::ZERO, &f, &mut capture);
         }
@@ -356,8 +365,18 @@ mod tests {
         let mut capture = TelemetryCapture::default();
         for id in ExtensionId::all() {
             let mut ext = Extension::install(id);
-            let v = ext.on_navigation(&url(), &phishing_html, SimTime::from_mins(5), &f, &mut capture);
-            assert_eq!(v, Verdict::Safe, "{id:?} must be URL-only and miss the content");
+            let v = ext.on_navigation(
+                &url(),
+                &phishing_html,
+                SimTime::from_mins(5),
+                &f,
+                &mut capture,
+            );
+            assert_eq!(
+                v,
+                Verdict::Safe,
+                "{id:?} must be URL-only and miss the content"
+            );
         }
     }
 
@@ -367,7 +386,13 @@ mod tests {
         let mut capture = TelemetryCapture::default();
         f.publish(EngineId::NetCraft, &url(), SimTime::from_mins(1));
         let mut ext = Extension::install(ExtensionId::NetcraftAntiPhishing);
-        let v = ext.on_navigation(&url(), "<html></html>", SimTime::from_mins(10), &f, &mut capture);
+        let v = ext.on_navigation(
+            &url(),
+            "<html></html>",
+            SimTime::from_mins(10),
+            &f,
+            &mut capture,
+        );
         assert_eq!(v, Verdict::Phishing);
     }
 
@@ -462,10 +487,7 @@ mod content_aware_tests {
         // Pre-challenge: the benign CAPTCHA cover.
         let cover = "<html><body><h1>Are you human?</h1>\
                      <div class=\"g-recaptcha\" data-sitekey=\"x\"></div></body></html>";
-        assert_eq!(
-            ext.on_navigation(&url, cover, SimTime::ZERO),
-            Verdict::Safe
-        );
+        assert_eq!(ext.on_navigation(&url, cover, SimTime::ZERO), Verdict::Safe);
         // Post-challenge: the payload at the same URL — flagged locally.
         let payload = phishsim_phishgen::Brand::PayPal.login_page_html();
         assert_eq!(
@@ -480,7 +502,10 @@ mod content_aware_tests {
         let mut ext = ContentAwareExtension::default();
         let url = Url::parse("https://green-energy.com/articles/x.php").unwrap();
         let benign = "<html><title>Gardening</title><body><p>Plant in spring.</p></body></html>";
-        assert_eq!(ext.on_navigation(&url, benign, SimTime::ZERO), Verdict::Safe);
+        assert_eq!(
+            ext.on_navigation(&url, benign, SimTime::ZERO),
+            Verdict::Safe
+        );
         // Even a brand's real login page on its own host stays green.
         let real = phishsim_phishgen::Brand::Facebook.login_page_html();
         let fb = Url::parse("https://www.facebook.com/login").unwrap();

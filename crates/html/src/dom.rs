@@ -131,8 +131,7 @@ impl Document {
                     attrs,
                     self_closing,
                 } => {
-                    if self_closing || VOID.contains(&name.as_str()) || stack.len() >= MAX_DEPTH
-                    {
+                    if self_closing || VOID.contains(&name.as_str()) || stack.len() >= MAX_DEPTH {
                         push_node(
                             &mut stack,
                             &mut roots,

@@ -91,10 +91,7 @@ impl ScriptEffect {
                         })
                     }
                     "captcha-callback" => Some(ScriptEffect::CaptchaCallback {
-                        field_name: s
-                            .attr("data-field-name")
-                            .unwrap_or("gresponse")
-                            .to_string(),
+                        field_name: s.attr("data-field-name").unwrap_or("gresponse").to_string(),
                     }),
                     "auto-redirect" => Some(ScriptEffect::AutoRedirect {
                         to: s.attr("data-to")?.to_string(),
@@ -160,7 +157,10 @@ mod tests {
             } => {
                 assert_eq!(message, "Please sign in to continue...");
                 assert_eq!(*delay_ms, 2000);
-                assert_eq!(confirm_field, &("get_data".to_string(), "getData".to_string()));
+                assert_eq!(
+                    confirm_field,
+                    &("get_data".to_string(), "getData".to_string())
+                );
                 assert!(guard_first_visit);
             }
             other => panic!("unexpected {other:?}"),
@@ -234,8 +234,15 @@ mod tests {
     fn multiple_effects_in_order() {
         let html = format!(
             "{}{}",
-            ScriptEffect::CaptchaCallback { field_name: "g".into() }.to_markup(),
-            ScriptEffect::AutoRedirect { to: "/a".into(), delay_ms: 1 }.to_markup()
+            ScriptEffect::CaptchaCallback {
+                field_name: "g".into()
+            }
+            .to_markup(),
+            ScriptEffect::AutoRedirect {
+                to: "/a".into(),
+                delay_ms: 1
+            }
+            .to_markup()
         );
         let effects = ScriptEffect::extract(&Document::parse(&html));
         assert_eq!(effects.len(), 2);

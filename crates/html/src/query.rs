@@ -171,10 +171,7 @@ fn extract_form(form: &Node) -> FormInfo {
     let mut submit_labels = Vec::new();
     fn rec(node: &Node, fields: &mut Vec<FormField>, labels: &mut Vec<String>) {
         if node.tag() == Some("input") {
-            let kind = node
-                .attr("type")
-                .unwrap_or("text")
-                .to_ascii_lowercase();
+            let kind = node.attr("type").unwrap_or("text").to_ascii_lowercase();
             if kind == "submit" || kind == "button" {
                 if let Some(v) = node.attr("value") {
                     if !v.is_empty() {
@@ -202,10 +199,7 @@ fn extract_form(form: &Node) -> FormInfo {
     }
     FormInfo {
         action: form.attr("action").unwrap_or("").to_string(),
-        method: form
-            .attr("method")
-            .unwrap_or("get")
-            .to_ascii_lowercase(),
+        method: form.attr("method").unwrap_or("get").to_ascii_lowercase(),
         fields,
         submit_labels,
     }
@@ -287,24 +281,18 @@ mod tests {
 
     #[test]
     fn shortcut_icon_rel_accepted() {
-        let s = PageSummary::from_html(
-            r#"<head><link rel="shortcut icon" href="/f.ico"></head>"#,
-        );
+        let s = PageSummary::from_html(r#"<head><link rel="shortcut icon" href="/f.ico"></head>"#);
         assert_eq!(s.favicon.as_deref(), Some("/f.ico"));
     }
 
     #[test]
     fn login_heuristic_requires_both_fields() {
-        let only_pass = PageSummary::from_html(
-            "<form><input type='password' name='p'></form>",
-        );
+        let only_pass = PageSummary::from_html("<form><input type='password' name='p'></form>");
         // A lone password field with no user field: not a login form by
         // the heuristic... but note the password input's own name may
         // contain "user". Here it does not.
         assert!(!only_pass.forms[0].looks_like_login() || only_pass.forms[0].fields.len() > 1);
-        let only_user = PageSummary::from_html(
-            "<form><input type='text' name='username'></form>",
-        );
+        let only_user = PageSummary::from_html("<form><input type='text' name='username'></form>");
         assert!(!only_user.forms[0].looks_like_login());
     }
 }

@@ -129,8 +129,7 @@ fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
                     c.bump();
                     continue;
                 }
-                let name =
-                    String::from_utf8_lossy(&c.input[start..c.pos]).to_ascii_lowercase();
+                let name = String::from_utf8_lossy(&c.input[start..c.pos]).to_ascii_lowercase();
                 c.skip_ws();
                 let value = if c.peek() == Some(b'=') {
                     c.bump();
@@ -142,8 +141,7 @@ fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
                             while matches!(c.peek(), Some(b) if b != q) {
                                 c.pos += 1;
                             }
-                            let v = String::from_utf8_lossy(&c.input[vstart..c.pos])
-                                .into_owned();
+                            let v = String::from_utf8_lossy(&c.input[vstart..c.pos]).into_owned();
                             c.bump(); // closing quote
                             decode_entities(&v)
                         }
@@ -249,11 +247,23 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                Token::StartTag { name: "html".into(), attrs: vec![], self_closing: false },
-                Token::StartTag { name: "body".into(), attrs: vec![], self_closing: false },
+                Token::StartTag {
+                    name: "html".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::StartTag {
+                    name: "body".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
                 Token::Text("Hello".into()),
-                Token::EndTag { name: "body".into() },
-                Token::EndTag { name: "html".into() },
+                Token::EndTag {
+                    name: "body".into()
+                },
+                Token::EndTag {
+                    name: "html".into()
+                },
             ]
         );
     }
@@ -281,8 +291,12 @@ mod tests {
     #[test]
     fn self_closing_tags() {
         let toks = tokenize("<br/><img src=\"x.png\" />");
-        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
-        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br")
+        );
+        assert!(
+            matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img")
+        );
     }
 
     #[test]
@@ -301,7 +315,12 @@ mod tests {
             toks[1],
             Token::Text(r#"if (a < b) { alert("x < y"); }"#.into())
         );
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert!(matches!(&toks[3], Token::StartTag { name, .. } if name == "p"));
     }
 

@@ -23,9 +23,7 @@ fn html_tree(depth: u32) -> BoxedStrategy<String> {
             ],
             proptest::collection::vec(inner, 0..4),
         )
-            .prop_map(|(tag, children)| {
-                format!("<{tag}>{}</{tag}>", children.join(""))
-            })
+            .prop_map(|(tag, children)| format!("<{tag}>{}</{tag}>", children.join("")))
     })
     .boxed()
 }

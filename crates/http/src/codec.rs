@@ -123,7 +123,9 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Request, CodecError> {
         .next()
         .ok_or_else(|| CodecError::Malformed("missing version".into()))?;
     if version != "HTTP/1.1" {
-        return Err(CodecError::Malformed(format!("unsupported version {version:?}")));
+        return Err(CodecError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
     }
     let headers = parse_headers(&lines[1..])?;
     let host = headers
@@ -168,7 +170,9 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Response, CodecError> {
         .next()
         .ok_or_else(|| CodecError::Malformed("missing version".into()))?;
     if version != "HTTP/1.1" {
-        return Err(CodecError::Malformed(format!("unsupported version {version:?}")));
+        return Err(CodecError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
     }
     let code: u16 = parts
         .next()
@@ -219,8 +223,8 @@ mod tests {
 
     #[test]
     fn response_round_trip() {
-        let resp = Response::html("<html><body>ok</body></html>")
-            .with_set_cookie("PHPSESSID=xyz; Path=/");
+        let resp =
+            Response::html("<html><body>ok</body></html>").with_set_cookie("PHPSESSID=xyz; Path=/");
         let wire = encode_response(&resp);
         let mut buf = BytesMut::from(&wire[..]);
         let parsed = decode_response(&mut buf).unwrap();
@@ -257,22 +261,35 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         let mut buf = BytesMut::from(&b"PUT / HTTP/1.1\r\nHost: a.com\r\n\r\n"[..]);
-        assert!(matches!(decode_request(&mut buf), Err(CodecError::Malformed(_))));
+        assert!(matches!(
+            decode_request(&mut buf),
+            Err(CodecError::Malformed(_))
+        ));
         let mut buf = BytesMut::from(&b"GET / HTTP/1.0\r\nHost: a.com\r\n\r\n"[..]);
-        assert!(matches!(decode_request(&mut buf), Err(CodecError::Malformed(_))));
+        assert!(matches!(
+            decode_request(&mut buf),
+            Err(CodecError::Malformed(_))
+        ));
         let mut buf = BytesMut::from(&b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"[..]);
-        assert!(matches!(decode_request(&mut buf), Err(CodecError::Malformed(_))));
+        assert!(matches!(
+            decode_request(&mut buf),
+            Err(CodecError::Malformed(_))
+        ));
         let mut buf = BytesMut::from(&b"GET / HTTP/1.1\r\n\r\n"[..]);
         assert!(
             matches!(decode_request(&mut buf), Err(CodecError::Malformed(_))),
             "missing Host must be rejected"
         );
-        let mut buf =
-            BytesMut::from(&b"HTTP/1.1 777 Weird\r\nContent-Length: 0\r\n\r\n"[..]);
-        assert!(matches!(decode_response(&mut buf), Err(CodecError::Malformed(_))));
-        let mut buf =
-            BytesMut::from(&b"HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n"[..]);
-        assert!(matches!(decode_response(&mut buf), Err(CodecError::Malformed(_))));
+        let mut buf = BytesMut::from(&b"HTTP/1.1 777 Weird\r\nContent-Length: 0\r\n\r\n"[..]);
+        assert!(matches!(
+            decode_response(&mut buf),
+            Err(CodecError::Malformed(_))
+        ));
+        let mut buf = BytesMut::from(&b"HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n"[..]);
+        assert!(matches!(
+            decode_response(&mut buf),
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]

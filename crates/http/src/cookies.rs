@@ -47,14 +47,12 @@ impl Cookie {
         };
         for attr in parts {
             match attr.split_once('=') {
-                Some((k, v)) if k.eq_ignore_ascii_case("path")
-                    && v.starts_with('/') => {
-                        cookie.path = v.to_string();
-                    }
+                Some((k, v)) if k.eq_ignore_ascii_case("path") && v.starts_with('/') => {
+                    cookie.path = v.to_string();
+                }
                 Some((k, v)) if k.eq_ignore_ascii_case("max-age") => {
                     if let Ok(secs) = v.parse::<u64>() {
-                        cookie.expires =
-                            Some(now + phishsim_simnet::SimDuration::from_secs(secs));
+                        cookie.expires = Some(now + phishsim_simnet::SimDuration::from_secs(secs));
                     }
                 }
                 _ => {}
@@ -94,9 +92,8 @@ impl CookieJar {
 
     /// Store a cookie, replacing any with the same (name, host, path).
     pub fn store(&mut self, cookie: Cookie) {
-        self.cookies.retain(|c| {
-            !(c.name == cookie.name && c.host == cookie.host && c.path == cookie.path)
-        });
+        self.cookies
+            .retain(|c| !(c.name == cookie.name && c.host == cookie.host && c.path == cookie.path));
         self.cookies.push(cookie);
     }
 
@@ -124,7 +121,9 @@ impl CookieJar {
     pub fn get(&self, host: &str, name: &str, now: SimTime) -> Option<&str> {
         self.cookies
             .iter()
-            .find(|c| c.host.eq_ignore_ascii_case(host) && c.name == name && c.matches(host, "/", now))
+            .find(|c| {
+                c.host.eq_ignore_ascii_case(host) && c.name == name && c.matches(host, "/", now)
+            })
             .map(|c| c.value.as_str())
     }
 
@@ -184,8 +183,7 @@ mod tests {
 
     #[test]
     fn path_matching() {
-        let c =
-            Cookie::parse_set_cookie("s=1; Path=/app", "h.com", SimTime::ZERO).unwrap();
+        let c = Cookie::parse_set_cookie("s=1; Path=/app", "h.com", SimTime::ZERO).unwrap();
         assert!(c.matches("h.com", "/app", SimTime::ZERO));
         assert!(c.matches("h.com", "/app/page.php", SimTime::ZERO));
         assert!(!c.matches("h.com", "/application", SimTime::ZERO));

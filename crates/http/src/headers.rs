@@ -21,8 +21,7 @@ impl Headers {
 
     /// Replace all values of `name` with a single value.
     pub fn set(&mut self, name: &str, value: &str) {
-        self.entries
-            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
         self.append(name, value);
     }
 
@@ -46,8 +45,7 @@ impl Headers {
     /// Remove all values of `name`; returns whether anything was removed.
     pub fn remove(&mut self, name: &str) -> bool {
         let before = self.entries.len();
-        self.entries
-            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
         self.entries.len() != before
     }
 

@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn remove_site() {
         let mut v = VirtualHosting::new();
-        v.install("a.com", Box::new(|_: &Request, _: &RequestCtx| Response::html("x")));
+        v.install(
+            "a.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("x")),
+        );
         assert!(v.remove("A.com"));
         assert!(!v.remove("a.com"));
         let r = v.dispatch(&Request::get(Url::https("a.com", "/")), &ctx());

@@ -125,8 +125,13 @@ mod tests {
         let ca = CertificateAuthority::acme();
         let now = SimTime::from_hours(1);
         let cert = ca.issue("site.com", now);
-        assert!(cert.validate("site.com", now + SimDuration::from_days(30)).is_ok());
-        assert!(cert.validate("SITE.COM", now).is_ok(), "host check is case-insensitive");
+        assert!(cert
+            .validate("site.com", now + SimDuration::from_days(30))
+            .is_ok());
+        assert!(
+            cert.validate("SITE.COM", now).is_ok(),
+            "host check is case-insensitive"
+        );
     }
 
     #[test]
@@ -142,7 +147,10 @@ mod tests {
     fn expiry_window_enforced() {
         let now = SimTime::from_hours(1);
         let cert = CertificateAuthority::acme().issue("a.com", now);
-        assert_eq!(cert.validate("a.com", SimTime::ZERO), Err(TlsError::Expired));
+        assert_eq!(
+            cert.validate("a.com", SimTime::ZERO),
+            Err(TlsError::Expired)
+        );
         assert_eq!(
             cert.validate("a.com", now + SimDuration::from_days(90)),
             Err(TlsError::Expired)
@@ -164,9 +172,6 @@ mod tests {
     #[test]
     fn age_computation() {
         let cert = CertificateAuthority::acme().issue("a.com", SimTime::from_hours(10));
-        assert_eq!(
-            cert.age(SimTime::from_hours(34)).as_hours(),
-            24
-        );
+        assert_eq!(cert.age(SimTime::from_hours(34)).as_hours(), 24);
     }
 }

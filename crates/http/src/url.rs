@@ -208,7 +208,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_scheme() {
-        assert!(matches!(Url::parse("ftp://x.com"), Err(UrlError::BadScheme(_))));
+        assert!(matches!(
+            Url::parse("ftp://x.com"),
+            Err(UrlError::BadScheme(_))
+        ));
         assert!(matches!(Url::parse("nourl"), Err(UrlError::BadScheme(_))));
         assert_eq!(Url::parse("https:///path"), Err(UrlError::EmptyHost));
     }

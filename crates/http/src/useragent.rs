@@ -65,9 +65,11 @@ impl UserAgent {
     /// copied from real kits: "bot", "crawl", "spider", script tools.)
     pub fn looks_like_bot(ua: &str) -> bool {
         let l = ua.to_ascii_lowercase();
-        ["bot", "crawl", "spider", "slurp", "python", "curl", "wget", "scan", "preview"]
-            .iter()
-            .any(|m| l.contains(m))
+        [
+            "bot", "crawl", "spider", "slurp", "python", "curl", "wget", "scan", "preview",
+        ]
+        .iter()
+        .any(|m| l.contains(m))
     }
 
     /// Whether this user agent self-identifies as a browser on a mobile
@@ -90,8 +92,12 @@ mod tests {
 
     #[test]
     fn browser_agents_do_not_look_like_bots() {
-        for ua in [UserAgent::Firefox, UserAgent::Chrome, UserAgent::Edge, UserAgent::MobileSafari]
-        {
+        for ua in [
+            UserAgent::Firefox,
+            UserAgent::Chrome,
+            UserAgent::Edge,
+            UserAgent::MobileSafari,
+        ] {
             assert!(
                 !UserAgent::looks_like_bot(ua.as_str()),
                 "{ua:?} misclassified"

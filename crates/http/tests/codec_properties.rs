@@ -3,8 +3,8 @@
 
 use bytes::BytesMut;
 use phishsim_http::{
-    decode_request, decode_response, encode_request, encode_response, CodecError, Headers,
-    Method, Request, Response, Status, Url,
+    decode_request, decode_response, encode_request, encode_response, CodecError, Headers, Method,
+    Request, Response, Status, Url,
 };
 use proptest::prelude::*;
 

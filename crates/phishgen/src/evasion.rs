@@ -333,14 +333,16 @@ impl PhishingSite {
     /// The session-gate cover page ("Join Chat").
     fn session_cover_html(&self) -> String {
         match self.config.session_style {
-            SessionStyle::CoverButton => "<!DOCTYPE html><html><head><title>Group Invitation</title></head>\
+            SessionStyle::CoverButton => {
+                "<!DOCTYPE html><html><head><title>Group Invitation</title></head>\
                  <body><h1>You have been invited to a group chat</h1>\
                  <p>Press the button below to join the conversation.</p>\
                  <form action=\"\" method=\"post\">\
                  <input type=\"hidden\" name=\"proceed\" value=\"1\">\
                  <button type=\"submit\">Join Chat</button>\
                  </form></body></html>"
-                .to_string(),
+                    .to_string()
+            }
             SessionStyle::MultiPageLogin => {
                 // Stage 1: the username page. Brand-shaped, but with no
                 // password field — content classifiers score it benign.
@@ -424,9 +426,9 @@ impl PhishingSite {
             SessionStyle::CoverButton => req.form_field("proceed").as_deref() == Some("1"),
             // Stage 1 submits the username; only then does the second
             // (credential) page exist for this session.
-            SessionStyle::MultiPageLogin => req
-                .form_field("login_email")
-                .is_some_and(|v| !v.is_empty()),
+            SessionStyle::MultiPageLogin => {
+                req.form_field("login_email").is_some_and(|v| !v.is_empty())
+            }
         };
         match session {
             Some(id) if proceed && self.sessions.get(&id).copied().unwrap_or(false) => {
@@ -442,8 +444,7 @@ impl PhishingSite {
                 // must be generated on the first page (§2.3).
                 let id = self.fresh_session_id();
                 self.sessions.insert(id.clone(), true);
-                let resp =
-                    self.serve_benign(ctx, "session-new", self.session_cover_html());
+                let resp = self.serve_benign(ctx, "session-new", self.session_cover_html());
                 resp.with_set_cookie(&format!("PHPSESSID={id}; Path=/"))
             }
         }
@@ -457,11 +458,11 @@ impl PhishingSite {
                 .as_ref()
                 .expect("captcha gate requires a binding")
                 .clone();
-            let outcome = binding.provider.lock().siteverify(
-                &binding.secret,
-                &ResponseToken(token),
-                ctx.now,
-            );
+            let outcome =
+                binding
+                    .provider
+                    .lock()
+                    .siteverify(&binding.secret, &ResponseToken(token), ctx.now);
             if outcome.success {
                 // Same URL, no redirection — the payload replaces the
                 // page content (Listing 1, lines 13–17).
@@ -610,8 +611,8 @@ mod tests {
             GateConfig::simple(EvasionTechnique::SessionGate),
             &rng(),
         );
-        let forged = Request::post_form(url(), &[("proceed", "1")])
-            .with_cookie_header("PHPSESSID=deadbeef");
+        let forged =
+            Request::post_form(url(), &[("proceed", "1")]).with_cookie_header("PHPSESSID=deadbeef");
         let resp = site.handle(&forged, &ctx("bot"));
         assert!(!PageSummary::from_html(&resp.body).has_login_form());
     }
@@ -717,16 +718,10 @@ mod tests {
         c.now = SimTime::from_mins(100);
         site.handle(&Request::get(url()), &c);
         c.now = SimTime::from_mins(132);
-        site.handle(
-            &Request::post_form(url(), &[("get_data", "getData")]),
-            &c,
-        );
+        site.handle(&Request::post_form(url(), &[("get_data", "getData")]), &c);
         assert_eq!(probe.request_count(), 2);
         assert_eq!(probe.payload_serves().len(), 1);
-        assert_eq!(
-            probe.first_payload_at("gsb"),
-            Some(SimTime::from_mins(132))
-        );
+        assert_eq!(probe.first_payload_at("gsb"), Some(SimTime::from_mins(132)));
         assert_eq!(probe.first_payload_at("netcraft"), None);
     }
 
@@ -777,10 +772,7 @@ mod multi_page_tests {
         // ...but no password field, so no "login form".
         assert!(!summary.has_login_form());
         assert_eq!(summary.forms.len(), 1);
-        assert!(summary.forms[0]
-            .fields
-            .iter()
-            .all(|f| f.kind != "password"));
+        assert!(summary.forms[0].fields.iter().all(|f| f.kind != "password"));
     }
 
     #[test]
@@ -794,7 +786,10 @@ mod multi_page_tests {
         let post = Request::post_form(url(), &[("login_email", "victim@mail.com")])
             .with_cookie_header(&cookie);
         let resp = s.handle(&post, &ctx("human"));
-        assert!(PageSummary::from_html(&resp.body).has_login_form(), "stage 2 is the payload");
+        assert!(
+            PageSummary::from_html(&resp.body).has_login_form(),
+            "stage 2 is the payload"
+        );
         assert!(probe.payload_reached_by("human"));
     }
 

@@ -113,9 +113,11 @@ impl CompromisedSite {
     fn archive_response(&self) -> Response {
         // A manifest of the kit's contents — what an analyst pulling
         // the .zip learns: the brands, gates, and payload markup.
-        let mut manifest = String::from("PK phishing-kit-archive
+        let mut manifest = String::from(
+            "PK phishing-kit-archive
 manifest:
-");
+",
+        );
         for (path, site) in &self.kits {
             manifest.push_str(&format!(
                 "  {path} brand={} technique={}
@@ -123,8 +125,10 @@ manifest:
                 site.brand().name(),
                 site.technique()
             ));
-            manifest.push_str("  includes: payload.html gate.php assets/
-");
+            manifest.push_str(
+                "  includes: payload.html gate.php assets/
+",
+            );
         }
         let mut resp = Response::html(manifest);
         resp.headers.set("Content-Type", "application/zip");
@@ -223,10 +227,7 @@ mod tests {
     #[test]
     fn cover_pages_still_served() {
         let mut site = deploy(EvasionTechnique::None);
-        let resp = site.handle(
-            &Request::get(Url::https("green-energy.com", "/")),
-            &ctx(),
-        );
+        let resp = site.handle(&Request::get(Url::https("green-energy.com", "/")), &ctx());
         assert_eq!(resp.status, Status::Ok);
         assert!(!PageSummary::from_html(&resp.body).has_login_form());
     }
@@ -272,8 +273,14 @@ mod tests {
 
     #[test]
     fn mount_paths_vary_by_technique() {
-        let a = PhishKit::new(Brand::PayPal, GateConfig::simple(EvasionTechnique::AlertBox));
-        let s = PhishKit::new(Brand::PayPal, GateConfig::simple(EvasionTechnique::SessionGate));
+        let a = PhishKit::new(
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::AlertBox),
+        );
+        let s = PhishKit::new(
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::SessionGate),
+        );
         assert_ne!(a.mount_path, s.mount_path);
     }
 }
@@ -290,9 +297,21 @@ mod multi_kit_tests {
         let rng = DetRng::new(8);
         let bundle = FakeSiteGenerator::new(&rng).generate("prelim-host.com");
         let kits = vec![
-            PhishKit::at_path(Brand::Gmail, GateConfig::simple(EvasionTechnique::None), "/secure/gmail.php"),
-            PhishKit::at_path(Brand::Facebook, GateConfig::simple(EvasionTechnique::None), "/secure/facebook.php"),
-            PhishKit::at_path(Brand::PayPal, GateConfig::simple(EvasionTechnique::None), "/secure/paypal.php"),
+            PhishKit::at_path(
+                Brand::Gmail,
+                GateConfig::simple(EvasionTechnique::None),
+                "/secure/gmail.php",
+            ),
+            PhishKit::at_path(
+                Brand::Facebook,
+                GateConfig::simple(EvasionTechnique::None),
+                "/secure/facebook.php",
+            ),
+            PhishKit::at_path(
+                Brand::PayPal,
+                GateConfig::simple(EvasionTechnique::None),
+                "/secure/paypal.php",
+            ),
         ];
         let mut site = CompromisedSite::new_multi(bundle, kits, &rng);
         assert_eq!(site.kit_paths().len(), 3);
@@ -312,7 +331,10 @@ mod multi_kit_tests {
             assert!(s.text_contains(brand), "{path} should be a {brand} page");
         }
         // Per-kit probes are independent.
-        assert!(site.probe_at("/secure/gmail.php").unwrap().payload_reached_by("t"));
+        assert!(site
+            .probe_at("/secure/gmail.php")
+            .unwrap()
+            .payload_reached_by("t"));
         assert!(site.probe_at("/nonexistent").is_none());
     }
 
@@ -322,8 +344,16 @@ mod multi_kit_tests {
         let rng = DetRng::new(8);
         let bundle = FakeSiteGenerator::new(&rng).generate("x-y.com");
         let kits = vec![
-            PhishKit::at_path(Brand::Gmail, GateConfig::simple(EvasionTechnique::None), "/a.php"),
-            PhishKit::at_path(Brand::PayPal, GateConfig::simple(EvasionTechnique::None), "/a.php"),
+            PhishKit::at_path(
+                Brand::Gmail,
+                GateConfig::simple(EvasionTechnique::None),
+                "/a.php",
+            ),
+            PhishKit::at_path(
+                Brand::PayPal,
+                GateConfig::simple(EvasionTechnique::None),
+                "/a.php",
+            ),
         ];
         CompromisedSite::new_multi(bundle, kits, &rng);
     }
@@ -339,7 +369,10 @@ mod leftover_archive_tests {
     fn leftover_archive_served_as_zip() {
         let rng = DetRng::new(12);
         let bundle = FakeSiteGenerator::new(&rng).generate("sloppy-host.com");
-        let kit = PhishKit::new(Brand::PayPal, GateConfig::simple(EvasionTechnique::AlertBox));
+        let kit = PhishKit::new(
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::AlertBox),
+        );
         let mut site = CompromisedSite::new(bundle, kit, &rng).with_leftover_archive("/kit.zip");
         assert_eq!(site.leftover_archive(), Some("/kit.zip"));
         let ctx = RequestCtx {
@@ -347,7 +380,10 @@ mod leftover_archive_tests {
             actor: "openphish".into(),
             now: SimTime::ZERO,
         };
-        let resp = site.handle(&Request::get(Url::https("sloppy-host.com", "/kit.zip")), &ctx);
+        let resp = site.handle(
+            &Request::get(Url::https("sloppy-host.com", "/kit.zip")),
+            &ctx,
+        );
         assert_eq!(resp.status.code(), 200);
         assert_eq!(resp.headers.get("content-type"), Some("application/zip"));
         assert!(resp.body.contains("PayPal"));
@@ -358,7 +394,10 @@ mod leftover_archive_tests {
     fn tidy_site_404s_archive_probes() {
         let rng = DetRng::new(12);
         let bundle = FakeSiteGenerator::new(&rng).generate("tidy-host.com");
-        let kit = PhishKit::new(Brand::PayPal, GateConfig::simple(EvasionTechnique::AlertBox));
+        let kit = PhishKit::new(
+            Brand::PayPal,
+            GateConfig::simple(EvasionTechnique::AlertBox),
+        );
         let mut site = CompromisedSite::new(bundle, kit, &rng);
         let ctx = RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),

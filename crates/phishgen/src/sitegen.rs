@@ -70,7 +70,14 @@ pub struct FakeSiteGenerator {
     pub pages_per_site: usize,
 }
 
-const DIRECTORIES: &[&str] = &["articles", "guides", "news", "archive", "resources", "topics"];
+const DIRECTORIES: &[&str] = &[
+    "articles",
+    "guides",
+    "news",
+    "archive",
+    "resources",
+    "topics",
+];
 
 impl FakeSiteGenerator {
     /// Create a generator with the paper's defaults (30 pages/site).
@@ -123,12 +130,7 @@ impl FakeSiteGenerator {
             let other = &topics[(i * 7 + 3) % topics.len()];
             let dir = DIRECTORIES[i % DIRECTORIES.len()];
             let path = format!("/{dir}/{topic}-{other}-{i}.php");
-            titles.push(format!(
-                "{} {} — {}",
-                vocab::capitalize(topic),
-                other,
-                host
-            ));
+            titles.push(format!("{} {} — {}", vocab::capitalize(topic), other, host));
             paths.push(path);
         }
 
@@ -192,9 +194,7 @@ fn render_page(
 ) -> String {
     let mut body = String::new();
     body.push_str(&format!("<h1>{}</h1>\n", vocab::capitalize(topic)));
-    body.push_str(&format!(
-        "<img src=\"/img/{topic}.jpg\" alt=\"{topic}\">\n"
-    ));
+    body.push_str(&format!("<img src=\"/img/{topic}.jpg\" alt=\"{topic}\">\n"));
     for p in paragraphs {
         body.push_str(&format!("<p>{p}</p>\n"));
     }
@@ -238,7 +238,10 @@ mod tests {
             .filter(|p| *p != "/index.php")
             .map(|p| p.split('/').nth(1).unwrap())
             .collect();
-        assert!(dirs.len() >= 4, "pages should spread over directories: {dirs:?}");
+        assert!(
+            dirs.len() >= 4,
+            "pages should spread over directories: {dirs:?}"
+        );
     }
 
     #[test]
@@ -254,7 +257,10 @@ mod tests {
                 .collect();
             total_links += internal.len();
         }
-        assert!(total_links >= 60, "site must be densely interlinked, got {total_links}");
+        assert!(
+            total_links >= 60,
+            "site must be densely interlinked, got {total_links}"
+        );
     }
 
     #[test]
@@ -262,14 +268,28 @@ mod tests {
         let b = generate("green-energy.com");
         let mut related = 0;
         let mut vocab_words = vec!["green".to_string(), "energy".to_string()];
-        vocab_words.extend(crate::vocab::synonyms("green").iter().map(|s| s.to_string()));
-        vocab_words.extend(crate::vocab::synonyms("energy").iter().map(|s| s.to_string()));
+        vocab_words.extend(
+            crate::vocab::synonyms("green")
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        vocab_words.extend(
+            crate::vocab::synonyms("energy")
+                .iter()
+                .map(|s| s.to_string()),
+        );
         for page in b.pages.values() {
-            if vocab_words.iter().any(|w| page.title.to_lowercase().contains(w)) {
+            if vocab_words
+                .iter()
+                .any(|w| page.title.to_lowercase().contains(w))
+            {
                 related += 1;
             }
         }
-        assert!(related >= 8, "titles should echo domain keywords, got {related}");
+        assert!(
+            related >= 8,
+            "titles should echo domain keywords, got {related}"
+        );
     }
 
     #[test]
@@ -277,7 +297,11 @@ mod tests {
         let b = generate("harbor-view.net");
         for page in b.pages.values() {
             let s = PageSummary::from_html(&page.html);
-            assert!(!s.has_login_form(), "cover page {} has a login form", page.path);
+            assert!(
+                !s.has_login_form(),
+                "cover page {} has a login form",
+                page.path
+            );
         }
     }
 
@@ -293,18 +317,16 @@ mod tests {
         let b = generate("green-energy.com");
         assert_eq!(a, b);
         let c = generate("other-site.com");
-        assert_ne!(a.pages.keys().collect::<Vec<_>>(), c.pages.keys().collect::<Vec<_>>());
+        assert_ne!(
+            a.pages.keys().collect::<Vec<_>>(),
+            c.pages.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn handler_serves_pages_and_404s() {
         let b = generate("green-energy.com");
-        let first_path = b
-            .pages
-            .keys()
-            .find(|p| *p != "/index.php")
-            .unwrap()
-            .clone();
+        let first_path = b.pages.keys().find(|p| *p != "/index.php").unwrap().clone();
         let mut handler = b.into_handler();
         let ctx = RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),

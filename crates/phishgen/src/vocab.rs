@@ -27,7 +27,13 @@ const SYNONYM_GROUPS: &[&[&str]] = &[
     &["craft", "skill", "art", "trade", "workmanship"],
     &["studio", "workshop", "atelier", "lab", "space"],
     &["media", "press", "news", "broadcast", "journalism"],
-    &["global", "worldwide", "international", "planetary", "universal"],
+    &[
+        "global",
+        "worldwide",
+        "international",
+        "planetary",
+        "universal",
+    ],
     &["travel", "journey", "voyage", "trip", "tour"],
     &["health", "wellness", "fitness", "vitality", "wellbeing"],
     &["school", "academy", "college", "institute", "university"],
@@ -35,7 +41,13 @@ const SYNONYM_GROUPS: &[&[&str]] = &[
     &["legal", "judicial", "lawful", "statutory", "juridical"],
     &["motor", "engine", "drive", "machine", "turbine"],
     &["service", "support", "assistance", "help", "maintenance"],
-    &["venture", "startup", "enterprise", "initiative", "undertaking"],
+    &[
+        "venture",
+        "startup",
+        "enterprise",
+        "initiative",
+        "undertaking",
+    ],
     &["network", "grid", "mesh", "web", "lattice"],
     &["light", "illumination", "glow", "radiance", "luminosity"],
     &["forest", "woodland", "grove", "timberland", "wood"],

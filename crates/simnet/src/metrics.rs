@@ -87,12 +87,18 @@ impl DurationStats {
 
     /// Minimum observation.
     pub fn min(&self) -> Option<SimDuration> {
-        self.samples_ms.iter().min().map(|&v| SimDuration::from_millis(v))
+        self.samples_ms
+            .iter()
+            .min()
+            .map(|&v| SimDuration::from_millis(v))
     }
 
     /// Maximum observation.
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples_ms.iter().max().map(|&v| SimDuration::from_millis(v))
+        self.samples_ms
+            .iter()
+            .max()
+            .map(|&v| SimDuration::from_millis(v))
     }
 
     /// Sample standard deviation, or `None` with fewer than two samples.

@@ -59,6 +59,11 @@ pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
+    /// IDs scheduled and not yet popped or cancelled. `len()` is this
+    /// set's size, so cancelling an already-popped ID cannot skew the
+    /// count.
+    alive: std::collections::HashSet<EventId>,
+    /// Lazily-deleted IDs still sitting in the heap.
     cancelled: std::collections::HashSet<EventId>,
 }
 
@@ -75,6 +80,7 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            alive: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
         }
     }
@@ -87,7 +93,7 @@ impl<E> Scheduler<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.alive.len()
     }
 
     /// True if no events are pending.
@@ -111,6 +117,7 @@ impl<E> Scheduler<E> {
             id,
             payload,
         });
+        self.alive.insert(id);
         self.next_seq += 1;
         id
     }
@@ -120,13 +127,33 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
-    /// Cancel a pending event. Returns true if the event was still pending.
+    /// Cancel a pending event. Returns true if the event was still
+    /// pending; cancelling an already-popped, already-cancelled, or
+    /// never-issued ID is a no-op returning false.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        // Only events that are genuinely pending may grow the tombstone
+        // set, so every tombstone has exactly one heap counterpart.
+        if !self.alive.remove(&id) {
             return false;
         }
         // Lazy deletion: mark and skip at pop time.
-        self.cancelled.insert(id)
+        self.cancelled.insert(id);
+        self.maybe_compact();
+        true
+    }
+
+    /// Physically remove tombstoned entries once they dominate the heap,
+    /// bounding memory for workloads that cancel most of what they
+    /// schedule. O(heap) rebuild, amortised by the >=1/2 trigger.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() >= 64 && self.cancelled.len() * 2 >= self.heap.len() {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+                .into_iter()
+                .filter(|e| !cancelled.contains(&e.id))
+                .collect();
+            self.heap = BinaryHeap::from(entries);
+        }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -135,6 +162,7 @@ impl<E> Scheduler<E> {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
+            self.alive.remove(&entry.id);
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
             return Some((entry.at, entry.payload));
@@ -242,6 +270,70 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut s: Scheduler<&str> = Scheduler::new();
         assert!(!s.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancel_after_pop_does_not_corrupt_len() {
+        // Regression: cancelling an ID that was already popped used to
+        // insert a tombstone with no heap counterpart, making
+        // `heap.len() - cancelled.len()` over-subtract (and underflow
+        // once the heap drained).
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_mins(1), "popped");
+        s.schedule_at(SimTime::from_mins(2), "pending");
+        s.pop();
+        assert!(!s.cancel(id), "cancelling a popped event is a no-op");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        s.pop();
+        assert!(!s.cancel(id));
+        assert_eq!(s.len(), 0, "previously underflowed");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_tombstones() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let ids: Vec<EventId> = (0..1000)
+            .map(|i| s.schedule_at(SimTime::from_mins(i + 1), i as u32))
+            .collect();
+        // Cancel all but one; the tombstone set must not retain ~999
+        // entries alongside a drained heap.
+        for id in &ids[1..] {
+            assert!(s.cancel(*id));
+        }
+        assert_eq!(s.len(), 1);
+        assert!(s.cancelled.len() < 64, "tombstones were compacted");
+        let (t, e) = s.pop().unwrap();
+        assert_eq!((t.as_mins(), e), (1, 0));
+        assert!(s.pop().is_none());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_cancel_pop_keeps_len_consistent() {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        let mut expect = 0usize;
+        let mut ids = Vec::new();
+        for round in 0..200u64 {
+            let id = s.schedule_at(SimTime::from_mins(round + 1), round);
+            ids.push(id);
+            expect += 1;
+            if round % 3 == 0 {
+                if s.cancel(ids[(round / 2) as usize]) {
+                    expect -= 1;
+                }
+            }
+            if round % 5 == 0 && s.pop().is_some() {
+                expect -= 1;
+            }
+            assert_eq!(s.len(), expect, "round {round}");
+        }
+        while s.pop().is_some() {
+            expect -= 1;
+        }
+        assert_eq!(expect, 0);
+        assert_eq!(s.len(), 0);
     }
 
     #[test]

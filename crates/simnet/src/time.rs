@@ -10,11 +10,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in milliseconds since experiment start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -239,7 +243,10 @@ mod tests {
         let d = SimDuration::from_secs(10);
         assert_eq!(d.mul_f64(0.5).as_millis(), 5_000);
         assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(u64::MAX).mul_f64(2.0).as_millis(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_millis(u64::MAX).mul_f64(2.0).as_millis(),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -90,7 +90,12 @@ impl TraceLog {
 
     /// Events matching a predicate.
     pub fn filter<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> Vec<TraceEvent> {
-        self.inner.read().iter().filter(|e| pred(e)).cloned().collect()
+        self.inner
+            .read()
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
     }
 
     /// Count of events matching a predicate.
@@ -102,9 +107,7 @@ impl TraceLog {
     /// (Table 1's "# of requests" column).
     pub fn requests_for(&self, actor: &str, host: Option<&str>) -> usize {
         self.count(|e| {
-            e.kind == TraceKind::HttpRequest
-                && e.actor == actor
-                && host.is_none_or(|h| e.host == h)
+            e.kind == TraceKind::HttpRequest && e.actor == actor && host.is_none_or(|h| e.host == h)
         })
     }
 
@@ -240,7 +243,10 @@ mod tests {
         }
         let f = log.fraction_within("a.com", SimTime::ZERO, SimDuration::from_hours(2));
         assert!((f - 0.9).abs() < 1e-9, "fraction {f}");
-        assert_eq!(log.fraction_within("none.com", SimTime::ZERO, SimDuration::from_hours(2)), 0.0);
+        assert_eq!(
+            log.fraction_within("none.com", SimTime::ZERO, SimDuration::from_hours(2)),
+            0.0
+        );
     }
 
     #[test]
@@ -252,7 +258,10 @@ mod tests {
             log.first_request_after("a.com", SimTime::from_mins(6)),
             Some(SimTime::from_mins(12))
         );
-        assert_eq!(log.first_request_after("a.com", SimTime::from_mins(13)), None);
+        assert_eq!(
+            log.first_request_after("a.com", SimTime::from_mins(13)),
+            None
+        );
     }
 
     #[test]

@@ -27,7 +27,13 @@ fn main() {
     println!(
         "  scanned {} Alexa domains -> {} NXDOMAIN -> {} available -> {} WHOIS-free \
          -> {} clean -> {} archived -> {} archived+indexed",
-        f.scanned, f.nxdomain, f.available, f.whois_not_found, f.clean_history, f.archived, f.indexed
+        f.scanned,
+        f.nxdomain,
+        f.available,
+        f.whois_not_found,
+        f.clean_history,
+        f.archived,
+        f.indexed
     );
     let domain = acq.drop_catch[0].clone();
     println!("  selected reputed domain: {domain}\n");
@@ -70,7 +76,12 @@ fn main() {
         "  human victim: steps {:?}\n                -> final page is {} (login form: {})",
         view.steps
             .iter()
-            .map(|s| format!("{s:?}").split(' ').next().unwrap().trim_matches('{').to_string())
+            .map(|s| format!("{s:?}")
+                .split(' ')
+                .next()
+                .unwrap()
+                .trim_matches('{')
+                .to_string())
             .collect::<Vec<_>>(),
         view.summary.title,
         view.summary.has_login_form()
@@ -93,7 +104,10 @@ fn main() {
     println!("\n== Stage 4: the kit's log (who got the payload?) ==");
     let probe = dep.probe();
     for rec in probe.payload_serves() {
-        println!("  {} <- payload served to {} ({})", rec.at, rec.actor, rec.src);
+        println!(
+            "  {} <- payload served to {} ({})",
+            rec.at, rec.actor, rec.src
+        );
     }
     let benign = probe.records().iter().filter(|r| !r.payload).count();
     println!(

@@ -11,10 +11,10 @@
 //! cargo run --example mitigation_matrix
 //! ```
 
+use phishsim::antiphish::classify;
 use phishsim::browser::{Browser, BrowserConfig, DialogPolicy};
 use phishsim::captcha::SolverProfile;
 use phishsim::deploy::deploy_armed_site;
-use phishsim::antiphish::classify;
 use phishsim::prelude::*;
 use phishsim::simnet::Ipv4Sim;
 use phishsim_dns::DomainName;
@@ -67,7 +67,10 @@ fn main() {
         let mut row = format!("{:<36}", cap.name);
         for technique in techniques {
             let reached = payload_reached(cap, technique);
-            row.push_str(&format!(" {:>10}", if reached { "PAYLOAD" } else { "blocked" }));
+            row.push_str(&format!(
+                " {:>10}",
+                if reached { "PAYLOAD" } else { "blocked" }
+            ));
         }
         println!("{row}");
     }
@@ -80,7 +83,12 @@ fn payload_reached(cap: &Capability, technique: EvasionTechnique) -> bool {
     let domain = DomainName::parse("harbor-summit.com").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
         .unwrap();
     let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, technique, SimTime::ZERO);
 

@@ -23,9 +23,15 @@ fn main() {
     {
         let server = SbServer::new(&list);
         let v = client.check(&phishing, &server, SimTime::ZERO);
-        println!("  check({phishing}) -> {v:?}  [{:?}]", client.traces.last().unwrap());
+        println!(
+            "  check({phishing}) -> {v:?}  [{:?}]",
+            client.traces.last().unwrap()
+        );
         let v = client.check(&clean, &server, SimTime::ZERO);
-        println!("  check({clean}) -> {v:?}  [{:?}]", client.traces.last().unwrap());
+        println!(
+            "  check({clean}) -> {v:?}  [{:?}]",
+            client.traces.last().unwrap()
+        );
     }
 
     // 20 minutes in, GSB lists the URL (say, via an alert-box detection).

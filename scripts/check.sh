@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo gate: format, lints, tier-1 tests, quick perf baseline.
+#
+#   ./scripts/check.sh
+#
+# Mirrors what reviewers run before merging. The perf step writes
+# results/BENCH_1.json in --quick mode; diff it against the committed
+# baseline by hand when a change is perf-relevant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> clippy (runner, caches, monitor, bench harness)"
+cargo clippy --release -p phishsim-core -p phishsim-browser \
+  -p phishsim-antiphish -p phishsim-bench -- -D warnings
+
+echo "==> tier-1: build + tests"
+cargo build --release
+cargo test -q --release
+
+echo "==> perf baseline (quick)"
+cargo run --release -p phishsim-bench --bin bench_baseline -- --quick
+
+echo "All checks passed."

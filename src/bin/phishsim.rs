@@ -6,23 +6,32 @@
 //! phishsim run table2 --seed 99 --full  # other seeds / full traffic
 //! ```
 
+use phishsim::domains::{acquire_domains, AcquisitionConfig};
 use phishsim::experiment::{
     run_cloaking_baseline, run_extension_experiment, run_longitudinal, run_main_experiment,
     run_preliminary, run_redirection_baseline, CloakingConfig, EntryKind, ExtensionConfig,
     LongitudinalConfig, MainConfig, PreliminaryConfig, RedirectionConfig,
 };
-use phishsim::domains::{acquire_domains, AcquisitionConfig};
 use phishsim::phishgen::EvasionTechnique;
 use phishsim::simnet::DetRng;
 use phishsim::DEFAULT_SEED;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "preliminary test: 3 naked URLs x 7 engines (paper Table 1)"),
-    ("table2", "main experiment: 105 armed URLs x 6 engines (paper Table 2)"),
+    (
+        "table1",
+        "preliminary test: 3 naked URLs x 7 engines (paper Table 1)",
+    ),
+    (
+        "table2",
+        "main experiment: 105 armed URLs x 6 engines (paper Table 2)",
+    ),
     ("table3", "client-side extension experiment (paper Table 3)"),
     ("funnel", "drop-catch domain-acquisition funnel (paper §3)"),
     ("cloaking", "web-cloaking baseline (Oest et al. comparison)"),
-    ("redirection", "URL-shortener / redirect-chain baseline (§1)"),
+    (
+        "redirection",
+        "URL-shortener / redirect-chain baseline (§1)",
+    ),
     ("longitudinal", "PhishTime-style weekly waves extension"),
 ];
 
@@ -76,7 +85,11 @@ fn run(name: &str, seed: u64, full: bool) {
             println!("{}", r.table.render());
         }
         "table2" => {
-            let mut cfg = if full { MainConfig::paper() } else { MainConfig::fast() };
+            let mut cfg = if full {
+                MainConfig::paper()
+            } else {
+                MainConfig::fast()
+            };
             cfg.seed = seed;
             let r = run_main_experiment(&cfg);
             println!("{}", r.table.render());
@@ -108,7 +121,11 @@ fn run(name: &str, seed: u64, full: bool) {
             );
         }
         "cloaking" => {
-            let mut cfg = if full { CloakingConfig::paper() } else { CloakingConfig::fast() };
+            let mut cfg = if full {
+                CloakingConfig::paper()
+            } else {
+                CloakingConfig::fast()
+            };
             cfg.seed = seed;
             let r = run_cloaking_baseline(&cfg);
             println!(

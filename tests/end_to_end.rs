@@ -40,10 +40,19 @@ fn acquisition_to_observation() {
 
     // The detection propagates to GSB and is observed by monitoring.
     let horizon = detected_at + SimDuration::from_hours(6);
-    let obs = monitor_listings(&feeds, std::slice::from_ref(&dep.url), acq.ready_at, horizon, &world.log);
+    let obs = monitor_listings(
+        &feeds,
+        std::slice::from_ref(&dep.url),
+        acq.ready_at,
+        horizon,
+        &world.log,
+    );
     let engines: Vec<EngineId> = obs.iter().map(|o| o.engine).collect();
     assert!(engines.contains(&EngineId::NetCraft));
-    assert!(engines.contains(&EngineId::Gsb), "cross-feed propagation observed");
+    assert!(
+        engines.contains(&EngineId::Gsb),
+        "cross-feed propagation observed"
+    );
 
     // The hosting farm logged the crawl, and the kit's probe agrees.
     assert!(world.log.requests_for("netcraft", Some(&dep.domain)) > 0);
@@ -64,9 +73,20 @@ fn humans_pass_every_gate() {
         let domain = phishsim::dns::DomainName::parse("river-stone.net").unwrap();
         world
             .registry
-            .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+            .register(
+                domain.clone(),
+                "ovh",
+                SimTime::ZERO,
+                SimDuration::from_days(365),
+            )
             .unwrap();
-        let dep = deploy_armed_site(&mut world, &domain, Brand::Facebook, technique, SimTime::ZERO);
+        let dep = deploy_armed_site(
+            &mut world,
+            &domain,
+            Brand::Facebook,
+            technique,
+            SimTime::ZERO,
+        );
         let mut human = Browser::new(
             BrowserConfig::human_firefox(),
             phishsim::simnet::Ipv4Sim::new(203, 0, 113, 9),
@@ -97,14 +117,24 @@ fn humans_pass_every_gate() {
 /// engines that lose their crawl simply fail to detect.
 #[test]
 fn lossy_network_degrades_gracefully() {
-    let mut world =
-        World::new(11).with_faults(phishsim::simnet::FaultInjector::lossy(0.9));
+    let mut world = World::new(11).with_faults(phishsim::simnet::FaultInjector::lossy(0.9));
     let domain = phishsim::dns::DomainName::parse("cedar-grove.org").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(365))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
         .unwrap();
-    let dep = deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+    let dep = deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::PayPal,
+        EvasionTechnique::None,
+        SimTime::ZERO,
+    );
     let mut engine = Engine::new(EngineId::Gsb, &world.rng);
     // Must not panic; outcome may or may not be a detection.
     let outcome = engine.process_report(&mut world, &dep.url, SimTime::from_hours(1), 0.01);
@@ -119,14 +149,30 @@ fn lapsed_domain_stops_resolving() {
     let domain = phishsim::dns::DomainName::parse("bright-meadow.com").unwrap();
     world
         .registry
-        .register(domain.clone(), "ovh", SimTime::ZERO, SimDuration::from_days(30))
+        .register(
+            domain.clone(),
+            "ovh",
+            SimTime::ZERO,
+            SimDuration::from_days(30),
+        )
         .unwrap();
-    deploy_armed_site(&mut world, &domain, Brand::PayPal, EvasionTechnique::None, SimTime::ZERO);
+    deploy_armed_site(
+        &mut world,
+        &domain,
+        Brand::PayPal,
+        EvasionTechnique::None,
+        SimTime::ZERO,
+    );
     world.registry.abandon(&domain).unwrap();
-    assert!(world.resolve("bright-meadow.com", SimTime::from_mins(10)).is_some());
+    assert!(world
+        .resolve("bright-meadow.com", SimTime::from_mins(10))
+        .is_some());
     assert!(
         world
-            .resolve("bright-meadow.com", SimTime::ZERO + SimDuration::from_days(31))
+            .resolve(
+                "bright-meadow.com",
+                SimTime::ZERO + SimDuration::from_days(31)
+            )
             .is_none(),
         "abandoned registration must lapse"
     );

@@ -19,7 +19,11 @@ fn preliminary_traffic_attributes_back_to_engines() {
     let report = attribute_traffic(&r.world.log, &book);
 
     // Every engine-attributed request matches the recorded ground truth.
-    assert!(report.attributed > 1_000, "attributed {}", report.attributed);
+    assert!(
+        report.attributed > 1_000,
+        "attributed {}",
+        report.attributed
+    );
     assert!(
         (report.accuracy() - 1.0).abs() < f64::EPSILON,
         "attribution accuracy {:.4}",

@@ -43,7 +43,10 @@ fn default_seed_matches_paper_numbers() {
     let r = run_main_experiment(&MainConfig::fast());
     assert_eq!(r.table.total.as_cell(), "8/105", "the paper's 8 out of 105");
     let mean = r.table.gsb_alert_mean_mins.expect("GSB detections exist");
-    assert!((100.0..180.0).contains(&mean), "GSB mean {mean:.0} vs paper's 132");
+    assert!(
+        (100.0..180.0).contains(&mean),
+        "GSB mean {mean:.0} vs paper's 132"
+    );
     assert_eq!(
         r.table.netcraft_session_delays_mins.len(),
         2,
@@ -64,7 +67,12 @@ fn preliminary_reproduces_table1_structure() {
     // signature-only engines catch F+P; YSB catches nothing.
     assert_eq!(row(EngineId::Gsb).blacklisted_targets.len(), 3);
     assert_eq!(row(EngineId::NetCraft).blacklisted_targets.len(), 3);
-    for id in [EngineId::Apwg, EngineId::OpenPhish, EngineId::PhishTank, EngineId::SmartScreen] {
+    for id in [
+        EngineId::Apwg,
+        EngineId::OpenPhish,
+        EngineId::PhishTank,
+        EngineId::SmartScreen,
+    ] {
         let targets = &row(id).blacklisted_targets;
         assert_eq!(targets.len(), 2, "{id}: {targets:?}");
         assert!(!targets.contains(&'G'), "{id} must miss Gmail");
@@ -127,7 +135,11 @@ fn extensions_detect_nothing_while_humans_see_everything() {
 #[test]
 fn cloaking_baseline_matches_phishfarm_shape() {
     let r = run_cloaking_baseline(&CloakingConfig::paper());
-    assert!(r.naked.detection.fraction() > 0.9, "naked: {}", r.naked.detection.as_cell());
+    assert!(
+        r.naked.detection.fraction() > 0.9,
+        "naked: {}",
+        r.naked.detection.as_cell()
+    );
     let cloaked_rate = r.cloaked.detection.fraction();
     assert!(
         (0.05..0.45).contains(&cloaked_rate),

@@ -1,0 +1,73 @@
+//! The performance machinery must never change results.
+//!
+//! Two invariants guard the sweep runner and the render/verdict caches:
+//!
+//! 1. **Thread-count invariance** — a `run_sweep` over N configs
+//!    returns byte-identical JSON whether it ran on 1 thread or many
+//!    (work stealing reorders execution, never results).
+//! 2. **Cache transparency** — a fixed seed regenerates byte-identical
+//!    tables with `PHISHSIM_RENDER_CACHE` off and on (memoization
+//!    reuses work, never changes it).
+
+use phishsim::experiment::{run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig};
+use phishsim_core::runner::run_sweep_with_threads;
+
+/// One sweep cell: a seeded fast main-experiment run, serialized the
+/// way the sweep binaries write their JSON records.
+fn sweep_cell(seed: &u64) -> String {
+    let r = run_main_experiment(&MainConfig {
+        seed: *seed,
+        ..MainConfig::fast()
+    });
+    serde_json::to_string(&serde_json::json!({
+        "seed": seed,
+        "table": r.table,
+        "traffic_within_2h": r.traffic_within_2h,
+    }))
+    .expect("serializable")
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_thread_counts() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let serial = run_sweep_with_threads(&seeds, 1, sweep_cell);
+    let parallel = run_sweep_with_threads(&seeds, 4, sweep_cell);
+    assert_eq!(
+        serial, parallel,
+        "1 thread and 4 threads must agree byte-for-byte"
+    );
+    let wider = run_sweep_with_threads(&seeds, 16, sweep_cell);
+    assert_eq!(serial, wider, "oversubscribed thread count must agree too");
+}
+
+#[test]
+fn tables_are_byte_identical_with_cache_off_and_on() {
+    // Both phases run inside this one test so the env flips are
+    // sequenced; concurrent tests are unaffected either way, because
+    // equality under both settings is exactly what is being asserted.
+    std::env::set_var("PHISHSIM_RENDER_CACHE", "0");
+    let main_off = run_main_experiment(&MainConfig::fast());
+    let prelim_off = run_preliminary(&PreliminaryConfig::fast());
+    std::env::set_var("PHISHSIM_RENDER_CACHE", "1");
+    let main_on = run_main_experiment(&MainConfig::fast());
+    let prelim_on = run_preliminary(&PreliminaryConfig::fast());
+
+    assert_eq!(main_off.table.render(), main_on.table.render());
+    assert_eq!(
+        serde_json::to_string(&main_off.table).unwrap(),
+        serde_json::to_string(&main_on.table).unwrap()
+    );
+    for (x, y) in main_off.arms.iter().zip(&main_on.arms) {
+        assert_eq!(x.url, y.url);
+        assert_eq!(
+            serde_json::to_string(&x.outcome).unwrap(),
+            serde_json::to_string(&y.outcome).unwrap(),
+            "outcome for {} must not depend on the cache",
+            x.url
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&prelim_off.table.rows).unwrap(),
+        serde_json::to_string(&prelim_on.table.rows).unwrap()
+    );
+}

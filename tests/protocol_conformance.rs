@@ -31,7 +31,10 @@ fn sb_client_flags_the_experiments_detections() {
         .iter()
         .filter(|a| gsb_list.listed_at(&a.url).is_some())
         .count();
-    assert_eq!(flagged, expected, "prefix protocol must agree with the list");
+    assert_eq!(
+        flagged, expected,
+        "prefix protocol must agree with the list"
+    );
     assert!(expected >= 6, "at least GSB's own detections propagate");
     assert_eq!(flagged + clean, 105);
 }
@@ -53,7 +56,9 @@ fn sb_client_blind_window_applies_to_live_detections() {
     // A client whose last update happened just before the listing…
     let mut client = SbClient::new(SimDuration::from_mins(30));
     let just_before = phishsim::simnet::SimTime::from_millis(
-        listed_at.as_millis().saturating_sub(SimDuration::from_mins(1).as_millis()),
+        listed_at
+            .as_millis()
+            .saturating_sub(SimDuration::from_mins(1).as_millis()),
     );
     client.update(&server, just_before);
     // …remains blind to it until the next update period.

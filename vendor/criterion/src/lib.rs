@@ -1,0 +1,205 @@
+//! Vendored offline subset of `criterion`.
+//!
+//! A small wall-clock benchmark harness with criterion's API shape:
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `iter`/`iter_batched`, `Throughput`, `BatchSize`.
+//! Each benchmark warms up briefly, then runs timed batches for a fixed
+//! wall-clock budget and reports mean ns/iter (plus derived throughput)
+//! on stdout. No plots, no statistics files.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget knobs.
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(150);
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    /// Scales the measurement budget; `--quick`-style runs can shrink it.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: MEASURE }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(id, None, self.measure, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.group, id);
+        run_bench(&label, self.throughput, self.criterion.measure, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; collects timed iterations.
+pub struct Bencher {
+    measure: Duration,
+    /// (total elapsed, iterations) accumulated by `iter`/`iter_batched`.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up.
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let stop_at = start + self.measure;
+        let mut iters = 0u64;
+        while Instant::now() < stop_at {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        while elapsed < self.measure {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = elapsed;
+        self.iters = iters.max(1);
+    }
+}
+
+fn run_bench(
+    label: &str,
+    throughput: Option<Throughput>,
+    measure: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        measure,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            format!("  ({mbps:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / ns_per_iter * 1e9;
+            format!("  ({eps:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!("  {label}: {ns_per_iter:.0} ns/iter{rate}");
+}
+
+/// Re-export so `use criterion::black_box` works as in upstream.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut total = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(1);
+                total
+            })
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+}

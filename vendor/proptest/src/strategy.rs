@@ -1,0 +1,551 @@
+//! Strategy trait, combinators, and primitive strategies.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Generic combinators carry `Self: Sized` bounds so the trait stays
+/// object-safe for [`BoxedStrategy`].
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Build a recursive strategy by applying `expand` `depth` times to
+    /// the base (leaf) strategy. The `_desired_size`/`_branch` hints are
+    /// accepted for API parity and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = expand(current).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (see `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let candidate = self.inner.sample(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// String literals are regex-subset strategies producing `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let nodes = regex::parse(self);
+        let mut out = String::new();
+        for node in &nodes {
+            regex::sample_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*}
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = rng.unit() as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let unit = rng.unit() as $t;
+                low + (high - low) * unit
+            }
+        }
+    )*}
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*}
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Regex-subset parser and sampler backing string-literal strategies.
+///
+/// Supported syntax: literals, `\`-escapes, `.` (any printable), groups
+/// with alternation `(a|b)`, classes with ranges, negation, and `&&`
+/// intersection (`[ -~&&[^:\r\n]]`), and the quantifiers `{m}`,
+/// `{m,n}`, `{m,}`, `?`, `*`, `+`.
+mod regex {
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    pub enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Alt(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    struct Cursor {
+        chars: Vec<char>,
+        i: usize,
+    }
+
+    impl Cursor {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.i).copied()
+        }
+        fn peek2(&self) -> Option<char> {
+            self.chars.get(self.i + 1).copied()
+        }
+        fn next(&mut self) -> Option<char> {
+            let c = self.peek();
+            self.i += 1;
+            c
+        }
+    }
+
+    /// Printable ASCII universe used for `.` and class negation.
+    fn universe() -> BTreeSet<char> {
+        (0x20u8..=0x7e).map(|b| b as char).collect()
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let mut cur = Cursor {
+            chars: pattern.chars().collect(),
+            i: 0,
+        };
+        let alts = parse_alternatives(&mut cur, true);
+        assert!(
+            cur.peek().is_none(),
+            "unbalanced `)` in pattern `{pattern}`"
+        );
+        if alts.len() == 1 {
+            alts.into_iter().next().unwrap()
+        } else {
+            vec![Node::Alt(alts)]
+        }
+    }
+
+    fn parse_alternatives(cur: &mut Cursor, top: bool) -> Vec<Vec<Node>> {
+        let mut alts: Vec<Vec<Node>> = vec![Vec::new()];
+        loop {
+            match cur.peek() {
+                None => break,
+                Some(')') if !top => break,
+                Some('|') => {
+                    cur.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = parse_atom(cur);
+                    let atom = parse_quantifier(cur, atom);
+                    alts.last_mut().unwrap().push(atom);
+                }
+            }
+        }
+        alts
+    }
+
+    fn parse_atom(cur: &mut Cursor) -> Node {
+        match cur.next().expect("unexpected end of pattern") {
+            '(' => {
+                let alts = parse_alternatives(cur, false);
+                assert_eq!(cur.next(), Some(')'), "unclosed group");
+                Node::Alt(alts)
+            }
+            '[' => {
+                let set = parse_class_expr(cur);
+                assert!(!set.is_empty(), "empty character class");
+                Node::Class(set.into_iter().collect())
+            }
+            '\\' => Node::Lit(unescape(cur.next().expect("dangling escape"))),
+            '.' => Node::Class(universe().into_iter().collect()),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_quantifier(cur: &mut Cursor, atom: Node) -> Node {
+        match cur.peek() {
+            Some('{') => {
+                cur.next();
+                let mut min = String::new();
+                while matches!(cur.peek(), Some(c) if c.is_ascii_digit()) {
+                    min.push(cur.next().unwrap());
+                }
+                let min: u32 = min.parse().expect("bad `{m,n}` quantifier");
+                let max = match cur.peek() {
+                    Some(',') => {
+                        cur.next();
+                        let mut max = String::new();
+                        while matches!(cur.peek(), Some(c) if c.is_ascii_digit()) {
+                            max.push(cur.next().unwrap());
+                        }
+                        if max.is_empty() {
+                            min + 8 // open-ended `{m,}`
+                        } else {
+                            max.parse().expect("bad `{m,n}` quantifier")
+                        }
+                    }
+                    _ => min,
+                };
+                assert_eq!(cur.next(), Some('}'), "unclosed quantifier");
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('?') => {
+                cur.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                cur.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                cur.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            _ => atom,
+        }
+    }
+
+    /// Parse a class body (after `[`) through its closing `]`, handling
+    /// `&&` intersection between operands.
+    fn parse_class_expr(cur: &mut Cursor) -> BTreeSet<char> {
+        let mut result = parse_class_operand(cur);
+        loop {
+            match cur.peek() {
+                Some(']') => {
+                    cur.next();
+                    return result;
+                }
+                Some('&') if cur.peek2() == Some('&') => {
+                    cur.next();
+                    cur.next();
+                    let rhs = parse_class_operand(cur);
+                    result = result.intersection(&rhs).copied().collect();
+                }
+                _ => panic!("malformed character class"),
+            }
+        }
+    }
+
+    /// One class operand: optional `^`, then items until `]` or `&&`
+    /// (neither consumed). Items may be nested classes.
+    fn parse_class_operand(cur: &mut Cursor) -> BTreeSet<char> {
+        let negate = cur.peek() == Some('^') && {
+            cur.next();
+            true
+        };
+        let mut set = BTreeSet::new();
+        loop {
+            match cur.peek() {
+                None => panic!("unterminated character class"),
+                Some(']') => break,
+                Some('&') if cur.peek2() == Some('&') => break,
+                Some('[') => {
+                    cur.next();
+                    set.extend(parse_class_expr(cur));
+                }
+                Some(_) => {
+                    let lo = read_class_char(cur);
+                    if cur.peek() == Some('-') && cur.peek2() != Some(']') && cur.peek2().is_some()
+                    {
+                        cur.next();
+                        let hi = read_class_char(cur);
+                        assert!(lo <= hi, "inverted class range");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    } else {
+                        set.insert(lo);
+                    }
+                }
+            }
+        }
+        if negate {
+            universe().difference(&set).copied().collect()
+        } else {
+            set
+        }
+    }
+
+    fn read_class_char(cur: &mut Cursor) -> char {
+        match cur.next().expect("unterminated character class") {
+            '\\' => unescape(cur.next().expect("dangling escape in class")),
+            c => c,
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    pub fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(chars) => {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+            Node::Alt(branches) => {
+                let branch = &branches[rng.below(branches.len() as u64) as usize];
+                for n in branch {
+                    sample_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let count = min + rng.below((max - min + 1) as u64) as u32;
+                for _ in 0..count {
+                    sample_node(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn samples(pat: &'static str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::new(7);
+        (0..n).map(|_| pat.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_range_and_quantifier() {
+        for s in samples("[a-z][a-z0-9-]{0,12}", 200) {
+            assert!(!s.is_empty() && s.len() <= 13, "bad len: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn group_alternation_and_escape() {
+        for s in samples("[a-z]{1,6}\\.(com|net)", 200) {
+            assert!(s.ends_with(".com") || s.ends_with(".net"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_intersection_with_negation() {
+        for s in samples("[ -~&&[^:\r\n]]{0,30}", 300) {
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c) && c != ':'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_group() {
+        for s in samples("(/[a-z0-9]{1,8}){0,3}", 200) {
+            if !s.is_empty() {
+                assert!(s.starts_with('/'));
+                assert!(s
+                    .split('/')
+                    .skip(1)
+                    .all(|seg| !seg.is_empty() && seg.len() <= 8));
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let seen_dash = samples("[a-zA-Z0-9=&%+._ \n-]{0,200}", 50)
+            .iter()
+            .any(|s| s.contains('-'));
+        assert!(seen_dash);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(3);
+        let strat = (1u64..5, "[a-z]{2}")
+            .prop_map(|(n, s)| format!("{n}{s}"))
+            .prop_filter("no threes", |s| !s.starts_with('3'));
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(!v.starts_with('3'));
+            assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        let strat = Just("x".to_string()).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}{b})"))
+        });
+        let mut rng = TestRng::new(5);
+        for _ in 0..20 {
+            let s = strat.sample(&mut rng);
+            assert!(s.contains('x'));
+        }
+    }
+}

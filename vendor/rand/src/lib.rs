@@ -1,0 +1,295 @@
+//! Vendored offline subset of the `rand` crate.
+//!
+//! Implements the trait surface the workspace uses (`RngCore`,
+//! `SeedableRng`, `Rng::{gen, gen_range, gen_bool}`, and the
+//! `distributions::uniform` plumbing behind `gen_range`). Sampling
+//! algorithms are deterministic and platform-independent:
+//!
+//! - integers: 128-bit widening multiply of one 64-bit draw (bias is
+//!   bounded by `span / 2^64`, negligible for simulation spans);
+//! - floats: 53 high bits of one 64-bit draw mapped into `[0, 1)`;
+//! - `gen_bool(p)`: one unit draw compared against `p`.
+
+/// Error type carried by [`RngCore::try_fill_bytes`]. The vendored
+/// generators are infallible; this exists only for signature parity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core pseudo-random word source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64, then seed.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64, used for seed expansion.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One 64-bit draw mapped to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over the full
+    /// domain for integers/bool, uniform `[0, 1)` for floats.
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            super::unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*}
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized + PartialOrd {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        /// Range shapes accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_between(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform + Clone> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "cannot sample empty range");
+                T::sample_between(rng, low, high, true)
+            }
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span =
+                            (high as i128 - low as i128) as u128 + inclusive as u128;
+                        debug_assert!(span > 0);
+                        let draw = rng.next_u64() as u128;
+                        let offset = (draw * span) >> 64;
+                        (low as i128 + offset as i128) as $t
+                    }
+                }
+            )*}
+        }
+        impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                low + (high - low) * super::super::unit_f64(rng)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                low + (high - low) * super::super::unit_f64(rng) as f32
+            }
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let w = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&w[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = Counter(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0..=5usize);
+            assert!(w <= 5);
+            let f = r.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = Counter(1);
+        for _ in 0..10_000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_tracks_p() {
+        let mut r = Counter(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

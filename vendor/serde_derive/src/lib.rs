@@ -1,0 +1,482 @@
+//! Vendored offline `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no syn/quote available
+//! offline). Supports the item shapes this workspace uses: named
+//! structs, tuple/newtype structs, unit structs, and enums with unit,
+//! tuple, and struct variants — plus the `#[serde(skip)]` /
+//! `#[serde(skip, default)]` field attribute. Generics are not
+//! supported. The generated code targets the Value-based traits in the
+//! vendored `serde` crate and mirrors real serde's external JSON layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---- item model ----
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Payload {
+    Unit,
+    /// Tuple payload: per-position skip flags.
+    Tuple(Vec<bool>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        payload: Payload,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving {name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let payload = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Payload::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Payload::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Payload::Unit,
+            };
+            Item::Struct { name, payload }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: enum {name} has no body"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub`/`pub(...)` visibility,
+/// reporting whether any skipped serde attribute requested `skip`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    skip |= attr_requests_skip(g);
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// True for `#[serde(skip)]` and `#[serde(skip, default)]`.
+fn attr_requests_skip(attr_body: &proc_macro::Group) -> bool {
+    let mut tokens = attr_body.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consume tokens until a comma at angle-bracket depth 0 (a type, an
+/// enum discriminant, ...), leaving `i` past the comma.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_past_comma(&tokens, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<bool> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs_and_vis(&tokens, &mut i);
+        skip_past_comma(&tokens, &mut i);
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let p = Payload::Named(parse_named_fields(g.stream()));
+                i += 1;
+                p
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let p = Payload::Tuple(parse_tuple_fields(g.stream()));
+                i += 1;
+                p
+            }
+            _ => Payload::Unit,
+        };
+        // Consume an optional discriminant and the trailing comma.
+        skip_past_comma(&tokens, &mut i);
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+// ---- codegen: Serialize ----
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, payload } => (name, serialize_struct_body(name, payload)),
+        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_struct_body(_name: &str, payload: &Payload) -> String {
+    match payload {
+        Payload::Unit => "::serde::Value::Null".to_string(),
+        Payload::Tuple(skips) if skips.len() == 1 && !skips[0] => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Payload::Tuple(skips) => {
+            let elems: Vec<String> = skips
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !**s)
+                .map(|(i, _)| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Payload::Named(fields) => {
+            let mut out = String::from("let mut __obj = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "__obj.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::Value::Object(__obj)");
+            out
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.payload {
+            Payload::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+            )),
+            Payload::Tuple(skips) => {
+                let binds: Vec<String> = (0..skips.len()).map(|i| format!("__f{i}")).collect();
+                let inner = if skips.len() == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                         let mut __obj = ::serde::Map::new();\n\
+                         __obj.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                         ::serde::Value::Object(__obj)\n\
+                     }}\n",
+                    binds = binds.join(", "),
+                ));
+            }
+            Payload::Named(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from("let mut _inner = ::serde::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    inner.push_str(&format!(
+                        "_inner.insert(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value({0}));\n",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                         {inner}\
+                         let mut __obj = ::serde::Map::new();\n\
+                         __obj.insert(::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Object(_inner));\n\
+                         ::serde::Value::Object(__obj)\n\
+                     }}\n",
+                    binds = binds.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---- codegen: Deserialize ----
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, payload } => (name, deserialize_struct_body(name, payload)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_obj(type_label: &str, path: &str, obj_var: &str, fields: &[Field]) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: match {obj_var}.get(\"{0}\") {{\n\
+                     ::core::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                         ::serde::DeError::custom(\"{type_label}: missing field `{0}`\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn tuple_from_arr(path: &str, arr_var: &str, skips: &[bool]) -> String {
+    let mut elems = Vec::new();
+    let mut pos = 0usize;
+    for &skip in skips {
+        if skip {
+            elems.push("::core::default::Default::default()".to_string());
+        } else {
+            elems.push(format!(
+                "::serde::Deserialize::from_value(&{arr_var}[{pos}])?"
+            ));
+            pos += 1;
+        }
+    }
+    format!("{path}({})", elems.join(", "))
+}
+
+fn deserialize_struct_body(name: &str, payload: &Payload) -> String {
+    match payload {
+        Payload::Unit => format!("::core::result::Result::Ok({name})"),
+        Payload::Tuple(skips) if skips.len() == 1 && !skips[0] => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(_value)?))")
+        }
+        Payload::Tuple(skips) => {
+            let live = skips.iter().filter(|s| !**s).count();
+            format!(
+                "let __arr = _value.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"{name}: expected array\"))?;\n\
+                 if __arr.len() != {live} {{\n\
+                     return ::core::result::Result::Err(\
+                     ::serde::DeError::custom(\"{name}: tuple length mismatch\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({ctor})",
+                ctor = tuple_from_arr(name, "__arr", skips),
+            )
+        }
+        Payload::Named(fields) => format!(
+            "let __obj = _value.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"{name}: expected object\"))?;\n\
+             ::core::result::Result::Ok({lit})",
+            lit = named_fields_from_obj(name, name, "__obj", fields),
+        ),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants
+        .iter()
+        .filter(|v| matches!(v.payload, Payload::Unit))
+    {
+        unit_arms.push_str(&format!(
+            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+            vn = v.name
+        ));
+    }
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.payload {
+            Payload::Unit => {}
+            Payload::Tuple(skips) if skips.len() == 1 && !skips[0] => {
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_value(_inner)?)),\n"
+                ));
+            }
+            Payload::Tuple(skips) => {
+                let live = skips.iter().filter(|s| !**s).count();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __arr = _inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}::{vn}: expected array\"))?;\n\
+                         if __arr.len() != {live} {{\n\
+                             return ::core::result::Result::Err(\
+                             ::serde::DeError::custom(\"{name}::{vn}: tuple length mismatch\"));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({ctor})\n\
+                     }}\n",
+                    ctor = tuple_from_arr(&format!("{name}::{vn}"), "__arr", skips),
+                ));
+            }
+            Payload::Named(fields) => {
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __vobj = _inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}::{vn}: expected object\"))?;\n\
+                         ::core::result::Result::Ok({lit})\n\
+                     }}\n",
+                    lit = named_fields_from_obj(
+                        &format!("{name}::{vn}"),
+                        &format!("{name}::{vn}"),
+                        "__vobj",
+                        fields
+                    ),
+                ));
+            }
+        }
+    }
+    format!(
+        "if let ::core::option::Option::Some(__s) = _value.as_str() {{\n\
+             return match __s {{\n\
+                 {unit_arms}\
+                 _ => ::core::result::Result::Err(\
+                 ::serde::DeError::custom(\"{name}: unknown variant\")),\n\
+             }};\n\
+         }}\n\
+         let __obj = _value.as_object().ok_or_else(|| \
+             ::serde::DeError::custom(\"{name}: expected string or object\"))?;\n\
+         let (__tag, _inner) = __obj.iter().next().ok_or_else(|| \
+             ::serde::DeError::custom(\"{name}: empty variant object\"))?;\n\
+         match __tag.as_str() {{\n\
+             {data_arms}\
+             _ => ::core::result::Result::Err(\
+             ::serde::DeError::custom(\"{name}: unknown variant\")),\n\
+         }}"
+    )
+}
