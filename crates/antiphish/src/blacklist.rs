@@ -27,6 +27,11 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Blacklist {
     entries: HashMap<String, SimTime>,
+    /// Bumped on every effective mutation; lets derived structures
+    /// (the Safe-Browsing prefix store, feedserve snapshots) memoize
+    /// per version instead of rebuilding per call.
+    #[serde(default)]
+    version: u64,
 }
 
 fn canonical(url: &Url) -> String {
@@ -45,14 +50,39 @@ impl Blacklist {
     /// never moves the timestamp forward or backward to a later time).
     pub fn add(&mut self, url: &Url, at: SimTime) {
         let key = canonical(url);
+        let mut changed = false;
         self.entries
             .entry(key)
             .and_modify(|t| {
                 if at < *t {
                     *t = at;
+                    changed = true;
                 }
             })
-            .or_insert(at);
+            .or_insert_with(|| {
+                changed = true;
+                at
+            });
+        if changed {
+            self.version += 1;
+        }
+    }
+
+    /// The list's mutation version: bumped on every add that changed
+    /// an entry, unchanged by no-op re-adds. `(version, listed count)`
+    /// keys the memoized Safe-Browsing prefix store.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of entries listed at or before `now`. Because listings
+    /// accumulate as a filtration (the set of entries with `t <= now`
+    /// grows monotonically and ties cross the threshold together),
+    /// this count uniquely identifies the as-of-`now` membership for a
+    /// fixed version — an O(n) scan with no allocation, used as the
+    /// memoization key for snapshot rebuilds.
+    pub fn listed_count_at(&self, now: SimTime) -> usize {
+        self.entries.values().filter(|&&t| t <= now).count()
     }
 
     /// When the URL was first listed, if ever.
@@ -129,6 +159,31 @@ mod tests {
         b.add(&url("https://bad.com/p?x=1"), SimTime::from_mins(1));
         assert!(b.is_listed(&url("https://bad.com/p?x=2"), SimTime::from_mins(2)));
         assert!(!b.is_listed(&url("https://bad.com/other"), SimTime::from_mins(2)));
+    }
+
+    #[test]
+    fn version_bumps_only_on_effective_mutation() {
+        let mut b = Blacklist::new();
+        assert_eq!(b.version(), 0);
+        let u = url("https://bad.com/p");
+        b.add(&u, SimTime::from_mins(100));
+        assert_eq!(b.version(), 1);
+        // Later re-add: no-op, no bump.
+        b.add(&u, SimTime::from_mins(200));
+        assert_eq!(b.version(), 1);
+        // Earlier re-add: moves the timestamp, bumps.
+        b.add(&u, SimTime::from_mins(50));
+        assert_eq!(b.version(), 2);
+    }
+
+    #[test]
+    fn listed_count_tracks_time() {
+        let mut b = Blacklist::new();
+        b.add(&url("https://a.com/1"), SimTime::from_mins(10));
+        b.add(&url("https://b.com/2"), SimTime::from_mins(90));
+        assert_eq!(b.listed_count_at(SimTime::from_mins(9)), 0);
+        assert_eq!(b.listed_count_at(SimTime::from_mins(10)), 1);
+        assert_eq!(b.listed_count_at(SimTime::from_hours(2)), 2);
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //!    reCAPTCHA kit hides in.
 
 use crate::blacklist::Blacklist;
+use parking_lot::Mutex;
+use phishsim_feedserve::{prefix_of, PrefixStore};
 use phishsim_http::Url;
 use phishsim_simnet::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Full 64-bit hash of a canonicalised URL (query stripped, as the
 /// real canonicalisation collapses most expressions).
@@ -33,45 +36,104 @@ pub fn full_hash(url: &Url) -> u64 {
 pub struct HashPrefix(pub u32);
 
 impl HashPrefix {
-    /// Prefix of a full hash.
+    /// Prefix of a full hash (same convention as
+    /// `phishsim_feedserve::prefix_of`).
     pub fn of(hash: u64) -> HashPrefix {
-        HashPrefix((hash >> 32) as u32)
+        HashPrefix(prefix_of(hash))
     }
+}
+
+/// Memoized snapshot of the blacklist as the Update API serves it:
+/// the shared [`PrefixStore`] plus the sorted full hashes behind it.
+#[derive(Debug)]
+struct Snapshot {
+    /// Blacklist mutation version the snapshot was built from.
+    version: u64,
+    /// Entries listed as of the snapshot's `now` (for a fixed version,
+    /// this count uniquely identifies the as-of-time membership —
+    /// listings form a filtration).
+    listed: usize,
+    store: Arc<PrefixStore>,
+    /// Sorted full hashes; full-hash fetches range-scan by prefix.
+    full: Arc<Vec<u64>>,
 }
 
 /// The server side: derives prefix sets and full-hash answers from an
 /// engine's blacklist.
+///
+/// The seed implementation rebuilt a `BTreeSet<HashPrefix>` — parsing
+/// and hashing every listed URL — on *every* `prefix_set` and
+/// `full_hashes` call. The store is now the shared
+/// `phishsim_feedserve::PrefixStore`, built once per
+/// `(blacklist version, listed count)` pair and handed out as an
+/// `Arc`; repeat calls within one blacklist state are O(1).
 #[derive(Debug)]
 pub struct SbServer<'a> {
     list: &'a Blacklist,
+    cache: Mutex<Option<Snapshot>>,
 }
 
 impl<'a> SbServer<'a> {
     /// Expose a blacklist through the Update API.
     pub fn new(list: &'a Blacklist) -> Self {
-        SbServer { list }
+        SbServer {
+            list,
+            cache: Mutex::new(None),
+        }
     }
 
-    /// The prefix set as of `now` (what an update download returns).
-    pub fn prefix_set(&self, now: SimTime) -> BTreeSet<HashPrefix> {
-        self.list
-            .feed_snapshot(now)
-            .into_iter()
-            .filter_map(|(key, _)| Url::parse(&key).ok())
-            .map(|u| HashPrefix::of(full_hash(&u)))
-            .collect()
-    }
-
-    /// Full hashes under a prefix as of `now` (the full-hash fetch),
-    /// plus the response's cache TTL.
-    pub fn full_hashes(&self, prefix: HashPrefix, now: SimTime) -> (Vec<u64>, SimDuration) {
-        let hashes = self
+    fn snapshot(&self, now: SimTime) -> (Arc<PrefixStore>, Arc<Vec<u64>>) {
+        let version = self.list.version();
+        let listed = self.list.listed_count_at(now);
+        let mut cache = self.cache.lock();
+        if let Some(snap) = cache.as_ref() {
+            if snap.version == version && snap.listed == listed {
+                return (Arc::clone(&snap.store), Arc::clone(&snap.full));
+            }
+        }
+        let mut full: Vec<u64> = self
             .list
             .feed_snapshot(now)
             .into_iter()
             .filter_map(|(key, _)| Url::parse(&key).ok())
             .map(|u| full_hash(&u))
-            .filter(|h| HashPrefix::of(*h) == prefix)
+            .collect();
+        full.sort_unstable();
+        full.dedup();
+        let store = Arc::new(PrefixStore::from_hashes(full.iter().copied()));
+        let full = Arc::new(full);
+        *cache = Some(Snapshot {
+            version,
+            listed,
+            store: Arc::clone(&store),
+            full: Arc::clone(&full),
+        });
+        (store, full)
+    }
+
+    /// The shared prefix store as of `now` (what an update download
+    /// installs client-side). Memoized per blacklist state.
+    pub fn store(&self, now: SimTime) -> Arc<PrefixStore> {
+        self.snapshot(now).0
+    }
+
+    /// The prefix set as of `now` — thin compatibility adapter over
+    /// [`SbServer::store`] for callers (e.g. `examples/sb_protocol`)
+    /// that want the set representation.
+    pub fn prefix_set(&self, now: SimTime) -> BTreeSet<HashPrefix> {
+        self.store(now).iter().map(HashPrefix).collect()
+    }
+
+    /// Full hashes under a prefix as of `now` (the full-hash fetch),
+    /// plus the response's cache TTL.
+    pub fn full_hashes(&self, prefix: HashPrefix, now: SimTime) -> (Vec<u64>, SimDuration) {
+        let (_, full) = self.snapshot(now);
+        let lo = u64::from(prefix.0) << 32;
+        let start = full.partition_point(|&h| h < lo);
+        let hashes = full[start..]
+            .iter()
+            .copied()
+            .take_while(|&h| HashPrefix::of(h) == prefix)
             .collect();
         (hashes, SimDuration::from_mins(30))
     }
@@ -105,10 +167,12 @@ struct CachedHashes {
     expires_at: SimTime,
 }
 
-/// The client side: local prefix set + full-hash cache.
+/// The client side: local prefix store + full-hash cache.
 #[derive(Debug)]
 pub struct SbClient {
-    prefixes: BTreeSet<HashPrefix>,
+    /// The shared store downloaded at the last update (all clients of
+    /// one blacklist state share the same `Arc`).
+    store: Arc<PrefixStore>,
     last_update: Option<SimTime>,
     update_period: SimDuration,
     full_hash_cache: HashMap<HashPrefix, CachedHashes>,
@@ -123,15 +187,20 @@ impl Default for SbClient {
 }
 
 impl SbClient {
-    /// A client that refreshes its prefix set every `update_period`.
+    /// A client that refreshes its prefix store every `update_period`.
     pub fn new(update_period: SimDuration) -> Self {
         SbClient {
-            prefixes: BTreeSet::new(),
+            store: Arc::new(PrefixStore::new()),
             last_update: None,
             update_period,
             full_hash_cache: HashMap::new(),
             traces: Vec::new(),
         }
+    }
+
+    /// The client's local prefix store.
+    pub fn store(&self) -> &PrefixStore {
+        &self.store
     }
 
     /// Whether the local prefix set is due for a refresh.
@@ -142,9 +211,10 @@ impl SbClient {
         }
     }
 
-    /// Download the current prefix set.
+    /// Download the current prefix store (an `Arc` clone of the
+    /// server's memoized snapshot — no per-client rebuild).
     pub fn update(&mut self, server: &SbServer, now: SimTime) {
-        self.prefixes = server.prefix_set(now);
+        self.store = server.store(now);
         self.last_update = Some(now);
     }
 
@@ -155,7 +225,7 @@ impl SbClient {
         }
         let hash = full_hash(url);
         let prefix = HashPrefix::of(hash);
-        if !self.prefixes.contains(&prefix) {
+        if !self.store.contains(prefix.0) {
             self.traces.push(CheckTrace::LocalMiss);
             return SbVerdict::Safe;
         }
@@ -324,9 +394,15 @@ mod tests {
         let server = SbServer::new(&list);
         let mut client = SbClient::default();
         client.update(&server, SimTime::from_mins(2));
-        // Inject the unlisted URL's prefix into the client set to
+        // Inject the unlisted URL's prefix into the client store to
         // simulate a collision.
-        client.prefixes.insert(HashPrefix::of(full_hash(&unlisted)));
+        client.store = Arc::new(PrefixStore::from_prefixes(
+            client
+                .store
+                .iter()
+                .chain([HashPrefix::of(full_hash(&unlisted)).0])
+                .collect(),
+        ));
         let v = client.check(&unlisted, &server, SimTime::from_mins(3));
         assert_eq!(
             v,

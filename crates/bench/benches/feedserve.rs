@@ -1,0 +1,95 @@
+//! Criterion benches over the feedserve distribution layer: prefix
+//! store construction, wire encode/decode, diff computation and
+//! application, and lookup throughput. These are the per-version and
+//! per-navigation micro-costs behind the `sb_scale` wall-clock
+//! numbers — a million-client run performs millions of lookups and
+//! ships one diff per client sync.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use phishsim_feedserve::{PrefixDiff, PrefixStore};
+
+const BASE: usize = 50_000;
+const GROWTH: usize = 500;
+
+/// Deterministic pseudo-random full hashes (splitmix64 walk).
+fn hashes(n: usize, mut seed: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let full = hashes(BASE, 7);
+    let mut g = c.benchmark_group("feedserve_store");
+    g.throughput(Throughput::Elements(BASE as u64));
+    g.bench_function("build_50k", |b| {
+        b.iter(|| PrefixStore::from_hashes(black_box(&full).iter().copied()))
+    });
+    let store = PrefixStore::from_hashes(full.iter().copied());
+    let wire = store.encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_50k", |b| b.iter(|| black_box(&store).encode()));
+    g.bench_function("decode_50k", |b| {
+        b.iter(|| PrefixStore::decode(black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let base = hashes(BASE, 7);
+    let mut grown = base.clone();
+    grown.extend(hashes(GROWTH, 1311));
+    let v1 = PrefixStore::from_hashes(base.iter().copied());
+    let v2 = PrefixStore::from_hashes(grown.iter().copied());
+    let mut g = c.benchmark_group("feedserve_diff");
+    g.throughput(Throughput::Elements(BASE as u64));
+    g.bench_function("between_50k_plus_500", |b| {
+        b.iter(|| PrefixDiff::between(black_box(&v1), black_box(&v2), 1, 2))
+    });
+    let diff = PrefixDiff::between(&v1, &v2, 1, 2);
+    g.bench_function("apply_50k_plus_500", |b| {
+        b.iter(|| black_box(&diff).apply(black_box(&v1)).unwrap())
+    });
+    let wire = diff.encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("decode_diff", |b| {
+        b.iter(|| PrefixDiff::decode(black_box(&wire)).unwrap())
+    });
+    // The economy the protocol exists for: incremental growth must
+    // ship strictly fewer bytes than a full snapshot.
+    assert!(
+        diff.encoded_len() < v2.encoded_len(),
+        "diff {} B must undercut snapshot {} B",
+        diff.encoded_len(),
+        v2.encoded_len()
+    );
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let store = PrefixStore::from_hashes(hashes(BASE, 7).iter().copied());
+    let probes = hashes(1024, 99);
+    let mut g = c.benchmark_group("feedserve_lookup");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("contains_hash_x1024", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &h in black_box(&probes) {
+                hits += u32::from(store.contains_hash(h));
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store, bench_diff, bench_lookup);
+criterion_main!(benches);

@@ -1,13 +1,16 @@
-//! Persistent performance baseline: `results/BENCH_1.json`.
+//! Persistent performance baseline: `results/BENCH_2.json`.
 //!
 //! ```text
 //! cargo run --release -p phishsim-bench --bin bench_baseline [--quick]
 //! ```
 //!
 //! Times the two single-run table harnesses with the render/verdict
-//! cache on and off, and a `run_sweep` seed sweep serially and at full
-//! parallelism, then writes a machine-readable record. Re-run after
-//! perf-relevant changes and compare against the committed baseline;
+//! cache on and off, a `run_sweep` seed sweep serially and at full
+//! parallelism, and the feedserve distribution layer (store build,
+//! diff compute/apply, lookup throughput, diff-vs-snapshot bytes),
+//! then writes a machine-readable record. Re-run after perf-relevant
+//! changes and compare against the committed baseline (`BENCH_1` is
+//! the pre-feedserve record, kept for history);
 //! `--quick` shrinks reps and the sweep size for CI-style smoke runs.
 //!
 //! The harness also cross-checks determinism: Table 2 cells must be
@@ -20,7 +23,35 @@ use phishsim_core::experiment::{
     run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
 };
 use phishsim_core::runner::{run_sweep_with_threads, sweep_threads};
+use phishsim_feedserve::{PrefixDiff, PrefixStore};
 use std::time::Instant;
+
+/// Deterministic pseudo-random full hashes (splitmix64 walk) — same
+/// generator as the criterion `feedserve` bench.
+fn synth_hashes(n: usize, mut seed: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let mut out = f();
+    let mut best = start.elapsed().as_secs_f64() * 1e3;
+    for _ in 1..reps {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
 
 fn set_cache(on: bool) {
     std::env::set_var("PHISHSIM_RENDER_CACHE", if on { "1" } else { "0" });
@@ -98,10 +129,41 @@ fn main() {
         "sweep ({sweep_seeds} runs): serial {serial_ms:.0} ms, {threads} threads {parallel_ms:.0} ms ({speedup:.2}x)"
     );
 
+    // ---- feedserve distribution layer ----
+    let store_n = if quick { 10_000 } else { 50_000 };
+    let growth = store_n / 100;
+    let base_hashes = synth_hashes(store_n, 7);
+    let mut grown_hashes = base_hashes.clone();
+    grown_hashes.extend(synth_hashes(growth, 1311));
+    let fs_reps = reps * 3;
+    let (build_ms, v1) = best_of(fs_reps, || {
+        PrefixStore::from_hashes(base_hashes.iter().copied())
+    });
+    let v2 = PrefixStore::from_hashes(grown_hashes.iter().copied());
+    let (diff_ms, diff) = best_of(fs_reps, || PrefixDiff::between(&v1, &v2, 1, 2));
+    let (apply_ms, applied) = best_of(fs_reps, || diff.apply(&v1).expect("diff applies"));
+    assert_eq!(applied, v2, "apply(v1, diff) must equal v2");
+    let probes = synth_hashes(100_000, 99);
+    let (lookup_ms, hits) = best_of(fs_reps, || {
+        probes.iter().filter(|&&h| v1.contains_hash(h)).count()
+    });
+    let lookups_per_sec = probes.len() as f64 / (lookup_ms / 1e3);
+    let diff_bytes = diff.encoded_len();
+    let snapshot_bytes = v2.encoded_len();
+    assert!(
+        diff_bytes < snapshot_bytes,
+        "incremental diff must ship fewer bytes than a full snapshot"
+    );
+    println!(
+        "feedserve ({store_n} prefixes): build {build_ms:.2} ms, diff {diff_ms:.2} ms, \
+         apply {apply_ms:.2} ms, {lookups_per_sec:.0} lookups/s ({hits} hits), \
+         diff {diff_bytes} B vs snapshot {snapshot_bytes} B"
+    );
+
     write_record(
-        "BENCH_1",
+        "BENCH_2",
         &serde_json::json!({
-            "bench": "BENCH_1",
+            "bench": "BENCH_2",
             "quick": quick,
             "reps": reps,
             "threads": threads,
@@ -119,9 +181,21 @@ fn main() {
                 "speedup": speedup,
                 "runs_per_sec_parallel": sweep_seeds as f64 / (parallel_ms / 1e3),
             },
+            "feedserve": {
+                "store_prefixes": store_n,
+                "growth": growth,
+                "build_ms": build_ms,
+                "diff_ms": diff_ms,
+                "apply_ms": apply_ms,
+                "lookups_per_sec": lookups_per_sec,
+                "diff_bytes": diff_bytes,
+                "snapshot_bytes": snapshot_bytes,
+                "diff_to_snapshot_ratio": diff_bytes as f64 / snapshot_bytes as f64,
+            },
             "determinism": {
                 "table2_cache_on_off_identical": true,
                 "sweep_thread_count_invariant": true,
+                "diff_apply_equals_snapshot": true,
             },
         }),
     );

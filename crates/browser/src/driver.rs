@@ -9,7 +9,7 @@
 //! figure harnesses consume.
 
 use crate::rendercache::{RenderCache, Rendered};
-use crate::sbcache::VerdictCache;
+use crate::sbcache::SbLocalDb;
 use crate::transport::{FetchError, Transport};
 use parking_lot::Mutex;
 use phishsim_captcha::{CaptchaProvider, SolverProfile};
@@ -156,8 +156,9 @@ pub struct Browser {
     pub config: BrowserConfig,
     /// Cookie jar (persists across visits; cleared per profile).
     pub jar: CookieJar,
-    /// The client's Safe-Browsing verdict cache.
-    pub sb_cache: VerdictCache,
+    /// The client's Safe-Browsing state: downloaded prefix store (when
+    /// installed) gating the verdict cache.
+    pub sb_cache: SbLocalDb,
     /// Source address of this client.
     pub src: Ipv4Sim,
     /// Ground-truth actor label for server logs.
@@ -176,7 +177,7 @@ impl Browser {
         Browser {
             config,
             jar: CookieJar::new(),
-            sb_cache: VerdictCache::default_ttl(),
+            sb_cache: SbLocalDb::default_ttl(),
             src,
             actor: actor.to_string(),
             captcha_provider: None,

@@ -30,5 +30,5 @@ pub mod transport;
 
 pub use driver::{BrowseStep, Browser, BrowserConfig, DialogPolicy, PageView};
 pub use rendercache::{RenderCache, Rendered};
-pub use sbcache::{Verdict, VerdictCache};
+pub use sbcache::{SbLocalDb, Verdict, VerdictCache};
 pub use transport::{FetchError, Transport};

@@ -8,11 +8,21 @@
 //! cached result usually valid for 5 to 60 minutes." [`VerdictCache`]
 //! models that Update-API-style client cache; experiment E5 sweeps its
 //! TTL to show the blind-spot window.
+//!
+//! [`SbLocalDb`] is the full client-resident state: the shared
+//! `phishsim_feedserve::PrefixStore` downloaded by the update
+//! protocol *plus* the verdict cache, mirroring how a real browser
+//! first checks the local prefix list (free, private) and only
+//! consults cache/server on a prefix hit. Both layers expose their
+//! hit/miss/expiry counters as a `simnet::metrics::CounterSet`.
 
+use phishsim_feedserve::PrefixStore;
 use phishsim_http::Url;
+use phishsim_simnet::metrics::CounterSet;
 use phishsim_simnet::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A cached Safe-Browsing verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +62,9 @@ pub struct VerdictCache {
     pub hits: u64,
     /// Count of lookups that had to go to the server.
     pub misses: u64,
+    /// Subset of `misses` where an entry existed but had expired (the
+    /// client re-checks — the moment a §2.4 blind window closes).
+    pub expiries: u64,
 }
 
 impl VerdictCache {
@@ -63,6 +76,7 @@ impl VerdictCache {
             entries: HashMap::new(),
             hits: 0,
             misses: 0,
+            expiries: 0,
         }
     }
 
@@ -82,11 +96,26 @@ impl VerdictCache {
                 self.hits += 1;
                 Some(e.verdict)
             }
-            _ => {
+            Some(_) => {
+                self.expiries += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
                 self.misses += 1;
                 None
             }
         }
+    }
+
+    /// The cache's counters, in the shared `CounterSet` shape (same
+    /// pattern as the crawl path's `RenderCache`).
+    pub fn counters(&self) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.add("verdict.hits", self.hits);
+        c.add("verdict.misses", self.misses);
+        c.add("verdict.expiries", self.expiries);
+        c
     }
 
     /// Store a verdict obtained from the server at `now`.
@@ -113,6 +142,125 @@ impl VerdictCache {
     /// True if the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// The browser's full client-resident Safe-Browsing state: the prefix
+/// store installed by the last update download, gated in front of the
+/// [`VerdictCache`].
+///
+/// On navigation the real client hashes the URL and checks the local
+/// prefix list first; most URLs miss there and never reach the verdict
+/// cache or the network. Only on a prefix hit does the cached (or
+/// freshly fetched) full-hash verdict come into play. Until a store is
+/// installed via [`SbLocalDb::install`] the gate is open and the type
+/// behaves exactly like a bare `VerdictCache`, so existing cache-only
+/// scenarios (the E5 TTL sweep, the figure-3 walkthrough) are
+/// unchanged.
+///
+/// The full hash is `url.without_query().privacy_hash()` — the same
+/// convention the antiphish-side Update API server uses, so a store
+/// produced there (or by a `feedserve::FeedServer`) matches here.
+#[derive(Debug, Clone)]
+pub struct SbLocalDb {
+    prefix_store: Option<Arc<PrefixStore>>,
+    version: u64,
+    cache: VerdictCache,
+    /// Navigations the prefix gate answered locally (prefix absent →
+    /// safe, no cache lookup, nothing leaves the device).
+    pub prefix_clean: u64,
+    /// Navigations whose prefix was present (or no store installed),
+    /// falling through to the verdict cache.
+    pub prefix_pass: u64,
+}
+
+impl SbLocalDb {
+    /// A local DB with no prefix store installed yet and the given
+    /// verdict-cache TTL.
+    pub fn new(ttl: SimDuration) -> Self {
+        SbLocalDb {
+            prefix_store: None,
+            version: 0,
+            cache: VerdictCache::new(ttl),
+            prefix_clean: 0,
+            prefix_pass: 0,
+        }
+    }
+
+    /// The conventional default TTL (see [`VerdictCache::default_ttl`]).
+    pub fn default_ttl() -> Self {
+        SbLocalDb::new(SimDuration::from_mins(30))
+    }
+
+    /// Install a downloaded prefix store, tagged with its feed version.
+    /// All clients of one feed state share the same `Arc`.
+    pub fn install(&mut self, store: Arc<PrefixStore>, version: u64) {
+        self.prefix_store = Some(store);
+        self.version = version;
+    }
+
+    /// The installed prefix store, if any.
+    pub fn prefix_store(&self) -> Option<&Arc<PrefixStore>> {
+        self.prefix_store.as_ref()
+    }
+
+    /// The feed version of the installed store (0 before any install).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The inner verdict cache.
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    fn gate_passes(&mut self, url: &Url) -> bool {
+        let pass = match &self.prefix_store {
+            None => true,
+            Some(store) => store.contains_hash(url.without_query().privacy_hash()),
+        };
+        if pass {
+            self.prefix_pass += 1;
+        } else {
+            self.prefix_clean += 1;
+        }
+        pass
+    }
+
+    /// Look up a verdict. `Some(Safe)` from the prefix gate means the
+    /// URL is not on the installed list; `None` means the client must
+    /// ask the server (prefix hit, no live cached verdict).
+    pub fn lookup(&mut self, url: &Url, now: SimTime) -> Option<Verdict> {
+        if !self.gate_passes(url) {
+            return Some(Verdict::Safe);
+        }
+        self.cache.lookup(url, now)
+    }
+
+    /// Cache a verdict obtained from the server at `now`.
+    pub fn store(&mut self, url: &Url, verdict: Verdict, now: SimTime) {
+        self.cache.store(url, verdict, now);
+    }
+
+    /// The verdict cache's TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.cache.ttl()
+    }
+
+    /// Combined counters: the verdict cache's hit/miss/expiry plus the
+    /// prefix gate's clean/pass split and the installed feed version.
+    pub fn counters(&self) -> CounterSet {
+        let mut c = self.cache.counters();
+        c.add("prefix.clean", self.prefix_clean);
+        c.add("prefix.pass", self.prefix_pass);
+        c.add("store.version", self.version);
+        c
+    }
+}
+
+impl Default for SbLocalDb {
+    fn default() -> Self {
+        SbLocalDb::default_ttl()
     }
 }
 
@@ -187,5 +335,64 @@ mod tests {
         c.store(&u, Verdict::Phishing, SimTime::from_mins(1));
         assert_eq!(c.lookup(&u, SimTime::from_mins(2)), Some(Verdict::Phishing));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn expiry_counter_splits_misses() {
+        let mut c = VerdictCache::new(SimDuration::from_mins(5));
+        let u = url("https://site.com/p");
+        assert_eq!(c.lookup(&u, SimTime::ZERO), None, "cold miss");
+        c.store(&u, Verdict::Safe, SimTime::ZERO);
+        assert_eq!(c.lookup(&u, SimTime::from_mins(6)), None, "expired miss");
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.expiries, 1);
+        let counters = c.counters();
+        assert_eq!(counters.get("verdict.misses"), 2);
+        assert_eq!(counters.get("verdict.expiries"), 1);
+        assert_eq!(counters.get("verdict.hits"), 0);
+    }
+
+    #[test]
+    fn local_db_without_store_is_a_plain_cache() {
+        let mut db = SbLocalDb::default_ttl();
+        let u = url("https://site.com/p");
+        assert_eq!(db.lookup(&u, SimTime::ZERO), None);
+        db.store(&u, Verdict::Phishing, SimTime::ZERO);
+        assert_eq!(
+            db.lookup(&u, SimTime::from_mins(1)),
+            Some(Verdict::Phishing)
+        );
+        assert_eq!(db.prefix_pass, 2, "open gate passes everything");
+        assert_eq!(db.prefix_clean, 0);
+    }
+
+    #[test]
+    fn installed_store_answers_clean_urls_locally() {
+        let listed = url("https://victim.com/account/verify.php");
+        let clean = url("https://innocent.org/home");
+        let store = Arc::new(PrefixStore::from_hashes([listed
+            .without_query()
+            .privacy_hash()]));
+        let mut db = SbLocalDb::default_ttl();
+        db.install(store, 7);
+        assert_eq!(db.version(), 7);
+        // Clean URL: prefix gate answers Safe without touching the
+        // verdict cache.
+        assert_eq!(db.lookup(&clean, SimTime::ZERO), Some(Verdict::Safe));
+        assert_eq!(db.prefix_clean, 1);
+        assert_eq!(db.cache().misses, 0);
+        // Listed URL: gate passes, cache miss → client must go to the
+        // server; the fetched verdict is then cached.
+        assert_eq!(db.lookup(&listed, SimTime::ZERO), None);
+        db.store(&listed, Verdict::Phishing, SimTime::ZERO);
+        assert_eq!(
+            db.lookup(&listed, SimTime::from_mins(1)),
+            Some(Verdict::Phishing)
+        );
+        let counters = db.counters();
+        assert_eq!(counters.get("prefix.clean"), 1);
+        assert_eq!(counters.get("prefix.pass"), 2);
+        assert_eq!(counters.get("verdict.hits"), 1);
+        assert_eq!(counters.get("store.version"), 7);
     }
 }

@@ -8,6 +8,9 @@
 //!   extensions vs 9 armed URLs visited by a human.
 //! * [`cloaking`] — the Oest et al. (PhishFarm) web-cloaking baseline
 //!   the paper compares against (126 min / 238 min / 23 %).
+//! * [`sb_scale`] — population-scale propagation: the main
+//!   experiment's listing delays fed through the `feedserve`
+//!   million-client update-protocol simulator.
 
 pub mod cloaking;
 pub mod extension_experiment;
@@ -15,6 +18,7 @@ pub mod longitudinal;
 pub mod main_experiment;
 pub mod preliminary;
 pub mod redirection;
+pub mod sb_scale;
 
 pub use cloaking::{run_cloaking_baseline, ArmStats, CloakingConfig, CloakingResult};
 pub use extension_experiment::{run_extension_experiment, ExtensionConfig, ExtensionResult};
@@ -22,6 +26,9 @@ pub use longitudinal::{run_longitudinal, LongitudinalConfig, LongitudinalResult,
 pub use main_experiment::{run_main_experiment, MainConfig, MainResult};
 pub use preliminary::{run_preliminary, PreliminaryConfig, PreliminaryResult};
 pub use redirection::{run_redirection_baseline, EntryKind, RedirectionConfig, RedirectionResult};
+pub use sb_scale::{
+    run_sb_scale, run_sb_scale_with_threads, SbScaleConfig, SbScaleResult, TechniqueDelay,
+};
 
 use phishsim_dns::reputation::WORDS;
 use phishsim_dns::{DomainName, Registry};

@@ -1,152 +1,9 @@
-//! Shared parallel sweep runner.
+//! Shared parallel sweep runner — re-exported from the substrate.
 //!
-//! Every experiment harness that evaluates many independent
-//! configurations (seed sweeps, fault sweeps, TTL sweeps, longitudinal
-//! waves, ablations) fans out through [`run_sweep`]. Workers pull work
-//! from a shared atomic cursor (work stealing), so long runs do not
-//! serialize behind a static partition, and results are returned in
-//! **input order regardless of thread count or scheduling**: each worker
-//! tags results with their input index and the runner sorts the merged
-//! output by that index. Combined with every run deriving its
-//! randomness from its own config seed, a sweep's output is
-//! byte-identical whether it ran on 1 thread or 16.
-//!
-//! Thread count resolution order:
-//! 1. explicit count via [`run_sweep_with_threads`],
-//! 2. the `PHISHSIM_SWEEP_THREADS` environment variable,
-//! 3. `std::thread::available_parallelism()` (capped at 16).
+//! The implementation moved to [`phishsim_simnet::runner`] so that
+//! `phishsim-feedserve`'s client-population simulator (which sits
+//! below this crate in the dependency graph) can drive the same
+//! work-stealing pool. Every existing `phishsim_core::runner` call
+//! site keeps working through this re-export.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Upper bound on auto-detected worker threads.
-const MAX_AUTO_THREADS: usize = 16;
-
-/// Resolve the worker-thread count used by [`run_sweep`]:
-/// `PHISHSIM_SWEEP_THREADS` if set and positive, else available
-/// parallelism capped at 16.
-pub fn sweep_threads() -> usize {
-    if let Ok(v) = std::env::var("PHISHSIM_SWEEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(MAX_AUTO_THREADS)
-}
-
-/// Run `f` over every config on the default thread count, returning
-/// results in input order. See [`run_sweep_with_threads`].
-pub fn run_sweep<C, R, F>(configs: &[C], f: F) -> Vec<R>
-where
-    C: Sync,
-    R: Send,
-    F: Fn(&C) -> R + Sync,
-{
-    run_sweep_with_threads(configs, sweep_threads(), f)
-}
-
-/// Run `f` over every config on exactly `threads` worker threads.
-///
-/// Results are returned in input order regardless of thread count. A
-/// panic in any worker propagates to the caller after the scope joins.
-pub fn run_sweep_with_threads<C, R, F>(configs: &[C], threads: usize, f: F) -> Vec<R>
-where
-    C: Sync,
-    R: Send,
-    F: Fn(&C) -> R + Sync,
-{
-    let n = configs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(n);
-    if threads == 1 {
-        return configs.iter().map(f).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let f = &f;
-    let cursor = &cursor;
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(&configs[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        let mut all = Vec::with_capacity(n);
-        for worker in workers {
-            all.extend(worker.join().expect("sweep worker panicked"));
-        }
-        all
-    });
-    tagged.sort_by_key(|(i, _)| *i);
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_input_yields_empty_output() {
-        let out: Vec<u64> = run_sweep(&[] as &[u64], |x| *x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn results_are_input_ordered() {
-        let configs: Vec<u64> = (0..257).collect();
-        let out = run_sweep_with_threads(&configs, 8, |&x| x * 3 + 1);
-        let expected: Vec<u64> = configs.iter().map(|&x| x * 3 + 1).collect();
-        assert_eq!(out, expected);
-    }
-
-    #[test]
-    fn thread_count_does_not_change_output() {
-        let configs: Vec<u64> = (0..64).collect();
-        // A mildly uneven workload so threads finish out of order.
-        let work = |&seed: &u64| -> u64 {
-            let mut acc = seed;
-            for _ in 0..(seed % 7) * 1_000 {
-                acc = acc
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-            }
-            acc
-        };
-        let serial = run_sweep_with_threads(&configs, 1, work);
-        for threads in [2, 3, 8, 16] {
-            assert_eq!(run_sweep_with_threads(&configs, threads, work), serial);
-        }
-    }
-
-    #[test]
-    fn more_threads_than_configs_is_fine() {
-        let out = run_sweep_with_threads(&[1u32, 2], 32, |&x| x + 1);
-        assert_eq!(out, vec![2, 3]);
-    }
-
-    #[test]
-    #[should_panic(expected = "sweep worker panicked")]
-    fn worker_panic_propagates() {
-        let configs: Vec<u32> = (0..8).collect();
-        let _ = run_sweep_with_threads(&configs, 4, |&x| {
-            assert!(x != 5, "boom");
-            x
-        });
-    }
-}
+pub use phishsim_simnet::runner::{run_sweep, run_sweep_with_threads, sweep_threads};

@@ -1,0 +1,276 @@
+//! The update-protocol client.
+//!
+//! [`FeedClient`] is one browser installation's Safe-Browsing state:
+//! a versioned local [`PrefixStore`], a full-hash cache with
+//! positive/negative TTLs, and the sync discipline (periodic fetches,
+//! respect for the server's minimum wait, full-reset fallback when a
+//! diff fails to apply). The million-client population simulator does
+//! not instantiate one of these per client — it walks the same state
+//! machine with per-client state compressed to a version number — so
+//! this type is also the executable specification that the proptests
+//! pin the compressed walk against.
+
+use crate::server::{FeedServer, UpdateResponse};
+use crate::store::{prefix_of, PrefixStore};
+use phishsim_simnet::metrics::CounterSet;
+use phishsim_simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The client-side verdict for one URL hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedVerdict {
+    /// Not blacklisted as far as this client can tell.
+    Safe,
+    /// Full-hash confirmed blacklisted.
+    Unsafe,
+}
+
+#[derive(Debug, Clone)]
+struct FullHashEntry {
+    hashes: Vec<u64>,
+    expires_at: SimTime,
+}
+
+/// One client's local Safe-Browsing state.
+#[derive(Debug)]
+pub struct FeedClient {
+    /// Version of the local store; 0 means never synced.
+    version: u64,
+    store: Arc<PrefixStore>,
+    update_period: SimDuration,
+    next_sync: SimTime,
+    last_accepted_fetch: Option<SimTime>,
+    full_cache: HashMap<u32, FullHashEntry>,
+    /// Per-client protocol counters (syncs, diffs applied, resets,
+    /// cache hits…).
+    pub counters: CounterSet,
+}
+
+impl FeedClient {
+    /// A client that syncs every `update_period`, first at `phase`
+    /// (stagger clients by giving each a different phase).
+    pub fn new(update_period: SimDuration, phase: SimTime) -> Self {
+        FeedClient {
+            version: 0,
+            store: Arc::new(PrefixStore::new()),
+            update_period,
+            next_sync: phase,
+            last_accepted_fetch: None,
+            full_cache: HashMap::new(),
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// The version of the local store (0 before the first sync).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The local prefix store.
+    pub fn store(&self) -> &PrefixStore {
+        &self.store
+    }
+
+    /// Whether a periodic sync is due.
+    pub fn sync_due(&self, now: SimTime) -> bool {
+        now >= self.next_sync
+    }
+
+    /// Fetch an update from `server` and apply it. Returns the version
+    /// held afterwards.
+    pub fn sync(&mut self, server: &FeedServer, now: SimTime) -> u64 {
+        self.counters.incr("client.syncs");
+        let client_version = (self.version > 0).then_some(self.version);
+        match server.fetch_update(client_version, self.last_accepted_fetch, now) {
+            UpdateResponse::UpToDate { .. } => {
+                self.counters.incr("client.up_to_date");
+                self.last_accepted_fetch = Some(now);
+                self.next_sync = now + self.update_period;
+            }
+            UpdateResponse::Diff { diff, .. } => match diff.apply(&self.store) {
+                Ok(next) => {
+                    self.counters.incr("client.diffs_applied");
+                    self.version = diff.to_version;
+                    self.store = Arc::new(next);
+                    self.last_accepted_fetch = Some(now);
+                    self.next_sync = now + self.update_period;
+                }
+                Err(_) => {
+                    // Local state drifted: fall back to a full reset,
+                    // as the real protocol does on checksum mismatch.
+                    self.counters.incr("client.apply_errors");
+                    if let UpdateResponse::FullReset { version, store, .. } =
+                        server.fetch_update(None, None, now)
+                    {
+                        self.install_reset(version, store, now);
+                    }
+                }
+            },
+            UpdateResponse::FullReset { version, store, .. } => {
+                self.install_reset(version, store, now);
+            }
+            UpdateResponse::Backoff { retry_after } => {
+                self.counters.incr("client.backed_off");
+                self.next_sync = now + retry_after;
+            }
+        }
+        self.version
+    }
+
+    fn install_reset(&mut self, version: u64, store: Arc<PrefixStore>, now: SimTime) {
+        self.counters.incr("client.full_resets");
+        self.version = version;
+        self.store = store;
+        self.last_accepted_fetch = Some(now);
+        self.next_sync = now + self.update_period;
+    }
+
+    /// Check one full URL hash, syncing first if a sync is due. This
+    /// is the client half of the protocol round the paper's §2.1
+    /// describes: local prefix check, then (only on a prefix hit) a
+    /// cached-or-fetched full-hash comparison.
+    pub fn check(&mut self, full_hash: u64, server: &FeedServer, now: SimTime) -> FeedVerdict {
+        if self.sync_due(now) {
+            self.sync(server, now);
+        }
+        let prefix = prefix_of(full_hash);
+        if !self.store.contains(prefix) {
+            self.counters.incr("check.local_miss");
+            return FeedVerdict::Safe;
+        }
+        if let Some(entry) = self.full_cache.get(&prefix) {
+            if entry.expires_at > now {
+                self.counters.incr("check.cache_hit");
+                return if entry.hashes.contains(&full_hash) {
+                    FeedVerdict::Unsafe
+                } else {
+                    FeedVerdict::Safe
+                };
+            }
+            self.counters.incr("check.cache_expired");
+        }
+        let resp = server.full_hashes(prefix, now);
+        self.counters.incr("check.fullhash_fetch");
+        let verdict = if resp.hashes.contains(&full_hash) {
+            FeedVerdict::Unsafe
+        } else {
+            FeedVerdict::Safe
+        };
+        let ttl = resp.cache_ttl();
+        self.full_cache.insert(
+            prefix,
+            FullHashEntry {
+                hashes: resp.hashes,
+                expires_at: now + ttl,
+            },
+        );
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    fn h(i: u64) -> u64 {
+        (i << 33) | 0x5a5a
+    }
+
+    #[test]
+    fn sync_applies_reset_then_diffs() {
+        let mut server = FeedServer::new(ServerConfig::default());
+        server.publish((0..50).map(h), SimTime::from_mins(1));
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        client.sync(&server, SimTime::from_mins(2));
+        assert_eq!(client.version(), 2);
+        assert_eq!(client.store().len(), 50);
+        assert_eq!(client.counters.get("client.full_resets"), 1);
+
+        server.publish((0..55).map(h), SimTime::from_mins(20));
+        client.sync(&server, SimTime::from_mins(35));
+        assert_eq!(client.version(), 3);
+        assert_eq!(client.store().len(), 55);
+        assert_eq!(client.counters.get("client.diffs_applied"), 1);
+    }
+
+    #[test]
+    fn check_is_local_until_prefix_hit_then_cached() {
+        let mut server = FeedServer::new(ServerConfig::default());
+        let listed = h(7);
+        server.publish([listed], SimTime::from_mins(1));
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        let now = SimTime::from_mins(5);
+        assert_eq!(client.check(h(99), &server, now), FeedVerdict::Safe);
+        assert_eq!(client.counters.get("check.local_miss"), 1);
+        assert_eq!(client.check(listed, &server, now), FeedVerdict::Unsafe);
+        assert_eq!(client.counters.get("check.fullhash_fetch"), 1);
+        let again = now + SimDuration::from_mins(1);
+        assert_eq!(client.check(listed, &server, again), FeedVerdict::Unsafe);
+        assert_eq!(client.counters.get("check.cache_hit"), 1);
+        // After the positive TTL the cached entry expires and the
+        // client re-fetches.
+        let late = now + SimDuration::from_mins(31);
+        assert_eq!(client.check(listed, &server, late), FeedVerdict::Unsafe);
+        assert_eq!(client.counters.get("check.cache_expired"), 1);
+        assert_eq!(client.counters.get("check.fullhash_fetch"), 2);
+    }
+
+    #[test]
+    fn stale_store_is_the_blind_window() {
+        let mut server = FeedServer::new(ServerConfig::default());
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        let target = h(3);
+        // Client syncs against the empty list…
+        client.sync(&server, SimTime::ZERO);
+        // …then the URL is listed.
+        server.publish([target], SimTime::from_mins(1));
+        // Within the update period: the local store misses it.
+        assert_eq!(
+            client.check(target, &server, SimTime::from_mins(10)),
+            FeedVerdict::Safe
+        );
+        // The next periodic sync closes the window.
+        assert_eq!(
+            client.check(target, &server, SimTime::from_mins(31)),
+            FeedVerdict::Unsafe
+        );
+    }
+
+    #[test]
+    fn backoff_delays_the_next_sync() {
+        let mut server = FeedServer::new(ServerConfig::default());
+        server.publish((0..5).map(h), SimTime::from_mins(1));
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        client.sync(&server, SimTime::from_mins(2));
+        // An aggressive manual sync inside the minimum wait is refused
+        // and reschedules rather than hammering the server.
+        client.sync(&server, SimTime::from_mins(3));
+        assert_eq!(client.counters.get("client.backed_off"), 1);
+        assert!(!client.sync_due(SimTime::from_mins(4)));
+        assert!(client.sync_due(SimTime::from_mins(7)));
+    }
+
+    #[test]
+    fn negative_cache_uses_negative_ttl() {
+        let mut server = FeedServer::new(ServerConfig {
+            negative_ttl: SimDuration::from_mins(2),
+            ..ServerConfig::default()
+        });
+        // Two hashes under the same prefix; only one is "this" URL.
+        let a = (42u64 << 32) | 1;
+        let b = (42u64 << 32) | 2;
+        server.publish([a], SimTime::from_mins(1));
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        let now = SimTime::from_mins(5);
+        // b collides with a's prefix but is not listed.
+        assert_eq!(client.check(b, &server, now), FeedVerdict::Safe);
+        assert_eq!(client.counters.get("check.fullhash_fetch"), 1);
+        // Positive entry (it carried a's hash) caches under positive
+        // TTL; a *pure* collision prefix would use the negative TTL —
+        // exercised via the server response directly:
+        let resp = server.full_hashes(777, now);
+        assert_eq!(resp.cache_ttl(), SimDuration::from_mins(2));
+    }
+}

@@ -1,0 +1,277 @@
+//! Incremental diffs between prefix-store versions.
+//!
+//! The SB v4 Update API never re-ships the whole list to a client that
+//! is only a few versions behind: it sends *additions* and *removal
+//! indices* plus a state checksum, and the client falls back to a full
+//! reset when the checksum disagrees. [`PrefixDiff`] models that
+//! contract: `apply(state_v1, diff_v1_to_v2) == state_v2`, enforced by
+//! a checksum over the resulting store and proptested in
+//! `tests/diff_properties.rs`.
+
+use crate::store::PrefixStore;
+use crate::wire::{self, WireError};
+use serde::{Deserialize, Serialize};
+
+/// A diff from one store version to a later one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixDiff {
+    /// The version this diff applies on top of.
+    pub from_version: u64,
+    /// The version the client holds after applying.
+    pub to_version: u64,
+    /// Prefixes to insert (sorted, disjoint from the base).
+    additions: Vec<u32>,
+    /// Prefixes to delete (sorted, all present in the base).
+    removals: Vec<u32>,
+    /// Checksum of the *target* store; apply verifies it.
+    checksum: u64,
+}
+
+/// Why a diff failed to apply (the client's cue to request a full
+/// reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApplyError {
+    /// A removal was not present in the base store.
+    MissingRemoval(u32),
+    /// An addition was already present in the base store.
+    DuplicateAddition(u32),
+    /// The result's checksum does not match the diff's target checksum
+    /// (the client's base state was not what the server assumed).
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::MissingRemoval(p) => write!(f, "removal {p:#010x} not in base store"),
+            ApplyError::DuplicateAddition(p) => write!(f, "addition {p:#010x} already in base"),
+            ApplyError::ChecksumMismatch => f.write_str("target checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl PrefixDiff {
+    /// Compute the diff between two stores with a single merge walk.
+    pub fn between(
+        from: &PrefixStore,
+        to: &PrefixStore,
+        from_version: u64,
+        to_version: u64,
+    ) -> Self {
+        let (a, b) = (from.prefixes(), to.prefixes());
+        let mut additions = Vec::new();
+        let mut removals = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    removals.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    additions.push(b[j]);
+                    j += 1;
+                }
+            }
+        }
+        removals.extend_from_slice(&a[i..]);
+        additions.extend_from_slice(&b[j..]);
+        PrefixDiff {
+            from_version,
+            to_version,
+            additions,
+            removals,
+            checksum: to.checksum(),
+        }
+    }
+
+    /// Prefixes this diff inserts.
+    pub fn additions(&self) -> &[u32] {
+        &self.additions
+    }
+
+    /// Prefixes this diff deletes.
+    pub fn removals(&self) -> &[u32] {
+        &self.removals
+    }
+
+    /// True when the diff changes nothing (the client was already
+    /// current in content, if not in version number).
+    pub fn is_empty(&self) -> bool {
+        self.additions.is_empty() && self.removals.is_empty()
+    }
+
+    /// Apply on top of `base`, producing the target store. The merge is
+    /// a single linear pass; the result is verified against the target
+    /// checksum before it is handed back.
+    pub fn apply(&self, base: &PrefixStore) -> Result<PrefixStore, ApplyError> {
+        let old = base.prefixes();
+        let mut out = Vec::with_capacity(old.len() + self.additions.len());
+        let mut rem = self.removals.iter().copied().peekable();
+        let mut add = self.additions.iter().copied().peekable();
+        for &p in old {
+            while let Some(&a) = add.peek() {
+                if a < p {
+                    out.push(a);
+                    add.next();
+                } else if a == p {
+                    return Err(ApplyError::DuplicateAddition(a));
+                } else {
+                    break;
+                }
+            }
+            match rem.peek() {
+                Some(&r) if r == p => {
+                    rem.next();
+                }
+                Some(&r) if r < p => return Err(ApplyError::MissingRemoval(r)),
+                _ => out.push(p),
+            }
+        }
+        if let Some(&r) = rem.peek() {
+            return Err(ApplyError::MissingRemoval(r));
+        }
+        out.extend(add);
+        let result = PrefixStore::from_prefixes(out);
+        if result.checksum() != self.checksum {
+            return Err(ApplyError::ChecksumMismatch);
+        }
+        Ok(result)
+    }
+
+    /// Wire encoding: versions, target checksum, then both delta lists.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        wire::put_varint(&mut buf, self.from_version);
+        wire::put_varint(&mut buf, self.to_version);
+        buf.extend_from_slice(&self.checksum.to_le_bytes());
+        wire::put_delta_list(&mut buf, &self.additions);
+        wire::put_delta_list(&mut buf, &self.removals);
+        buf
+    }
+
+    /// Size of [`PrefixDiff::encode`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        wire::varint_len(self.from_version)
+            + wire::varint_len(self.to_version)
+            + 8
+            + wire::delta_list_len(&self.additions)
+            + wire::delta_list_len(&self.removals)
+    }
+
+    /// Decode a diff payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let from_version = wire::get_varint(buf, &mut pos)?;
+        let to_version = wire::get_varint(buf, &mut pos)?;
+        let end = pos + 8;
+        let checksum_bytes: [u8; 8] = buf
+            .get(pos..end)
+            .ok_or(WireError::Truncated)?
+            .try_into()
+            .expect("slice of length 8");
+        let checksum = u64::from_le_bytes(checksum_bytes);
+        pos = end;
+        let additions = wire::get_delta_list(buf, &mut pos)?;
+        let removals = wire::get_delta_list(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(PrefixDiff {
+            from_version,
+            to_version,
+            additions,
+            removals,
+            checksum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(v: &[u32]) -> PrefixStore {
+        PrefixStore::from_prefixes(v.to_vec())
+    }
+
+    #[test]
+    fn diff_and_apply_round_trip() {
+        let v1 = store(&[1, 3, 5, 9]);
+        let v2 = store(&[1, 4, 5, 9, 12]);
+        let d = PrefixDiff::between(&v1, &v2, 1, 2);
+        assert_eq!(d.additions(), &[4, 12]);
+        assert_eq!(d.removals(), &[3]);
+        assert_eq!(d.apply(&v1).unwrap(), v2);
+    }
+
+    #[test]
+    fn empty_diff_between_identical_stores() {
+        let v = store(&[2, 4, 6]);
+        let d = PrefixDiff::between(&v, &v, 3, 4);
+        assert!(d.is_empty());
+        assert_eq!(d.apply(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let v1 = store(&[1, 3, 5]);
+        let v2 = store(&[1, 3, 5, 7]);
+        let d = PrefixDiff::between(&v1, &v2, 1, 2);
+        // A client whose state drifted (extra entry) fails the
+        // checksum and knows to request a full reset.
+        let drifted = store(&[1, 2, 3, 5]);
+        assert_eq!(d.apply(&drifted), Err(ApplyError::ChecksumMismatch));
+        // Missing removal target is caught before the checksum.
+        let v3 = store(&[1, 3]);
+        let d_rm = PrefixDiff::between(&v2, &v3, 2, 3);
+        let base_without = store(&[1, 3]);
+        assert!(matches!(
+            d_rm.apply(&base_without),
+            Err(ApplyError::MissingRemoval(5))
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_duplicate_addition() {
+        let v1 = store(&[1, 3]);
+        let v2 = store(&[1, 3, 5]);
+        let d = PrefixDiff::between(&v1, &v2, 1, 2);
+        let already = store(&[1, 3, 5]);
+        assert_eq!(d.apply(&already), Err(ApplyError::DuplicateAddition(5)));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v1 = store(&[10, 20, 30]);
+        let v2 = store(&[10, 25, 30, 40]);
+        let d = PrefixDiff::between(&v1, &v2, 7, 9);
+        let buf = d.encode();
+        assert_eq!(buf.len(), d.encoded_len());
+        assert_eq!(PrefixDiff::decode(&buf).unwrap(), d);
+    }
+
+    #[test]
+    fn incremental_diff_is_smaller_than_full_reset() {
+        // 50k baseline prefixes, 200 added: the diff must ship far
+        // fewer bytes than re-sending the store.
+        let base: Vec<u32> = (0..50_000u32).map(|i| i * 37).collect();
+        let v1 = PrefixStore::from_prefixes(base.clone());
+        let mut grown = base;
+        grown.extend((0..200u32).map(|i| i * 37 + 11));
+        let v2 = PrefixStore::from_prefixes(grown);
+        let d = PrefixDiff::between(&v1, &v2, 1, 2);
+        assert!(
+            d.encoded_len() < v2.encoded_len() / 10,
+            "diff {} bytes vs full {} bytes",
+            d.encoded_len(),
+            v2.encoded_len()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # phishsim-feedserve
+//!
+//! Versioned blacklist distribution — the serving half of the
+//! Safe-Browsing Update API that the paper's §2.1 blind windows live
+//! in. The rest of the workspace measures *when a URL gets listed*;
+//! this crate measures and models *when the client population actually
+//! receives that listing*, which related work (Oest et al., Lain et
+//! al.) shows is the quantity that decides victim exposure.
+//!
+//! Four layers, bottom-up:
+//!
+//! * [`store`] — [`PrefixStore`]: the compact client-resident prefix
+//!   set. Sorted flat `u32`s, binary-search lookup, delta-varint wire
+//!   encoding, built once per blacklist version instead of per call.
+//! * [`diff`] — [`PrefixDiff`]: checksummed incremental updates
+//!   between versions with the SB v4 contract
+//!   `apply(state_v1, diff) == state_v2` (proptested).
+//! * [`server`] / [`client`] — [`FeedServer`] keeps every published
+//!   version, serves diffs inside a bounded history window (full reset
+//!   beyond it), enforces a minimum wait between fetches, and answers
+//!   full-hash lookups with positive/negative cache TTLs, all
+//!   instrumented through `simnet::metrics::CounterSet`.
+//!   [`FeedClient`] is one installation's sync state machine.
+//! * [`population`] — drives N clients (default 10⁶) with staggered
+//!   schedules through the shared work-stealing sweep runner and
+//!   reports population blind-window metrics, byte-identically at any
+//!   thread count.
+//!
+//! `antiphish::sbapi` (the protocol toy the paper-facing experiments
+//! use) and `browser::sbcache` both consume [`PrefixStore`] instead of
+//! rebuilding ad-hoc `BTreeSet`s; the `sb_scale` experiment and bench
+//! bin sit on [`population`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod diff;
+pub mod population;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{FeedClient, FeedVerdict};
+pub use diff::{ApplyError, PrefixDiff};
+pub use population::{
+    run_population, run_population_with_threads, EventReport, ListingEvent, PopulationConfig,
+    PopulationReport, ProtectedSample,
+};
+pub use server::{FeedServer, FullHashResponse, ServerConfig, UpdateResponse};
+pub use store::{prefix_of, PrefixStore};
+pub use wire::WireError;

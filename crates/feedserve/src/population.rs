@@ -1,0 +1,466 @@
+//! The client-population simulator.
+//!
+//! The paper measures *listing time* — when a URL appears on a
+//! blacklist. What decides victim exposure at scale is the second leg:
+//! how long until each of the millions of deployed clients actually
+//! *holds* that listing in its local prefix store. This module drives
+//! N clients (default one million) with staggered, jittered update
+//! schedules against a [`FeedServer`] timeline and reports
+//! population-level blind-window metrics: the fraction of clients
+//! protected as a function of time since listing, and mean/p95/p99
+//! per-client exposure windows per listing event.
+//!
+//! ## Scale strategy
+//!
+//! Clients are simulated in batches through the shared work-stealing
+//! sweep runner ([`phishsim_simnet::runner::run_sweep_with_threads`]).
+//! A full [`crate::client::FeedClient`] per client would allocate a
+//! store per sync (terabytes of traffic for 10⁷ syncs); instead each
+//! client's state is compressed to its *version number* — sound
+//! because a synced client's store is exactly the server's snapshot at
+//! that version (the proptests in `tests/diff_properties.rs` pin
+//! `apply(diff)` to snapshot equality), so "does client hold the
+//! listing" reduces to `version >= first_version_containing(prefix)`.
+//! Wire bytes are accounted from the servers' cached encoded sizes.
+//! Every client derives its schedule from `fork_indexed(seed, index)`,
+//! and batch results merge in input order, so the whole report is
+//! byte-identical at any thread count.
+
+use crate::server::{FeedServer, UpdateResponse};
+use crate::store::prefix_of;
+use phishsim_simnet::metrics::CounterSet;
+use phishsim_simnet::runner::{run_sweep_with_threads, sweep_threads};
+use phishsim_simnet::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Population-simulation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of simulated clients.
+    pub clients: usize,
+    /// Root seed; client i's schedule comes from
+    /// `DetRng::new(seed).fork_indexed("feedserve-client", i)`.
+    pub seed: u64,
+    /// Nominal update period (SB clients: ~30 minutes).
+    pub base_period: SimDuration,
+    /// Uniform ± jitter applied to each client's period.
+    pub period_jitter: SimDuration,
+    /// Simulation horizon.
+    pub horizon: SimDuration,
+    /// Clients per work-stealing batch.
+    pub batch: usize,
+    /// Fraction of clients that re-fetch inside the minimum wait and
+    /// get backed off (exercises the server's throttle path).
+    pub aggressive_fraction: f64,
+    /// Resolution of the protected-fraction curve.
+    pub sample_every: SimDuration,
+    /// How far past each listing the curve is sampled.
+    pub sample_window: SimDuration,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            clients: 1_000_000,
+            seed: 17,
+            base_period: SimDuration::from_mins(30),
+            period_jitter: SimDuration::from_mins(10),
+            horizon: SimDuration::from_hours(8),
+            batch: 4096,
+            aggressive_fraction: 0.01,
+            sample_every: SimDuration::from_mins(5),
+            sample_window: SimDuration::from_mins(120),
+        }
+    }
+}
+
+/// One blacklist listing whose propagation is measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ListingEvent {
+    /// Human-readable label (the evasion technique, in `sb_scale`).
+    pub label: String,
+    /// The listed URL's full 64-bit hash.
+    pub full_hash: u64,
+    /// When the listing was published server-side.
+    pub listed_at: SimTime,
+}
+
+/// One point of the protected-fraction curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectedSample {
+    /// Minutes after the listing was published.
+    pub mins_after_listing: u64,
+    /// Fraction of the population whose local store held the listing.
+    pub fraction: f64,
+}
+
+/// Per-event population metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventReport {
+    /// The event's label.
+    pub label: String,
+    /// When it was listed, in simulation minutes.
+    pub listed_at_mins: u64,
+    /// First server version whose store carried the listing.
+    pub first_version: Option<u64>,
+    /// Clients protected before the horizon.
+    pub protected: usize,
+    /// Clients still exposed when the simulation ended (their
+    /// exposure is counted as `horizon - listed_at`, a lower bound).
+    pub unprotected_at_horizon: usize,
+    /// Mean exposure window in minutes.
+    pub mean_exposure_mins: f64,
+    /// Median exposure window in minutes.
+    pub p50_exposure_mins: u64,
+    /// 95th-percentile exposure window in minutes.
+    pub p95_exposure_mins: u64,
+    /// 99th-percentile exposure window in minutes.
+    pub p99_exposure_mins: u64,
+    /// Protected fraction vs time since listing.
+    pub protected_fraction: Vec<ProtectedSample>,
+}
+
+/// The whole population run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationReport {
+    /// Number of clients simulated.
+    pub clients: usize,
+    /// Accepted update fetches across the population.
+    pub fetches: u64,
+    /// Merged protocol counters (diff vs full-reset served, bytes
+    /// shipped, backoffs, full-hash lookups).
+    pub counters: CounterSet,
+    /// Per-event blind-window metrics, in input order.
+    pub events: Vec<EventReport>,
+}
+
+struct BatchOut {
+    /// Per event: exposure windows in ms, one per client in index
+    /// order (censored clients carry `horizon - listed_at`).
+    exposures: Vec<Vec<u64>>,
+    /// Per event: clients still unprotected at the horizon.
+    unprotected: Vec<u64>,
+    counters: CounterSet,
+    fetches: u64,
+}
+
+/// Run the population on the default thread count.
+pub fn run_population(
+    cfg: &PopulationConfig,
+    server: &FeedServer,
+    events: &[ListingEvent],
+) -> PopulationReport {
+    run_population_with_threads(cfg, server, events, sweep_threads())
+}
+
+/// Run the population on exactly `threads` worker threads. The report
+/// is byte-identical for any thread count.
+pub fn run_population_with_threads(
+    cfg: &PopulationConfig,
+    server: &FeedServer,
+    events: &[ListingEvent],
+    threads: usize,
+) -> PopulationReport {
+    // Which server version first carries each event (None: never
+    // listed, the population stays blind for the whole horizon).
+    let first_versions: Vec<Option<u64>> = events
+        .iter()
+        .map(|e| server.first_version_containing(prefix_of(e.full_hash)))
+        .collect();
+
+    let batches: Vec<(usize, usize)> = {
+        let batch = cfg.batch.max(1);
+        (0..cfg.clients)
+            .step_by(batch)
+            .map(|start| (start, (start + batch).min(cfg.clients)))
+            .collect()
+    };
+
+    let root = DetRng::new(cfg.seed);
+    let outs = run_sweep_with_threads(&batches, threads, |&(start, end)| {
+        walk_batch(cfg, server, events, &first_versions, &root, start, end)
+    });
+
+    // Merge in input order: concatenation and counter sums are both
+    // order-fixed, so the report does not depend on scheduling.
+    let mut exposures: Vec<Vec<u64>> = vec![Vec::with_capacity(cfg.clients); events.len()];
+    let mut unprotected = vec![0u64; events.len()];
+    let mut counters = CounterSet::new();
+    let mut fetches = 0u64;
+    for out in outs {
+        for (acc, part) in exposures.iter_mut().zip(&out.exposures) {
+            acc.extend_from_slice(part);
+        }
+        for (acc, part) in unprotected.iter_mut().zip(&out.unprotected) {
+            *acc += part;
+        }
+        counters.merge(&out.counters);
+        fetches += out.fetches;
+    }
+    server.absorb_counters(&counters);
+
+    let reports = events
+        .iter()
+        .enumerate()
+        .map(|(i, event)| {
+            summarize_event(cfg, event, first_versions[i], &exposures[i], unprotected[i])
+        })
+        .collect();
+
+    PopulationReport {
+        clients: cfg.clients,
+        fetches,
+        counters,
+        events: reports,
+    }
+}
+
+fn walk_batch(
+    cfg: &PopulationConfig,
+    server: &FeedServer,
+    events: &[ListingEvent],
+    first_versions: &[Option<u64>],
+    root: &DetRng,
+    start: usize,
+    end: usize,
+) -> BatchOut {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let min_wait = server.config().min_wait;
+    let jitter_ms = cfg.period_jitter.as_millis();
+    let mut out = BatchOut {
+        exposures: vec![Vec::with_capacity(end - start); events.len()],
+        unprotected: vec![0; events.len()],
+        counters: CounterSet::new(),
+        fetches: 0,
+    };
+    let mut protected_at: Vec<Option<SimTime>> = Vec::with_capacity(events.len());
+
+    for idx in start..end {
+        let mut rng = root.fork_indexed("feedserve-client", idx);
+        let base = cfg.base_period.as_millis();
+        let offset = if jitter_ms > 0 {
+            rng.range(0..=2 * jitter_ms)
+        } else {
+            jitter_ms
+        };
+        // base ± jitter, floored at the server's minimum wait so a
+        // well-behaved client never trips the throttle on its own.
+        let period_ms = (base + offset)
+            .saturating_sub(jitter_ms)
+            .max(min_wait.as_millis().max(60_000));
+        let period = SimDuration::from_millis(period_ms);
+        let phase = SimTime::from_millis(rng.range(0..period_ms));
+        let aggressive = rng.chance(cfg.aggressive_fraction);
+
+        let mut version: u64 = 0;
+        let mut last_fetch: Option<SimTime> = None;
+        protected_at.clear();
+        protected_at.resize(events.len(), None);
+
+        let mut t = phase;
+        while t <= horizon {
+            let client_version = (version > 0).then_some(version);
+            let resp =
+                server.fetch_update_counted(client_version, last_fetch, t, &mut out.counters);
+            match resp {
+                UpdateResponse::Backoff { retry_after } => {
+                    t += retry_after;
+                    continue;
+                }
+                other => {
+                    if let Some(v) = other.new_version() {
+                        version = v;
+                    }
+                    last_fetch = Some(t);
+                    out.fetches += 1;
+                }
+            }
+            // Did this sync close any blind window?
+            for (e, first_version) in first_versions.iter().enumerate() {
+                if protected_at[e].is_none() {
+                    if let Some(v) = first_version {
+                        if version >= *v {
+                            protected_at[e] = Some(t);
+                            // The user's next visit now prefix-hits and
+                            // resolves through a full-hash lookup.
+                            server.full_hashes_counted(
+                                prefix_of(events[e].full_hash),
+                                t,
+                                &mut out.counters,
+                            );
+                        }
+                    }
+                }
+            }
+            // Aggressive clients immediately re-poll inside the
+            // minimum wait; the server backs them off and they settle
+            // on the min-wait cadence.
+            t = if aggressive {
+                t + SimDuration::from_millis(min_wait.as_millis() / 2)
+            } else {
+                t + period
+            };
+        }
+
+        for (e, event) in events.iter().enumerate() {
+            let exposure = match protected_at[e] {
+                Some(when) => when.since(event.listed_at),
+                None => {
+                    out.unprotected[e] += 1;
+                    horizon.since(event.listed_at)
+                }
+            };
+            out.exposures[e].push(exposure.as_millis());
+        }
+    }
+    out
+}
+
+fn summarize_event(
+    cfg: &PopulationConfig,
+    event: &ListingEvent,
+    first_version: Option<u64>,
+    exposures_ms: &[u64],
+    unprotected: u64,
+) -> EventReport {
+    let clients = exposures_ms.len();
+    let mut sorted = exposures_ms.to_vec();
+    sorted.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1] / 60_000
+    };
+    let mean_exposure_mins = if sorted.is_empty() {
+        0.0
+    } else {
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        (sum as f64 / sorted.len() as f64) / 60_000.0
+    };
+    let mut protected_fraction = Vec::new();
+    let step = cfg.sample_every.as_millis().max(1);
+    let mut offset = 0u64;
+    while offset <= cfg.sample_window.as_millis() {
+        let covered = sorted.partition_point(|&e| e <= offset);
+        // Censored clients sit at the horizon value; they only count
+        // as protected if the horizon itself is within the offset,
+        // which the partition on their (lower-bound) exposure handles.
+        let fraction = if clients == 0 {
+            0.0
+        } else {
+            covered.min(clients - unprotected as usize) as f64 / clients as f64
+        };
+        protected_fraction.push(ProtectedSample {
+            mins_after_listing: offset / 60_000,
+            fraction,
+        });
+        offset += step;
+    }
+    EventReport {
+        label: event.label.clone(),
+        listed_at_mins: event.listed_at.as_mins(),
+        first_version,
+        protected: clients - unprotected as usize,
+        unprotected_at_horizon: unprotected as usize,
+        mean_exposure_mins,
+        p50_exposure_mins: percentile(50.0),
+        p95_exposure_mins: percentile(95.0),
+        p99_exposure_mins: percentile(99.0),
+        protected_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    fn tiny_cfg(clients: usize) -> PopulationConfig {
+        PopulationConfig {
+            clients,
+            batch: 64,
+            horizon: SimDuration::from_hours(3),
+            ..PopulationConfig::default()
+        }
+    }
+
+    fn scenario() -> (FeedServer, Vec<ListingEvent>) {
+        let mut server = FeedServer::new(ServerConfig::default());
+        let baseline: Vec<u64> = (0..2_000u64).map(|i| i << 40).collect();
+        server.publish(baseline.iter().copied(), SimTime::ZERO);
+        let target = (0xfeedu64 << 48) | 0xbeef;
+        let mut grown = baseline;
+        grown.push(target);
+        server.publish(grown, SimTime::from_mins(45));
+        let events = vec![ListingEvent {
+            label: "recaptcha".into(),
+            full_hash: target,
+            listed_at: SimTime::from_mins(45),
+        }];
+        (server, events)
+    }
+
+    #[test]
+    fn population_converges_to_protected() {
+        let (server, events) = scenario();
+        let report = run_population_with_threads(&tiny_cfg(500), &server, &events, 2);
+        let ev = &report.events[0];
+        assert_eq!(ev.protected + ev.unprotected_at_horizon, 500);
+        // With a 30±10 min period and a 3 h horizon, essentially the
+        // whole population updates after the listing.
+        assert!(
+            ev.protected >= 495,
+            "only {} of 500 protected",
+            ev.protected
+        );
+        // Exposure windows are bounded by roughly one update period.
+        assert!(ev.p95_exposure_mins <= 45, "{}", ev.p95_exposure_mins);
+        // The curve is monotone non-decreasing.
+        let fr: Vec<f64> = ev.protected_fraction.iter().map(|s| s.fraction).collect();
+        assert!(fr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.fetches > 0);
+        assert!(report.counters.get("update.diff") > 0);
+        assert!(report.counters.get("update.full_reset") >= 500);
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let (server_a, events) = scenario();
+        let a = run_population_with_threads(&tiny_cfg(300), &server_a, &events, 1);
+        let (server_b, _) = scenario();
+        let b = run_population_with_threads(&tiny_cfg(300), &server_b, &events, 8);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn never_listed_event_leaves_population_exposed() {
+        let (server, _) = scenario();
+        let events = vec![ListingEvent {
+            label: "session".into(),
+            full_hash: 0x1234_5678_9abc_def0,
+            listed_at: SimTime::from_mins(10),
+        }];
+        let report = run_population_with_threads(&tiny_cfg(100), &server, &events, 2);
+        let ev = &report.events[0];
+        assert_eq!(ev.first_version, None);
+        assert_eq!(ev.protected, 0);
+        assert_eq!(ev.unprotected_at_horizon, 100);
+        assert!(ev.protected_fraction.iter().all(|s| s.fraction == 0.0));
+    }
+
+    #[test]
+    fn aggressive_clients_get_backed_off() {
+        let (server, events) = scenario();
+        let cfg = PopulationConfig {
+            aggressive_fraction: 1.0,
+            ..tiny_cfg(50)
+        };
+        let report = run_population_with_threads(&cfg, &server, &events, 2);
+        assert!(report.counters.get("update.backoff") > 0);
+    }
+}

@@ -1,0 +1,507 @@
+//! The versioned update server.
+//!
+//! [`FeedServer`] is the distribution side of the subsystem: it holds
+//! every published blacklist version as a [`PrefixStore`] snapshot,
+//! answers update requests with an incremental [`PrefixDiff`] when the
+//! client's version is inside the bounded history window and a full
+//! reset otherwise (SB v4's behaviour), enforces a minimum wait
+//! between a client's update fetches, and serves full-hash lookups
+//! with positive/negative cache TTLs. Every served response is
+//! instrumented through a [`CounterSet`].
+
+use crate::diff::PrefixDiff;
+use crate::store::{prefix_of, PrefixStore};
+use parking_lot::{Mutex, RwLock};
+use phishsim_simnet::metrics::CounterSet;
+use phishsim_simnet::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// How many versions back a diff may reach; older clients get a
+    /// full reset.
+    pub history_window: u64,
+    /// Minimum wait a client must respect between update fetches
+    /// (requests inside the window are answered with a backoff).
+    pub min_wait: SimDuration,
+    /// Cache TTL for a full-hash response that carried hashes.
+    pub positive_ttl: SimDuration,
+    /// Cache TTL for a full-hash response that carried none (the
+    /// prefix was a collision).
+    pub negative_ttl: SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            history_window: 16,
+            min_wait: SimDuration::from_mins(5),
+            positive_ttl: SimDuration::from_mins(30),
+            negative_ttl: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// One published version.
+#[derive(Debug, Clone)]
+struct VersionEntry {
+    version: u64,
+    published_at: SimTime,
+    store: Arc<PrefixStore>,
+    /// Sorted full hashes backing the store (full-hash lookups range-
+    /// scan this by prefix).
+    full_hashes: Arc<Vec<u64>>,
+    /// Cached wire size of a full reset at this version.
+    encoded_len: usize,
+}
+
+/// What an update fetch returned.
+#[derive(Debug, Clone)]
+pub enum UpdateResponse {
+    /// The client already holds the current version.
+    UpToDate {
+        /// The (unchanged) current version.
+        version: u64,
+    },
+    /// An incremental diff from the client's version to current.
+    Diff {
+        /// The diff to apply.
+        diff: Arc<PrefixDiff>,
+        /// Wire bytes this response cost.
+        wire_bytes: usize,
+    },
+    /// The client was too far behind (or brand new): full snapshot.
+    FullReset {
+        /// The version the snapshot represents.
+        version: u64,
+        /// The complete store.
+        store: Arc<PrefixStore>,
+        /// Wire bytes this response cost.
+        wire_bytes: usize,
+    },
+    /// The client violated the minimum wait; try again later.
+    Backoff {
+        /// How long the client must wait before retrying.
+        retry_after: SimDuration,
+    },
+}
+
+impl UpdateResponse {
+    /// The version the client holds after applying this response, if
+    /// it changed.
+    pub fn new_version(&self) -> Option<u64> {
+        match self {
+            UpdateResponse::Diff { diff, .. } => Some(diff.to_version),
+            UpdateResponse::FullReset { version, .. } => Some(*version),
+            UpdateResponse::UpToDate { .. } | UpdateResponse::Backoff { .. } => None,
+        }
+    }
+}
+
+/// A full-hash lookup answer.
+#[derive(Debug, Clone)]
+pub struct FullHashResponse {
+    /// Full hashes under the queried prefix (possibly empty — a
+    /// collision).
+    pub hashes: Vec<u64>,
+    /// How long a non-empty answer may be cached.
+    pub positive_ttl: SimDuration,
+    /// How long an empty answer may be cached.
+    pub negative_ttl: SimDuration,
+}
+
+impl FullHashResponse {
+    /// The TTL that applies to this response.
+    pub fn cache_ttl(&self) -> SimDuration {
+        if self.hashes.is_empty() {
+            self.negative_ttl
+        } else {
+            self.positive_ttl
+        }
+    }
+}
+
+/// Memoized diffs keyed by `(from, to)` version pair, each with its
+/// wire-encoded size.
+type DiffCache = HashMap<(u64, u64), (Arc<PrefixDiff>, usize)>;
+
+/// The versioned blacklist-distribution server.
+#[derive(Debug)]
+pub struct FeedServer {
+    cfg: ServerConfig,
+    /// All published versions, ascending. `entries[0]` is version 1,
+    /// published empty at `SimTime::ZERO`, so every instant has a
+    /// visible version.
+    entries: Vec<VersionEntry>,
+    /// Diffs computed once and shared across all clients asking for
+    /// the same `(from, to)` pair.
+    diff_cache: RwLock<DiffCache>,
+    counters: Mutex<CounterSet>,
+}
+
+impl FeedServer {
+    /// A server holding only the empty version 1.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let empty = Arc::new(PrefixStore::new());
+        let encoded_len = empty.encoded_len();
+        FeedServer {
+            cfg,
+            entries: vec![VersionEntry {
+                version: 1,
+                published_at: SimTime::ZERO,
+                store: empty,
+                full_hashes: Arc::new(Vec::new()),
+                encoded_len,
+            }],
+            diff_cache: RwLock::new(HashMap::new()),
+            counters: Mutex::new(CounterSet::new()),
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Publish the complete current full-hash set as a new version at
+    /// `at`. Publication times must be monotone. Returns the new
+    /// version number.
+    pub fn publish<I: IntoIterator<Item = u64>>(&mut self, hashes: I, at: SimTime) -> u64 {
+        let last = self.entries.last().expect("version 1 always exists");
+        assert!(
+            at >= last.published_at,
+            "publications must be time-ordered ({at} < {})",
+            last.published_at
+        );
+        let mut full: Vec<u64> = hashes.into_iter().collect();
+        full.sort_unstable();
+        full.dedup();
+        let store = Arc::new(PrefixStore::from_hashes(full.iter().copied()));
+        let version = last.version + 1;
+        let encoded_len = store.encoded_len();
+        self.entries.push(VersionEntry {
+            version,
+            published_at: at,
+            store,
+            full_hashes: Arc::new(full),
+            encoded_len,
+        });
+        version
+    }
+
+    /// The newest version published at or before `now`.
+    pub fn version_at(&self, now: SimTime) -> u64 {
+        self.visible_entry(now).version
+    }
+
+    /// The newest version overall.
+    pub fn current_version(&self) -> u64 {
+        self.entries.last().expect("non-empty").version
+    }
+
+    /// The store snapshot for `version`, if it was ever published.
+    pub fn store_at(&self, version: u64) -> Option<Arc<PrefixStore>> {
+        self.entry(version).map(|e| Arc::clone(&e.store))
+    }
+
+    /// When `version` was published.
+    pub fn published_at(&self, version: u64) -> Option<SimTime> {
+        self.entry(version).map(|e| e.published_at)
+    }
+
+    /// The earliest version whose store contains `prefix`, if any —
+    /// the population simulator uses this to turn "client synced to
+    /// version v" into "client is protected against this URL".
+    pub fn first_version_containing(&self, prefix: u32) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.store.contains(prefix))
+            .map(|e| e.version)
+    }
+
+    fn entry(&self, version: u64) -> Option<&VersionEntry> {
+        // Versions are dense starting at 1.
+        let idx = usize::try_from(version.checked_sub(1)?).ok()?;
+        self.entries.get(idx)
+    }
+
+    fn visible_entry(&self, now: SimTime) -> &VersionEntry {
+        let idx = self.entries.partition_point(|e| e.published_at <= now);
+        // entries[0] is published at ZERO, so idx >= 1.
+        &self.entries[idx - 1]
+    }
+
+    /// Handle an update fetch, counting into the server's own
+    /// counters. `client_version` is what the client holds (`None` for
+    /// a fresh install), `last_fetch` its previous *accepted* fetch.
+    pub fn fetch_update(
+        &self,
+        client_version: Option<u64>,
+        last_fetch: Option<SimTime>,
+        now: SimTime,
+    ) -> UpdateResponse {
+        let mut counters = self.counters.lock();
+        self.fetch_update_counted(client_version, last_fetch, now, &mut counters)
+    }
+
+    /// Handle an update fetch, counting into a caller-owned
+    /// [`CounterSet`]. The population simulator uses this so worker
+    /// threads accumulate locally and merge deterministically instead
+    /// of contending on the server's mutex.
+    pub fn fetch_update_counted(
+        &self,
+        client_version: Option<u64>,
+        last_fetch: Option<SimTime>,
+        now: SimTime,
+        counters: &mut CounterSet,
+    ) -> UpdateResponse {
+        if let Some(lf) = last_fetch {
+            let elapsed = now.since(lf);
+            if elapsed < self.cfg.min_wait {
+                counters.incr("update.backoff");
+                return UpdateResponse::Backoff {
+                    retry_after: SimDuration::from_millis(
+                        self.cfg.min_wait.as_millis() - elapsed.as_millis(),
+                    ),
+                };
+            }
+        }
+        let current = self.visible_entry(now);
+        match client_version {
+            Some(v) if v == current.version => {
+                counters.incr("update.up_to_date");
+                UpdateResponse::UpToDate { version: v }
+            }
+            Some(v)
+                if v < current.version
+                    && current.version - v <= self.cfg.history_window
+                    && self.entry(v).is_some() =>
+            {
+                let (diff, wire_bytes) = self.diff_between(v, current.version);
+                counters.incr("update.diff");
+                counters.add("bytes.diff", wire_bytes as u64);
+                UpdateResponse::Diff { diff, wire_bytes }
+            }
+            _ => {
+                counters.incr("update.full_reset");
+                counters.add("bytes.full_reset", current.encoded_len as u64);
+                UpdateResponse::FullReset {
+                    version: current.version,
+                    store: Arc::clone(&current.store),
+                    wire_bytes: current.encoded_len,
+                }
+            }
+        }
+    }
+
+    fn diff_between(&self, from: u64, to: u64) -> (Arc<PrefixDiff>, usize) {
+        if let Some(hit) = self.diff_cache.read().get(&(from, to)) {
+            return hit.clone();
+        }
+        let from_entry = self.entry(from).expect("caller checked");
+        let to_entry = self.entry(to).expect("caller checked");
+        let diff = Arc::new(PrefixDiff::between(
+            &from_entry.store,
+            &to_entry.store,
+            from,
+            to,
+        ));
+        let bytes = diff.encoded_len();
+        let mut cache = self.diff_cache.write();
+        cache.entry((from, to)).or_insert((diff, bytes)).clone()
+    }
+
+    /// Answer a full-hash lookup as of `now`, counting into the
+    /// server's own counters.
+    pub fn full_hashes(&self, prefix: u32, now: SimTime) -> FullHashResponse {
+        let mut counters = self.counters.lock();
+        self.full_hashes_counted(prefix, now, &mut counters)
+    }
+
+    /// Answer a full-hash lookup, counting into a caller-owned set.
+    pub fn full_hashes_counted(
+        &self,
+        prefix: u32,
+        now: SimTime,
+        counters: &mut CounterSet,
+    ) -> FullHashResponse {
+        counters.incr("fullhash.lookups");
+        let entry = self.visible_entry(now);
+        let full = &entry.full_hashes;
+        let lo = u64::from(prefix) << 32;
+        let start = full.partition_point(|&h| h < lo);
+        let hashes: Vec<u64> = full[start..]
+            .iter()
+            .copied()
+            .take_while(|&h| prefix_of(h) == prefix)
+            .collect();
+        if hashes.is_empty() {
+            counters.incr("fullhash.negative");
+        }
+        FullHashResponse {
+            hashes,
+            positive_ttl: self.cfg.positive_ttl,
+            negative_ttl: self.cfg.negative_ttl,
+        }
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn counters(&self) -> CounterSet {
+        self.counters.lock().clone()
+    }
+
+    /// Fold a caller-accumulated counter set (from
+    /// [`FeedServer::fetch_update_counted`] et al.) into the server's.
+    pub fn absorb_counters(&self, other: &CounterSet) {
+        self.counters.lock().merge(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_with_growth() -> FeedServer {
+        let mut s = FeedServer::new(ServerConfig::default());
+        // v2: hashes 0..100; v3: 0..110; v4: 0..120 (spread prefixes).
+        let h = |i: u64| (i << 33) | 0xabc;
+        s.publish((0..100).map(h), SimTime::from_mins(10));
+        s.publish((0..110).map(h), SimTime::from_mins(40));
+        s.publish((0..120).map(h), SimTime::from_mins(70));
+        s
+    }
+
+    #[test]
+    fn version_visibility_follows_time() {
+        let s = server_with_growth();
+        assert_eq!(s.version_at(SimTime::ZERO), 1);
+        assert_eq!(s.version_at(SimTime::from_mins(10)), 2);
+        assert_eq!(s.version_at(SimTime::from_mins(39)), 2);
+        assert_eq!(s.version_at(SimTime::from_mins(100)), 4);
+        assert_eq!(s.current_version(), 4);
+    }
+
+    #[test]
+    fn fresh_client_gets_full_reset_then_diffs() {
+        let s = server_with_growth();
+        let now = SimTime::from_mins(15);
+        let r = s.fetch_update(None, None, now);
+        let UpdateResponse::FullReset { version, store, .. } = r else {
+            panic!("fresh client must get a full reset, got {r:?}");
+        };
+        assert_eq!(version, 2);
+        assert_eq!(store.len(), 100);
+
+        let later = SimTime::from_mins(45);
+        let r = s.fetch_update(Some(2), Some(now), later);
+        let UpdateResponse::Diff { diff, wire_bytes } = r else {
+            panic!("one version behind must get a diff, got {r:?}");
+        };
+        assert_eq!((diff.from_version, diff.to_version), (2, 3));
+        assert_eq!(diff.additions().len(), 10);
+        assert!(wire_bytes > 0);
+        let applied = diff.apply(&store).unwrap();
+        assert_eq!(Some(applied), s.store_at(3).map(|a| (*a).clone()));
+        assert_eq!(s.counters().get("update.diff"), 1);
+        assert_eq!(s.counters().get("update.full_reset"), 1);
+    }
+
+    #[test]
+    fn clients_outside_the_history_window_get_reset() {
+        let mut s = FeedServer::new(ServerConfig {
+            history_window: 2,
+            ..ServerConfig::default()
+        });
+        for i in 0..6u64 {
+            s.publish(
+                (0..10 + i).map(|x| x << 34),
+                SimTime::from_mins(10 * (i + 1)),
+            );
+        }
+        let now = SimTime::from_hours(2);
+        // current = 7; a client at version 5 is within the window...
+        assert!(matches!(
+            s.fetch_update(Some(5), None, now),
+            UpdateResponse::Diff { .. }
+        ));
+        // ...a client at version 2 is not.
+        assert!(matches!(
+            s.fetch_update(Some(2), None, now),
+            UpdateResponse::FullReset { .. }
+        ));
+        assert_eq!(s.counters().get("update.full_reset"), 1);
+    }
+
+    #[test]
+    fn min_wait_is_enforced() {
+        let s = server_with_growth();
+        let first = SimTime::from_mins(20);
+        let r = s.fetch_update(Some(2), Some(first), first + SimDuration::from_mins(2));
+        let UpdateResponse::Backoff { retry_after } = r else {
+            panic!("violation must back off, got {r:?}");
+        };
+        assert_eq!(retry_after, SimDuration::from_mins(3));
+        assert_eq!(s.counters().get("update.backoff"), 1);
+        // At exactly min_wait the request is accepted.
+        assert!(matches!(
+            s.fetch_update(Some(2), Some(first), first + SimDuration::from_mins(5)),
+            UpdateResponse::UpToDate { .. }
+        ));
+    }
+
+    #[test]
+    fn full_hash_lookup_range_scans_by_prefix() {
+        let mut s = FeedServer::new(ServerConfig::default());
+        let hashes = [
+            0x0000_0001_0000_0001u64,
+            0x0000_0001_0000_0002,
+            0x0000_0002_0000_0001,
+        ];
+        s.publish(hashes, SimTime::from_mins(1));
+        let now = SimTime::from_mins(2);
+        let r = s.full_hashes(1, now);
+        assert_eq!(r.hashes, vec![hashes[0], hashes[1]]);
+        assert_eq!(r.cache_ttl(), s.config().positive_ttl);
+        let miss = s.full_hashes(0xdead_beef, now);
+        assert!(miss.hashes.is_empty());
+        assert_eq!(miss.cache_ttl(), s.config().negative_ttl);
+        let c = s.counters();
+        assert_eq!(c.get("fullhash.lookups"), 2);
+        assert_eq!(c.get("fullhash.negative"), 1);
+    }
+
+    #[test]
+    fn first_version_containing_tracks_listings() {
+        let s = server_with_growth();
+        let h105 = 105u64 << 33 | 0xabc;
+        assert_eq!(s.first_version_containing(prefix_of(h105)), Some(3));
+        assert_eq!(s.first_version_containing(0xffff_ffff), None);
+    }
+
+    #[test]
+    fn diff_bytes_are_cheaper_than_reset_bytes() {
+        let s = server_with_growth();
+        let now = SimTime::from_hours(2);
+        let UpdateResponse::Diff {
+            wire_bytes: diff_bytes,
+            ..
+        } = s.fetch_update(Some(3), None, now)
+        else {
+            panic!("expected diff");
+        };
+        let UpdateResponse::FullReset {
+            wire_bytes: reset_bytes,
+            ..
+        } = s.fetch_update(None, None, now)
+        else {
+            panic!("expected reset");
+        };
+        assert!(
+            diff_bytes < reset_bytes,
+            "diff {diff_bytes} >= reset {reset_bytes}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The compact prefix store.
+//!
+//! A [`PrefixStore`] is the client-resident half of the Update API:
+//! the sorted set of 32-bit hash prefixes of every listed URL, stored
+//! as a flat `Vec<u32>` with binary-search lookup. Compared to the
+//! seed's per-call `BTreeSet` rebuild this is built once per blacklist
+//! version, shares via `Arc`, costs four bytes per entry, and answers
+//! `contains` from a cache-friendly contiguous array.
+
+use crate::wire::{self, WireError};
+use serde::{Deserialize, Serialize};
+
+/// The 32-bit prefix of a full 64-bit URL hash (the top half, as in
+/// `antiphish::sbapi::HashPrefix`).
+pub fn prefix_of(full_hash: u64) -> u32 {
+    (full_hash >> 32) as u32
+}
+
+/// A sorted, deduplicated set of 32-bit hash prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixStore {
+    prefixes: Vec<u32>,
+}
+
+impl PrefixStore {
+    /// The empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from full 64-bit hashes (prefixes are derived, sorted and
+    /// deduplicated).
+    pub fn from_hashes<I: IntoIterator<Item = u64>>(hashes: I) -> Self {
+        Self::from_prefixes(hashes.into_iter().map(prefix_of).collect())
+    }
+
+    /// Build from raw prefixes (sorted and deduplicated here).
+    pub fn from_prefixes(mut prefixes: Vec<u32>) -> Self {
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        PrefixStore { prefixes }
+    }
+
+    /// Whether `prefix` is in the store (binary search).
+    pub fn contains(&self, prefix: u32) -> bool {
+        self.prefixes.binary_search(&prefix).is_ok()
+    }
+
+    /// Whether the prefix of `full_hash` is in the store.
+    pub fn contains_hash(&self, full_hash: u64) -> bool {
+        self.contains(prefix_of(full_hash))
+    }
+
+    /// Number of prefixes held.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True if no prefix is held.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// The sorted prefix slice.
+    pub fn prefixes(&self) -> &[u32] {
+        &self.prefixes
+    }
+
+    /// Iterate over prefixes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.prefixes.iter().copied()
+    }
+
+    /// The store's state checksum (what a diff pins its target to).
+    pub fn checksum(&self) -> u64 {
+        wire::checksum32(&self.prefixes)
+    }
+
+    /// Delta-encode the full store (a "full reset" payload on the
+    /// wire).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        wire::put_delta_list(&mut buf, &self.prefixes);
+        buf
+    }
+
+    /// Size of [`PrefixStore::encode`]'s output without materialising
+    /// it.
+    pub fn encoded_len(&self) -> usize {
+        wire::delta_list_len(&self.prefixes)
+    }
+
+    /// Decode a full-reset payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let prefixes = wire::get_delta_list(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(PrefixStore { prefixes })
+    }
+}
+
+impl FromIterator<u32> for PrefixStore {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Self::from_prefixes(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let s = PrefixStore::from_prefixes(vec![5, 1, 5, 3, 1]);
+        assert_eq!(s.prefixes(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn hash_prefixes_take_the_top_half() {
+        let h = 0xdead_beef_0000_0001u64;
+        assert_eq!(prefix_of(h), 0xdead_beef);
+        let s = PrefixStore::from_hashes([h]);
+        assert!(s.contains_hash(h));
+        // Same top 32 bits, different low bits: same prefix (that is
+        // the point — prefix hits must be resolved by full hashes).
+        assert!(s.contains_hash(0xdead_beef_ffff_ffffu64));
+        assert!(!s.contains_hash(0xdead_beee_0000_0001u64));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = PrefixStore::from_prefixes(vec![0, 7, 300, 90_000, u32::MAX]);
+        let buf = s.encode();
+        assert_eq!(buf.len(), s.encoded_len());
+        assert_eq!(PrefixStore::decode(&buf).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut buf = PrefixStore::from_prefixes(vec![1, 2]).encode();
+        buf.push(0);
+        assert_eq!(PrefixStore::decode(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = PrefixStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.encoded_len(), 1);
+        assert_eq!(PrefixStore::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn delta_encoding_beats_raw_u32s_on_dense_lists() {
+        // 100k prefixes drawn from a dense region: mean gap ~40, so
+        // one byte per entry instead of four.
+        let prefixes: Vec<u32> = (0..100_000u32).map(|i| i * 40).collect();
+        let s = PrefixStore::from_prefixes(prefixes);
+        assert!(
+            s.encoded_len() < s.len() * 4 / 2,
+            "{} bytes for {} prefixes",
+            s.encoded_len(),
+            s.len()
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Wire primitives for the update protocol: LEB128 varints and the
+//! delta encoding shared by snapshots and diffs.
+//!
+//! A sorted `u32` prefix list compresses extremely well as
+//! `varint(count)` followed by varints of the successive differences:
+//! for a dense list the gaps are small and most entries cost one or two
+//! bytes instead of four. The real Safe-Browsing v4 protocol ships its
+//! `ThreatEntrySet`s the same way (Rice-Golomb rather than LEB128; the
+//! asymptotics and the failure modes — corrupt streams, non-monotone
+//! input — are the same).
+
+use serde::{Deserialize, Serialize};
+
+/// A malformed byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireError {
+    /// The stream ended mid-value.
+    Truncated,
+    /// A varint ran past the width of its target type.
+    Overflow,
+    /// A delta-encoded list decoded to a non-strictly-increasing or
+    /// out-of-range sequence.
+    NotSorted,
+    /// Trailing bytes after the last expected value.
+    TrailingBytes,
+    /// The decoded payload failed its checksum.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "truncated stream",
+            WireError::Overflow => "varint overflow",
+            WireError::NotSorted => "delta list not strictly increasing",
+            WireError::TrailingBytes => "trailing bytes",
+            WireError::ChecksumMismatch => "checksum mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint at `*pos`, advancing it.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(WireError::Overflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Number of bytes `v` occupies as a varint.
+pub fn varint_len(v: u64) -> usize {
+    ((64 - v.max(1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Append a strictly increasing `u32` list as `varint(count)` followed
+/// by first value and successive gaps. Panics in debug builds if the
+/// input is not strictly increasing (callers hold sorted-dedup lists).
+pub fn put_delta_list(buf: &mut Vec<u8>, values: &[u32]) {
+    put_varint(buf, values.len() as u64);
+    let mut prev: Option<u32> = None;
+    for &v in values {
+        match prev {
+            None => put_varint(buf, u64::from(v)),
+            Some(p) => {
+                debug_assert!(v > p, "delta list must be strictly increasing");
+                put_varint(buf, u64::from(v - p));
+            }
+        }
+        prev = Some(v);
+    }
+}
+
+/// Decode a delta list written by [`put_delta_list`].
+pub fn get_delta_list(buf: &[u8], pos: &mut usize) -> Result<Vec<u32>, WireError> {
+    let count = get_varint(buf, pos)?;
+    let count = usize::try_from(count).map_err(|_| WireError::Overflow)?;
+    // A u32 delta list has at least one byte per entry; reject absurd
+    // counts before allocating.
+    if count > buf.len().saturating_sub(*pos) {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut prev: Option<u32> = None;
+    for _ in 0..count {
+        let raw = get_varint(buf, pos)?;
+        let v = match prev {
+            None => u32::try_from(raw).map_err(|_| WireError::Overflow)?,
+            Some(p) => {
+                if raw == 0 {
+                    return Err(WireError::NotSorted);
+                }
+                let next = u64::from(p) + raw;
+                u32::try_from(next).map_err(|_| WireError::Overflow)?
+            }
+        };
+        out.push(v);
+        prev = Some(v);
+    }
+    Ok(out)
+}
+
+/// Encoded size of a strictly increasing list, without materialising
+/// the bytes (used for byte accounting in the population simulator).
+pub fn delta_list_len(values: &[u32]) -> usize {
+    let mut n = varint_len(values.len() as u64);
+    let mut prev: Option<u32> = None;
+    for &v in values {
+        n += match prev {
+            None => varint_len(u64::from(v)),
+            Some(p) => varint_len(u64::from(v - p)),
+        };
+        prev = Some(v);
+    }
+    n
+}
+
+/// FNV-1a over a `u32` list — the protocol's state checksum (stands in
+/// for SB v4's raw-hashes SHA-256).
+pub fn checksum32(values: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn truncated_varint_rejected() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn delta_list_round_trip() {
+        let values = vec![0u32, 1, 5, 1_000, 1_001, u32::MAX];
+        let mut buf = Vec::new();
+        put_delta_list(&mut buf, &values);
+        assert_eq!(buf.len(), delta_list_len(&values));
+        let mut pos = 0;
+        assert_eq!(get_delta_list(&buf, &mut pos).unwrap(), values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn delta_list_rejects_zero_gap() {
+        // count=2, first=5, gap=0 — a duplicate.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        put_varint(&mut buf, 5);
+        put_varint(&mut buf, 0);
+        let mut pos = 0;
+        assert_eq!(get_delta_list(&buf, &mut pos), Err(WireError::NotSorted));
+    }
+
+    #[test]
+    fn delta_list_rejects_u32_overflow() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        put_varint(&mut buf, u64::from(u32::MAX));
+        put_varint(&mut buf, 1);
+        let mut pos = 0;
+        assert_eq!(get_delta_list(&buf, &mut pos), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn absurd_count_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert!(get_delta_list(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn checksum_is_order_and_content_sensitive() {
+        assert_ne!(checksum32(&[1, 2, 3]), checksum32(&[1, 2, 4]));
+        assert_ne!(checksum32(&[1, 2]), checksum32(&[1, 2, 3]));
+        assert_eq!(checksum32(&[]), checksum32(&[]));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the distribution protocol.
+//!
+//! The contract the whole subsystem rests on: a client that applies
+//! the server's diffs holds byte-for-byte the same store as a client
+//! that downloaded the full snapshot. These proptests pin that across
+//! random prefix sets, random mutation sequences, and the wire
+//! round-trip.
+
+use phishsim_feedserve::{FeedClient, FeedServer, PrefixDiff, PrefixStore, ServerConfig};
+use phishsim_simnet::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn prefix_set() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<u32>(), 0..300)
+}
+
+proptest! {
+    /// Snapshot wire encoding round-trips exactly.
+    #[test]
+    fn store_encode_decode_round_trip(prefixes in prefix_set()) {
+        let store = PrefixStore::from_prefixes(prefixes);
+        let decoded = PrefixStore::decode(&store.encode()).unwrap();
+        prop_assert_eq!(&decoded, &store);
+        prop_assert_eq!(decoded.checksum(), store.checksum());
+    }
+
+    /// Diff wire encoding round-trips exactly, and the decoded diff
+    /// still applies.
+    #[test]
+    fn diff_encode_decode_round_trip(a in prefix_set(), b in prefix_set(),
+                                     from in 1u64..1000, gap in 1u64..10) {
+        let va = PrefixStore::from_prefixes(a);
+        let vb = PrefixStore::from_prefixes(b);
+        let diff = PrefixDiff::between(&va, &vb, from, from + gap);
+        let decoded = PrefixDiff::decode(&diff.encode()).unwrap();
+        prop_assert_eq!(&decoded, &diff);
+        prop_assert_eq!(decoded.apply(&va).unwrap(), vb);
+    }
+
+    /// apply(state_v1, diff_v1_v2) == state_v2 for arbitrary store
+    /// pairs — additions and removals both exercised.
+    #[test]
+    fn apply_diff_equals_full_snapshot(a in prefix_set(), b in prefix_set()) {
+        let va = PrefixStore::from_prefixes(a);
+        let vb = PrefixStore::from_prefixes(b);
+        let diff = PrefixDiff::between(&va, &vb, 1, 2);
+        prop_assert_eq!(diff.apply(&va).unwrap(), vb);
+        // And the reverse direction.
+        let back = PrefixDiff::between(&vb, &va, 2, 3);
+        prop_assert_eq!(back.apply(&vb).unwrap(), va);
+    }
+
+    /// A chain of diffs across a random mutation sequence reaches the
+    /// same store as the final snapshot, step by step.
+    #[test]
+    fn diff_chain_tracks_mutation_sequence(
+        seed_set in prefix_set(),
+        mutations in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..40),
+    ) {
+        let mut current: std::collections::BTreeSet<u32> = seed_set.into_iter().collect();
+        let mut snapshots = vec![PrefixStore::from_prefixes(current.iter().copied().collect())];
+        for (value, insert) in mutations {
+            if insert {
+                current.insert(value);
+            } else {
+                // Remove an existing element when possible (value as an
+                // index into the set), else the literal value.
+                let target = current.iter().copied().nth(value as usize % current.len().max(1));
+                if let Some(t) = target {
+                    current.remove(&t);
+                }
+            }
+            snapshots.push(PrefixStore::from_prefixes(current.iter().copied().collect()));
+        }
+        let mut held = snapshots[0].clone();
+        for (i, next) in snapshots.iter().enumerate().skip(1) {
+            let diff = PrefixDiff::between(&snapshots[i - 1], next, i as u64, i as u64 + 1);
+            held = diff.apply(&held).unwrap();
+            prop_assert_eq!(&held, next, "diverged at step {}", i);
+        }
+    }
+
+    /// A syncing client ends a random publication history holding
+    /// exactly the server's final store, whether its updates arrived
+    /// as diffs or as window-fallback full resets.
+    #[test]
+    fn client_converges_to_server_state(
+        versions in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..60), 1..8),
+        window in 1u64..4,
+        period_mins in 10u64..120,
+    ) {
+        let mut server = FeedServer::new(ServerConfig {
+            history_window: window,
+            ..ServerConfig::default()
+        });
+        for (i, hashes) in versions.iter().enumerate() {
+            server.publish(hashes.iter().copied(), SimTime::from_mins(30 * (i as u64 + 1)));
+        }
+        let mut client = FeedClient::new(SimDuration::from_mins(period_mins), SimTime::ZERO);
+        let end = 30 * (versions.len() as u64 + 1);
+        let mut t = 0u64;
+        while t <= end {
+            if client.sync_due(SimTime::from_mins(t)) {
+                client.sync(&server, SimTime::from_mins(t));
+            }
+            t += 5;
+        }
+        // One final forced sync at a quiet instant.
+        let late = SimTime::from_mins(end + 200);
+        client.sync(&server, late);
+        let server_store = server.store_at(server.current_version()).unwrap();
+        prop_assert_eq!(client.store(), &*server_store);
+        prop_assert_eq!(client.version(), server.current_version());
+    }
+
+    /// Incremental growth: the diff always ships no more bytes than
+    /// the full snapshot, and strictly fewer once the base store is
+    /// non-trivial.
+    #[test]
+    fn diff_bytes_bounded_by_snapshot_bytes(
+        base in proptest::collection::vec(any::<u32>(), 50..500),
+        added in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let v1 = PrefixStore::from_prefixes(base.clone());
+        let mut grown = base;
+        grown.extend(added);
+        let v2 = PrefixStore::from_prefixes(grown);
+        let diff = PrefixDiff::between(&v1, &v2, 1, 2);
+        prop_assert!(
+            diff.encoded_len() < v2.encoded_len(),
+            "diff {} bytes, full snapshot {} bytes",
+            diff.encoded_len(),
+            v2.encoded_len()
+        );
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = PrefixStore::decode(&bytes);
+        let _ = PrefixDiff::decode(&bytes);
+    }
+}

@@ -27,6 +27,8 @@
 //!   two hours") is reproduced by querying this log.
 //! * [`metrics`] — counters, histograms and summary statistics used by the
 //!   experiment harness.
+//! * [`runner`] — the work-stealing parallel sweep runner shared by the
+//!   experiment harness and the feedserve population simulator.
 //!
 //! The design follows the event-driven, poll-based style of smoltcp rather
 //! than an async runtime: simplicity and reproducibility are design goals,
@@ -40,6 +42,7 @@ pub mod ip;
 pub mod link;
 pub mod metrics;
 pub mod rng;
+pub mod runner;
 pub mod sched;
 pub mod time;
 pub mod trace;

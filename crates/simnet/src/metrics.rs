@@ -45,6 +45,17 @@ impl CounterSet {
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
     }
+
+    /// Fold another set into this one, label by label. Used by the
+    /// parallel population simulator to combine per-batch counters into
+    /// a deterministic total (label order is fixed by the `BTreeMap`,
+    /// and addition commutes, so the merged set is identical at any
+    /// thread count).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (label, n) in other.iter() {
+            self.add(label, n);
+        }
+    }
 }
 
 /// A collection of duration observations with summary statistics.
@@ -198,6 +209,22 @@ mod tests {
         assert_eq!(c.total(), 6);
         let labels: Vec<&str> = c.iter().map(|(k, _)| k).collect();
         assert_eq!(labels, vec!["gsb", "netcraft"]);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = CounterSet::new();
+        a.add("x", 2);
+        a.add("y", 1);
+        let mut b = CounterSet::new();
+        b.add("y", 3);
+        b.add("z", 5);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 2);
+        assert_eq!(a.get("y"), 4);
+        assert_eq!(a.get("z"), 5);
+        a.merge(&CounterSet::new());
+        assert_eq!(a.total(), 11);
     }
 
     #[test]

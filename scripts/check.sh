@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Repo gate: format, lints, tier-1 tests, quick perf baseline.
+# Repo gate: format, lints, tier-1 tests, quick perf baseline, and the
+# sb_scale determinism smoke.
 #
 #   ./scripts/check.sh
 #
 # Mirrors what reviewers run before merging. The perf step writes
-# results/BENCH_1.json in --quick mode; diff it against the committed
-# baseline by hand when a change is perf-relevant.
+# results/BENCH_2.json in --quick mode; diff it against the committed
+# baseline by hand when a change is perf-relevant. The sb_scale step
+# runs a reduced population at two thread counts and requires the
+# records to be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> clippy (runner, caches, monitor, bench harness)"
+echo "==> clippy (runner, caches, monitor, feedserve, bench harness)"
 cargo clippy --release -p phishsim-core -p phishsim-browser \
-  -p phishsim-antiphish -p phishsim-bench -- -D warnings
+  -p phishsim-antiphish -p phishsim-feedserve -p phishsim-bench -- -D warnings
 
 echo "==> tier-1: build + tests"
 cargo build --release
@@ -22,5 +25,16 @@ cargo test -q --release
 
 echo "==> perf baseline (quick)"
 cargo run --release -p phishsim-bench --bin bench_baseline -- --quick
+
+echo "==> sb_scale determinism smoke (10k clients, 1 vs 4 threads)"
+PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin sb_scale -- --clients 10000
+cp results/sb_scale.json results/.sb_scale.t1.json
+PHISHSIM_SWEEP_THREADS=4 cargo run --release -p phishsim-bench --bin sb_scale -- --clients 10000
+if ! diff -q results/.sb_scale.t1.json results/sb_scale.json; then
+  echo "sb_scale record differs between 1 and 4 threads" >&2
+  exit 1
+fi
+rm -f results/.sb_scale.t1.json
+echo "sb_scale record byte-identical across thread counts"
 
 echo "All checks passed."

@@ -35,6 +35,7 @@
 //! | [`phishgen`] | `phishsim-phishgen` | site generator, brand kits, gates |
 //! | [`antiphish`] | `phishsim-antiphish` | engines, classifier, feeds |
 //! | [`extensions`] | `phishsim-extensions` | the six client-side extensions |
+//! | [`feedserve`] | `phishsim-feedserve` | blacklist distribution at scale |
 //! | [`experiment`] etc. | `phishsim-core` | the paper's framework |
 
 #![forbid(unsafe_code)]
@@ -44,6 +45,7 @@ pub use phishsim_browser as browser;
 pub use phishsim_captcha as captcha;
 pub use phishsim_dns as dns;
 pub use phishsim_extensions as extensions;
+pub use phishsim_feedserve as feedserve;
 pub use phishsim_html as html;
 pub use phishsim_http as http;
 pub use phishsim_phishgen as phishgen;

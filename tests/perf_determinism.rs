@@ -8,8 +8,17 @@
 //! 2. **Cache transparency** — a fixed seed regenerates byte-identical
 //!    tables with `PHISHSIM_RENDER_CACHE` off and on (memoization
 //!    reuses work, never changes it).
+//!
+//! The `sb_scale` population run is held to the same bar: its report
+//! (blind-window percentiles, protocol counters, protected-fraction
+//! curves) must not depend on the worker-thread count.
 
-use phishsim::experiment::{run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig};
+use phishsim::experiment::{
+    run_main_experiment, run_preliminary, run_sb_scale_with_threads, MainConfig, PreliminaryConfig,
+    SbScaleConfig,
+};
+use phishsim::feedserve::PopulationConfig;
+use phishsim::simnet::SimDuration;
 use phishsim_core::runner::run_sweep_with_threads;
 
 /// One sweep cell: a seeded fast main-experiment run, serialized the
@@ -38,6 +47,27 @@ fn sweep_json_is_byte_identical_across_thread_counts() {
     );
     let wider = run_sweep_with_threads(&seeds, 16, sweep_cell);
     assert_eq!(serial, wider, "oversubscribed thread count must agree too");
+}
+
+#[test]
+fn sb_scale_report_is_byte_identical_across_thread_counts() {
+    let cfg = SbScaleConfig {
+        baseline_hashes: 1_000,
+        churn_add: 25,
+        population: PopulationConfig {
+            clients: 600,
+            batch: 64,
+            horizon: SimDuration::from_hours(4),
+            ..PopulationConfig::default()
+        },
+        ..SbScaleConfig::fast()
+    };
+    let json = |threads: usize| {
+        serde_json::to_string(&run_sb_scale_with_threads(&cfg, threads)).expect("serializable")
+    };
+    let serial = json(1);
+    assert_eq!(serial, json(4), "1 vs 4 threads");
+    assert_eq!(serial, json(16), "1 vs 16 (oversubscribed) threads");
 }
 
 #[test]
