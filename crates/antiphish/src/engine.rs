@@ -18,12 +18,12 @@ use crate::profiles::{EngineId, EngineProfile};
 use parking_lot::Mutex;
 use phishsim_browser::rendercache::content_hash;
 use phishsim_browser::{
-    BrowseStep, Browser, BrowserConfig, DialogPolicy, PageView, RenderCache, Transport,
+    BrowseStep, Browser, BrowserConfig, DialogPolicy, FetchError, PageView, RenderCache, Transport,
 };
 use phishsim_captcha::CaptchaProvider;
 use phishsim_http::{Request, Url, UserAgent};
 use phishsim_simnet::metrics::CounterSet;
-use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, SimDuration, SimTime};
+use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, RetryPolicy, Scheduler, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -103,6 +103,17 @@ pub struct Engine {
     classify_cache: std::collections::HashMap<(u64, u64), Classification>,
     classify_hits: u64,
     classify_misses: u64,
+    /// Retry policy for transient crawl failures (lost exchanges,
+    /// server errors, outages). Applied at two layers: each spawned
+    /// browser retries individual exchanges, and the engine re-drives
+    /// whole failed visits through a retry-timer [`Scheduler`].
+    retry_policy: RetryPolicy,
+    /// Browsers spawned so far; labels each browser's retry stream.
+    browser_seq: u64,
+    /// Visits that needed engine-level recovery; labels their backoff
+    /// schedules. Only advances when a transient failure occurs, so the
+    /// fault-free path never touches it.
+    visit_seq: u64,
 }
 
 impl Engine {
@@ -129,7 +140,18 @@ impl Engine {
             classify_cache: std::collections::HashMap::new(),
             classify_hits: 0,
             classify_misses: 0,
+            retry_policy: RetryPolicy::crawl_default(),
+            browser_seq: 0,
+            visit_seq: 0,
         }
+    }
+
+    /// Replace the transient-failure retry policy (builder style).
+    /// `RetryPolicy::no_retries()` restores the old abort-on-failure
+    /// behaviour.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
     }
 
     /// Deduplication key: FNV-1a over scheme, host and path — the
@@ -243,7 +265,61 @@ impl Engine {
         if let Some(cache) = &self.render_cache {
             browser = browser.with_render_cache(Arc::clone(cache));
         }
-        browser
+        // Each browser gets its own retry stream; forking never consumes
+        // the engine stream, so this is free when no faults occur.
+        self.browser_seq += 1;
+        browser.with_retry(
+            self.retry_policy.clone(),
+            self.rng
+                .fork(&format!("browser-retry:{}", self.browser_seq)),
+        )
+    }
+
+    /// Visit with engine-level recovery: a transiently failed visit is
+    /// re-driven on a deterministic backoff schedule, with the waits
+    /// materialised as events in a local retry-timer [`Scheduler`]
+    /// (remaining timers are cancelled once an attempt succeeds). The
+    /// schedule is computed lazily, so the fault-free path performs one
+    /// visit and no RNG work. On success after recovery the view's
+    /// `elapsed` includes the backoff waits, keeping `start + elapsed`
+    /// equal to the real completion time.
+    fn visit_with_retry(
+        &mut self,
+        browser: &mut Browser,
+        t: &mut dyn Transport,
+        url: &Url,
+        start: SimTime,
+    ) -> Result<PageView, FetchError> {
+        let first = match browser.visit(t, url, start) {
+            Err(e) if e.is_transient() => e,
+            other => return other,
+        };
+        self.visit_seq += 1;
+        let label = format!("visit:{}", self.visit_seq);
+        let schedule = self.retry_policy.schedule(&self.rng, &label);
+        let mut timers: Scheduler<u32> = Scheduler::new();
+        timers.advance_to(start);
+        let mut at = start;
+        let mut pending = Vec::new();
+        for (i, d) in schedule.iter().enumerate() {
+            at += *d;
+            pending.push(timers.schedule_at(at, i as u32));
+        }
+        let mut last = first;
+        while let Some((retry_at, attempt)) = timers.pop() {
+            match browser.visit(t, url, retry_at) {
+                Ok(mut view) => {
+                    for id in pending.drain(attempt as usize + 1..) {
+                        timers.cancel(id);
+                    }
+                    view.elapsed = view.elapsed + retry_at.since(start);
+                    return Ok(view);
+                }
+                Err(e) if e.is_transient() => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
     }
 
     fn exchanges_in(view: &PageView) -> u64 {
@@ -311,7 +387,7 @@ impl Engine {
             let mut best_score = 0.0;
             let mut payload_reached = false;
             let mut payload_reached_at = None;
-            if let Ok(view) = browser.visit(t, url, recheck_at) {
+            if let Ok(view) = self.visit_with_retry(&mut browser, t, url, recheck_at) {
                 requests = Self::exchanges_in(&view);
                 best_score = self.classify_score(&view, &url.host);
                 if view.summary.has_login_form() {
@@ -357,7 +433,7 @@ impl Engine {
 
         // ---- initial visit ----
         let mut browser = self.browser(self.profile.dialog_policy);
-        let initial = browser.visit(t, url, first_visit_at);
+        let initial = self.visit_with_retry(&mut browser, t, url, first_visit_at);
         let mut site_paths: Vec<String> = vec![url.path.clone()];
         if let Ok(view) = &initial {
             requests += Self::exchanges_in(view);
@@ -435,7 +511,7 @@ impl Engine {
                 let (dlo, dhi) = deep.delay_mins;
                 let deep_at = reported_at + SimDuration::from_mins(self.rng.range(dlo..=dhi));
                 let mut deep_browser = self.browser(deep.dialog_policy);
-                if let Ok(view) = deep_browser.visit(t, url, deep_at) {
+                if let Ok(view) = self.visit_with_retry(&mut deep_browser, t, url, deep_at) {
                     requests += Self::exchanges_in(&view);
                     captcha_recognised |=
                         view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
@@ -470,7 +546,7 @@ impl Engine {
                 let recheck_at =
                     first_visit_at + SimDuration::from_mins(self.rng.range(60..1_200u64));
                 let mut recheck_browser = self.browser(self.profile.dialog_policy);
-                if let Ok(view) = recheck_browser.visit(t, url, recheck_at) {
+                if let Ok(view) = self.visit_with_retry(&mut recheck_browser, t, url, recheck_at) {
                     requests += Self::exchanges_in(&view);
                     captcha_recognised |=
                         view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
@@ -881,6 +957,80 @@ mod tests {
         let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
         engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE);
         assert_eq!(engine.cache_counters().total(), 0);
+    }
+
+    /// Fails the first `failures` fetches with a transient error, then
+    /// delegates to the real transport.
+    struct Flaky<'a> {
+        inner: &'a mut DirectTransport,
+        failures: u32,
+        seen: u32,
+    }
+
+    impl Transport for Flaky<'_> {
+        fn fetch(
+            &mut self,
+            src: Ipv4Sim,
+            actor: &str,
+            req: &Request,
+            now: SimTime,
+        ) -> Result<(phishsim_http::Response, SimDuration), phishsim_browser::FetchError> {
+            self.seen += 1;
+            if self.seen <= self.failures {
+                return Err(phishsim_browser::FetchError::ConnectionLost);
+            }
+            self.inner.fetch(src, actor, req, now)
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_recovered_not_aborted() {
+        // Enough consecutive failures to exhaust the browser-level
+        // retries on the first visit, forcing the engine's
+        // Scheduler-driven visit recovery to kick in.
+        let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        let mut t = Flaky {
+            inner: &mut d.transport,
+            failures: 5,
+            seen: 0,
+        };
+        let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(2020));
+        let o = engine.process_report(&mut t, &d.url, SimTime::from_mins(60), 0.0);
+        assert!(o.payload_reached, "retries must recover the visit");
+        assert!(o.detected_at.is_some());
+    }
+
+    #[test]
+    fn no_retries_policy_restores_abort_on_failure() {
+        let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+        let mut t = Flaky {
+            inner: &mut d.transport,
+            failures: 5,
+            seen: 0,
+        };
+        let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(2020))
+            .with_retry_policy(phishsim_simnet::RetryPolicy::no_retries());
+        let o = engine.process_report(&mut t, &d.url, SimTime::from_mins(60), 0.0);
+        assert!(!o.payload_reached, "without retries the first visit dies");
+    }
+
+    #[test]
+    fn retry_wiring_is_rng_neutral_when_no_faults_occur() {
+        // The zero-impact guarantee at engine level: against a clean
+        // transport, an engine with the default retry policy and one
+        // with retries disabled must produce identical outcomes.
+        let run_with = |policy: phishsim_simnet::RetryPolicy| {
+            let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+            let mut engine =
+                Engine::new(EngineId::Gsb, &DetRng::new(2020)).with_retry_policy(policy);
+            engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE)
+        };
+        let with_retries = run_with(phishsim_simnet::RetryPolicy::crawl_default());
+        let without = run_with(phishsim_simnet::RetryPolicy::no_retries());
+        assert_eq!(with_retries.detected_at, without.detected_at);
+        assert_eq!(with_retries.requests_made, without.requests_made);
+        assert_eq!(with_retries.best_score, without.best_score);
+        assert_eq!(with_retries.first_visit_at, without.first_visit_at);
     }
 
     #[test]

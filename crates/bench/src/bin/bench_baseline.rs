@@ -24,6 +24,7 @@ use phishsim_core::experiment::{
 };
 use phishsim_core::runner::{run_sweep_with_threads, sweep_threads};
 use phishsim_feedserve::{PrefixDiff, PrefixStore};
+use phishsim_simnet::FaultInjector;
 use std::time::Instant;
 
 /// Deterministic pseudo-random full hashes (splitmix64 walk) — same
@@ -158,6 +159,53 @@ fn main() {
         "feedserve ({store_n} prefixes): build {build_ms:.2} ms, diff {diff_ms:.2} ms, \
          apply {apply_ms:.2} ms, {lookups_per_sec:.0} lookups/s ({hits} hits), \
          diff {diff_bytes} B vs snapshot {snapshot_bytes} B"
+    );
+
+    // ---- fault-path guard (chaos layer) ----
+    // With `FaultInjector::none()` the chaos wiring must be free: zero
+    // RNG draws, no retry schedules, Table 2 unchanged, and wall time
+    // within noise of the cache-on main run above. The chaos-profile
+    // run shows what the machinery costs when it is actually on.
+    let (nofault_ms, r_nofault) = best_of(reps, || run_main_experiment(&MainConfig::paper()));
+    let chaos_cfg = MainConfig {
+        faults: FaultInjector::chaos_profile(),
+        ..MainConfig::paper()
+    };
+    let (chaos_ms, r_chaos) = best_of(reps, || run_main_experiment(&chaos_cfg));
+    assert_eq!(
+        r_nofault.table.cells, r2_on.table.cells,
+        "the no-fault config must reproduce Table 2 exactly"
+    );
+    assert!(
+        r_chaos.table.total.hits <= r_nofault.table.total.hits,
+        "chaos can lose detections, never invent them"
+    );
+    println!(
+        "fault path: no-fault {nofault_ms:.0} ms (vs {t2_on_ms:.0} ms plain), \
+         chaos profile {chaos_ms:.0} ms ({:.2}x)",
+        chaos_ms / nofault_ms
+    );
+
+    write_record(
+        "BENCH_3",
+        &serde_json::json!({
+            "bench": "BENCH_3",
+            "quick": quick,
+            "reps": reps,
+            "fault_path": {
+                "main_no_fault_ms": nofault_ms,
+                "main_plain_ms": t2_on_ms,
+                "no_fault_overhead_ratio": nofault_ms / t2_on_ms,
+                "main_chaos_profile_ms": chaos_ms,
+                "chaos_overhead_ratio": chaos_ms / nofault_ms,
+                "no_fault_detections": r_nofault.table.total.hits,
+                "chaos_detections": r_chaos.table.total.hits,
+            },
+            "determinism": {
+                "table2_identical_under_no_fault_config": true,
+                "chaos_never_adds_detections": true,
+            },
+        }),
     );
 
     write_record(

@@ -69,9 +69,11 @@ fn main() {
         }));
     }
     println!(
-        "\nDetections degrade monotonically-ish with loss and never exceed the\n\
-         clean-network total; the framework reports fewer detections rather than\n\
-         failing, matching how a real measurement degrades under packet loss."
+        "\nWith the retry/backoff layer the engines now ride out heavy loss —\n\
+         detections hold at the clean-network total until the loss rate\n\
+         overwhelms the attempt budget, then degrade rather than crash. The\n\
+         full chaos grid (loss x outage x feed loss) lives in the resilience\n\
+         sweep (results/resilience.json)."
     );
     phishsim_bench::write_record(
         "fault_sweep",

@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use phishsim_captcha::{CaptchaProvider, SolverProfile};
 use phishsim_html::{FormInfo, PageSummary, ScriptEffect};
 use phishsim_http::{CookieJar, Request, Response, Status, Url};
-use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
+use phishsim_simnet::{DetRng, Ipv4Sim, RetryPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -168,6 +168,12 @@ pub struct Browser {
     pub captcha_provider: Option<Arc<Mutex<CaptchaProvider>>>,
     /// Shared render cache; without one, every page is parsed directly.
     render_cache: Option<Arc<RenderCache>>,
+    /// Retry policy for transient fetch failures, with the RNG the
+    /// jittered schedules fork from. `None` means failures are final.
+    retry: Option<(RetryPolicy, DetRng)>,
+    /// Count of exchanges that needed a retry schedule; feeds the fork
+    /// label so each recovery gets its own jitter stream.
+    retry_seq: u64,
     history: Vec<Url>,
 }
 
@@ -182,8 +188,18 @@ impl Browser {
             actor: actor.to_string(),
             captcha_provider: None,
             render_cache: None,
+            retry: None,
+            retry_seq: 0,
             history: Vec::new(),
         }
+    }
+
+    /// Attach a retry policy for transient fetch failures (builder
+    /// style). Schedules are forked off `rng` per failed exchange, so a
+    /// browser that never hits a failure never touches the stream.
+    pub fn with_retry(mut self, policy: RetryPolicy, rng: DetRng) -> Self {
+        self.retry = Some((policy, rng));
+        self
     }
 
     /// Attach the CAPTCHA provider (builder style).
@@ -219,6 +235,34 @@ impl Browser {
         req.with_cookie_header(&cookie)
     }
 
+    /// Fetch with transient-failure recovery. The backoff schedule is
+    /// computed lazily — only once the first attempt has failed — so the
+    /// fault-free path performs exactly one fetch and zero RNG work.
+    fn fetch_with_retry(
+        &mut self,
+        t: &mut dyn Transport,
+        req: &Request,
+        now: &mut SimTime,
+    ) -> Result<(Response, SimDuration), FetchError> {
+        let first = match t.fetch(self.src, &self.actor, req, *now) {
+            Err(e) if e.is_transient() && self.retry.is_some() => e,
+            other => return other,
+        };
+        let (policy, rng) = self.retry.as_ref().expect("checked above");
+        self.retry_seq += 1;
+        let label = format!("{}:{}", self.actor, self.retry_seq);
+        let schedule = policy.schedule(rng, &label);
+        let mut last = first;
+        for delay in schedule {
+            *now += delay;
+            match t.fetch(self.src, &self.actor, req, *now) {
+                Err(e) if e.is_transient() => last = e,
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+
     /// Perform one raw exchange: cookies out, cookies in.
     fn exchange(
         &mut self,
@@ -228,7 +272,7 @@ impl Browser {
     ) -> Result<Response, FetchError> {
         let host = req.url.host.clone();
         let req = self.build_request(req, *now);
-        let (resp, rtt) = t.fetch(self.src, &self.actor, &req, *now)?;
+        let (resp, rtt) = self.fetch_with_retry(t, &req, now)?;
         *now += rtt;
         let cookies = resp
             .set_cookies()
@@ -577,6 +621,90 @@ mod tests {
             .visit(&mut t, &Url::https("loop.com", "/"), SimTime::ZERO)
             .unwrap_err();
         assert_eq!(err, FetchError::TooManyRedirects);
+    }
+
+    /// A transport that fails the first `failures_left` fetches with a
+    /// transient error, then delegates.
+    struct FlakyTransport {
+        inner: DirectTransport,
+        failures_left: u32,
+        attempts: u32,
+    }
+
+    impl Transport for FlakyTransport {
+        fn fetch(
+            &mut self,
+            src: Ipv4Sim,
+            actor: &str,
+            req: &Request,
+            now: SimTime,
+        ) -> Result<(Response, SimDuration), FetchError> {
+            self.attempts += 1;
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(FetchError::ConnectionLost);
+            }
+            self.inner.fetch(src, actor, req, now)
+        }
+    }
+
+    fn flaky_host(failures: u32) -> FlakyTransport {
+        let mut v = VirtualHosting::new();
+        v.install(
+            "flaky.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("<title>up</title>")),
+        );
+        FlakyTransport {
+            inner: DirectTransport::new(v),
+            failures_left: failures,
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn transient_failure_recovers_with_retry_policy() {
+        use phishsim_simnet::DetRng;
+        let mut t = flaky_host(2);
+        let mut b =
+            browser(DialogPolicy::Ignore).with_retry(RetryPolicy::crawl_default(), DetRng::new(7));
+        let view = b
+            .visit(&mut t, &Url::https("flaky.com", "/"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(view.summary.title, "up");
+        assert_eq!(t.attempts, 3, "two failures then one success");
+        assert!(
+            view.elapsed >= SimDuration::from_secs(2),
+            "backoff delay must elapse: {}",
+            view.elapsed
+        );
+    }
+
+    #[test]
+    fn retries_exhaust_and_surface_the_transient_error() {
+        use phishsim_simnet::DetRng;
+        let mut t = flaky_host(100);
+        let mut b =
+            browser(DialogPolicy::Ignore).with_retry(RetryPolicy::crawl_default(), DetRng::new(7));
+        let err = b
+            .visit(&mut t, &Url::https("flaky.com", "/"), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FetchError::ConnectionLost);
+        assert_eq!(
+            t.attempts,
+            RetryPolicy::crawl_default().max_attempts,
+            "attempt cap respected"
+        );
+    }
+
+    #[test]
+    fn no_policy_means_failures_are_final() {
+        let mut t = flaky_host(1);
+        let mut b = browser(DialogPolicy::Ignore);
+        let err = b
+            .visit(&mut t, &Url::https("flaky.com", "/"), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FetchError::ConnectionLost);
+        assert_eq!(t.attempts, 1);
     }
 
     #[test]

@@ -8,16 +8,36 @@ use phishsim_http::{Request, RequestCtx, Response, VirtualHosting};
 use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime};
 
 /// Errors a fetch can produce.
+///
+/// The taxonomy is split along the axis recovery logic cares about:
+/// [`FetchError::is_transient`] errors may succeed on retry (the link
+/// lost the exchange, the server answered 5xx, the server is down for
+/// a window), while fatal errors reflect state no retry can change
+/// (the host does not resolve, the page's redirects are broken).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FetchError {
     /// The host did not resolve.
     DnsFailure(String),
     /// The exchange was lost on the link.
     ConnectionLost,
+    /// The server answered with a transient 5xx-style error.
+    ServerError,
+    /// The server is inside a scheduled outage window.
+    ServiceUnavailable,
     /// Redirect chain exceeded the client's limit.
     TooManyRedirects,
     /// A redirect target could not be parsed.
     BadRedirect(String),
+}
+
+impl FetchError {
+    /// Whether a retry could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FetchError::ConnectionLost | FetchError::ServerError | FetchError::ServiceUnavailable
+        )
+    }
 }
 
 impl std::fmt::Display for FetchError {
@@ -25,6 +45,8 @@ impl std::fmt::Display for FetchError {
         match self {
             FetchError::DnsFailure(h) => write!(f, "DNS failure for {h}"),
             FetchError::ConnectionLost => write!(f, "connection lost"),
+            FetchError::ServerError => write!(f, "server error"),
+            FetchError::ServiceUnavailable => write!(f, "service unavailable"),
             FetchError::TooManyRedirects => write!(f, "too many redirects"),
             FetchError::BadRedirect(l) => write!(f, "bad redirect target {l:?}"),
         }

@@ -11,6 +11,9 @@
 //! * [`sb_scale`] — population-scale propagation: the main
 //!   experiment's listing delays fed through the `feedserve`
 //!   million-client update-protocol simulator.
+//! * [`resilience`] — the chaos sweep: the coupled pipeline re-run
+//!   across escalating fault intensities (crawl loss × feed-server
+//!   outage × feed-channel loss).
 
 pub mod cloaking;
 pub mod extension_experiment;
@@ -18,6 +21,7 @@ pub mod longitudinal;
 pub mod main_experiment;
 pub mod preliminary;
 pub mod redirection;
+pub mod resilience;
 pub mod sb_scale;
 
 pub use cloaking::{run_cloaking_baseline, ArmStats, CloakingConfig, CloakingResult};
@@ -26,6 +30,10 @@ pub use longitudinal::{run_longitudinal, LongitudinalConfig, LongitudinalResult,
 pub use main_experiment::{run_main_experiment, MainConfig, MainResult};
 pub use preliminary::{run_preliminary, PreliminaryConfig, PreliminaryResult};
 pub use redirection::{run_redirection_baseline, EntryKind, RedirectionConfig, RedirectionResult};
+pub use resilience::{
+    run_resilience, run_resilience_with_threads, FaultIntensity, LevelReport, ResilienceConfig,
+    ResilienceResult, TechniqueResilience,
+};
 pub use sb_scale::{
     run_sb_scale, run_sb_scale_with_threads, SbScaleConfig, SbScaleResult, TechniqueDelay,
 };

@@ -19,7 +19,7 @@
 //! pushes every client's protection out by that much *before* the
 //! 5–60-minute client-side update lag even starts.
 
-use crate::experiment::main_experiment::{run_main_experiment, MainConfig};
+use crate::experiment::main_experiment::{run_main_experiment, MainConfig, MainResult};
 use phishsim_feedserve::{
     run_population_with_threads, FeedServer, ListingEvent, PopulationConfig, PopulationReport,
     ServerConfig,
@@ -134,7 +134,14 @@ fn event_hash(label: &str) -> u64 {
 /// per-technique figure is the median over listed arms (lower median —
 /// deterministic, no interpolation).
 fn technique_delays(main: &MainConfig) -> Vec<TechniqueDelay> {
-    let result = run_main_experiment(main);
+    delays_from_result(&run_main_experiment(main))
+}
+
+/// The same derivation from an already-run [`MainResult`] — the
+/// resilience sweep runs the main experiment once per fault intensity
+/// and reuses the result for both the delay table and the feed
+/// timeline.
+pub fn delays_from_result(result: &MainResult) -> Vec<TechniqueDelay> {
     // Earliest listing per URL across all feeds.
     let mut first_listing: BTreeMap<String, SimTime> = BTreeMap::new();
     for obs in &result.observations {
@@ -198,7 +205,27 @@ pub fn run_sb_scale(cfg: &SbScaleConfig) -> SbScaleResult {
 /// population leg merges in input order).
 pub fn run_sb_scale_with_threads(cfg: &SbScaleConfig, threads: usize) -> SbScaleResult {
     let delays = technique_delays(&cfg.main);
+    let (server, events) = build_feed(cfg, &delays);
+    let population = run_population_with_threads(&cfg.population, &server, &events, threads);
 
+    SbScaleResult {
+        clients: cfg.population.clients,
+        seed: cfg.seed,
+        versions_published: server.current_version(),
+        delays,
+        population,
+    }
+}
+
+/// Build the synthetic feed timeline — baseline + background churn +
+/// one measured listing per technique row — and the listing events
+/// whose propagation the population leg measures. Shared with the
+/// resilience sweep, which additionally schedules server outages on
+/// the returned server.
+pub(crate) fn build_feed(
+    cfg: &SbScaleConfig,
+    delays: &[TechniqueDelay],
+) -> (FeedServer, Vec<ListingEvent>) {
     // Synthetic feed content: baseline + churn, top bit clear (the
     // measured events own the top-bit-set half of the hash space).
     let mut rng = DetRng::new(cfg.seed).fork("sb-scale-feed");
@@ -209,7 +236,7 @@ pub fn run_sb_scale_with_threads(cfg: &SbScaleConfig, threads: usize) -> SbScale
     let horizon = SimTime::ZERO + cfg.population.horizon;
     let mut additions: BTreeMap<SimTime, Vec<u64>> = BTreeMap::new();
     let mut events = Vec::with_capacity(delays.len());
-    for d in &delays {
+    for d in delays {
         let hash = event_hash(&d.technique);
         let listed_at = match d.median_listing_delay_mins {
             // Never listed: the event is measured (everyone stays
@@ -244,16 +271,7 @@ pub fn run_sb_scale_with_threads(cfg: &SbScaleConfig, threads: usize) -> SbScale
         feed.append(&mut batch);
         server.publish(feed.iter().copied(), at);
     }
-
-    let population = run_population_with_threads(&cfg.population, &server, &events, threads);
-
-    SbScaleResult {
-        clients: cfg.population.clients,
-        seed: cfg.seed,
-        versions_published: server.current_version(),
-        delays,
-        population,
-    }
+    (server, events)
 }
 
 #[cfg(test)]

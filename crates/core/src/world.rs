@@ -72,9 +72,11 @@ impl World {
         }
     }
 
-    /// Replace the fault profile (robustness experiments).
+    /// Replace the fault profile (robustness experiments). The profile
+    /// is validated on entry: NaN and out-of-range probabilities are
+    /// clamped, inverted outage windows dropped.
     pub fn with_faults(mut self, faults: FaultInjector) -> Self {
-        self.faults = faults;
+        self.faults = faults.validated();
         self
     }
 
@@ -97,9 +99,15 @@ impl Transport for World {
         if self.resolve(&req.url.host, now).is_none() {
             return Err(FetchError::DnsFailure(req.url.host.clone()));
         }
-        match self.faults.apply(&mut self.link_rng) {
+        match self.faults.apply_at(&mut self.link_rng, now) {
+            phishsim_simnet::link::FaultOutcome::Outage => Err(FetchError::ServiceUnavailable),
             phishsim_simnet::link::FaultOutcome::Dropped => Err(FetchError::ConnectionLost),
-            phishsim_simnet::link::FaultOutcome::Deliver { extra_delay, .. } => {
+            phishsim_simnet::link::FaultOutcome::ErrorResponse => Err(FetchError::ServerError),
+            phishsim_simnet::link::FaultOutcome::Deliver {
+                extra_delay,
+                duplicated,
+                truncated,
+            } => {
                 let out = self.latency.sample(&mut self.link_rng);
                 let back = self.latency.sample(&mut self.link_rng);
                 let ctx = RequestCtx {
@@ -107,7 +115,22 @@ impl Transport for World {
                     actor: actor.to_string(),
                     now: now + out,
                 };
-                let resp = self.farm.serve(req, &ctx);
+                let mut resp = self.farm.serve(req, &ctx);
+                if duplicated {
+                    // The duplicated copy arrives at the server too: a
+                    // second serve, a second log line. Intake idempotence
+                    // downstream (report dedup) is what absorbs it.
+                    let _ = self.farm.serve(req, &ctx);
+                }
+                if truncated {
+                    // Deliver a corrupted payload: cut the body at the
+                    // nearest char boundary below the midpoint.
+                    let mut cut = resp.body.len() / 2;
+                    while cut > 0 && !resp.body.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    resp.body.truncate(cut);
+                }
                 Ok((resp, out + back + extra_delay))
             }
         }
@@ -191,6 +214,113 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, FetchError::ConnectionLost);
+    }
+
+    #[test]
+    fn duplicated_exchange_is_delivered_twice() {
+        // Regression: `FaultOutcome::Deliver { duplicated }` used to be
+        // discarded, so report-intake idempotence was never exercised.
+        let faults = FaultInjector {
+            duplicate_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        let mut w = World::new(1).with_faults(faults);
+        install_site(&mut w, "hosted-site.com");
+        let req = Request::get(Url::https("hosted-site.com", "/"));
+        let (resp, _) = w
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(1),
+            )
+            .unwrap();
+        assert_eq!(resp.body, "served");
+        assert_eq!(w.log.len(), 2, "the duplicate reaches the server too");
+    }
+
+    #[test]
+    fn outage_window_fails_fetches_inside_it() {
+        use phishsim_simnet::OutageWindow;
+        let faults = FaultInjector::none().with_outage(OutageWindow::new(
+            SimTime::from_mins(10),
+            SimTime::from_mins(20),
+        ));
+        let mut w = World::new(1).with_faults(faults);
+        install_site(&mut w, "hosted-site.com");
+        let req = Request::get(Url::https("hosted-site.com", "/"));
+        let err = w
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(15),
+            )
+            .unwrap_err();
+        assert_eq!(err, FetchError::ServiceUnavailable);
+        assert!(err.is_transient());
+        // After the window the same fetch succeeds.
+        assert!(w
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(20),
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn error_responses_are_typed_transient() {
+        let faults = FaultInjector {
+            error_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        let mut w = World::new(1).with_faults(faults);
+        install_site(&mut w, "hosted-site.com");
+        let req = Request::get(Url::https("hosted-site.com", "/"));
+        let err = w
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(1),
+            )
+            .unwrap_err();
+        assert_eq!(err, FetchError::ServerError);
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn truncation_corrupts_the_body() {
+        let faults = FaultInjector {
+            truncate_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        let mut w = World::new(1).with_faults(faults);
+        install_site(&mut w, "hosted-site.com");
+        let req = Request::get(Url::https("hosted-site.com", "/"));
+        let (resp, _) = w
+            .fetch(
+                Ipv4Sim::new(9, 9, 9, 9),
+                "test",
+                &req,
+                SimTime::from_mins(1),
+            )
+            .unwrap();
+        assert!(resp.body.len() < "served".len());
+        assert!("served".starts_with(&resp.body));
+    }
+
+    #[test]
+    fn with_faults_validates_probabilities() {
+        let w = World::new(1).with_faults(FaultInjector {
+            drop_chance: f64::NAN,
+            duplicate_chance: 7.0,
+            ..FaultInjector::none()
+        });
+        assert_eq!(w.faults.drop_chance, 0.0);
+        assert_eq!(w.faults.duplicate_chance, 1.0);
     }
 
     #[test]

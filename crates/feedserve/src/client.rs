@@ -4,7 +4,11 @@
 //! a versioned local [`PrefixStore`], a full-hash cache with
 //! positive/negative TTLs, and the sync discipline (periodic fetches,
 //! respect for the server's minimum wait, full-reset fallback when a
-//! diff fails to apply). The million-client population simulator does
+//! diff fails to apply, and a degraded mode while the server is
+//! unreachable: the stale local store keeps serving, full-hash
+//! confirmations fall back on the cache past its TTL, and sync
+//! attempts back off exponentially until the first answered fetch
+//! resets the streak). The million-client population simulator does
 //! not instantiate one of these per client — it walks the same state
 //! machine with per-client state compressed to a version number — so
 //! this type is also the executable specification that the proptests
@@ -42,10 +46,17 @@ pub struct FeedClient {
     next_sync: SimTime,
     last_accepted_fetch: Option<SimTime>,
     full_cache: HashMap<u32, FullHashEntry>,
+    /// Consecutive unanswered syncs; non-zero means the client is in
+    /// degraded mode (serving a possibly stale store).
+    failure_streak: u32,
     /// Per-client protocol counters (syncs, diffs applied, resets,
     /// cache hits…).
     pub counters: CounterSet,
 }
+
+/// Base delay of the client's outage backoff (doubles per consecutive
+/// failure, capped at the update period).
+const OUTAGE_BACKOFF_BASE: SimDuration = SimDuration::from_millis(60_000);
 
 impl FeedClient {
     /// A client that syncs every `update_period`, first at `phase`
@@ -58,6 +69,7 @@ impl FeedClient {
             next_sync: phase,
             last_accepted_fetch: None,
             full_cache: HashMap::new(),
+            failure_streak: 0,
             counters: CounterSet::new(),
         }
     }
@@ -65,6 +77,17 @@ impl FeedClient {
     /// The version of the local store (0 before the first sync).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Whether the client is in degraded mode: its last sync attempt
+    /// went unanswered and its store may be stale.
+    pub fn is_degraded(&self) -> bool {
+        self.failure_streak > 0
+    }
+
+    /// Consecutive unanswered sync attempts.
+    pub fn failure_streak(&self) -> u32 {
+        self.failure_streak
     }
 
     /// The local prefix store.
@@ -85,12 +108,14 @@ impl FeedClient {
         match server.fetch_update(client_version, self.last_accepted_fetch, now) {
             UpdateResponse::UpToDate { .. } => {
                 self.counters.incr("client.up_to_date");
+                self.failure_streak = 0;
                 self.last_accepted_fetch = Some(now);
                 self.next_sync = now + self.update_period;
             }
             UpdateResponse::Diff { diff, .. } => match diff.apply(&self.store) {
                 Ok(next) => {
                     self.counters.incr("client.diffs_applied");
+                    self.failure_streak = 0;
                     self.version = diff.to_version;
                     self.store = Arc::new(next);
                     self.last_accepted_fetch = Some(now);
@@ -112,14 +137,39 @@ impl FeedClient {
             }
             UpdateResponse::Backoff { retry_after } => {
                 self.counters.incr("client.backed_off");
+                self.failure_streak = 0;
                 self.next_sync = now + retry_after;
+            }
+            UpdateResponse::Unavailable => {
+                // Degraded mode: keep the stale store, count the
+                // exposure, and retry on an exponential backoff so a
+                // recovering server is not stampeded. Recovery itself
+                // needs no special path — the first answered fetch is
+                // an ordinary diff or full reset.
+                self.counters.incr("client.degraded_syncs");
+                self.failure_streak = self.failure_streak.saturating_add(1);
+                self.next_sync =
+                    now + Self::outage_backoff(self.failure_streak, self.update_period);
             }
         }
         self.version
     }
 
+    /// Deterministic exponential backoff: `base << (streak-1)`, capped
+    /// at the regular update period. `pub(crate)` so the compressed
+    /// population walk reschedules exactly like a real client.
+    pub(crate) fn outage_backoff(streak: u32, period: SimDuration) -> SimDuration {
+        let shift = streak.saturating_sub(1).min(16);
+        let ms = OUTAGE_BACKOFF_BASE
+            .as_millis()
+            .saturating_mul(1 << shift)
+            .min(period.as_millis().max(OUTAGE_BACKOFF_BASE.as_millis()));
+        SimDuration::from_millis(ms)
+    }
+
     fn install_reset(&mut self, version: u64, store: Arc<PrefixStore>, now: SimTime) {
         self.counters.incr("client.full_resets");
+        self.failure_streak = 0;
         self.version = version;
         self.store = store;
         self.last_accepted_fetch = Some(now);
@@ -133,6 +183,11 @@ impl FeedClient {
     pub fn check(&mut self, full_hash: u64, server: &FeedServer, now: SimTime) -> FeedVerdict {
         if self.sync_due(now) {
             self.sync(server, now);
+        }
+        if self.failure_streak > 0 {
+            // Staleness exposure: this verdict came off a store the
+            // client could not refresh.
+            self.counters.incr("check.stale_store");
         }
         let prefix = prefix_of(full_hash);
         if !self.store.contains(prefix) {
@@ -150,7 +205,16 @@ impl FeedClient {
             }
             self.counters.incr("check.cache_expired");
         }
-        let resp = server.full_hashes(prefix, now);
+        let Some(resp) = server.try_full_hashes(prefix, now) else {
+            // Server down mid-lookup: fall back on the cached entry
+            // even past its TTL; with nothing cached the prefix hit
+            // alone cannot convict, so the check fails open.
+            self.counters.incr("check.stale_cache_served");
+            return match self.full_cache.get(&prefix) {
+                Some(entry) if entry.hashes.contains(&full_hash) => FeedVerdict::Unsafe,
+                _ => FeedVerdict::Safe,
+            };
+        };
         self.counters.incr("check.fullhash_fetch");
         let verdict = if resp.hashes.contains(&full_hash) {
             FeedVerdict::Unsafe
@@ -250,6 +314,60 @@ mod tests {
         assert_eq!(client.counters.get("client.backed_off"), 1);
         assert!(!client.sync_due(SimTime::from_mins(4)));
         assert!(client.sync_due(SimTime::from_mins(7)));
+    }
+
+    #[test]
+    fn outage_degrades_then_recovers() {
+        use phishsim_simnet::OutageWindow;
+        let mut server = FeedServer::new(ServerConfig::default());
+        let listed = h(7);
+        server.publish([listed], SimTime::from_mins(1));
+        // A later listing lands while the edge is down.
+        let listed_late = h(8);
+        server.publish([listed, listed_late], SimTime::from_mins(70));
+        let server = server.with_outages(vec![OutageWindow::new(
+            SimTime::from_mins(60),
+            SimTime::from_mins(120),
+        )]);
+
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        let now = SimTime::from_mins(5);
+        assert_eq!(client.check(listed, &server, now), FeedVerdict::Unsafe);
+        let v = client.version();
+
+        // Inside the outage: syncs go unanswered, the streak grows,
+        // the stale store keeps serving (cached full hashes included).
+        let down = SimTime::from_mins(65);
+        client.sync(&server, down);
+        assert!(client.is_degraded());
+        assert_eq!(client.version(), v, "stale store retained");
+        assert_eq!(
+            client.check(listed, &server, SimTime::from_mins(66)),
+            FeedVerdict::Unsafe,
+            "degraded client still convicts off its stale state"
+        );
+        assert!(client.counters.get("check.stale_store") > 0);
+        // Repeated failures grow the streak (exponential backoff).
+        client.sync(&server, SimTime::from_mins(70));
+        assert!(client.failure_streak() >= 2);
+
+        // Past the cached TTL and still down: the expired cache is
+        // served rather than failing the check.
+        assert_eq!(
+            client.check(listed, &server, SimTime::from_mins(100)),
+            FeedVerdict::Unsafe
+        );
+        assert!(client.counters.get("check.stale_cache_served") >= 1);
+
+        // After recovery the ordinary diff/full-reset path converges
+        // the client onto the head version.
+        client.sync(&server, SimTime::from_mins(125));
+        assert!(!client.is_degraded());
+        assert_eq!(client.version(), server.current_version());
+        assert_eq!(
+            client.check(listed_late, &server, SimTime::from_mins(126)),
+            FeedVerdict::Unsafe
+        );
     }
 
     #[test]

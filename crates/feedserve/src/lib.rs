@@ -19,8 +19,14 @@
 //!   version, serves diffs inside a bounded history window (full reset
 //!   beyond it), enforces a minimum wait between fetches, and answers
 //!   full-hash lookups with positive/negative cache TTLs, all
-//!   instrumented through `simnet::metrics::CounterSet`.
-//!   [`FeedClient`] is one installation's sync state machine.
+//!   instrumented through `simnet::metrics::CounterSet`. Scheduled
+//!   [`OutageWindow`](phishsim_simnet::OutageWindow)s take the serving
+//!   edge down for `[t0, t1)`.
+//!   [`FeedClient`] is one installation's sync state machine,
+//!   including the degraded mode: while the server is unreachable the
+//!   stale local store keeps serving (staleness counted), sync
+//!   attempts back off exponentially, and recovery rides the ordinary
+//!   diff/full-reset path.
 //! * [`population`] — drives N clients (default 10⁶) with staggered
 //!   schedules through the shared work-stealing sweep runner and
 //!   reports population blind-window metrics, byte-identically at any

@@ -26,6 +26,7 @@
 //! and batch results merge in input order, so the whole report is
 //! byte-identical at any thread count.
 
+use crate::client::FeedClient;
 use crate::server::{FeedServer, UpdateResponse};
 use crate::store::prefix_of;
 use phishsim_simnet::metrics::CounterSet;
@@ -56,6 +57,11 @@ pub struct PopulationConfig {
     pub sample_every: SimDuration,
     /// How far past each listing the curve is sampled.
     pub sample_window: SimDuration,
+    /// Chance that one update exchange is lost on the feed channel
+    /// (the client treats it like an unanswered fetch and backs off).
+    /// Defaults to 0.0, which consumes no RNG draws at all.
+    #[serde(default)]
+    pub feed_loss: f64,
 }
 
 impl Default for PopulationConfig {
@@ -70,6 +76,7 @@ impl Default for PopulationConfig {
             aggressive_fraction: 0.01,
             sample_every: SimDuration::from_mins(5),
             sample_window: SimDuration::from_mins(120),
+            feed_loss: 0.0,
         }
     }
 }
@@ -254,11 +261,21 @@ fn walk_batch(
 
         let mut version: u64 = 0;
         let mut last_fetch: Option<SimTime> = None;
+        let mut streak: u32 = 0;
         protected_at.clear();
         protected_at.resize(events.len(), None);
 
         let mut t = phase;
         while t <= horizon {
+            // Feed-channel loss: the exchange never completes and the
+            // client backs off exactly as it does for a server outage.
+            // With feed_loss == 0.0 this consumes no RNG draws.
+            if rng.chance(cfg.feed_loss) {
+                out.counters.incr("update.lost");
+                streak = streak.saturating_add(1);
+                t += FeedClient::outage_backoff(streak, period);
+                continue;
+            }
             let client_version = (version > 0).then_some(version);
             let resp =
                 server.fetch_update_counted(client_version, last_fetch, t, &mut out.counters);
@@ -267,7 +284,15 @@ fn walk_batch(
                     t += retry_after;
                     continue;
                 }
+                UpdateResponse::Unavailable => {
+                    // The server already counted update.unavailable;
+                    // the client keeps its stale version and retries.
+                    streak = streak.saturating_add(1);
+                    t += FeedClient::outage_backoff(streak, period);
+                    continue;
+                }
                 other => {
+                    streak = 0;
                     if let Some(v) = other.new_version() {
                         version = v;
                     }
@@ -451,6 +476,46 @@ mod tests {
         assert_eq!(ev.protected, 0);
         assert_eq!(ev.unprotected_at_horizon, 100);
         assert!(ev.protected_fraction.iter().all(|s| s.fraction == 0.0));
+    }
+
+    #[test]
+    fn feed_loss_delays_but_does_not_strand_clients() {
+        let (server, events) = scenario();
+        let clean = run_population_with_threads(&tiny_cfg(300), &server, &events, 2);
+        let (server, _) = scenario();
+        let cfg = PopulationConfig {
+            feed_loss: 0.25,
+            ..tiny_cfg(300)
+        };
+        let lossy = run_population_with_threads(&cfg, &server, &events, 2);
+        assert!(lossy.counters.get("update.lost") > 0);
+        // Lost exchanges inflate exposure, never reduce protection to
+        // zero: the backoff keeps clients converging.
+        assert!(lossy.events[0].protected >= 250);
+        assert!(
+            lossy.events[0].mean_exposure_mins >= clean.events[0].mean_exposure_mins,
+            "loss cannot shrink the blind window: {} < {}",
+            lossy.events[0].mean_exposure_mins,
+            clean.events[0].mean_exposure_mins
+        );
+    }
+
+    #[test]
+    fn zero_feed_loss_is_byte_identical_to_the_default() {
+        // feed_loss = 0.0 must consume no RNG draws, so the report is
+        // bitwise what it was before the knob existed.
+        let (server_a, events) = scenario();
+        let a = run_population_with_threads(&tiny_cfg(200), &server_a, &events, 2);
+        let (server_b, _) = scenario();
+        let cfg = PopulationConfig {
+            feed_loss: 0.0,
+            ..tiny_cfg(200)
+        };
+        let b = run_population_with_threads(&cfg, &server_b, &events, 4);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::diff::PrefixDiff;
 use crate::store::{prefix_of, PrefixStore};
 use parking_lot::{Mutex, RwLock};
 use phishsim_simnet::metrics::CounterSet;
-use phishsim_simnet::{SimDuration, SimTime};
+use phishsim_simnet::{OutageWindow, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -87,6 +87,10 @@ pub enum UpdateResponse {
         /// How long the client must wait before retrying.
         retry_after: SimDuration,
     },
+    /// The server is inside a scheduled outage window: no answer at
+    /// all. Clients keep serving their stale local store and retry
+    /// with their own backoff.
+    Unavailable,
 }
 
 impl UpdateResponse {
@@ -96,7 +100,9 @@ impl UpdateResponse {
         match self {
             UpdateResponse::Diff { diff, .. } => Some(diff.to_version),
             UpdateResponse::FullReset { version, .. } => Some(*version),
-            UpdateResponse::UpToDate { .. } | UpdateResponse::Backoff { .. } => None,
+            UpdateResponse::UpToDate { .. }
+            | UpdateResponse::Backoff { .. }
+            | UpdateResponse::Unavailable => None,
         }
     }
 }
@@ -139,6 +145,9 @@ pub struct FeedServer {
     /// Diffs computed once and shared across all clients asking for
     /// the same `(from, to)` pair.
     diff_cache: RwLock<DiffCache>,
+    /// Scheduled downtime: inside any of these windows every request
+    /// (update fetch or full-hash lookup) goes unanswered.
+    outages: Vec<OutageWindow>,
     counters: Mutex<CounterSet>,
 }
 
@@ -157,6 +166,7 @@ impl FeedServer {
                 encoded_len,
             }],
             diff_cache: RwLock::new(HashMap::new()),
+            outages: Vec::new(),
             counters: Mutex::new(CounterSet::new()),
         }
     }
@@ -164,6 +174,20 @@ impl FeedServer {
     /// The server's configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// Schedule outage windows (inverted windows are dropped).
+    /// Publication is unaffected — the backend keeps versioning while
+    /// the serving edge is down, which is exactly the failure mode the
+    /// resilience experiment measures.
+    pub fn with_outages(mut self, outages: Vec<OutageWindow>) -> Self {
+        self.outages = outages.into_iter().filter(|w| w.from < w.until).collect();
+        self
+    }
+
+    /// Whether the serving edge is down at `now`.
+    pub fn down_at(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|w| w.contains(now))
     }
 
     /// Publish the complete current full-hash set as a new version at
@@ -258,6 +282,10 @@ impl FeedServer {
         now: SimTime,
         counters: &mut CounterSet,
     ) -> UpdateResponse {
+        if self.down_at(now) {
+            counters.incr("update.unavailable");
+            return UpdateResponse::Unavailable;
+        }
         if let Some(lf) = last_fetch {
             let elapsed = now.since(lf);
             if elapsed < self.cfg.min_wait {
@@ -319,6 +347,28 @@ impl FeedServer {
     pub fn full_hashes(&self, prefix: u32, now: SimTime) -> FullHashResponse {
         let mut counters = self.counters.lock();
         self.full_hashes_counted(prefix, now, &mut counters)
+    }
+
+    /// Outage-aware full-hash lookup: `None` while the serving edge is
+    /// down (the client must fall back on whatever it has cached).
+    pub fn try_full_hashes(&self, prefix: u32, now: SimTime) -> Option<FullHashResponse> {
+        let mut counters = self.counters.lock();
+        self.try_full_hashes_counted(prefix, now, &mut counters)
+    }
+
+    /// Outage-aware full-hash lookup against a caller-owned counter
+    /// set.
+    pub fn try_full_hashes_counted(
+        &self,
+        prefix: u32,
+        now: SimTime,
+        counters: &mut CounterSet,
+    ) -> Option<FullHashResponse> {
+        if self.down_at(now) {
+            counters.incr("fullhash.unavailable");
+            return None;
+        }
+        Some(self.full_hashes_counted(prefix, now, counters))
     }
 
     /// Answer a full-hash lookup, counting into a caller-owned set.
@@ -479,6 +529,35 @@ mod tests {
         let h105 = 105u64 << 33 | 0xabc;
         assert_eq!(s.first_version_containing(prefix_of(h105)), Some(3));
         assert_eq!(s.first_version_containing(0xffff_ffff), None);
+    }
+
+    #[test]
+    fn outage_windows_make_the_server_unavailable() {
+        let s = server_with_growth().with_outages(vec![
+            OutageWindow::new(SimTime::from_mins(20), SimTime::from_mins(30)),
+            // Inverted window: dropped by validation.
+            OutageWindow::new(SimTime::from_mins(90), SimTime::from_mins(80)),
+        ]);
+        assert!(s.down_at(SimTime::from_mins(25)));
+        assert!(!s.down_at(SimTime::from_mins(30)), "half-open bound");
+        assert!(!s.down_at(SimTime::from_mins(85)));
+        let r = s.fetch_update(Some(2), None, SimTime::from_mins(25));
+        assert!(matches!(r, UpdateResponse::Unavailable));
+        assert_eq!(r.new_version(), None);
+        assert!(s
+            .try_full_hashes(prefix_of(0xabc), SimTime::from_mins(25))
+            .is_none());
+        // The edge comes back and serves the same state as before.
+        assert!(matches!(
+            s.fetch_update(Some(2), None, SimTime::from_mins(45)),
+            UpdateResponse::Diff { .. }
+        ));
+        assert!(s
+            .try_full_hashes(prefix_of(0xabc), SimTime::from_mins(45))
+            .is_some());
+        let c = s.counters();
+        assert_eq!(c.get("update.unavailable"), 1);
+        assert_eq!(c.get("fullhash.unavailable"), 1);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Mid-run feed-server outage: the whole fleet degrades to stale
+//! service, counts its staleness exposure, and converges back onto the
+//! head version once the edge recovers — at both the real-client layer
+//! (`FeedClient`) and the compressed population walk.
+
+use phishsim_feedserve::{
+    run_population_with_threads, FeedClient, FeedServer, FeedVerdict, ListingEvent,
+    PopulationConfig, ServerConfig,
+};
+use phishsim_simnet::{OutageWindow, SimDuration, SimTime};
+
+fn h(i: u64) -> u64 {
+    (i << 33) | 0x7777
+}
+
+/// Server timeline: baseline listed at 10 min, a second listing
+/// published *while the edge is down* (backend keeps versioning), the
+/// edge dark over [60, 180) minutes.
+fn outage_server() -> FeedServer {
+    let mut server = FeedServer::new(ServerConfig::default());
+    server.publish((0..64).map(h), SimTime::from_mins(10));
+    server.publish((0..65).map(h), SimTime::from_mins(90));
+    server.with_outages(vec![OutageWindow::new(
+        SimTime::from_mins(60),
+        SimTime::from_mins(180),
+    )])
+}
+
+#[test]
+fn fleet_degrades_on_outage_and_reconverges() {
+    let server = outage_server();
+    let baseline_listed = h(5);
+    let late_listed = h(64);
+
+    // Forty staggered real clients on the paper's ~30-minute cadence.
+    let mut fleet: Vec<FeedClient> = (0..40)
+        .map(|i| FeedClient::new(SimDuration::from_mins(30), SimTime::from_mins(i % 30)))
+        .collect();
+
+    // Walk the fleet to just before the outage so everyone holds the
+    // baseline version.
+    for minute in 0..60u64 {
+        let now = SimTime::from_mins(minute);
+        for client in &mut fleet {
+            let _ = client.check(baseline_listed, &server, now);
+        }
+    }
+    let pre_outage: Vec<u64> = fleet.iter().map(|c| c.version()).collect();
+    assert!(pre_outage.iter().all(|&v| v == 2), "fleet synced to v2");
+
+    // Deep inside the outage: every client keeps serving its stale
+    // store — versions frozen, verdicts intact, staleness counted.
+    for minute in 60..180u64 {
+        let now = SimTime::from_mins(minute);
+        for client in &mut fleet {
+            let verdict = client.check(baseline_listed, &server, now);
+            assert_eq!(
+                verdict,
+                FeedVerdict::Unsafe,
+                "stale store must keep convicting the baseline listing"
+            );
+        }
+    }
+    for (client, &before) in fleet.iter().zip(&pre_outage) {
+        assert_eq!(client.version(), before, "no version moved while down");
+        assert!(client.is_degraded(), "unanswered syncs flagged");
+        assert!(client.counters.get("client.degraded_syncs") > 0);
+        assert!(client.counters.get("check.stale_store") > 0);
+        // The listing published mid-outage is invisible to a stale
+        // store: that's the inflated blind window.
+        assert!(!client
+            .store()
+            .contains(phishsim_feedserve::prefix_of(late_listed)));
+    }
+
+    // Recovery: within a couple of update periods the whole fleet is
+    // back on the head version through the ordinary diff path.
+    for minute in 180..260u64 {
+        let now = SimTime::from_mins(minute);
+        for client in &mut fleet {
+            let _ = client.check(baseline_listed, &server, now);
+        }
+    }
+    for client in &mut fleet {
+        assert_eq!(client.version(), server.current_version());
+        assert!(!client.is_degraded());
+        assert_eq!(
+            client.check(late_listed, &server, SimTime::from_mins(261)),
+            FeedVerdict::Unsafe,
+            "post-recovery store carries the mid-outage listing"
+        );
+    }
+}
+
+#[test]
+fn population_walk_survives_the_same_outage() {
+    let server = outage_server();
+    let events = vec![ListingEvent {
+        label: "mid-outage listing".into(),
+        full_hash: h(64),
+        listed_at: SimTime::from_mins(90),
+    }];
+    let cfg = PopulationConfig {
+        clients: 400,
+        batch: 64,
+        horizon: SimDuration::from_hours(6),
+        ..PopulationConfig::default()
+    };
+    let report = run_population_with_threads(&cfg, &server, &events, 4);
+    assert!(report.counters.get("update.unavailable") > 0);
+    let ev = &report.events[0];
+    // Everyone converges once the edge is back.
+    assert!(
+        ev.protected >= 395,
+        "only {} of 400 protected",
+        ev.protected
+    );
+    // Nobody can sync the listing before the outage lifts at 180 min,
+    // so the minimum exposure is the remaining outage (90 minutes).
+    assert!(
+        ev.p50_exposure_mins >= 90,
+        "median exposure {} should span the outage tail",
+        ev.p50_exposure_mins
+    );
+}

@@ -21,7 +21,12 @@
 //!   bots crawl from pools of distinct addresses (Table 1 reports unique
 //!   source IPs per engine).
 //! * [`LatencyModel`] / [`FaultInjector`] / [`Link`] — per-link delay and
-//!   loss models in the spirit of smoltcp's fault-injection examples.
+//!   loss models in the spirit of smoltcp's fault-injection examples,
+//!   including error responses, payload truncation, and scheduled outage
+//!   windows.
+//! * [`RetryPolicy`] — deterministic exponential backoff whose jittered
+//!   schedule is a pure function of a fork label, so recovery behaviour
+//!   never perturbs other streams.
 //! * [`TraceLog`] — an append-only traffic log; the paper's server-side log
 //!   analysis (request bursts, kit probing, "90 % of traffic in the first
 //!   two hours") is reproduced by querying this log.
@@ -41,6 +46,7 @@ pub mod error;
 pub mod ip;
 pub mod link;
 pub mod metrics;
+pub mod retry;
 pub mod rng;
 pub mod runner;
 pub mod sched;
@@ -49,7 +55,8 @@ pub mod trace;
 
 pub use error::SimError;
 pub use ip::{IpPool, Ipv4Sim};
-pub use link::{FaultInjector, LatencyModel, Link, LinkConfig};
+pub use link::{FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow};
+pub use retry::RetryPolicy;
 pub use rng::DetRng;
 pub use sched::{EventId, Scheduler};
 pub use time::{SimDuration, SimTime};

@@ -6,9 +6,16 @@
 //! limiting, so tests can exercise how the experiment framework behaves
 //! under adverse network conditions (e.g. a crawler visit that never
 //! arrives).
+//!
+//! The fault taxonomy distinguishes *transient* outcomes a client may
+//! retry (drops, server error responses, outage windows) from *content*
+//! faults that deliver a damaged payload (truncation) — the consumer
+//! decides what each outcome means for its protocol. All probabilities
+//! are validated on construction: NaN is treated as 0 and values are
+//! clamped into `[0, 1]`.
 
 use crate::rng::DetRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A latency distribution for one direction of a link.
@@ -70,7 +77,43 @@ impl LatencyModel {
     }
 }
 
+/// A half-open interval `[from, until)` during which a server is down.
+///
+/// Exchanges attempted inside the window fail deterministically (no RNG
+/// draw): outages model scheduled maintenance or a crashed process, not
+/// random loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First instant of the outage.
+    pub from: SimTime,
+    /// First instant *after* the outage (exclusive bound).
+    pub until: SimTime,
+}
+
+impl OutageWindow {
+    /// Construct a window covering `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        OutageWindow { from, until }
+    }
+
+    /// Whether `t` falls inside the outage.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+
+    /// Length of the window (zero if the bounds are inverted).
+    pub fn duration(&self) -> SimDuration {
+        self.until.since(self.from)
+    }
+}
+
 /// Random faults applied to traffic crossing a link.
+///
+/// Probabilities outside `[0, 1]` (including NaN) are clamped by
+/// [`FaultInjector::validated`], which every constructor applies.
+/// Struct-literal construction is still possible because the fields are
+/// public; consumers that accept externally-built injectors should call
+/// `validated()` before use.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultInjector {
     /// Probability in `[0, 1]` that an exchange is dropped outright.
@@ -78,9 +121,20 @@ pub struct FaultInjector {
     /// Probability in `[0, 1]` that an exchange is duplicated (delivered
     /// twice; relevant for idempotence of report intake).
     pub duplicate_chance: f64,
+    /// Probability in `[0, 1]` that the server answers with a transient
+    /// error response (a 5xx-style failure the client may retry).
+    #[serde(default)]
+    pub error_chance: f64,
+    /// Probability in `[0, 1]` that a delivered response is truncated in
+    /// flight, corrupting the payload the client parses.
+    #[serde(default)]
+    pub truncate_chance: f64,
     /// Extra latency added to a random subset of exchanges, modelling
     /// transient congestion: `(probability, extra_delay)`.
     pub congestion: Option<(f64, SimDuration)>,
+    /// Scheduled windows during which the far end is down entirely.
+    #[serde(default)]
+    pub outages: Vec<OutageWindow>,
 }
 
 impl Default for FaultInjector {
@@ -98,9 +152,38 @@ pub enum FaultOutcome {
         extra_delay: SimDuration,
         /// Whether the exchange should be delivered a second time.
         duplicated: bool,
+        /// Whether the response payload is truncated in flight.
+        truncated: bool,
     },
+    /// The server answered with a transient error response; the client
+    /// may retry.
+    ErrorResponse,
     /// The exchange is lost.
     Dropped,
+    /// The exchange fell inside a scheduled outage window; the server
+    /// is down and every attempt until the window closes will fail.
+    Outage,
+}
+
+impl FaultOutcome {
+    /// Whether a client observing this outcome may reasonably retry:
+    /// drops, error responses, and outages are transient; a (possibly
+    /// truncated) delivery is not.
+    pub fn is_transient_failure(&self) -> bool {
+        matches!(
+            self,
+            FaultOutcome::Dropped | FaultOutcome::ErrorResponse | FaultOutcome::Outage
+        )
+    }
+}
+
+/// Clamp a probability into `[0, 1]`, mapping NaN to 0.
+fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
 }
 
 impl FaultInjector {
@@ -109,7 +192,10 @@ impl FaultInjector {
         FaultInjector {
             drop_chance: 0.0,
             duplicate_chance: 0.0,
+            error_chance: 0.0,
+            truncate_chance: 0.0,
             congestion: None,
+            outages: Vec::new(),
         }
     }
 
@@ -117,15 +203,75 @@ impl FaultInjector {
     pub fn lossy(drop_chance: f64) -> Self {
         FaultInjector {
             drop_chance,
-            duplicate_chance: 0.0,
-            congestion: None,
+            ..FaultInjector::none()
         }
+        .validated()
     }
 
-    /// Decide the fate of one exchange.
+    /// The chaos preset used by the resilience experiment: moderate loss,
+    /// occasional error responses and truncation, mild congestion, and a
+    /// duplicate rate high enough to exercise intake idempotence.
+    pub fn chaos_profile() -> Self {
+        FaultInjector {
+            drop_chance: 0.15,
+            duplicate_chance: 0.05,
+            error_chance: 0.05,
+            truncate_chance: 0.02,
+            congestion: Some((0.10, SimDuration::from_millis(750))),
+            outages: Vec::new(),
+        }
+        .validated()
+    }
+
+    /// Add a scheduled outage window.
+    pub fn with_outage(mut self, window: OutageWindow) -> Self {
+        self.outages.push(window);
+        self
+    }
+
+    /// Return a copy with every probability clamped into `[0, 1]` (NaN
+    /// becomes 0) and inverted outage windows discarded. Constructors
+    /// apply this; call it yourself when accepting struct-literal configs.
+    pub fn validated(mut self) -> Self {
+        self.drop_chance = clamp_probability(self.drop_chance);
+        self.duplicate_chance = clamp_probability(self.duplicate_chance);
+        self.error_chance = clamp_probability(self.error_chance);
+        self.truncate_chance = clamp_probability(self.truncate_chance);
+        if let Some((p, d)) = self.congestion {
+            self.congestion = Some((clamp_probability(p), d));
+        }
+        self.outages.retain(|w| w.from < w.until);
+        self
+    }
+
+    /// Whether any scheduled outage covers `t`.
+    pub fn in_outage(&self, t: SimTime) -> bool {
+        self.outages.iter().any(|w| w.contains(t))
+    }
+
+    /// Whether this injector can never produce a fault (the `none()`
+    /// configuration, regardless of how it was built).
+    pub fn is_none(&self) -> bool {
+        self.drop_chance <= 0.0
+            && self.duplicate_chance <= 0.0
+            && self.error_chance <= 0.0
+            && self.truncate_chance <= 0.0
+            && self.congestion.is_none_or(|(p, _)| p <= 0.0)
+            && self.outages.is_empty()
+    }
+
+    /// Decide the fate of one exchange, ignoring outage windows (for
+    /// callers without a clock). Prefer [`FaultInjector::apply_at`].
+    ///
+    /// Draw order is fixed (drop, error, congestion, duplicate,
+    /// truncate) and each draw is skipped entirely when its probability
+    /// is 0, so a `none()` injector consumes no RNG at all.
     pub fn apply(&self, rng: &mut DetRng) -> FaultOutcome {
         if rng.chance(self.drop_chance) {
             return FaultOutcome::Dropped;
+        }
+        if rng.chance(self.error_chance) {
+            return FaultOutcome::ErrorResponse;
         }
         let extra_delay = match self.congestion {
             Some((p, d)) if rng.chance(p) => d,
@@ -134,7 +280,19 @@ impl FaultInjector {
         FaultOutcome::Deliver {
             extra_delay,
             duplicated: rng.chance(self.duplicate_chance),
+            truncated: rng.chance(self.truncate_chance),
         }
+    }
+
+    /// Decide the fate of one exchange attempted at `now`. Outage
+    /// windows are consulted first and deterministically (no RNG draw);
+    /// outside an outage this behaves exactly like
+    /// [`FaultInjector::apply`].
+    pub fn apply_at(&self, rng: &mut DetRng, now: SimTime) -> FaultOutcome {
+        if self.in_outage(now) {
+            return FaultOutcome::Outage;
+        }
+        self.apply(rng)
     }
 }
 
@@ -172,14 +330,26 @@ pub enum ExchangeResult {
         rtt: SimDuration,
         /// Whether fault injection duplicated the delivery.
         duplicated: bool,
+        /// Whether the response payload arrived truncated.
+        truncated: bool,
+    },
+    /// The server answered, but with a transient error; the RTT was
+    /// still paid.
+    Errored {
+        /// Round trip consumed by the failed exchange.
+        rtt: SimDuration,
     },
     /// The exchange was lost to fault injection.
     Lost,
+    /// The far end is inside a scheduled outage window.
+    Down,
 }
 
 impl Link {
     /// Create a link from a config, forking the RNG under a stable label.
-    pub fn new(config: LinkConfig, rng: &DetRng, label: &str) -> Self {
+    /// The fault profile is validated (probabilities clamped) on entry.
+    pub fn new(mut config: LinkConfig, rng: &DetRng, label: &str) -> Self {
+        config.faults = config.faults.validated();
         Link {
             config,
             rng: rng.fork(&format!("link:{label}")),
@@ -187,18 +357,42 @@ impl Link {
     }
 
     /// Simulate one request/response exchange, returning its RTT or loss.
+    /// Outage windows are ignored (no clock); see
+    /// [`Link::exchange_at`].
     pub fn exchange(&mut self) -> ExchangeResult {
-        match self.config.faults.apply(&mut self.rng) {
+        self.exchange_inner(None)
+    }
+
+    /// Simulate one exchange attempted at `now`, honouring scheduled
+    /// outage windows.
+    pub fn exchange_at(&mut self, now: SimTime) -> ExchangeResult {
+        self.exchange_inner(Some(now))
+    }
+
+    fn exchange_inner(&mut self, now: Option<SimTime>) -> ExchangeResult {
+        let outcome = match now {
+            Some(t) => self.config.faults.apply_at(&mut self.rng, t),
+            None => self.config.faults.apply(&mut self.rng),
+        };
+        match outcome {
+            FaultOutcome::Outage => ExchangeResult::Down,
             FaultOutcome::Dropped => ExchangeResult::Lost,
+            FaultOutcome::ErrorResponse => {
+                let out = self.config.latency.sample(&mut self.rng);
+                let back = self.config.latency.sample(&mut self.rng);
+                ExchangeResult::Errored { rtt: out + back }
+            }
             FaultOutcome::Deliver {
                 extra_delay,
                 duplicated,
+                truncated,
             } => {
                 let out = self.config.latency.sample(&mut self.rng);
                 let back = self.config.latency.sample(&mut self.rng);
                 ExchangeResult::Completed {
                     rtt: out + back + extra_delay,
                     duplicated,
+                    truncated,
                 }
             }
         }
@@ -285,15 +479,116 @@ mod tests {
     fn congestion_adds_delay() {
         let mut rng = DetRng::new(7);
         let f = FaultInjector {
-            drop_chance: 0.0,
-            duplicate_chance: 0.0,
             congestion: Some((1.0, SimDuration::from_millis(500))),
+            ..FaultInjector::none()
         };
         match f.apply(&mut rng) {
             FaultOutcome::Deliver { extra_delay, .. } => {
                 assert_eq!(extra_delay, SimDuration::from_millis(500))
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_clamps_nan_and_out_of_range() {
+        let f = FaultInjector {
+            drop_chance: f64::NAN,
+            duplicate_chance: 1.5,
+            error_chance: -0.2,
+            truncate_chance: 2.0,
+            congestion: Some((f64::INFINITY, SimDuration::from_millis(1))),
+            outages: vec![OutageWindow::new(
+                SimTime::from_mins(5),
+                SimTime::from_mins(2),
+            )],
+        }
+        .validated();
+        assert_eq!(f.drop_chance, 0.0);
+        assert_eq!(f.duplicate_chance, 1.0);
+        assert_eq!(f.error_chance, 0.0);
+        assert_eq!(f.truncate_chance, 1.0);
+        assert_eq!(f.congestion, Some((1.0, SimDuration::from_millis(1))));
+        assert!(f.outages.is_empty(), "inverted outage windows are dropped");
+    }
+
+    #[test]
+    fn error_chance_yields_error_responses() {
+        let mut rng = DetRng::new(11);
+        let f = FaultInjector {
+            error_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        for _ in 0..20 {
+            assert_eq!(f.apply(&mut rng), FaultOutcome::ErrorResponse);
+        }
+    }
+
+    #[test]
+    fn truncate_chance_marks_deliveries() {
+        let mut rng = DetRng::new(12);
+        let f = FaultInjector {
+            truncate_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        match f.apply(&mut rng) {
+            FaultOutcome::Deliver { truncated, .. } => assert!(truncated),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outage_window_is_half_open_and_deterministic() {
+        let mut rng = DetRng::new(13);
+        let f = FaultInjector::none().with_outage(OutageWindow::new(
+            SimTime::from_mins(10),
+            SimTime::from_mins(20),
+        ));
+        assert!(matches!(
+            f.apply_at(&mut rng, SimTime::from_mins(9)),
+            FaultOutcome::Deliver { .. }
+        ));
+        assert_eq!(
+            f.apply_at(&mut rng, SimTime::from_mins(10)),
+            FaultOutcome::Outage
+        );
+        assert_eq!(
+            f.apply_at(&mut rng, SimTime::from_mins(19)),
+            FaultOutcome::Outage
+        );
+        assert!(matches!(
+            f.apply_at(&mut rng, SimTime::from_mins(20)),
+            FaultOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn none_injector_consumes_no_rng() {
+        // The zero-impact guarantee: a disabled injector must not draw
+        // from the stream, so enabling the chaos layer cannot perturb
+        // calibrated runs.
+        let root = DetRng::new(14);
+        let mut with_faults = root.fork("probe");
+        let mut without = root.fork("probe");
+        let f = FaultInjector::none();
+        for i in 0..50 {
+            let _ = f.apply_at(&mut with_faults, SimTime::from_mins(i));
+        }
+        use rand::RngCore;
+        assert_eq!(with_faults.next_u64(), without.next_u64());
+    }
+
+    #[test]
+    fn chaos_profile_is_valid_and_faulty() {
+        let f = FaultInjector::chaos_profile();
+        assert!(!f.is_none());
+        for p in [
+            f.drop_chance,
+            f.duplicate_chance,
+            f.error_chance,
+            f.truncate_chance,
+        ] {
+            assert!((0.0..=1.0).contains(&p));
         }
     }
 
@@ -306,7 +601,7 @@ mod tests {
                 assert!(rtt > SimDuration::ZERO);
                 assert!(rtt < SimDuration::from_secs(5));
             }
-            ExchangeResult::Lost => panic!("no-fault link lost an exchange"),
+            other => panic!("no-fault link failed an exchange: {other:?}"),
         }
     }
 

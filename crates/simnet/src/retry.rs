@@ -1,0 +1,217 @@
+//! Deterministic retry policies with exponential backoff.
+//!
+//! Real measurement crawlers retry transient failures rather than
+//! abandoning a report ("Detecting Bot Detection" documents exactly this
+//! behaviour in production crawlers). Retrying in a deterministic
+//! simulation needs care: the backoff jitter must come from the same
+//! forkable stream as every other decision, and the *schedule* of a
+//! retry sequence must be a pure function of `(seed, label)` so replays
+//! and thread-count changes cannot perturb it.
+//!
+//! [`RetryPolicy::schedule`] therefore forks a child stream off the
+//! caller's RNG under a stable label and returns the whole delay
+//! sequence up front. Because [`DetRng::fork`] depends only on the
+//! parent's seed — never on how much of the parent has been consumed —
+//! computing a schedule costs nothing from the caller's stream, and
+//! computing it twice under the same label gives identical delays.
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// An exponential-backoff retry policy.
+///
+/// The policy describes *retries*: an operation is attempted once for
+/// free, and up to `max_attempts - 1` further attempts follow, each
+/// preceded by a backoff delay. Delays grow geometrically from `base`
+/// by `multiplier`, are jittered by `±jitter` (a fraction of the
+/// nominal delay), are forced non-decreasing across attempts, and stop
+/// once the cumulative wait would exceed `budget`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Nominal delay before the first retry.
+    pub base: SimDuration,
+    /// Geometric growth factor applied per retry (values below 1 are
+    /// treated as 1: backoff never shrinks).
+    pub multiplier: f64,
+    /// Jitter as a fraction of the nominal delay, in `[0, 1]`; the
+    /// sampled delay is `nominal * (1 ± jitter)`.
+    pub jitter: f64,
+    /// Maximum total attempts, including the initial one. Zero and one
+    /// both mean "never retry".
+    pub max_attempts: u32,
+    /// Total backoff budget: the schedule is truncated before the
+    /// cumulative delay would exceed this.
+    pub budget: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Never retry: every failure is final.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            base: SimDuration::ZERO,
+            multiplier: 1.0,
+            jitter: 0.0,
+            max_attempts: 1,
+            budget: SimDuration::ZERO,
+        }
+    }
+
+    /// The crawler default: a handful of quick retries, bounded so a
+    /// flapping site cannot stall the report pipeline. 3 retries from a
+    /// 2 s base, doubling, within a 5-minute budget.
+    pub fn crawl_default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.3,
+            max_attempts: 4,
+            budget: SimDuration::from_mins(5),
+        }
+    }
+
+    /// The feed-client default: patient backoff suited to a distribution
+    /// channel that may be down for minutes. 5 retries from a 30 s base,
+    /// doubling, within a 2-hour budget.
+    pub fn feed_default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(30),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 6,
+            budget: SimDuration::from_hours(2),
+        }
+    }
+
+    /// Number of retries (attempts after the first) the policy allows
+    /// before the budget is considered.
+    pub fn max_retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+
+    /// Compute the full backoff schedule for one operation.
+    ///
+    /// Returns the delays to wait before retry 1, 2, … — at most
+    /// [`RetryPolicy::max_retries`] entries, truncated where the
+    /// cumulative delay would exceed `budget`. The result is a pure
+    /// function of `(rng.seed(), label, self)`: the parent RNG is only
+    /// forked, never consumed, and equal labels yield equal schedules
+    /// regardless of parent state. Delays are non-decreasing in the
+    /// attempt index and at least 1 ms each.
+    pub fn schedule(&self, rng: &DetRng, label: &str) -> Vec<SimDuration> {
+        let mut child = rng.fork(&format!("retry:{label}"));
+        let jitter = if self.jitter.is_nan() {
+            0.0
+        } else {
+            self.jitter.clamp(0.0, 1.0)
+        };
+        let multiplier = if self.multiplier.is_nan() {
+            1.0
+        } else {
+            self.multiplier.max(1.0)
+        };
+        let mut delays = Vec::new();
+        let mut nominal = self.base.as_millis().max(1) as f64;
+        let mut floor = SimDuration::from_millis(1);
+        let mut spent = SimDuration::ZERO;
+        for _ in 0..self.max_retries() {
+            // `unit()` is drawn unconditionally per slot so the schedule
+            // length never feeds back into later draws.
+            let factor = 1.0 + jitter * (2.0 * child.unit() - 1.0);
+            let jittered = SimDuration::from_millis((nominal * factor).max(1.0) as u64);
+            // Enforce monotonicity: a jittered short draw never undercuts
+            // an earlier delay.
+            let delay = jittered.max(floor);
+            spent = match spent.checked_add(delay) {
+                Some(s) if s <= self.budget => s,
+                _ => break,
+            };
+            floor = delay;
+            delays.push(delay);
+            nominal *= multiplier;
+        }
+        delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn schedule_is_pure_given_label() {
+        let policy = RetryPolicy::crawl_default();
+        let root = DetRng::new(99);
+        let a = policy.schedule(&root, "visit:42");
+        // Consuming the parent between calls must not change the result.
+        let mut consumed = root.clone();
+        for _ in 0..100 {
+            consumed.next_u64();
+        }
+        let b = policy.schedule(&consumed, "visit:42");
+        assert_eq!(a, b);
+        // Different labels give different jitter.
+        let c = policy.schedule(&root, "visit:43");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        let policy = RetryPolicy::feed_default();
+        let root = DetRng::new(3);
+        let delays = policy.schedule(&root, "sync");
+        assert!(delays.len() <= policy.max_retries() as usize);
+        let mut cumulative = SimDuration::ZERO;
+        let mut prev = SimDuration::ZERO;
+        for &d in &delays {
+            assert!(d >= prev, "delays must be non-decreasing");
+            prev = d;
+            cumulative = cumulative + d;
+        }
+        assert!(cumulative <= policy.budget);
+    }
+
+    #[test]
+    fn budget_truncates_schedule() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_mins(10),
+            multiplier: 2.0,
+            jitter: 0.0,
+            max_attempts: 10,
+            budget: SimDuration::from_mins(30),
+        };
+        let delays = policy.schedule(&DetRng::new(1), "x");
+        // 10 + 20 = 30 fits the budget exactly; 40 more would not.
+        assert_eq!(
+            delays,
+            vec![SimDuration::from_mins(10), SimDuration::from_mins(20)]
+        );
+    }
+
+    #[test]
+    fn no_retries_is_empty() {
+        assert!(RetryPolicy::no_retries()
+            .schedule(&DetRng::new(1), "x")
+            .is_empty());
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::crawl_default()
+        };
+        assert!(zero.schedule(&DetRng::new(1), "x").is_empty());
+    }
+
+    #[test]
+    fn degenerate_parameters_are_tamed() {
+        let policy = RetryPolicy {
+            base: SimDuration::ZERO,
+            multiplier: f64::NAN,
+            jitter: f64::NAN,
+            max_attempts: 3,
+            budget: SimDuration::from_secs(1),
+        };
+        let delays = policy.schedule(&DetRng::new(5), "x");
+        assert_eq!(delays.len(), 2);
+        assert!(delays.iter().all(|&d| d >= SimDuration::from_millis(1)));
+    }
+}

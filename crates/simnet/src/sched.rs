@@ -101,6 +101,13 @@ impl<E> Scheduler<E> {
         self.len() == 0
     }
 
+    /// Number of lazily-deleted tombstones still sitting in the heap.
+    /// Exposed so churn tests can assert that compaction bounds the
+    /// queue under schedule/cancel storms (e.g. from retry timers).
+    pub fn tombstone_count(&self) -> usize {
+        self.cancelled.len()
+    }
+
     /// Schedule an event at an absolute time. Scheduling in the past is a
     /// logic error and panics: discrete-event time must be monotonic.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {

@@ -1,7 +1,27 @@
 //! Property-based tests for the simulation substrate.
 
-use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, Scheduler, SimDuration, SimTime};
+use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, RetryPolicy, Scheduler, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// An arbitrary-but-sane retry policy for the schedule properties.
+fn retry_policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        1u64..60_000,
+        1.0f64..4.0,
+        0.0f64..1.0,
+        1u32..10,
+        60_000u64..7_200_000,
+    )
+        .prop_map(
+            |(base, multiplier, jitter, max_attempts, budget)| RetryPolicy {
+                base: SimDuration::from_millis(base),
+                multiplier,
+                jitter,
+                max_attempts,
+                budget: SimDuration::from_millis(budget),
+            },
+        )
+}
 
 proptest! {
     /// Popping a scheduler always yields events in nondecreasing time
@@ -82,6 +102,86 @@ proptest! {
         addrs.dedup();
         prop_assert_eq!(addrs.len(), size);
         prop_assert!(pool.addrs().iter().all(|a| a.in_subnet(base, 16)));
+    }
+
+    /// A retry schedule is a pure function of (seed, fork label,
+    /// policy): recomputing it never disturbs the parent stream, and
+    /// different labels give independent schedules.
+    #[test]
+    fn retry_schedule_deterministic_per_label(
+        seed in any::<u64>(),
+        policy in retry_policy_strategy(),
+        label in "[a-z]{1,12}",
+    ) {
+        let rng = DetRng::new(seed);
+        let a = policy.schedule(&rng, &label);
+        let b = policy.schedule(&rng, &label);
+        prop_assert_eq!(&a, &b, "same label must replay the same schedule");
+        // Computing a schedule forks; the parent stream is untouched.
+        let mut x = rng.fork("probe");
+        let _ = policy.schedule(&rng, &label);
+        let mut y = rng.fork("probe");
+        prop_assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    /// Schedules are monotone non-decreasing in attempt index, carry at
+    /// most `max_attempts - 1` delays, and fit the total budget.
+    #[test]
+    fn retry_schedule_monotone_and_budgeted(
+        seed in any::<u64>(),
+        policy in retry_policy_strategy(),
+        label in "[a-z]{1,12}",
+    ) {
+        let rng = DetRng::new(seed);
+        let delays = policy.schedule(&rng, &label);
+        prop_assert!(delays.len() <= policy.max_retries() as usize);
+        prop_assert!(delays.windows(2).all(|w| w[0] <= w[1]),
+            "backoff must not shrink: {delays:?}");
+        let total: u64 = delays.iter().map(|d| d.as_millis()).sum();
+        prop_assert!(total <= policy.budget.as_millis(),
+            "schedule total {total} exceeds budget {}", policy.budget.as_millis());
+    }
+
+    /// A schedule/cancel storm — the pattern engine-level retries
+    /// produce — leaves the scheduler bounded: compaction keeps the
+    /// tombstone set small relative to the live queue.
+    #[test]
+    fn scheduler_churn_stays_bounded(
+        seed in any::<u64>(),
+        rounds in 10usize..60,
+    ) {
+        let mut rng = DetRng::new(seed).fork("churn");
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let mut live: Vec<phishsim_simnet::EventId> = Vec::new();
+        let mut t = 0u64;
+        for round in 0..rounds {
+            // Schedule a burst of retry timers...
+            for i in 0..20 {
+                t += rng.range(1..1_000);
+                live.push(s.schedule_at(SimTime::from_millis(t), round * 100 + i));
+            }
+            // ...then cancel most of them (a retry succeeded).
+            for _ in 0..15 {
+                let idx = rng.range(0..live.len() as u64) as usize;
+                s.cancel(live.swap_remove(idx));
+            }
+            // Tombstones never dominate: compaction fires before the
+            // cancelled set reaches both 64 entries and half the heap.
+            prop_assert!(
+                s.tombstone_count() < 64 || s.tombstone_count() * 2 < s.len() + s.tombstone_count(),
+                "tombstones {} vs heap {}", s.tombstone_count(), s.len()
+            );
+        }
+        // Everything still pending pops in order, skipping cancellations.
+        let mut popped = 0;
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = s.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, live.len());
+        prop_assert_eq!(s.tombstone_count(), 0, "drained scheduler holds no tombstones");
     }
 }
 

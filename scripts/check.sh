@@ -15,8 +15,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> clippy (runner, caches, monitor, feedserve, bench harness)"
-cargo clippy --release -p phishsim-core -p phishsim-browser \
+echo "==> clippy (simnet, runner, caches, monitor, feedserve, bench harness)"
+cargo clippy --release -p phishsim-simnet -p phishsim-core -p phishsim-browser \
   -p phishsim-antiphish -p phishsim-feedserve -p phishsim-bench -- -D warnings
 
 echo "==> tier-1: build + tests"
@@ -36,5 +36,16 @@ if ! diff -q results/.sb_scale.t1.json results/sb_scale.json; then
 fi
 rm -f results/.sb_scale.t1.json
 echo "sb_scale record byte-identical across thread counts"
+
+echo "==> resilience determinism smoke (5k clients/level, 1 vs 4 threads)"
+PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin resilience -- --clients 5000
+cp results/resilience.json results/.resilience.t1.json
+PHISHSIM_SWEEP_THREADS=4 cargo run --release -p phishsim-bench --bin resilience -- --clients 5000
+if ! diff -q results/.resilience.t1.json results/resilience.json; then
+  echo "resilience record differs between 1 and 4 threads" >&2
+  exit 1
+fi
+rm -f results/.resilience.t1.json
+echo "resilience record byte-identical across thread counts"
 
 echo "All checks passed."
