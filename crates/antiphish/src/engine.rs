@@ -23,7 +23,9 @@ use phishsim_browser::{
 use phishsim_captcha::CaptchaProvider;
 use phishsim_http::{Request, Url, UserAgent};
 use phishsim_simnet::metrics::CounterSet;
-use phishsim_simnet::{DetRng, IpPool, Ipv4Sim, RetryPolicy, Scheduler, SimDuration, SimTime};
+use phishsim_simnet::{
+    DetRng, IpPool, Ipv4Sim, ObsSink, RetryPolicy, Scheduler, SimDuration, SimTime,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -114,6 +116,9 @@ pub struct Engine {
     /// schedules. Only advances when a transient failure occurs, so the
     /// fault-free path never touches it.
     visit_seq: u64,
+    /// Observability sink shared with every browser this engine spawns.
+    /// `ObsSink::Null` (the default) is inert: no events, no RNG draws.
+    obs: ObsSink,
 }
 
 impl Engine {
@@ -143,7 +148,17 @@ impl Engine {
             retry_policy: RetryPolicy::crawl_default(),
             browser_seq: 0,
             visit_seq: 0,
+            obs: ObsSink::Null,
         }
+    }
+
+    /// Attach an observability sink (builder style). The sink is shared
+    /// with every browser the engine spawns and with the retry-timer
+    /// scheduler, so crawl/classify/convict spans, retry counters and
+    /// scheduler gauges all land in one registry.
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replace the transient-failure retry policy (builder style).
@@ -183,6 +198,7 @@ impl Engine {
     /// classifier is pure in (summary, host), and the summary is fully
     /// determined by the body hash — so (body, host) keys the verdict.
     fn classify_score(&mut self, view: &PageView, host: &str) -> f64 {
+        self.obs.incr("engine.classifications");
         let mode = self.profile.classifier_mode;
         if self.render_cache.is_none() {
             return classify(&view.summary, host).score(mode);
@@ -258,7 +274,8 @@ impl Engine {
             max_effect_rounds: 3,
         };
         let src = self.pool.draw(&mut self.rng);
-        let mut browser = Browser::new(config, src, self.profile.id.key());
+        let mut browser =
+            Browser::new(config, src, self.profile.id.key()).with_obs(self.obs.clone());
         if let Some(p) = &self.captcha_provider {
             browser = browser.with_captcha_provider(Arc::clone(p));
         }
@@ -296,8 +313,10 @@ impl Engine {
         };
         self.visit_seq += 1;
         let label = format!("visit:{}", self.visit_seq);
-        let schedule = self.retry_policy.schedule(&self.rng, &label);
-        let mut timers: Scheduler<u32> = Scheduler::new();
+        let schedule = self
+            .retry_policy
+            .schedule_observed(&self.rng, &label, &self.obs);
+        let mut timers: Scheduler<u32> = Scheduler::new().with_obs(self.obs.clone());
         timers.advance_to(start);
         let mut at = start;
         let mut pending = Vec::new();
@@ -307,18 +326,21 @@ impl Engine {
         }
         let mut last = first;
         while let Some((retry_at, attempt)) = timers.pop() {
+            self.obs.incr("engine.visit_retries");
             match browser.visit(t, url, retry_at) {
                 Ok(mut view) => {
                     for id in pending.drain(attempt as usize + 1..) {
                         timers.cancel(id);
                     }
                     view.elapsed = view.elapsed + retry_at.since(start);
+                    self.obs.incr("engine.visit_recovered");
                     return Ok(view);
                 }
                 Err(e) if e.is_transient() => last = e,
                 Err(e) => return Err(e),
             }
         }
+        self.obs.incr("engine.visit_giveups");
         Err(last)
     }
 
@@ -381,6 +403,8 @@ impl Engine {
         // Real intake pipelines deduplicate: a URL re-reported within a
         // day gets a cheap revalidation, not a second full crawl.
         if self.is_duplicate_report(url, reported_at) {
+            self.obs.incr("engine.reports");
+            self.obs.incr("engine.dedup_hits");
             let mut browser = self.browser(self.profile.dialog_policy);
             let recheck_at = reported_at + self.profile.channel.intake_delay(&mut self.rng);
             let mut requests = 0;
@@ -419,6 +443,11 @@ impl Engine {
         self.recent_reports
             .insert(Self::report_key(url), reported_at);
 
+        let obs = self.obs.clone();
+        let actor = self.profile.id.key();
+        obs.incr("engine.reports");
+        let report_span = obs.span_start(None, "engine.report", actor, reported_at);
+
         let intake_at = reported_at + self.profile.channel.intake_delay(&mut self.rng);
         let (lo, hi) = self.profile.first_visit_mins;
         let first_visit_at = intake_at + SimDuration::from_mins(self.rng.range(lo..=hi));
@@ -432,10 +461,13 @@ impl Engine {
         let mut detection_score_path: Option<PayloadPath> = None;
 
         // ---- initial visit ----
+        let crawl_span = obs.span_start(Some(report_span), "engine.crawl", actor, first_visit_at);
+        let mut last_activity = first_visit_at;
         let mut browser = self.browser(self.profile.dialog_policy);
         let initial = self.visit_with_retry(&mut browser, t, url, first_visit_at);
         let mut site_paths: Vec<String> = vec![url.path.clone()];
         if let Ok(view) = &initial {
+            last_activity = last_activity.max(first_visit_at + view.elapsed);
             requests += Self::exchanges_in(view);
             requests += self.fetch_assets(t, view, first_visit_at + view.elapsed);
             site_paths.extend(
@@ -483,6 +515,7 @@ impl Engine {
                     let submit_at = first_visit_at + view.elapsed;
                     if let Ok(after) = browser.submit_form(t, view, &form, "probe-user", submit_at)
                     {
+                        last_activity = last_activity.max(submit_at + after.elapsed);
                         requests += Self::exchanges_in(&after)
                             + after
                                 .steps
@@ -512,6 +545,7 @@ impl Engine {
                 let deep_at = reported_at + SimDuration::from_mins(self.rng.range(dlo..=dhi));
                 let mut deep_browser = self.browser(deep.dialog_policy);
                 if let Ok(view) = self.visit_with_retry(&mut deep_browser, t, url, deep_at) {
+                    last_activity = last_activity.max(deep_at + view.elapsed);
                     requests += Self::exchanges_in(&view);
                     captcha_recognised |=
                         view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
@@ -547,6 +581,7 @@ impl Engine {
                     first_visit_at + SimDuration::from_mins(self.rng.range(60..1_200u64));
                 let mut recheck_browser = self.browser(self.profile.dialog_policy);
                 if let Ok(view) = self.visit_with_retry(&mut recheck_browser, t, url, recheck_at) {
+                    last_activity = last_activity.max(recheck_at + view.elapsed);
                     requests += Self::exchanges_in(&view);
                     captcha_recognised |=
                         view.has_step(|s| matches!(s, BrowseStep::CaptchaPresent));
@@ -570,6 +605,8 @@ impl Engine {
                 }
             }
         }
+
+        obs.span_end(crawl_span, last_activity);
 
         // ---- verdict ----
         let mut detected_at = None;
@@ -637,6 +674,7 @@ impl Engine {
                 }
                 _ => {}
             }
+            last_activity = last_activity.max(at);
             requests += 1;
         }
 
@@ -648,6 +686,17 @@ impl Engine {
                 detected_at = Some(found_at + analyst_delay);
             }
         }
+
+        if let Some(d) = detected_at {
+            obs.point("engine.convict", actor, d);
+            obs.observe(
+                "engine.detection_delay_mins",
+                d.since(reported_at).as_millis() / 60_000,
+            );
+            last_activity = last_activity.max(d);
+        }
+        obs.observe("engine.requests_per_report", requests);
+        obs.span_end(report_span, last_activity);
 
         ReportOutcome {
             engine: self.profile.id,

@@ -1,0 +1,86 @@
+//! Criterion benches for the observability layer: the `ObsSink::Null`
+//! fast path must be near-free, and a memory sink must stay cheap
+//! enough to leave on during experiment debugging.
+//!
+//! Before timing anything, the observer-effect guard asserts that a
+//! Null-sink run and a Memory-sink run serialize to byte-identical
+//! tables. The obs layer never touches a `DetRng`, so attaching a
+//! sink must not shift a single sampled value — if it did, the
+//! serialized tables would diverge and this bench would panic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phishsim_core::experiment::{
+    run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
+};
+use phishsim_simnet::{ObsSink, SimTime};
+
+/// A Null-sink run and a Memory-sink run must produce byte-identical
+/// tables: observation is read-only with respect to the simulation.
+fn assert_no_observer_effect() {
+    let null_run = run_preliminary(&PreliminaryConfig::fast());
+    let mut observed = PreliminaryConfig::fast();
+    observed.obs = ObsSink::memory();
+    let memory_run = run_preliminary(&observed);
+    assert_eq!(
+        serde_json::to_string(&null_run.table).unwrap(),
+        serde_json::to_string(&memory_run.table).unwrap(),
+        "attaching a memory sink changed Table 1 — observer effect"
+    );
+
+    let null_main = run_main_experiment(&MainConfig::fast());
+    let mut observed_main = MainConfig::fast();
+    observed_main.obs = ObsSink::memory();
+    let memory_main = run_main_experiment(&observed_main);
+    assert_eq!(
+        serde_json::to_string(&null_main.table).unwrap(),
+        serde_json::to_string(&memory_main.table).unwrap(),
+        "attaching a memory sink changed Table 2 — observer effect"
+    );
+}
+
+fn emit_workload(sink: &ObsSink) {
+    let mut at = SimTime::ZERO;
+    for i in 0..64u64 {
+        at += phishsim_simnet::SimDuration::from_millis(i);
+        let span = sink.span_start(None, "bench.outer", "bench", at);
+        sink.incr("bench.counter");
+        sink.observe("bench.histogram", i);
+        let inner = sink.span_start(Some(span), "bench.inner", "bench", at);
+        sink.span_end(inner, at);
+        sink.span_end(span, at);
+    }
+}
+
+fn bench_obs(c: &mut Criterion) {
+    assert_no_observer_effect();
+
+    let mut g = c.benchmark_group("obs");
+    g.bench_function("null_sink_emit_64_spans", |b| {
+        let sink = ObsSink::Null;
+        b.iter(|| emit_workload(black_box(&sink)))
+    });
+    g.bench_function("memory_sink_emit_64_spans", |b| {
+        b.iter(|| {
+            let sink = ObsSink::memory();
+            emit_workload(black_box(&sink));
+            sink
+        })
+    });
+    g.sample_size(20);
+    g.bench_function("preliminary_fast_null_sink", |b| {
+        b.iter(|| run_preliminary(black_box(&PreliminaryConfig::fast())))
+    });
+    g.bench_function("preliminary_fast_memory_sink", |b| {
+        b.iter(|| {
+            let mut config = PreliminaryConfig::fast();
+            config.obs = ObsSink::memory();
+            run_preliminary(black_box(&config))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Regenerate the **observability report**: span counts reconciled
+//! against Table 1, the hottest simulated-time phases, and the retry /
+//! outage totals of a chaos run.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin obs_report        # full volume
+//! cargo run --release -p phishsim-bench --bin obs_report fast   # reduced
+//! ```
+//!
+//! Everything written to `results/obs_report.json` is deterministic:
+//! derived from simulated time, label-ordered registries and
+//! input-order merges — byte-identical at any `PHISHSIM_SWEEP_THREADS`.
+//! Host wall-clock timings go to stderr only.
+
+use phishsim_core::experiment::{
+    run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
+};
+use phishsim_simnet::runner::{run_sweep_profiled, sweep_threads};
+use phishsim_simnet::{FaultInjector, LogHistogram, MetricsRegistry, ObsSink};
+
+fn histogram_json(label: &str, h: &LogHistogram) -> serde_json::Value {
+    serde_json::json!({
+        "label": label,
+        "count": h.count,
+        "sum": h.sum,
+        "mean": h.mean(),
+    })
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+
+    // ---- preliminary paper run, memory sink ----
+    let sink = ObsSink::memory();
+    let mut config = if fast {
+        PreliminaryConfig::fast()
+    } else {
+        PreliminaryConfig::paper()
+    };
+    config.obs = sink.clone();
+    eprintln!(
+        "running the preliminary test with a memory sink (volume x{})...",
+        config.volume_scale
+    );
+    let host_started = std::time::Instant::now();
+    let r = run_preliminary(&config);
+    eprintln!(
+        "  host time: {} ms (stderr only, never recorded)",
+        host_started.elapsed().as_millis()
+    );
+
+    let buf = sink.buffer().expect("memory sink");
+    let span_counts = buf.span_counts_by_actor("http.request");
+
+    // Reconciliation by construction: the `http.request` span is
+    // emitted exactly where the access-log line is recorded, so the
+    // per-engine span counts must equal the run's own Table 1 request
+    // column. Assert it before writing anything.
+    println!("engine        spans   Table 1 requests");
+    for row in &r.table.rows {
+        let spans = span_counts.get(row.engine.key()).copied().unwrap_or(0);
+        println!(
+            "{:<12} {:>7}   {:>7}",
+            row.engine.key(),
+            spans,
+            row.requests
+        );
+        assert_eq!(
+            spans, row.requests,
+            "span count and access-log count diverged for {}",
+            row.engine
+        );
+    }
+
+    let registry = buf.metrics();
+    let hottest: Vec<serde_json::Value> = registry
+        .hottest(8)
+        .into_iter()
+        .map(|(label, h)| histogram_json(label, h))
+        .collect();
+    println!("\nhottest phases (by simulated-time sum):");
+    for (label, h) in registry.hottest(8) {
+        println!("  {:<40} count {:>8}  sum {:>12}", label, h.count, h.sum);
+    }
+
+    // ---- chaos run: retry / outage totals under structured faults ----
+    let chaos_sink = ObsSink::memory();
+    let mut chaos = MainConfig::fast();
+    chaos.faults = FaultInjector::chaos_profile();
+    chaos.obs = chaos_sink.clone();
+    eprintln!("running the main experiment under the chaos profile...");
+    let chaos_started = std::time::Instant::now();
+    let chaos_result = run_main_experiment(&chaos);
+    eprintln!(
+        "  host time: {} ms (stderr only, never recorded)",
+        chaos_started.elapsed().as_millis()
+    );
+    let cm = chaos_sink.buffer().expect("memory sink").metrics();
+    let chaos_totals = serde_json::json!({
+        "retry_attempts": cm.counter("retry.attempts"),
+        "retry_recovered": cm.counter("retry.recovered"),
+        "retry_giveups": cm.counter("retry.giveups"),
+        "engine_visit_retries": cm.counter("engine.visit_retries"),
+        "fetch_delivered": cm.counter("fetch.delivered"),
+        "fetch_dropped": cm.counter("fetch.dropped"),
+        "fetch_outage": cm.counter("fetch.outage"),
+        "fetch_error": cm.counter("fetch.error"),
+        "detections": chaos_result.table.total.hits,
+    });
+    println!(
+        "\nchaos run totals: {}",
+        serde_json::to_string(&chaos_totals).expect("serialize")
+    );
+
+    // ---- threaded sweep: per-run sinks merged in input order ----
+    let seeds: Vec<u64> = (17..=24).collect();
+    let threads = sweep_threads();
+    eprintln!("sweeping {} seeds on {} threads...", seeds.len(), threads);
+    let sweep_obs = ObsSink::memory();
+    let (per_run, profile) =
+        run_sweep_profiled("obs-seeds", &seeds, threads, &sweep_obs, |&seed| {
+            let run_sink = ObsSink::memory();
+            let mut c = MainConfig::fast();
+            c.seed = seed;
+            c.obs = run_sink.clone();
+            let out = run_main_experiment(&c);
+            (
+                out.table.total.hits,
+                run_sink.buffer().expect("mem").metrics(),
+            )
+        });
+    // `{profile}` carries host wall-clock — stderr only.
+    eprintln!("  {profile}");
+    let mut merged = MetricsRegistry::new();
+    for (_, m) in &per_run {
+        merged.merge(m);
+    }
+    let detections: Vec<u64> = per_run.iter().map(|(d, _)| *d).collect();
+    let sweep_meta = sweep_obs.buffer().expect("mem").metrics();
+    println!("\nsweep: per-seed detections {detections:?}");
+    let sweep_hottest: Vec<serde_json::Value> = merged
+        .hottest(8)
+        .into_iter()
+        .map(|(label, h)| histogram_json(label, h))
+        .collect();
+    println!("hottest sweep phases (merged, by simulated-time sum):");
+    for (label, h) in merged.hottest(8) {
+        println!("  {:<40} count {:>8}  sum {:>12}", label, h.count, h.sum);
+    }
+
+    let record = serde_json::json!({
+        "experiment": "obs_report",
+        "seed": config.seed,
+        "volume_scale": config.volume_scale,
+        "span_counts_http_request": span_counts,
+        "events_total": buf.len(),
+        "hottest_phases": hottest,
+        "chaos": chaos_totals,
+        "sweep": {
+            "seeds": seeds,
+            "detections": detections,
+            "items": sweep_meta.counter("sweep.items"),
+            "hottest_phases": sweep_hottest,
+            "merged_retry_schedules": merged.counter("retry.schedules"),
+            "merged_reports": merged.counter("engine.reports"),
+            "merged_dispatched": merged.counter("sched.dispatched"),
+        },
+    });
+    phishsim_bench::write_record("obs_report", &record);
+}

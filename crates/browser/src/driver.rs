@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use phishsim_captcha::{CaptchaProvider, SolverProfile};
 use phishsim_html::{FormInfo, PageSummary, ScriptEffect};
 use phishsim_http::{CookieJar, Request, Response, Status, Url};
-use phishsim_simnet::{DetRng, Ipv4Sim, RetryPolicy, SimDuration, SimTime};
+use phishsim_simnet::{DetRng, Ipv4Sim, ObsSink, RetryPolicy, SimDuration, SimTime, SpanId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -175,6 +175,9 @@ pub struct Browser {
     /// label so each recovery gets its own jitter stream.
     retry_seq: u64,
     history: Vec<Url>,
+    /// Observability sink: fetch/render/challenge spans and retry
+    /// attempt/give-up events. `Null` by default and free when disabled.
+    obs: ObsSink,
 }
 
 impl Browser {
@@ -191,7 +194,17 @@ impl Browser {
             retry: None,
             retry_seq: 0,
             history: Vec::new(),
+            obs: ObsSink::Null,
         }
+    }
+
+    /// Attach an observability sink (builder style). Each visit emits a
+    /// `browser.visit` span with `browser.fetch` / `browser.render` /
+    /// `browser.challenge` children; retry recoveries emit
+    /// `retry.attempt` / `retry.giveup` events.
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Attach a retry policy for transient fetch failures (builder
@@ -248,18 +261,27 @@ impl Browser {
             Err(e) if e.is_transient() && self.retry.is_some() => e,
             other => return other,
         };
-        let (policy, rng) = self.retry.as_ref().expect("checked above");
         self.retry_seq += 1;
+        let (policy, rng) = self.retry.as_ref().expect("checked above");
         let label = format!("{}:{}", self.actor, self.retry_seq);
-        let schedule = policy.schedule(rng, &label);
+        let schedule = policy.schedule_observed(rng, &label, &self.obs);
         let mut last = first;
         for delay in schedule {
             *now += delay;
+            self.obs.incr("retry.attempts");
+            self.obs.point("retry.attempt", &self.actor, *now);
             match t.fetch(self.src, &self.actor, req, *now) {
                 Err(e) if e.is_transient() => last = e,
-                other => return other,
+                other => {
+                    if other.is_ok() {
+                        self.obs.incr("retry.recovered");
+                    }
+                    return other;
+                }
             }
         }
+        self.obs.incr("retry.giveups");
+        self.obs.point("retry.giveup", &self.actor, *now);
         Err(last)
     }
 
@@ -321,9 +343,34 @@ impl Browser {
         url: &Url,
         start: SimTime,
     ) -> Result<PageView, FetchError> {
+        // The span wrapper lives here so every early `?` return inside
+        // the lifecycle still closes the visit span.
+        let obs = self.obs.clone();
+        let span = obs.span_start(None, "browser.visit", &self.actor, start);
         let mut now = start;
+        let result = self.visit_inner(t, url, start, &mut now, span, &obs);
+        obs.span_end(span, now);
+        if result.is_err() {
+            obs.incr("browser.visit_failures");
+        }
+        result
+    }
+
+    /// The visit lifecycle proper: fetch → render → challenge rounds.
+    fn visit_inner(
+        &mut self,
+        t: &mut dyn Transport,
+        url: &Url,
+        start: SimTime,
+        now: &mut SimTime,
+        span: SpanId,
+        obs: &ObsSink,
+    ) -> Result<PageView, FetchError> {
         let mut steps = Vec::new();
-        let (mut current, mut resp) = self.fetch_following(t, url.clone(), &mut now, &mut steps)?;
+        let fetch_span = obs.span_start(Some(span), "browser.fetch", &self.actor, *now);
+        let fetched = self.fetch_following(t, url.clone(), now, &mut steps);
+        obs.span_end(fetch_span, *now);
+        let (mut current, mut resp) = fetched?;
         steps.push(BrowseStep::Loaded {
             url: current.to_string(),
             status: resp.status.code(),
@@ -332,7 +379,9 @@ impl Browser {
         // One render per body: the parse, summary extraction and widget
         // scan are a single (cacheable) product instead of three
         // independent passes per effect round.
+        let render_span = obs.span_start(Some(span), "browser.render", &self.actor, *now);
         let mut rendered = self.render(&resp.body);
+        obs.span_end(render_span, *now);
         for _round in 0..self.config.max_effect_rounds {
             if rendered.effects.is_empty() && rendered.widget.is_none() {
                 break;
@@ -353,7 +402,8 @@ impl Browser {
                         }
                         // The dialog opens after the kit's delay and
                         // blocks until handled.
-                        now += SimDuration::from_millis(*delay_ms);
+                        let challenge_from = *now;
+                        *now += SimDuration::from_millis(*delay_ms);
                         steps.push(BrowseStep::DialogOpened {
                             message: message.clone(),
                         });
@@ -366,11 +416,18 @@ impl Browser {
                                 vec![]
                             };
                         let post = Request::post_form(current.clone(), &fields);
-                        resp = self.exchange(t, post, &mut now)?;
+                        resp = self.exchange(t, post, now)?;
                         steps.push(BrowseStep::Loaded {
                             url: current.to_string(),
                             status: resp.status.code(),
                         });
+                        let c = obs.span_start(
+                            Some(span),
+                            "browser.challenge",
+                            &self.actor,
+                            challenge_from,
+                        );
+                        obs.span_end(c, *now);
                         acted = true;
                         break;
                     }
@@ -388,10 +445,11 @@ impl Browser {
                         // Solving a checkbox challenge takes a moment;
                         // a visitor who fails the challenge simply tries
                         // again (up to three attempts).
+                        let challenge_from = *now;
                         let mut token = None;
                         for _ in 0..3 {
-                            now += SimDuration::from_secs(4);
-                            token = provider.lock().attempt(&site_key, &solver, now);
+                            *now += SimDuration::from_secs(4);
+                            token = provider.lock().attempt(&site_key, &solver, *now);
                             if token.is_some() {
                                 break;
                             }
@@ -404,7 +462,7 @@ impl Browser {
                                     current.clone(),
                                     &[(field_name.as_str(), tok.0.as_str())],
                                 );
-                                resp = self.exchange(t, post, &mut now)?;
+                                resp = self.exchange(t, post, now)?;
                                 steps.push(BrowseStep::Loaded {
                                     url: current.to_string(),
                                     status: resp.status.code(),
@@ -412,18 +470,25 @@ impl Browser {
                                 acted = true;
                             }
                         }
+                        let c = obs.span_start(
+                            Some(span),
+                            "browser.challenge",
+                            &self.actor,
+                            challenge_from,
+                        );
+                        obs.span_end(c, *now);
                         if acted {
                             break;
                         }
                     }
                     ScriptEffect::AutoRedirect { to, delay_ms } => {
-                        now += SimDuration::from_millis(*delay_ms);
+                        *now += SimDuration::from_millis(*delay_ms);
                         let next = resolve_location(&current, to)
                             .ok_or_else(|| FetchError::BadRedirect(to.clone()))?;
                         steps.push(BrowseStep::AutoRedirected {
                             to: next.to_string(),
                         });
-                        let (u, r) = self.fetch_following(t, next, &mut now, &mut steps)?;
+                        let (u, r) = self.fetch_following(t, next, now, &mut steps)?;
                         current = u;
                         resp = r;
                         steps.push(BrowseStep::Loaded {
@@ -606,6 +671,55 @@ mod tests {
         assert!(view.has_step(|s| matches!(s, BrowseStep::Redirected { .. })));
         assert_eq!(view.summary.title, "done");
         assert!(view.elapsed >= SimDuration::from_millis(100), "two RTTs");
+    }
+
+    #[test]
+    fn visit_emits_nested_spans_and_retry_counters() {
+        use phishsim_simnet::{DetRng, ObsKind};
+        let sink = ObsSink::memory();
+        let mut t = flaky_host(2);
+        let mut b = browser(DialogPolicy::Ignore)
+            .with_retry(RetryPolicy::crawl_default(), DetRng::new(7))
+            .with_obs(sink.clone());
+        b.visit(&mut t, &Url::https("flaky.com", "/"), SimTime::ZERO)
+            .unwrap();
+        let buf = sink.buffer().unwrap();
+        let events = buf.events();
+        // Exactly one visit span, and fetch/render spans parented to it.
+        let visit_ids: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ObsKind::SpanStart { id, name, .. } if name == "browser.visit" => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(visit_ids.len(), 1);
+        let children: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ObsKind::SpanStart { parent, name, .. } if *parent == Some(visit_ids[0]) => {
+                    Some(name.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(children.contains(&"browser.fetch".to_string()));
+        assert!(children.contains(&"browser.render".to_string()));
+        // Every span that starts also ends.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsKind::SpanStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsKind::SpanEnd { .. }))
+            .count();
+        assert_eq!(starts, ends);
+        // Two transient failures → two retry attempts, one recovery.
+        let m = buf.metrics();
+        assert_eq!(m.counter("retry.attempts"), 2);
+        assert_eq!(m.counter("retry.recovered"), 1);
+        assert_eq!(m.counter("retry.giveups"), 0);
     }
 
     #[test]

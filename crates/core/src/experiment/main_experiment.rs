@@ -18,7 +18,9 @@ use phishsim_antiphish::{
 };
 use phishsim_http::Url;
 use phishsim_phishgen::{Brand, EvasionTechnique};
-use phishsim_simnet::{FaultInjector, Ipv4Sim, SimDuration, SimTime, TraceEvent, TraceKind};
+use phishsim_simnet::{
+    FaultInjector, Ipv4Sim, ObsSink, SimDuration, SimTime, TraceEvent, TraceKind,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the main experiment.
@@ -36,6 +38,10 @@ pub struct MainConfig {
     /// Network fault profile (robustness sweeps; none by default).
     #[serde(skip)]
     pub faults: FaultInjector,
+    /// Observability sink threaded through the world, the hosting farm
+    /// and every engine. Skipped on (de)serialization like `faults`.
+    #[serde(skip)]
+    pub obs: ObsSink,
 }
 
 impl MainConfig {
@@ -47,6 +53,7 @@ impl MainConfig {
             horizon: SimDuration::from_days(14),
             upgrade: None,
             faults: FaultInjector::none(),
+            obs: ObsSink::Null,
         }
     }
 
@@ -115,7 +122,9 @@ pub fn assignment() -> Vec<(EngineId, Brand, EvasionTechnique, usize)> {
 
 /// Run the main experiment.
 pub fn run_main_experiment(config: &MainConfig) -> MainResult {
-    let mut world = World::new(config.seed).with_faults(config.faults.clone());
+    let mut world = World::new(config.seed)
+        .with_faults(config.faults.clone())
+        .with_obs(config.obs.clone());
     let mut feeds = FeedNetwork::paper_topology(&world.rng);
 
     let cells = assignment();
@@ -144,7 +153,8 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
                 None => EngineProfile::of(id),
             };
             let engine = Engine::with_profile(profile, &world.rng)
-                .with_captcha_provider(world.captcha.clone());
+                .with_captcha_provider(world.captcha.clone())
+                .with_obs(config.obs.clone());
             (id, engine)
         })
         .collect();
@@ -178,6 +188,18 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
             });
             let engine = engines.get_mut(&engine_id).expect("engine exists");
             let outcome = engine.process_report(&mut world, &url, reported_at, config.volume_scale);
+            // Per-technique phase timings: how long each pipeline phase
+            // took in simulated time, keyed by the arm's technique.
+            config.obs.observe(
+                &format!("phase.intake.{technique}"),
+                outcome.first_visit_at.since(reported_at).as_mins(),
+            );
+            if let Some(at) = outcome.detected_at {
+                config.obs.observe(
+                    &format!("phase.detect.{technique}"),
+                    at.since(reported_at).as_mins(),
+                );
+            }
             let detected = outcome.detected_at.is_some();
             if let Some(at) = outcome.detected_at {
                 feeds.publish(engine_id, &url, at);

@@ -17,7 +17,7 @@ use phishsim_http::Url;
 use phishsim_phishgen::{
     Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
 };
-use phishsim_simnet::{Ipv4Sim, SimDuration, SimTime, TraceEvent, TraceKind};
+use phishsim_simnet::{Ipv4Sim, ObsSink, SimDuration, SimTime, TraceEvent, TraceKind};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the preliminary test.
@@ -29,6 +29,11 @@ pub struct PreliminaryConfig {
     pub volume_scale: f64,
     /// Monitoring horizon (paper: 24 hours).
     pub horizon: SimDuration,
+    /// Observability sink threaded through the world, the hosting farm
+    /// and every engine. Not part of the experiment's identity, so it
+    /// is skipped on (de)serialization like `MainConfig::faults`.
+    #[serde(skip)]
+    pub obs: ObsSink,
 }
 
 impl PreliminaryConfig {
@@ -38,6 +43,7 @@ impl PreliminaryConfig {
             seed: DEFAULT_SEED,
             volume_scale: 1.0,
             horizon: SimDuration::from_hours(24),
+            obs: ObsSink::Null,
         }
     }
 
@@ -79,7 +85,7 @@ const BRAND_PATHS: [(Brand, &str); 3] = [
 
 /// Run the preliminary test.
 pub fn run_preliminary(config: &PreliminaryConfig) -> PreliminaryResult {
-    let mut world = World::new(config.seed);
+    let mut world = World::new(config.seed).with_obs(config.obs.clone());
     let mut feeds = FeedNetwork::paper_topology(&world.rng);
     let engines_ids = EngineId::all();
 
@@ -133,7 +139,7 @@ pub fn run_preliminary(config: &PreliminaryConfig) -> PreliminaryResult {
     let mut all_urls = Vec::new();
 
     for (i, id) in engines_ids.iter().enumerate() {
-        let mut engine = Engine::new(*id, &world.rng);
+        let mut engine = Engine::new(*id, &world.rng).with_obs(config.obs.clone());
         for url in &urls_per_engine[i] {
             let reported_at =
                 SimTime::from_hours(1) + SimDuration::from_mins(report_rng.range(0..60u64));

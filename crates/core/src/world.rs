@@ -14,7 +14,7 @@ use phishsim_captcha::CaptchaProvider;
 use phishsim_dns::{DomainName, Registry, Resolver};
 use phishsim_http::{CertificateAuthority, HostingFarm, Request, RequestCtx, Response};
 use phishsim_simnet::{
-    DetRng, FaultInjector, IpPool, Ipv4Sim, LatencyModel, SimDuration, SimTime, TraceLog,
+    DetRng, FaultInjector, IpPool, Ipv4Sim, LatencyModel, ObsSink, SimDuration, SimTime, TraceLog,
 };
 use std::sync::Arc;
 
@@ -47,6 +47,7 @@ pub struct World {
     latency: LatencyModel,
     faults: FaultInjector,
     link_rng: DetRng,
+    obs: ObsSink,
 }
 
 impl World {
@@ -66,10 +67,21 @@ impl World {
             latency: LatencyModel::internet_default(),
             faults: FaultInjector::none(),
             link_rng: rng.fork("links"),
+            obs: ObsSink::Null,
             farm,
             log,
             rng,
         }
+    }
+
+    /// Attach an observability sink to the world: the hosting farm
+    /// emits `http.request` spans and the transport counts fetch
+    /// outcomes (delivered / outage / dropped / error). The sink never
+    /// draws RNG, so attaching it cannot perturb a calibrated run.
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.farm.set_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// Replace the fault profile (robustness experiments). The profile
@@ -100,14 +112,24 @@ impl Transport for World {
             return Err(FetchError::DnsFailure(req.url.host.clone()));
         }
         match self.faults.apply_at(&mut self.link_rng, now) {
-            phishsim_simnet::link::FaultOutcome::Outage => Err(FetchError::ServiceUnavailable),
-            phishsim_simnet::link::FaultOutcome::Dropped => Err(FetchError::ConnectionLost),
-            phishsim_simnet::link::FaultOutcome::ErrorResponse => Err(FetchError::ServerError),
+            phishsim_simnet::link::FaultOutcome::Outage => {
+                self.obs.incr("fetch.outage");
+                Err(FetchError::ServiceUnavailable)
+            }
+            phishsim_simnet::link::FaultOutcome::Dropped => {
+                self.obs.incr("fetch.dropped");
+                Err(FetchError::ConnectionLost)
+            }
+            phishsim_simnet::link::FaultOutcome::ErrorResponse => {
+                self.obs.incr("fetch.error");
+                Err(FetchError::ServerError)
+            }
             phishsim_simnet::link::FaultOutcome::Deliver {
                 extra_delay,
                 duplicated,
                 truncated,
             } => {
+                self.obs.incr("fetch.delivered");
                 let out = self.latency.sample(&mut self.link_rng);
                 let back = self.latency.sample(&mut self.link_rng);
                 let ctx = RequestCtx {

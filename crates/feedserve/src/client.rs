@@ -17,7 +17,7 @@
 use crate::server::{FeedServer, UpdateResponse};
 use crate::store::{prefix_of, PrefixStore};
 use phishsim_simnet::metrics::CounterSet;
-use phishsim_simnet::{SimDuration, SimTime};
+use phishsim_simnet::{ObsSink, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -52,6 +52,9 @@ pub struct FeedClient {
     /// Per-client protocol counters (syncs, diffs applied, resets,
     /// cache hits…).
     pub counters: CounterSet,
+    /// Observability sink mirroring sync rounds, staleness exposure
+    /// and outage degradation into the run-wide registry.
+    obs: ObsSink,
 }
 
 /// Base delay of the client's outage backoff (doubles per consecutive
@@ -71,7 +74,14 @@ impl FeedClient {
             full_cache: HashMap::new(),
             failure_streak: 0,
             counters: CounterSet::new(),
+            obs: ObsSink::Null,
         }
+    }
+
+    /// Attach an observability sink (builder style).
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The version of the local store (0 before the first sync).
@@ -104,6 +114,7 @@ impl FeedClient {
     /// held afterwards.
     pub fn sync(&mut self, server: &FeedServer, now: SimTime) -> u64 {
         self.counters.incr("client.syncs");
+        self.obs.incr("feed.syncs");
         let client_version = (self.version > 0).then_some(self.version);
         match server.fetch_update(client_version, self.last_accepted_fetch, now) {
             UpdateResponse::UpToDate { .. } => {
@@ -115,6 +126,7 @@ impl FeedClient {
             UpdateResponse::Diff { diff, .. } => match diff.apply(&self.store) {
                 Ok(next) => {
                     self.counters.incr("client.diffs_applied");
+                    self.obs.incr("feed.diffs_applied");
                     self.failure_streak = 0;
                     self.version = diff.to_version;
                     self.store = Arc::new(next);
@@ -125,6 +137,7 @@ impl FeedClient {
                     // Local state drifted: fall back to a full reset,
                     // as the real protocol does on checksum mismatch.
                     self.counters.incr("client.apply_errors");
+                    self.obs.incr("feed.apply_errors");
                     if let UpdateResponse::FullReset { version, store, .. } =
                         server.fetch_update(None, None, now)
                     {
@@ -147,11 +160,14 @@ impl FeedClient {
                 // needs no special path — the first answered fetch is
                 // an ordinary diff or full reset.
                 self.counters.incr("client.degraded_syncs");
+                self.obs.incr("feed.degraded_syncs");
                 self.failure_streak = self.failure_streak.saturating_add(1);
                 self.next_sync =
                     now + Self::outage_backoff(self.failure_streak, self.update_period);
             }
         }
+        self.obs
+            .gauge("feed.failure_streak", now, i64::from(self.failure_streak));
         self.version
     }
 
@@ -169,6 +185,7 @@ impl FeedClient {
 
     fn install_reset(&mut self, version: u64, store: Arc<PrefixStore>, now: SimTime) {
         self.counters.incr("client.full_resets");
+        self.obs.incr("feed.full_resets");
         self.failure_streak = 0;
         self.version = version;
         self.store = store;
@@ -188,6 +205,7 @@ impl FeedClient {
             // Staleness exposure: this verdict came off a store the
             // client could not refresh.
             self.counters.incr("check.stale_store");
+            self.obs.incr("feed.stale_checks");
         }
         let prefix = prefix_of(full_hash);
         if !self.store.contains(prefix) {
@@ -210,6 +228,7 @@ impl FeedClient {
             // even past its TTL; with nothing cached the prefix hit
             // alone cannot convict, so the check fails open.
             self.counters.incr("check.stale_cache_served");
+            self.obs.incr("feed.stale_cache_served");
             return match self.full_cache.get(&prefix) {
                 Some(entry) if entry.hashes.contains(&full_hash) => FeedVerdict::Unsafe,
                 _ => FeedVerdict::Safe,
@@ -368,6 +387,46 @@ mod tests {
             client.check(listed_late, &server, SimTime::from_mins(126)),
             FeedVerdict::Unsafe
         );
+    }
+
+    #[test]
+    fn obs_mirrors_sync_rounds_staleness_and_degradation() {
+        use phishsim_simnet::OutageWindow;
+        let sink = ObsSink::memory();
+        let mut server = FeedServer::new(ServerConfig::default());
+        let listed = h(7);
+        server.publish([listed], SimTime::from_mins(1));
+        let server = server
+            .with_outages(vec![OutageWindow::new(
+                SimTime::from_mins(60),
+                SimTime::from_mins(120),
+            )])
+            .with_obs(sink.clone());
+        let mut client =
+            FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO).with_obs(sink.clone());
+
+        client.check(listed, &server, SimTime::from_mins(5));
+        client.sync(&server, SimTime::from_mins(65));
+        client.sync(&server, SimTime::from_mins(70));
+        client.check(listed, &server, SimTime::from_mins(71));
+        client.sync(&server, SimTime::from_mins(125));
+
+        let m = sink.buffer().unwrap().metrics();
+        assert_eq!(
+            m.counter("feed.syncs"),
+            4,
+            "initial + 2 degraded + recovery"
+        );
+        assert_eq!(m.counter("feed.full_resets"), 1);
+        assert_eq!(m.counter("feed.degraded_syncs"), 2);
+        assert!(m.counter("feed.stale_checks") >= 1);
+        assert_eq!(m.counter("feedsrv.unavailable"), 2);
+        assert!(m.counter("feedsrv.fullhash_lookups") >= 1);
+        // The failure-streak gauge peaks during the outage and ends 0.
+        let g = m
+            .gauge_sample("feed.failure_streak")
+            .expect("gauge recorded");
+        assert_eq!(g.value, 0, "recovered after the outage");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::diff::PrefixDiff;
 use crate::store::{prefix_of, PrefixStore};
 use parking_lot::{Mutex, RwLock};
 use phishsim_simnet::metrics::CounterSet;
-use phishsim_simnet::{OutageWindow, SimDuration, SimTime};
+use phishsim_simnet::{ObsSink, OutageWindow, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -149,6 +149,9 @@ pub struct FeedServer {
     /// (update fetch or full-hash lookup) goes unanswered.
     outages: Vec<OutageWindow>,
     counters: Mutex<CounterSet>,
+    /// Observability sink mirroring the served-response mix (update
+    /// kinds, wire bytes, outage refusals) into the run-wide registry.
+    obs: ObsSink,
 }
 
 impl FeedServer {
@@ -168,7 +171,14 @@ impl FeedServer {
             diff_cache: RwLock::new(HashMap::new()),
             outages: Vec::new(),
             counters: Mutex::new(CounterSet::new()),
+            obs: ObsSink::Null,
         }
+    }
+
+    /// Attach an observability sink (builder style).
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The server's configuration.
@@ -284,12 +294,14 @@ impl FeedServer {
     ) -> UpdateResponse {
         if self.down_at(now) {
             counters.incr("update.unavailable");
+            self.obs.incr("feedsrv.unavailable");
             return UpdateResponse::Unavailable;
         }
         if let Some(lf) = last_fetch {
             let elapsed = now.since(lf);
             if elapsed < self.cfg.min_wait {
                 counters.incr("update.backoff");
+                self.obs.incr("feedsrv.backoff");
                 return UpdateResponse::Backoff {
                     retry_after: SimDuration::from_millis(
                         self.cfg.min_wait.as_millis() - elapsed.as_millis(),
@@ -301,6 +313,7 @@ impl FeedServer {
         match client_version {
             Some(v) if v == current.version => {
                 counters.incr("update.up_to_date");
+                self.obs.incr("feedsrv.up_to_date");
                 UpdateResponse::UpToDate { version: v }
             }
             Some(v)
@@ -311,11 +324,16 @@ impl FeedServer {
                 let (diff, wire_bytes) = self.diff_between(v, current.version);
                 counters.incr("update.diff");
                 counters.add("bytes.diff", wire_bytes as u64);
+                self.obs.incr("feedsrv.diff");
+                self.obs.observe("feedsrv.diff_bytes", wire_bytes as u64);
                 UpdateResponse::Diff { diff, wire_bytes }
             }
             _ => {
                 counters.incr("update.full_reset");
                 counters.add("bytes.full_reset", current.encoded_len as u64);
+                self.obs.incr("feedsrv.full_reset");
+                self.obs
+                    .observe("feedsrv.reset_bytes", current.encoded_len as u64);
                 UpdateResponse::FullReset {
                     version: current.version,
                     store: Arc::clone(&current.store),
@@ -366,6 +384,7 @@ impl FeedServer {
     ) -> Option<FullHashResponse> {
         if self.down_at(now) {
             counters.incr("fullhash.unavailable");
+            self.obs.incr("feedsrv.fullhash_unavailable");
             return None;
         }
         Some(self.full_hashes_counted(prefix, now, counters))
@@ -379,6 +398,7 @@ impl FeedServer {
         counters: &mut CounterSet,
     ) -> FullHashResponse {
         counters.incr("fullhash.lookups");
+        self.obs.incr("feedsrv.fullhash_lookups");
         let entry = self.visible_entry(now);
         let full = &entry.full_hashes;
         let lo = u64::from(prefix) << 32;

@@ -55,22 +55,34 @@ pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// A `u64` varint spans at most 10 bytes (`ceil(64 / 7)`).
+const MAX_VARINT_BYTES: u32 = 10;
+
 /// Read an LEB128 varint at `*pos`, advancing it.
+///
+/// Hardened against hostile buffers: the loop is structurally bounded
+/// at [`MAX_VARINT_BYTES`], so a corrupt stream of continuation bytes
+/// (e.g. all-`0x80`) can never drive the shift amount past 63 — the
+/// shift expression stays in range by construction rather than by a
+/// guard that must be evaluated in the right order. Overlong inputs
+/// return [`WireError::Overflow`]; streams ending mid-value return
+/// [`WireError::Truncated`].
 pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     let mut v: u64 = 0;
-    let mut shift = 0u32;
-    loop {
+    for i in 0..MAX_VARINT_BYTES {
         let byte = *buf.get(*pos).ok_or(WireError::Truncated)?;
         *pos += 1;
-        if shift >= 64 || (shift == 63 && byte > 1) {
+        // The 10th byte holds only the top bit of a u64: any other
+        // payload (or a further continuation bit) overflows.
+        if i == MAX_VARINT_BYTES - 1 && byte > 1 {
             return Err(WireError::Overflow);
         }
-        v |= u64::from(byte & 0x7f) << shift;
+        v |= u64::from(byte & 0x7f) << (7 * i);
         if byte & 0x80 == 0 {
             return Ok(v);
         }
-        shift += 7;
     }
+    Err(WireError::Overflow)
 }
 
 /// Number of bytes `v` occupies as a varint.
@@ -191,6 +203,41 @@ mod tests {
     fn overlong_varint_rejected() {
         let buf = [0xffu8; 11];
         let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(WireError::Overflow));
+        assert_eq!(pos, 10, "decoder stops at the 10-byte cap");
+    }
+
+    #[test]
+    fn all_continuation_bytes_never_run_the_shift_past_63() {
+        // A hostile buffer of nothing but 0x80 continuation bytes: short
+        // prefixes are Truncated, and once 10 bytes are available the
+        // decoder must report Overflow — never shift out of range.
+        let hostile = [0x80u8; 64];
+        for len in 0..hostile.len() {
+            let mut pos = 0;
+            let got = get_varint(&hostile[..len], &mut pos);
+            if len < 10 {
+                assert_eq!(got, Err(WireError::Truncated), "len={len}");
+            } else {
+                assert_eq!(got, Err(WireError::Overflow), "len={len}");
+                assert_eq!(pos, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn tenth_byte_payload_is_limited_to_top_bit() {
+        // 9 continuation bytes then the final byte: only 0 and 1 are
+        // representable there (bits 63..64 of a u64).
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x01);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Ok(1u64 << 63));
+        buf[9] = 0x02;
+        pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(WireError::Overflow));
+        buf[9] = 0x81;
+        pos = 0;
         assert_eq!(get_varint(&buf, &mut pos), Err(WireError::Overflow));
     }
 

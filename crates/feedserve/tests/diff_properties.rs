@@ -6,6 +6,7 @@
 //! random prefix sets, random mutation sequences, and the wire
 //! round-trip.
 
+use phishsim_feedserve::wire::{get_varint, put_varint, WireError};
 use phishsim_feedserve::{FeedClient, FeedServer, PrefixDiff, PrefixStore, ServerConfig};
 use phishsim_simnet::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -140,5 +141,69 @@ proptest! {
     fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = PrefixStore::decode(&bytes);
         let _ = PrefixDiff::decode(&bytes);
+    }
+
+    /// Varint decode-fuzz: arbitrary (including hostile) buffers never
+    /// panic, never read past the 10-byte cap, and classify errors
+    /// correctly — a buffer with no terminator is Truncated when it
+    /// ends early and Overflow once 10 continuation bytes are seen.
+    #[test]
+    fn varint_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut pos = 0;
+        match get_varint(&bytes, &mut pos) {
+            Ok(v) => {
+                // The accepting path stops at a terminator byte within
+                // the cap, and the value round-trips through the
+                // canonical encoder.
+                prop_assert!(pos >= 1 && pos <= 10);
+                prop_assert_eq!(bytes[pos - 1] & 0x80, 0, "must stop at a terminator");
+                let mut reenc = Vec::new();
+                put_varint(&mut reenc, v);
+                let mut p2 = 0;
+                prop_assert_eq!(get_varint(&reenc, &mut p2), Ok(v));
+            }
+            Err(WireError::Truncated) => {
+                prop_assert_eq!(pos, bytes.len(), "Truncated must consume the whole buffer");
+                prop_assert!(pos < 10);
+                prop_assert!(bytes.iter().all(|b| b & 0x80 != 0));
+            }
+            Err(e) => {
+                prop_assert_eq!(e, WireError::Overflow);
+                prop_assert!(pos <= 10, "decoder read past the varint cap");
+            }
+        }
+    }
+
+    /// All-continuation (`0x80`) prefixes of any length: the exact
+    /// hostile shape that used to drive the shift amount unboundedly.
+    #[test]
+    fn varint_all_continuation_bytes_rejected(len in 0usize..64) {
+        let hostile = vec![0x80u8; len];
+        let mut pos = 0;
+        let got = get_varint(&hostile, &mut pos);
+        if len < 10 {
+            prop_assert_eq!(got, Err(WireError::Truncated));
+        } else {
+            prop_assert_eq!(got, Err(WireError::Overflow));
+            prop_assert_eq!(pos, 10);
+        }
+    }
+
+    /// Truncating a valid encoding at any interior byte yields
+    /// Truncated, never a wrong value or a panic.
+    #[test]
+    fn varint_truncation_detected(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            prop_assert_eq!(
+                get_varint(&buf[..cut], &mut pos),
+                Err(WireError::Truncated),
+                "cut at {} of {}", cut, buf.len()
+            );
+        }
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&buf, &mut pos), Ok(v));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::message::{Request, Response};
 use crate::tls::TlsCertificate;
-use phishsim_simnet::{Ipv4Sim, SimTime, TraceEvent, TraceKind, TraceLog};
+use phishsim_simnet::{Ipv4Sim, ObsSink, SimTime, TraceEvent, TraceKind, TraceLog};
 use std::collections::HashMap;
 
 /// Per-request context a handler sees (the server-side view).
@@ -96,6 +96,7 @@ pub struct HostingFarm {
     certs: HashMap<String, TlsCertificate>,
     log: TraceLog,
     next_addr: usize,
+    obs: ObsSink,
 }
 
 impl HostingFarm {
@@ -108,7 +109,16 @@ impl HostingFarm {
             certs: HashMap::new(),
             log,
             next_addr: 0,
+            obs: ObsSink::Null,
         }
+    }
+
+    /// Attach an observability sink: every served request emits one
+    /// `http.request` span. Because the span is emitted exactly where
+    /// the access-log line is recorded, per-actor span counts reconcile
+    /// with Table 1's request counts by construction.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Install a site and return the hosting address assigned to it
@@ -145,7 +155,12 @@ impl HostingFarm {
             user_agent: req.user_agent().map(|s| s.to_string()),
             actor: ctx.actor.clone(),
         });
-        self.vhosts.dispatch(req, ctx)
+        let span = self
+            .obs
+            .span_start(None, "http.request", &ctx.actor, ctx.now);
+        let resp = self.vhosts.dispatch(req, ctx);
+        self.obs.span_end(span, ctx.now);
+        resp
     }
 
     /// The farm's access log.
@@ -267,6 +282,28 @@ mod tests {
         assert_eq!(e.path, "/index.php?q=1");
         assert_eq!(e.user_agent.as_deref(), Some("TestAgent/1.0"));
         assert_eq!(e.actor, "test");
+    }
+
+    #[test]
+    fn obs_spans_reconcile_with_access_log() {
+        let log = TraceLog::new();
+        let mut farm = HostingFarm::new(vec![Ipv4Sim::new(10, 0, 0, 1)], log.clone());
+        let sink = ObsSink::memory();
+        farm.set_obs(sink.clone());
+        farm.install_site(
+            "a.com",
+            Box::new(|_: &Request, _: &RequestCtx| Response::html("A")),
+            None,
+        );
+        for _ in 0..5 {
+            farm.serve(&Request::get(Url::https("a.com", "/")), &ctx());
+        }
+        // Unknown host still produces a log line and a span (404s are
+        // requests too).
+        farm.serve(&Request::get(Url::https("nope.com", "/")), &ctx());
+        let counts = sink.buffer().unwrap().span_counts_by_actor("http.request");
+        assert_eq!(counts.get("test"), Some(&6));
+        assert_eq!(log.requests_for("test", None), 6);
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //!   experiment harness.
 //! * [`runner`] — the work-stealing parallel sweep runner shared by the
 //!   experiment harness and the feedserve population simulator.
+//! * [`obs`] — the unified observability layer: structured spans, the
+//!   run-wide [`MetricsRegistry`], and profiling hooks. The disabled
+//!   sink ([`ObsSink::Null`]) is guaranteed free: no allocation, no
+//!   locking, no RNG draws.
 //!
 //! The design follows the event-driven, poll-based style of smoltcp rather
 //! than an async runtime: simplicity and reproducibility are design goals,
@@ -46,6 +50,7 @@ pub mod error;
 pub mod ip;
 pub mod link;
 pub mod metrics;
+pub mod obs;
 pub mod retry;
 pub mod rng;
 pub mod runner;
@@ -56,6 +61,9 @@ pub mod trace;
 pub use error::SimError;
 pub use ip::{IpPool, Ipv4Sim};
 pub use link::{FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow};
+pub use obs::{
+    GaugeSample, LogHistogram, MetricsRegistry, ObsBuffer, ObsKind, ObsRecord, ObsSink, SpanId,
+};
 pub use retry::RetryPolicy;
 pub use rng::DetRng;
 pub use sched::{EventId, Scheduler};

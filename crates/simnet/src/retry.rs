@@ -15,6 +15,7 @@
 //! computing a schedule costs nothing from the caller's stream, and
 //! computing it twice under the same label gives identical delays.
 
+use crate::obs::ObsSink;
 use crate::rng::DetRng;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -132,6 +133,20 @@ impl RetryPolicy {
         }
         delays
     }
+
+    /// [`RetryPolicy::schedule`] plus observability: counts the
+    /// schedule, records its length, and notes when the budget cut it
+    /// short of `max_retries`. The delays themselves are identical to
+    /// `schedule` — the sink never influences the RNG stream.
+    pub fn schedule_observed(&self, rng: &DetRng, label: &str, obs: &ObsSink) -> Vec<SimDuration> {
+        let delays = self.schedule(rng, label);
+        obs.incr("retry.schedules");
+        obs.observe("retry.schedule_len", delays.len() as u64);
+        if (delays.len() as u32) < self.max_retries() {
+            obs.incr("retry.budget_truncated");
+        }
+        delays
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +202,62 @@ mod tests {
             delays,
             vec![SimDuration::from_mins(10), SimDuration::from_mins(20)]
         );
+    }
+
+    #[test]
+    fn budget_below_first_step_yields_empty_schedule() {
+        // Regression guard: a budget smaller than the first backoff
+        // step must produce an *empty* schedule, never one
+        // out-of-budget attempt.
+        let policy = RetryPolicy {
+            base: SimDuration::from_mins(10),
+            multiplier: 2.0,
+            jitter: 0.0,
+            max_attempts: 10,
+            budget: SimDuration::from_millis(10 * 60_000 - 1),
+        };
+        assert!(policy.schedule(&DetRng::new(1), "x").is_empty());
+        // And with the budget exactly equal to the first step, exactly
+        // one retry fits (20 min more would blow the 10-min budget).
+        let exact = RetryPolicy {
+            budget: SimDuration::from_mins(10),
+            ..policy
+        };
+        assert_eq!(
+            exact.schedule(&DetRng::new(1), "x"),
+            vec![SimDuration::from_mins(10)]
+        );
+        // A zero budget admits nothing: every delay is at least 1 ms.
+        let zero = RetryPolicy {
+            budget: SimDuration::ZERO,
+            ..RetryPolicy::crawl_default()
+        };
+        assert!(zero.schedule(&DetRng::new(7), "y").is_empty());
+    }
+
+    #[test]
+    fn observed_schedule_matches_and_counts() {
+        use crate::obs::ObsSink;
+        let policy = RetryPolicy::crawl_default();
+        let rng = DetRng::new(11);
+        let sink = ObsSink::memory();
+        let plain = policy.schedule(&rng, "visit:1");
+        let observed = policy.schedule_observed(&rng, "visit:1", &sink);
+        assert_eq!(plain, observed, "observation must not change delays");
+        let m = sink.metrics();
+        assert_eq!(m.counter("retry.schedules"), 1);
+        assert_eq!(
+            m.histogram("retry.schedule_len").unwrap().count,
+            1,
+            "schedule length recorded once"
+        );
+        // A budget-starved policy reports the truncation.
+        let starved = RetryPolicy {
+            budget: SimDuration::ZERO,
+            ..policy
+        };
+        starved.schedule_observed(&rng, "visit:2", &sink);
+        assert_eq!(sink.metrics().counter("retry.budget_truncated"), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! 2. the `PHISHSIM_SWEEP_THREADS` environment variable,
 //! 3. `std::thread::available_parallelism()` (capped at 16).
 
+use crate::obs::ObsSink;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Upper bound on auto-detected worker threads.
@@ -103,6 +104,71 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Host-side profile of one sweep phase.
+///
+/// Host timings are real wall clock and therefore NON-deterministic:
+/// they are returned to the caller for stderr display and must never
+/// be written into deterministic result files. The deterministic part
+/// of the attribution (phase name, item count, thread count) is what
+/// [`run_sweep_profiled`] records into the [`ObsSink`].
+#[derive(Debug, Clone)]
+pub struct SweepProfile {
+    /// Label of the sweep phase (e.g. `"table2"`).
+    pub phase: String,
+    /// Number of configurations evaluated.
+    pub items: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host wall-clock time the phase took, in milliseconds.
+    pub host_elapsed_ms: u64,
+}
+
+impl std::fmt::Display for SweepProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase {}: {} items on {} threads in {} ms (host)",
+            self.phase, self.items, self.threads, self.host_elapsed_ms
+        )
+    }
+}
+
+/// Run a sweep phase with profiling: deterministic phase attribution
+/// (item and phase counters) goes into `obs`, host wall-clock timing
+/// comes back in the [`SweepProfile`] for stderr-only display.
+///
+/// Results are identical to [`run_sweep_with_threads`] with the same
+/// arguments — the profiling wrapper adds no RNG draws and no
+/// reordering.
+pub fn run_sweep_profiled<C, R, F>(
+    phase: &str,
+    configs: &[C],
+    threads: usize,
+    obs: &ObsSink,
+    f: F,
+) -> (Vec<R>, SweepProfile)
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    let started = std::time::Instant::now();
+    let results = run_sweep_with_threads(configs, threads, f);
+    let host_elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    obs.incr("sweep.phases");
+    obs.add("sweep.items", configs.len() as u64);
+    obs.observe(&format!("sweep.phase_items.{phase}"), configs.len() as u64);
+    (
+        results,
+        SweepProfile {
+            phase: phase.to_string(),
+            items: configs.len(),
+            threads,
+            host_elapsed_ms,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +210,32 @@ mod tests {
     fn more_threads_than_configs_is_fine() {
         let out = run_sweep_with_threads(&[1u32, 2], 32, |&x| x + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn profiled_sweep_matches_plain_sweep_and_records_attribution() {
+        let configs: Vec<u64> = (0..33).collect();
+        let sink = ObsSink::memory();
+        let (out, profile) = run_sweep_profiled("demo", &configs, 4, &sink, |&x| x * 2);
+        assert_eq!(out, run_sweep_with_threads(&configs, 4, |&x| x * 2));
+        assert_eq!(profile.phase, "demo");
+        assert_eq!(profile.items, 33);
+        assert_eq!(profile.threads, 4);
+        let m = sink.buffer().unwrap().metrics();
+        assert_eq!(m.counter("sweep.phases"), 1);
+        assert_eq!(m.counter("sweep.items"), 33);
+        let h = m.histogram("sweep.phase_items.demo").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 33);
+        // Host timing stays out of the deterministic registry.
+        assert!(m.histogram("sweep.host_ms").is_none());
+    }
+
+    #[test]
+    fn profiled_sweep_with_null_sink_is_inert() {
+        let configs: Vec<u64> = (0..5).collect();
+        let (out, _) = run_sweep_profiled("quiet", &configs, 2, &ObsSink::Null, |&x| x + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! report submissions, crawl visits, blacklist publications and feed
 //! polls are all events.
 
+use crate::obs::ObsSink;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -65,6 +66,8 @@ pub struct Scheduler<E> {
     alive: std::collections::HashSet<EventId>,
     /// Lazily-deleted IDs still sitting in the heap.
     cancelled: std::collections::HashSet<EventId>,
+    /// Observability sink; `Null` by default and free when disabled.
+    obs: ObsSink,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -82,7 +85,16 @@ impl<E> Scheduler<E> {
             next_seq: 0,
             alive: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
+            obs: ObsSink::Null,
         }
+    }
+
+    /// Attach an observability sink. Dispatch, cancellation and
+    /// compaction counts flow into its registry; the tombstone gauge
+    /// tracks the lazy-delete set.
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Current simulated time: the timestamp of the most recently popped
@@ -126,6 +138,7 @@ impl<E> Scheduler<E> {
         });
         self.alive.insert(id);
         self.next_seq += 1;
+        self.obs.incr("sched.scheduled");
         id
     }
 
@@ -145,6 +158,9 @@ impl<E> Scheduler<E> {
         }
         // Lazy deletion: mark and skip at pop time.
         self.cancelled.insert(id);
+        self.obs.incr("sched.cancelled");
+        self.obs
+            .gauge("sched.tombstones", self.now, self.cancelled.len() as i64);
         self.maybe_compact();
         true
     }
@@ -154,12 +170,16 @@ impl<E> Scheduler<E> {
     /// schedule. O(heap) rebuild, amortised by the >=1/2 trigger.
     fn maybe_compact(&mut self) {
         if self.cancelled.len() >= 64 && self.cancelled.len() * 2 >= self.heap.len() {
+            let swept = self.cancelled.len() as u64;
             let cancelled = std::mem::take(&mut self.cancelled);
             let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap)
                 .into_iter()
                 .filter(|e| !cancelled.contains(&e.id))
                 .collect();
             self.heap = BinaryHeap::from(entries);
+            self.obs.incr("sched.compactions");
+            self.obs.add("sched.tombstones_swept", swept);
+            self.obs.gauge("sched.tombstones", self.now, 0);
         }
     }
 
@@ -172,6 +192,7 @@ impl<E> Scheduler<E> {
             self.alive.remove(&entry.id);
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
+            self.obs.incr("sched.dispatched");
             return Some((entry.at, entry.payload));
         }
         None
@@ -360,6 +381,28 @@ mod tests {
         s.schedule_at(SimTime::from_mins(2), "next");
         s.cancel(id);
         assert_eq!(s.peek_time(), Some(SimTime::from_mins(2)));
+    }
+
+    #[test]
+    fn obs_counts_dispatch_cancel_and_compaction() {
+        let sink = ObsSink::memory();
+        let mut s: Scheduler<u32> = Scheduler::new().with_obs(sink.clone());
+        let ids: Vec<EventId> = (0..200)
+            .map(|i| s.schedule_at(SimTime::from_mins(i + 1), i as u32))
+            .collect();
+        for id in &ids[..150] {
+            s.cancel(*id);
+        }
+        while s.pop().is_some() {}
+        let m = sink.metrics();
+        assert_eq!(m.counter("sched.scheduled"), 200);
+        assert_eq!(m.counter("sched.cancelled"), 150);
+        assert_eq!(m.counter("sched.dispatched"), 50);
+        assert!(m.counter("sched.compactions") >= 1);
+        assert_eq!(
+            m.counter("sched.cancelled"),
+            m.counter("sched.scheduled") - m.counter("sched.dispatched")
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// What kind of exchange a trace event records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum TraceKind {
     /// An HTTP request that reached a simulated web server.
     HttpRequest,
@@ -57,9 +57,36 @@ pub struct TraceEvent {
 /// Cloning is cheap (an `Arc`); all clones append to the same log. The
 /// lock is `parking_lot::RwLock` so concurrent table harnesses can read
 /// while a simulation thread appends.
+///
+/// # Ordering
+///
+/// Appends from parallel sweep workers land in the backing vector in
+/// thread-interleaving-dependent order, so raw append order must never
+/// leak into records that are supposed to be byte-identical across
+/// thread counts. Every order-exposing query therefore sorts on a
+/// deterministic total order: `(at, actor, host, path, src, kind,
+/// user_agent)`, with the append sequence — assigned under the write
+/// lock — as the final tie-break (via stable sort). Two events that
+/// differ in any field always compare by content; fully identical
+/// events are interchangeable in any digest, so the residual
+/// append-order tie-break cannot make output thread-dependent.
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     inner: Arc<RwLock<Vec<TraceEvent>>>,
+}
+
+/// Sort events into the deterministic total order described on
+/// [`TraceLog`]. Stable, so the append sequence breaks exact ties.
+fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by(|a, b| {
+        a.at.cmp(&b.at)
+            .then_with(|| a.actor.cmp(&b.actor))
+            .then_with(|| a.host.cmp(&b.host))
+            .then_with(|| a.path.cmp(&b.path))
+            .then_with(|| a.src.cmp(&b.src))
+            .then_with(|| a.kind.cmp(&b.kind))
+            .then_with(|| a.user_agent.cmp(&b.user_agent))
+    });
 }
 
 impl TraceLog {
@@ -83,19 +110,25 @@ impl TraceLog {
         self.inner.read().is_empty()
     }
 
-    /// Snapshot of all events (cloned out of the lock).
+    /// Snapshot of all events, in the deterministic total order (see
+    /// the type-level ordering note) — not raw append order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.read().clone()
+        let mut out = self.inner.read().clone();
+        sort_events(&mut out);
+        out
     }
 
-    /// Events matching a predicate.
+    /// Events matching a predicate, in the deterministic total order.
     pub fn filter<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> Vec<TraceEvent> {
-        self.inner
+        let mut out: Vec<TraceEvent> = self
+            .inner
             .read()
             .iter()
             .filter(|e| pred(e))
             .cloned()
-            .collect()
+            .collect();
+        sort_events(&mut out);
+        out
     }
 
     /// Count of events matching a predicate.
@@ -181,13 +214,14 @@ impl TraceLog {
         buckets
     }
 
-    /// Paths requested by `actor`, in arrival order (kit-probing analysis).
+    /// Paths requested by `actor`, in arrival order (kit-probing
+    /// analysis). "Arrival" means simulated time, via the deterministic
+    /// total order — raw append order is interleaving-dependent when
+    /// sweep workers share a log.
     pub fn paths_for(&self, actor: &str) -> Vec<String> {
-        self.inner
-            .read()
-            .iter()
-            .filter(|e| e.kind == TraceKind::HttpRequest && e.actor == actor)
-            .map(|e| e.path.clone())
+        self.filter(|e| e.kind == TraceKind::HttpRequest && e.actor == actor)
+            .into_iter()
+            .map(|e| e.path)
             .collect()
     }
 
@@ -281,6 +315,53 @@ mod tests {
         log.record(ev(1, "op", "a.com", "/shell.php", Ipv4Sim::new(1, 0, 0, 1)));
         log.record(ev(2, "op", "a.com", "/kit.zip", Ipv4Sim::new(1, 0, 0, 1)));
         assert_eq!(log.paths_for("op"), vec!["/shell.php", "/kit.zip"]);
+    }
+
+    #[test]
+    fn queries_are_append_order_independent() {
+        // Two logs fed the same events in different (thread-
+        // interleaving-like) orders must answer every order-exposing
+        // query identically.
+        let events = vec![
+            ev(3, "op", "a.com", "/kit.zip", Ipv4Sim::new(1, 0, 0, 2)),
+            ev(1, "gsb", "a.com", "/", Ipv4Sim::new(1, 0, 0, 1)),
+            ev(3, "gsb", "b.com", "/x", Ipv4Sim::new(1, 0, 0, 1)),
+            ev(3, "gsb", "a.com", "/y", Ipv4Sim::new(1, 0, 0, 3)),
+        ];
+        let a = TraceLog::new();
+        for e in &events {
+            a.record(e.clone());
+        }
+        let b = TraceLog::new();
+        for e in events.iter().rev() {
+            b.record(e.clone());
+        }
+        let digest = |log: &TraceLog| {
+            log.snapshot()
+                .iter()
+                .map(|e| format!("{}|{}|{}|{}|{}", e.at, e.actor, e.host, e.path, e.src))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        assert_eq!(log_paths(&a), log_paths(&b));
+
+        fn log_paths(log: &TraceLog) -> Vec<String> {
+            let mut p = log.paths_for("gsb");
+            p.extend(log.paths_for("op"));
+            p
+        }
+    }
+
+    #[test]
+    fn snapshot_orders_by_time_then_content() {
+        let log = TraceLog::new();
+        log.record(ev(5, "b", "z.com", "/", Ipv4Sim::new(1, 0, 0, 1)));
+        log.record(ev(5, "a", "z.com", "/", Ipv4Sim::new(1, 0, 0, 1)));
+        log.record(ev(2, "z", "z.com", "/", Ipv4Sim::new(1, 0, 0, 1)));
+        let snap = log.snapshot();
+        assert_eq!(snap[0].actor, "z", "earlier time first");
+        assert_eq!(snap[1].actor, "a", "equal times order by content");
+        assert_eq!(snap[2].actor, "b");
     }
 
     #[test]

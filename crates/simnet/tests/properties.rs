@@ -142,6 +142,40 @@ proptest! {
             "schedule total {total} exceeds budget {}", policy.budget.as_millis());
     }
 
+    /// The budget fit is exact: the schedule is the *longest* prefix of
+    /// the unbounded delay sequence whose cumulative sum fits the
+    /// budget. In particular a budget below the first backoff step
+    /// yields an empty schedule, and a schedule never stops while the
+    /// next delay would still have fit.
+    #[test]
+    fn retry_schedule_budget_boundary_is_exact(
+        seed in any::<u64>(),
+        policy in retry_policy_strategy(),
+        label in "[a-z]{1,12}",
+    ) {
+        let rng = DetRng::new(seed);
+        let delays = policy.schedule(&rng, &label);
+        // Jitter draws are per-slot and unconditional, so lifting the
+        // budget replays the same delay sequence, just longer.
+        let unbounded = RetryPolicy {
+            budget: SimDuration::from_millis(u64::MAX / 4),
+            ..policy.clone()
+        };
+        let full = unbounded.schedule(&rng, &label);
+        prop_assert_eq!(&delays[..], &full[..delays.len()],
+            "budgeted schedule must be a prefix of the unbounded one");
+        let total: u64 = delays.iter().map(|d| d.as_millis()).sum();
+        prop_assert!(total <= policy.budget.as_millis());
+        if delays.len() < full.len() {
+            let next = full[delays.len()].as_millis();
+            prop_assert!(
+                total + next > policy.budget.as_millis(),
+                "schedule stopped early: next delay {} would still fit ({} + {} <= {})",
+                next, total, next, policy.budget.as_millis()
+            );
+        }
+    }
+
     /// A schedule/cancel storm — the pattern engine-level retries
     /// produce — leaves the scheduler bounded: compaction keeps the
     /// tombstone set small relative to the live queue.

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo gate: format, lints, tier-1 tests, quick perf baseline, and the
-# sb_scale determinism smoke.
+# sb_scale / resilience / obs_report determinism smokes.
 #
 #   ./scripts/check.sh
 #
@@ -47,5 +47,16 @@ if ! diff -q results/.resilience.t1.json results/resilience.json; then
 fi
 rm -f results/.resilience.t1.json
 echo "resilience record byte-identical across thread counts"
+
+echo "==> obs_report determinism smoke (full volume, 1 vs 8 threads)"
+PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin obs_report
+cp results/obs_report.json results/.obs_report.t1.json
+PHISHSIM_SWEEP_THREADS=8 cargo run --release -p phishsim-bench --bin obs_report
+if ! diff -q results/.obs_report.t1.json results/obs_report.json; then
+  echo "obs_report record differs between 1 and 8 threads" >&2
+  exit 1
+fi
+rm -f results/.obs_report.t1.json
+echo "obs_report record byte-identical across thread counts"
 
 echo "All checks passed."

@@ -5,6 +5,7 @@
 use phishsim::analysis::{attribute_traffic, IpRangeBook};
 use phishsim::experiment::{run_preliminary, PreliminaryConfig};
 use phishsim::prelude::*;
+use phishsim::simnet::ObsSink;
 
 #[test]
 fn preliminary_traffic_attributes_back_to_engines() {
@@ -36,6 +37,70 @@ fn preliminary_traffic_attributes_back_to_engines() {
         let inferred = report.per_engine.get(id.key()).copied().unwrap_or(0);
         let truth = r.world.log.requests_for(id.key(), None) as u64;
         assert_eq!(inferred, truth, "{id}");
+    }
+}
+
+#[test]
+fn obs_http_request_spans_reconcile_with_access_log() {
+    // The `http.request` span is emitted at the same site that records
+    // the access-log trace line, so per-engine span counts must equal
+    // the Table 1 request column of the same run — the obs layer is a
+    // second, independent witness of the crawl traffic.
+    let sink = ObsSink::memory();
+    let mut config = PreliminaryConfig::fast();
+    config.obs = sink.clone();
+    let r = run_preliminary(&config);
+    let counts = sink
+        .buffer()
+        .expect("memory sink")
+        .span_counts_by_actor("http.request");
+    assert_eq!(counts.len(), r.table.rows.len(), "one actor per engine");
+    for row in &r.table.rows {
+        assert_eq!(
+            counts.get(row.engine.key()).copied().unwrap_or(0),
+            row.requests,
+            "span count vs access log for {}",
+            row.engine
+        );
+    }
+}
+
+#[test]
+fn committed_obs_report_reconciles_with_committed_table1() {
+    // The two committed artifacts were produced by independent binaries
+    // (`table1` reads the trace log, `obs_report` counts spans); their
+    // per-engine request numbers must agree exactly.
+    let read = |name: &str| -> serde_json::Value {
+        let path = format!("results/{name}.json");
+        serde_json::from_str(&std::fs::read_to_string(&path).expect(&path)).expect("valid JSON")
+    };
+    let obs = read("obs_report");
+    let t1 = read("table1");
+    let spans = obs
+        .get("span_counts_http_request")
+        .and_then(|v| v.as_object())
+        .expect("span counts map");
+    let rows = t1
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .expect("table1 rows");
+    assert_eq!(spans.len(), rows.len(), "one span-count entry per engine");
+    for row in rows {
+        let variant = row
+            .get("engine")
+            .and_then(|v| v.as_str())
+            .expect("engine name");
+        // Table 1 serializes the enum variant ("Gsb"); the span map is
+        // keyed by the actor key ("gsb"). Map through EngineId.
+        let engine = *EngineId::all()
+            .iter()
+            .find(|id| serde_json::to_value(id).as_str() == Some(variant))
+            .unwrap_or_else(|| panic!("unknown engine {variant}"));
+        assert_eq!(
+            spans.get(engine.key()).and_then(|v| v.as_u64()),
+            row.get("requests").and_then(|v| v.as_u64()),
+            "committed span count vs committed Table 1 for {engine}"
+        );
     }
 }
 

@@ -18,7 +18,7 @@ use phishsim::experiment::{
     SbScaleConfig,
 };
 use phishsim::feedserve::PopulationConfig;
-use phishsim::simnet::SimDuration;
+use phishsim::simnet::{MetricsRegistry, ObsSink, SimDuration};
 use phishsim_core::runner::run_sweep_with_threads;
 
 /// One sweep cell: a seeded fast main-experiment run, serialized the
@@ -68,6 +68,63 @@ fn sb_scale_report_is_byte_identical_across_thread_counts() {
     let serial = json(1);
     assert_eq!(serial, json(4), "1 vs 4 threads");
     assert_eq!(serial, json(16), "1 vs 16 (oversubscribed) threads");
+}
+
+/// A trace-query digest: every TraceLog read path the analysis code
+/// uses, serialized into one string. `snapshot()` sorts by the
+/// content-keyed total order, so this digest must not depend on the
+/// interleaving that produced the log.
+fn trace_digest(seed: &u64) -> String {
+    let r = run_preliminary(&PreliminaryConfig {
+        seed: *seed,
+        ..PreliminaryConfig::fast()
+    });
+    let log = &r.world.log;
+    let mut out = String::new();
+    for e in log.snapshot() {
+        out.push_str(&format!("{:?}|{}|{}|{:?}\n", e.at, e.actor, e.src, e.kind));
+    }
+    out.push_str(&format!("gsb={}\n", log.requests_for("gsb", None)));
+    out.push_str(&format!("paths={:?}\n", log.paths_for("netcraft")));
+    out
+}
+
+#[test]
+fn trace_query_digest_is_byte_identical_across_thread_counts() {
+    let seeds: Vec<u64> = (17..20).collect();
+    let serial = run_sweep_with_threads(&seeds, 1, trace_digest);
+    let parallel = run_sweep_with_threads(&seeds, 4, trace_digest);
+    assert_eq!(
+        serial, parallel,
+        "trace queries must not depend on the worker-thread count"
+    );
+}
+
+#[test]
+fn merged_metrics_registry_is_byte_identical_across_thread_counts() {
+    // Each sweep cell runs with its own memory sink; the per-run
+    // registries are merged in input order, so the merged registry —
+    // counters, histograms and gauges alike — must serialize to the
+    // same bytes no matter how many threads executed the sweep.
+    let merged_json = |threads: usize| {
+        let seeds: Vec<u64> = (17..21).collect();
+        let registries = run_sweep_with_threads(&seeds, threads, |&seed| {
+            let sink = ObsSink::memory();
+            let mut c = MainConfig::fast();
+            c.seed = seed;
+            c.obs = sink.clone();
+            run_main_experiment(&c);
+            sink.buffer().expect("memory sink").metrics()
+        });
+        let mut merged = MetricsRegistry::new();
+        for m in &registries {
+            merged.merge(m);
+        }
+        serde_json::to_string(&merged).expect("serializable")
+    };
+    let serial = merged_json(1);
+    assert_eq!(serial, merged_json(4), "1 vs 4 threads");
+    assert_eq!(serial, merged_json(16), "1 vs 16 (oversubscribed) threads");
 }
 
 #[test]
