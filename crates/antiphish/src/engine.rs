@@ -15,6 +15,7 @@
 use crate::classifier::{classify, Classification};
 use crate::kit_probe;
 use crate::profiles::{EngineId, EngineProfile};
+use crate::sharedcache::{RunCaches, VerdictStore};
 use parking_lot::Mutex;
 use phishsim_browser::rendercache::content_hash;
 use phishsim_browser::{
@@ -102,7 +103,11 @@ pub struct Engine {
     /// when disabled via `PHISHSIM_RENDER_CACHE=0`.
     render_cache: Option<Arc<RenderCache>>,
     /// Memoized page classifications keyed by (body hash, host hash).
+    /// The private fallback when no shared store is attached.
     classify_cache: std::collections::HashMap<(u64, u64), Classification>,
+    /// Run-level verdict store shared with the run's other engines
+    /// (see [`RunCaches`]); replaces `classify_cache` when present.
+    shared_verdicts: Option<Arc<VerdictStore>>,
     classify_hits: u64,
     classify_misses: u64,
     /// Retry policy for transient crawl failures (lost exchanges,
@@ -143,6 +148,7 @@ impl Engine {
             recent_reports: std::collections::HashMap::new(),
             render_cache: render_cache_enabled().then(|| Arc::new(RenderCache::new())),
             classify_cache: std::collections::HashMap::new(),
+            shared_verdicts: None,
             classify_hits: 0,
             classify_misses: 0,
             retry_policy: RetryPolicy::crawl_default(),
@@ -166,6 +172,20 @@ impl Engine {
     /// behaviour.
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry_policy = policy;
+        self
+    }
+
+    /// Attach a run's shared caches (builder style): the engine's
+    /// private render cache is replaced by the run-level one and
+    /// classifications go through the shared [`VerdictStore`]. Both
+    /// cached products are pure in their keys, so swapping the private
+    /// caches for shared ones never changes an outcome — the caller
+    /// (the experiment harness) only does this when
+    /// [`render_cache_enabled`] and
+    /// [`shared_cache_enabled`](crate::shared_cache_enabled) both hold.
+    pub fn with_run_caches(mut self, caches: &RunCaches) -> Self {
+        self.render_cache = Some(Arc::clone(&caches.render));
+        self.shared_verdicts = Some(Arc::clone(&caches.verdicts));
         self
     }
 
@@ -200,6 +220,16 @@ impl Engine {
     fn classify_score(&mut self, view: &PageView, host: &str) -> f64 {
         self.obs.incr("engine.classifications");
         let mode = self.profile.classifier_mode;
+        if let Some(store) = &self.shared_verdicts {
+            let key = (view.body_hash, content_hash(host));
+            let (c, hit) = store.get_or_compute(key, || classify(&view.summary, host));
+            if hit {
+                self.classify_hits += 1;
+            } else {
+                self.classify_misses += 1;
+            }
+            return c.score(mode);
+        }
         if self.render_cache.is_none() {
             return classify(&view.summary, host).score(mode);
         }
@@ -1008,6 +1038,62 @@ mod tests {
         assert_eq!(engine.cache_counters().total(), 0);
     }
 
+    #[test]
+    fn shared_and_frozen_caches_do_not_change_outcomes() {
+        // The shared-cache correctness bar: a run with per-engine
+        // caches, a run on a fresh shared cache pair, and a run served
+        // by a frozen tier must produce identical outcomes.
+        let run_with = |caches: Option<&RunCaches>| {
+            let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+            let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(2020));
+            if let Some(c) = caches {
+                engine = engine.with_run_caches(c);
+            }
+            engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE)
+        };
+        let baseline = run_with(None);
+        let warm = RunCaches::fresh();
+        let shared = run_with(Some(&warm));
+        assert_eq!(format!("{baseline:?}"), format!("{shared:?}"));
+
+        let frozen = warm.freeze();
+        let (renders, verdicts) = frozen.sizes();
+        assert!(renders > 0 && verdicts > 0, "warm run must populate both");
+        let thawed = RunCaches::thawed(&frozen);
+        let from_frozen = run_with(Some(&thawed));
+        assert_eq!(format!("{baseline:?}"), format!("{from_frozen:?}"));
+        assert!(
+            thawed.render.frozen_hits() > 0,
+            "identical rerun must be served by the frozen tier"
+        );
+        assert!(
+            thawed.render.is_empty(),
+            "no new renders enter the overlay on an identical rerun"
+        );
+    }
+
+    #[test]
+    fn engines_share_one_runs_caches() {
+        // Two engines visiting the same page content through one
+        // RunCaches: the second engine's parses and classifications
+        // are served by the first's work.
+        let caches = RunCaches::fresh();
+        for id in [EngineId::Apwg, EngineId::PhishTank] {
+            let mut d = deploy(Brand::PayPal, GateConfig::simple(EvasionTechnique::None));
+            let mut engine = Engine::new(id, &DetRng::new(2020)).with_run_caches(&caches);
+            engine.process_report(&mut d.transport, &d.url, SimTime::from_mins(60), SCALE);
+        }
+        let c = caches.counters();
+        assert!(
+            c.get("verdict_store.hit") >= 1,
+            "second engine must reuse the first's verdicts: {c:?}"
+        );
+        assert!(
+            c.get("render_cache.hit") >= 1,
+            "second engine must reuse the first's renders: {c:?}"
+        );
+    }
+
     /// Fails the first `failures` fetches with a transient error, then
     /// delegates to the real transport.
     struct Flaky<'a> {
@@ -1243,8 +1329,11 @@ mod dedup_tests {
         let (mut t, url) = deploy();
         let mut engine = Engine::new(EngineId::Gsb, &DetRng::new(5));
         let first = engine.process_report(&mut t, &url, SimTime::from_mins(60), 0.02);
-        assert!(!engine.is_duplicate_report(&url, SimTime::from_mins(59)) || true);
         assert!(engine.is_duplicate_report(&url, SimTime::from_mins(90)));
+        assert!(
+            !engine.is_duplicate_report(&url, SimTime::from_mins(60 + 24 * 60)),
+            "the dedup window expires after 24 h"
+        );
         let second = engine.process_report(&mut t, &url, SimTime::from_mins(90), 0.02);
         assert!(
             second.requests_made * 10 < first.requests_made,

@@ -27,6 +27,9 @@
 //!   credential logs).
 //! * [`intake`] — report channels (online form vs email) and the
 //!   PhishLabs abuse-notification side effect.
+//! * [`sharedcache`] — run-level render/verdict caches shared by all
+//!   engines of a run, plus the frozen read-only tier a sweep builds
+//!   once and shares (lock-free) across its workers.
 //! * [`engine`] — the crawl pipeline tying it together: intake → visits
 //!   (with the browser capability profile) → form submission →
 //!   classification → verdict, plus background crawl traffic shaped so
@@ -43,6 +46,7 @@ pub mod intake;
 pub mod kit_probe;
 pub mod profiles;
 pub mod sbapi;
+pub mod sharedcache;
 pub mod voting;
 
 pub use blacklist::Blacklist;
@@ -52,4 +56,5 @@ pub use feeds::{FeedEdge, FeedNetwork};
 pub use intake::ReportChannel;
 pub use profiles::{CapabilityUpgrade, DeepPass, EngineId, EngineProfile};
 pub use sbapi::{full_hash, HashPrefix, SbClient, SbServer, SbVerdict};
+pub use sharedcache::{shared_cache_enabled, FrozenCaches, RunCaches, VerdictStore};
 pub use voting::{SubmissionView, Vote, VoterProfile, VotingQueue};

@@ -1,4 +1,5 @@
-//! Persistent performance baseline: `results/BENCH_2.json`.
+//! Persistent performance baseline: `results/BENCH_2.json` through
+//! `results/BENCH_4.json`.
 //!
 //! ```text
 //! cargo run --release -p phishsim-bench --bin bench_baseline [--quick]
@@ -13,6 +14,13 @@
 //! the pre-feedserve record, kept for history);
 //! `--quick` shrinks reps and the sweep size for CI-style smoke runs.
 //!
+//! `BENCH_4` adds the thread-scaling artifact: a 1,000-run seed sweep
+//! timed at 1/2/4/8/16 worker threads (runs/sec per point, results
+//! asserted byte-identical at every point), plus the sweep-level
+//! frozen-cache tier timed cold vs thawed on repeated same-config
+//! runs. Speedup floors are asserted only when `host_parallelism`
+//! provides the cores — the record always states what the host was.
+//!
 //! The harness also cross-checks determinism: Table 2 cells must be
 //! identical with the cache on and off, and the sweep histogram must be
 //! identical at 1 thread and N threads. A mismatch aborts the run.
@@ -22,9 +30,9 @@ use phishsim_bench::write_record;
 use phishsim_core::experiment::{
     run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
 };
-use phishsim_core::runner::{run_sweep_with_threads, sweep_threads};
+use phishsim_core::runner::{run_sweep_profiled, run_sweep_with_threads, sweep_threads};
 use phishsim_feedserve::{PrefixDiff, PrefixStore};
-use phishsim_simnet::FaultInjector;
+use phishsim_simnet::{FaultInjector, ObsSink};
 use std::time::Instant;
 
 /// Deterministic pseudo-random full hashes (splitmix64 walk) — same
@@ -184,6 +192,163 @@ fn main() {
         "fault path: no-fault {nofault_ms:.0} ms (vs {t2_on_ms:.0} ms plain), \
          chaos profile {chaos_ms:.0} ms ({:.2}x)",
         chaos_ms / nofault_ms
+    );
+
+    // ---- BENCH_4: thread-scaling curve + sweep-level frozen caches ----
+    // A large seed sweep at 1/2/4/8/16 worker threads, runs/sec per
+    // point, with every point's results asserted byte-identical to the
+    // single-thread reference. Real speedup needs real cores, so the
+    // curve records `host_parallelism` and the speedup floors are only
+    // asserted on hosts that physically have the parallelism — on a
+    // 1-core container the curve is still produced (and still proves
+    // thread-count invariance), it just cannot show a speedup.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scale_runs: u64 = if quick { 64 } else { 1000 };
+    let scale_seeds: Vec<u64> = (0..scale_runs).collect();
+    let thread_points: &[usize] = &[1, 2, 4, 8, 16];
+    let obs = ObsSink::memory();
+    let mut curve: Vec<(usize, f64, f64)> = Vec::new(); // (threads, ms, runs/sec)
+    let mut reference: Option<Vec<u64>> = None;
+    for &t in thread_points {
+        let (results, profile) = run_sweep_profiled(
+            &format!("bench4.threads{t}"),
+            &scale_seeds,
+            t,
+            &obs,
+            sweep_one,
+        );
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(
+                r, &results,
+                "sweep results must be byte-identical at {t} threads"
+            ),
+        }
+        let runs_per_sec = scale_runs as f64 / (profile.host_elapsed_ms / 1e3);
+        println!(
+            "scaling ({scale_runs} runs): {t:>2} threads {:.0} ms ({runs_per_sec:.1} runs/s)",
+            profile.host_elapsed_ms
+        );
+        curve.push((t, profile.host_elapsed_ms, runs_per_sec));
+    }
+    let ms_at = |t: usize| {
+        curve
+            .iter()
+            .find(|(ct, _, _)| *ct == t)
+            .map(|(_, ms, _)| *ms)
+            .expect("measured point")
+    };
+    let speedup_at_4 = ms_at(1) / ms_at(4);
+    let speedup_at_8 = ms_at(1) / ms_at(8);
+    if host_parallelism >= 8 {
+        assert!(
+            speedup_at_8 >= 4.0,
+            "8-thread sweep must be >=4x on an >=8-core host, got {speedup_at_8:.2}x"
+        );
+    } else if host_parallelism >= 4 {
+        assert!(
+            speedup_at_4 >= 2.0,
+            "4-thread sweep must be >=2x on a >=4-core host, got {speedup_at_4:.2}x"
+        );
+    } else {
+        eprintln!(
+            "host exposes {host_parallelism} core(s); scaling floors not asserted \
+             (thread-count invariance still verified at every point)"
+        );
+    }
+
+    // Frozen-cache tier: repeated evaluations of one configuration —
+    // the shape of an ablation or calibration sweep — against cold
+    // per-run caches vs a frozen tier built from one warm-up run.
+    let frozen_reps: usize = if quick { 4 } else { 8 };
+    let warmup = run_main_experiment(&MainConfig::fast());
+    let frozen = warmup
+        .run_caches
+        .as_ref()
+        .expect("shared caches are on by default")
+        .freeze();
+    // Interleave cold and thawed runs (as in `time_pair`) so drift in
+    // background load hits both sides equally.
+    let (mut cold_ms, mut warm_ms) = (0.0, 0.0);
+    let (mut cold_last, mut warm_last) = (None, None);
+    for _ in 0..frozen_reps {
+        let start = Instant::now();
+        cold_last = Some(run_main_experiment(&MainConfig::fast()));
+        cold_ms += start.elapsed().as_secs_f64() * 1e3;
+        let cfg = MainConfig {
+            shared_frozen: Some(frozen.clone()),
+            ..MainConfig::fast()
+        };
+        let start = Instant::now();
+        warm_last = Some(run_main_experiment(&cfg));
+        warm_ms += start.elapsed().as_secs_f64() * 1e3;
+    }
+    let cold_last = cold_last.expect("ran");
+    let warm_last = warm_last.expect("ran");
+    assert_eq!(
+        cold_last.table.cells, warm_last.table.cells,
+        "the frozen tier must not change Table 2"
+    );
+    let frozen_speedup = cold_ms / warm_ms;
+    let warm_counters = warm_last
+        .run_caches
+        .as_ref()
+        .expect("shared caches on")
+        .counters();
+    let (frozen_renders, frozen_verdicts) = frozen.sizes();
+    assert!(
+        warm_counters.get("render_cache.frozen_hit") > 0,
+        "a same-config rerun must hit the frozen render tier"
+    );
+    println!(
+        "frozen tier ({frozen_reps} same-config runs): cold {cold_ms:.0} ms, \
+         thawed {warm_ms:.0} ms ({frozen_speedup:.2}x); tier {frozen_renders} renders + \
+         {frozen_verdicts} verdicts, rerun hits: render {} verdict {}",
+        warm_counters.get("render_cache.frozen_hit"),
+        warm_counters.get("verdict_store.frozen_hit"),
+    );
+
+    write_record(
+        "BENCH_4",
+        &serde_json::json!({
+            "bench": "BENCH_4",
+            "quick": quick,
+            "host_parallelism": host_parallelism,
+            "sweep": {
+                "n_runs": scale_runs,
+                "curve": curve
+                    .iter()
+                    .map(|(t, ms, rps)| {
+                        serde_json::json!({
+                            "threads": t,
+                            "elapsed_ms": ms,
+                            "runs_per_sec": rps,
+                        })
+                    })
+                    .collect::<Vec<_>>(),
+                "speedup_at_4_threads": speedup_at_4,
+                "speedup": speedup_at_8,
+                "speedup_asserted": host_parallelism >= 4,
+            },
+            "frozen_cache": {
+                "reps": frozen_reps,
+                "cold_ms": cold_ms,
+                "thawed_ms": warm_ms,
+                "speedup": frozen_speedup,
+                "tier_renders": frozen_renders,
+                "tier_verdicts": frozen_verdicts,
+                "rerun_frozen_render_hits": warm_counters.get("render_cache.frozen_hit"),
+                "rerun_frozen_verdict_hits": warm_counters.get("verdict_store.frozen_hit"),
+                "rerun_render_overlay_misses": warm_counters.get("render_cache.miss"),
+                "rerun_verdict_overlay_misses": warm_counters.get("verdict_store.miss"),
+            },
+            "determinism": {
+                "identical_at_every_thread_count": true,
+                "frozen_tier_preserves_table2": true,
+            },
+        }),
     );
 
     write_record(

@@ -296,16 +296,7 @@ impl Browser {
         let req = self.build_request(req, *now);
         let (resp, rtt) = self.fetch_with_retry(t, &req, now)?;
         *now += rtt;
-        let cookies = resp
-            .set_cookies()
-            .into_iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>();
-        self.jar.ingest(
-            &cookies.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
-            &host,
-            *now,
-        );
+        self.jar.ingest(&resp.set_cookies(), &host, *now);
         Ok(resp)
     }
 

@@ -99,7 +99,7 @@ impl Transport for DirectTransport {
     ) -> Result<(Response, SimDuration), FetchError> {
         let ctx = RequestCtx {
             src,
-            actor: actor.to_string(),
+            actor,
             now: now + self.rtt.mul_f64(0.5),
         };
         Ok((self.vhosts.dispatch(req, &ctx), self.rtt))

@@ -116,40 +116,61 @@ pub fn monitor_listings(
     }
 
     // The feeds are frozen while the monitor polls, so every
-    // (engine, URL) listing time can be resolved once up front. The
-    // poll loop itself then runs on plain indices — previously it
-    // re-canonicalised every URL on every tick (millions of String
-    // allocations across a 21-day NetCraft cadence).
-    let listed: Vec<Vec<Option<SimTime>>> = engines
+    // (engine, URL) listing time can be resolved once up front and
+    // sorted by publication time. Each engine then keeps a cursor into
+    // its sorted listings, advanced monotonically as its poll ticks
+    // arrive: a tick costs O(listings that just became visible), where
+    // the previous implementation rescanned every URL on every tick
+    // (a 21-day NetCraft cadence alone is ~30k ticks × all URLs).
+    let listings: Vec<Vec<(SimTime, usize)>> = engines
         .iter()
-        .map(|engine| urls.iter().map(|u| feeds.listed_at(*engine, u)).collect())
+        .map(|engine| {
+            let mut v: Vec<(SimTime, usize)> = urls
+                .iter()
+                .enumerate()
+                .filter_map(|(i, u)| feeds.listed_at(*engine, u).map(|t| (t, i)))
+                .collect();
+            v.sort_unstable();
+            v
+        })
         .collect();
+    let mut cursors = vec![0usize; engines.len()];
 
-    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut observations = Vec::new();
+    let mut batch: Vec<(usize, SimTime)> = Vec::new();
 
     while let Some((now, ev)) = sched.pop_until(horizon) {
         let engine = engines[ev.engine_idx];
-        for (url_idx, url) in urls.iter().enumerate() {
-            if let Some(listed_at) = listed[ev.engine_idx][url_idx] {
-                if listed_at <= now && seen.insert((ev.engine_idx, url_idx)) {
-                    observations.push(Observation {
-                        engine,
-                        url: url.clone(),
-                        listed_at,
-                        observed_at: now,
-                    });
-                    log.record(TraceEvent {
-                        at: now,
-                        kind: TraceKind::Blacklist,
-                        src: phishsim_simnet::Ipv4Sim::new(0, 0, 0, 0),
-                        host: url.host.clone(),
-                        path: url.target(),
-                        user_agent: None,
-                        actor: engine.key().to_string(),
-                    });
-                }
+        let list = &listings[ev.engine_idx];
+        let cursor = &mut cursors[ev.engine_idx];
+        batch.clear();
+        while let Some(&(listed_at, url_idx)) = list.get(*cursor) {
+            if listed_at > now {
+                break;
             }
+            batch.push((url_idx, listed_at));
+            *cursor += 1;
+        }
+        // Emit in URL index order — the order the full-scan
+        // implementation produced within one tick.
+        batch.sort_unstable();
+        for &(url_idx, listed_at) in &batch {
+            let url = &urls[url_idx];
+            observations.push(Observation {
+                engine,
+                url: url.clone(),
+                listed_at,
+                observed_at: now,
+            });
+            log.record(TraceEvent {
+                at: now,
+                kind: TraceKind::Blacklist,
+                src: phishsim_simnet::Ipv4Sim::new(0, 0, 0, 0),
+                host: url.host.clone(),
+                path: url.target(),
+                user_agent: None,
+                actor: engine.key().to_string(),
+            });
         }
         let elapsed = now.since(start);
         let period = MonitorMethod::for_engine(engine).poll_period_at(elapsed);

@@ -6,4 +6,6 @@
 //! work-stealing pool. Every existing `phishsim_core::runner` call
 //! site keeps working through this re-export.
 
-pub use phishsim_simnet::runner::{run_sweep, run_sweep_with_threads, sweep_threads};
+pub use phishsim_simnet::runner::{
+    run_sweep, run_sweep_profiled, run_sweep_with_threads, sweep_threads, SweepProfile,
+};

@@ -134,7 +134,7 @@ impl Transport for World {
                 let back = self.latency.sample(&mut self.link_rng);
                 let ctx = RequestCtx {
                     src,
-                    actor: actor.to_string(),
+                    actor,
                     now: now + out,
                 };
                 let mut resp = self.farm.serve(req, &ctx);

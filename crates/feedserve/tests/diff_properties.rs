@@ -155,7 +155,7 @@ proptest! {
                 // The accepting path stops at a terminator byte within
                 // the cap, and the value round-trips through the
                 // canonical encoder.
-                prop_assert!(pos >= 1 && pos <= 10);
+                prop_assert!((1..=10).contains(&pos));
                 prop_assert_eq!(bytes[pos - 1] & 0x80, 0, "must stop at a terminator");
                 let mut reenc = Vec::new();
                 put_varint(&mut reenc, v);

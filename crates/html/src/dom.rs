@@ -1,6 +1,6 @@
 //! DOM tree construction and traversal.
 
-use crate::tokenizer::{encode_entities, tokenize, Token};
+use crate::tokenizer::{encode_entities, TokenRef, Tokenizer};
 
 /// Elements that never have children.
 const VOID: &[&str] = &[
@@ -121,37 +121,47 @@ impl Document {
             }
         }
 
-        for token in tokenize(html) {
+        // Consuming the streaming tokenizer means end-tag names are
+        // matched against the open stack and dropped without ever
+        // being materialized, and borrowed names/text only become
+        // owned Strings here, at node-construction time.
+        for token in Tokenizer::new(html) {
             match token {
-                Token::Doctype(_) => {}
-                Token::Comment(c) => push_node(&mut stack, &mut roots, Node::Comment(c)),
-                Token::Text(t) => push_node(&mut stack, &mut roots, Node::Text(t)),
-                Token::StartTag {
+                TokenRef::Doctype(_) => {}
+                TokenRef::Comment(c) => {
+                    push_node(&mut stack, &mut roots, Node::Comment(c.into_owned()))
+                }
+                TokenRef::Text(t) => push_node(&mut stack, &mut roots, Node::Text(t.into_owned())),
+                TokenRef::StartTag {
                     name,
                     attrs,
                     self_closing,
                 } => {
-                    if self_closing || VOID.contains(&name.as_str()) || stack.len() >= MAX_DEPTH {
+                    let attrs = attrs
+                        .into_iter()
+                        .map(|(n, v)| (n.into_owned(), v.into_owned()))
+                        .collect();
+                    if self_closing || VOID.contains(&name.as_ref()) || stack.len() >= MAX_DEPTH {
                         push_node(
                             &mut stack,
                             &mut roots,
                             Node::Element {
-                                tag: name,
+                                tag: name.into_owned(),
                                 attrs,
                                 children: Vec::new(),
                             },
                         );
                     } else {
                         stack.push(Open {
-                            tag: name,
+                            tag: name.into_owned(),
                             attrs,
                             children: Vec::new(),
                         });
                     }
                 }
-                Token::EndTag { name } => {
+                TokenRef::EndTag { name } => {
                     // Find the matching open element; ignore stray ends.
-                    if let Some(idx) = stack.iter().rposition(|o| o.tag == name) {
+                    if let Some(idx) = stack.iter().rposition(|o| o.tag == name.as_ref()) {
                         // Close everything above it implicitly.
                         while stack.len() > idx {
                             let open = stack.pop().expect("stack non-empty");

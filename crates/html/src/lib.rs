@@ -34,4 +34,4 @@ pub mod tokenizer;
 pub use dom::{Document, Node};
 pub use effects::ScriptEffect;
 pub use query::{FormField, FormInfo, PageSummary};
-pub use tokenizer::{tokenize, Token};
+pub use tokenizer::{tokenize, Token, TokenRef, Tokenizer};

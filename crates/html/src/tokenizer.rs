@@ -6,8 +6,19 @@
 //! for `<script>` and `<style>` (their content is not parsed as
 //! markup). Error recovery is lenient, as in real parsers: malformed
 //! constructs degrade to text rather than failing.
+//!
+//! The primary interface is the streaming [`Tokenizer`], which yields
+//! borrowed [`TokenRef`]s: names and text are `Cow` slices of the
+//! input, so a token only allocates when its content actually needs
+//! rewriting (uppercase tag names, entity-bearing text). The DOM
+//! builder consumes the stream directly and pays for a `String` only
+//! at the moment a value is stored in a node — end tags, for example,
+//! are matched and dropped without ever owning their name. The owned
+//! [`tokenize`] API is kept as a thin wrapper for tests and tooling.
 
-/// A token produced by [`tokenize`].
+use std::borrow::Cow;
+
+/// A token produced by [`tokenize`] (owned form of [`TokenRef`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Token {
     /// A start tag: name, attributes, and whether it was self-closing.
@@ -32,20 +43,86 @@ pub enum Token {
     Doctype(String),
 }
 
+/// A borrowed token streamed by [`Tokenizer`]. Each `Cow` is
+/// `Borrowed` whenever the source bytes can be used verbatim (already
+/// lower-case names, entity-free text) and `Owned` only when decoding
+/// or case-folding forced a copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenRef<'a> {
+    /// A start tag: name, attributes, and whether it was self-closing.
+    StartTag {
+        /// Lower-cased tag name.
+        name: Cow<'a, str>,
+        /// Attributes in source order (names lower-cased).
+        attrs: Vec<(Cow<'a, str>, Cow<'a, str>)>,
+        /// `<br/>`-style self-closing marker.
+        self_closing: bool,
+    },
+    /// An end tag.
+    EndTag {
+        /// Lower-cased tag name.
+        name: Cow<'a, str>,
+    },
+    /// A text run (entity-decoded for the common entities).
+    Text(Cow<'a, str>),
+    /// A comment (without the delimiters).
+    Comment(Cow<'a, str>),
+    /// A doctype declaration (content after `<!doctype`).
+    Doctype(Cow<'a, str>),
+}
+
+impl TokenRef<'_> {
+    /// Convert to the owned [`Token`] form.
+    pub fn into_owned(self) -> Token {
+        match self {
+            TokenRef::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => Token::StartTag {
+                name: name.into_owned(),
+                attrs: attrs
+                    .into_iter()
+                    .map(|(n, v)| (n.into_owned(), v.into_owned()))
+                    .collect(),
+                self_closing,
+            },
+            TokenRef::EndTag { name } => Token::EndTag {
+                name: name.into_owned(),
+            },
+            TokenRef::Text(t) => Token::Text(t.into_owned()),
+            TokenRef::Comment(c) => Token::Comment(c.into_owned()),
+            TokenRef::Doctype(d) => Token::Doctype(d.into_owned()),
+        }
+    }
+}
+
 /// Elements whose content is raw text until the matching end tag.
 const RAW_TEXT: &[&str] = &["script", "style", "title", "textarea"];
 
-/// Decode the handful of entities the workspace uses.
-fn decode_entities(s: &str) -> String {
+/// Decode the handful of entities the workspace uses, borrowing when
+/// there is nothing to decode (the overwhelmingly common case).
+fn decode_entities_cow(s: &str) -> Cow<'_, str> {
     if !s.contains('&') {
-        return s.to_string();
+        return Cow::Borrowed(s);
     }
-    s.replace("&amp;", "&")
-        .replace("&lt;", "<")
-        .replace("&gt;", ">")
-        .replace("&quot;", "\"")
-        .replace("&#39;", "'")
-        .replace("&nbsp;", " ")
+    Cow::Owned(
+        s.replace("&amp;", "&")
+            .replace("&lt;", "<")
+            .replace("&gt;", ">")
+            .replace("&quot;", "\"")
+            .replace("&#39;", "'")
+            .replace("&nbsp;", " "),
+    )
+}
+
+/// Lower-case a name, borrowing when it already is lower-case.
+fn lower_cow(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
 }
 
 /// Encode text for embedding into markup.
@@ -57,13 +134,14 @@ pub fn encode_entities(s: &str) -> String {
 }
 
 struct Cursor<'a> {
-    input: &'a [u8],
+    input: &'a str,
+    bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
     fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
+        self.bytes.get(self.pos).copied()
     }
     fn bump(&mut self) -> Option<u8> {
         let b = self.peek()?;
@@ -72,17 +150,37 @@ impl<'a> Cursor<'a> {
     }
     fn starts_with_ci(&self, s: &str) -> bool {
         let end = self.pos + s.len();
-        if end > self.input.len() {
+        if end > self.bytes.len() {
             return false;
         }
-        self.input[self.pos..end].eq_ignore_ascii_case(s.as_bytes())
+        self.bytes[self.pos..end].eq_ignore_ascii_case(s.as_bytes())
     }
-    fn take_until(&mut self, delim: &str) -> String {
+    /// Advance to the next (case-insensitive) occurrence of `delim`,
+    /// returning the skipped slice. Delimiters are ASCII, so the scan
+    /// can only stop on a character boundary.
+    fn take_until(&mut self, delim: &str) -> &'a str {
         let start = self.pos;
-        while self.pos < self.input.len() && !self.starts_with_ci(delim) {
+        while self.pos < self.bytes.len() && !self.starts_with_ci(delim) {
             self.pos += 1;
         }
-        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned()
+        &self.input[start..self.pos]
+    }
+    /// Like [`Cursor::take_until`] with delimiter `</name`, without
+    /// materializing the pattern.
+    fn take_until_close(&mut self, name: &str) -> &'a str {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let end = self.pos + 2 + name.len();
+            if end <= self.bytes.len()
+                && self.bytes[self.pos] == b'<'
+                && self.bytes[self.pos + 1] == b'/'
+                && self.bytes[self.pos + 2..end].eq_ignore_ascii_case(name.as_bytes())
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        &self.input[start..self.pos]
     }
     fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
@@ -91,15 +189,16 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn read_tag_name(c: &mut Cursor) -> String {
+fn read_tag_name<'a>(c: &mut Cursor<'a>) -> Cow<'a, str> {
     let start = c.pos;
     while matches!(c.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
         c.pos += 1;
     }
-    String::from_utf8_lossy(&c.input[start..c.pos]).to_ascii_lowercase()
+    lower_cow(&c.input[start..c.pos])
 }
 
-fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
+#[allow(clippy::type_complexity)]
+fn read_attrs<'a>(c: &mut Cursor<'a>) -> (Vec<(Cow<'a, str>, Cow<'a, str>)>, bool) {
     let mut attrs = Vec::new();
     let mut self_closing = false;
     loop {
@@ -129,7 +228,7 @@ fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
                     c.bump();
                     continue;
                 }
-                let name = String::from_utf8_lossy(&c.input[start..c.pos]).to_ascii_lowercase();
+                let name = lower_cow(&c.input[start..c.pos]);
                 c.skip_ws();
                 let value = if c.peek() == Some(b'=') {
                     c.bump();
@@ -141,9 +240,9 @@ fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
                             while matches!(c.peek(), Some(b) if b != q) {
                                 c.pos += 1;
                             }
-                            let v = String::from_utf8_lossy(&c.input[vstart..c.pos]).into_owned();
+                            let v = &c.input[vstart..c.pos];
                             c.bump(); // closing quote
-                            decode_entities(&v)
+                            decode_entities_cow(v)
                         }
                         _ => {
                             let vstart = c.pos;
@@ -151,11 +250,11 @@ fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
                             {
                                 c.pos += 1;
                             }
-                            String::from_utf8_lossy(&c.input[vstart..c.pos]).into_owned()
+                            Cow::Borrowed(&c.input[vstart..c.pos])
                         }
                     }
                 } else {
-                    String::new()
+                    Cow::Borrowed("")
                 };
                 attrs.push((name, value));
             }
@@ -164,82 +263,105 @@ fn read_attrs(c: &mut Cursor) -> (Vec<(String, String)>, bool) {
     (attrs, self_closing)
 }
 
-/// Tokenize an HTML document.
-pub fn tokenize(input: &str) -> Vec<Token> {
-    let mut c = Cursor {
-        input: input.as_bytes(),
-        pos: 0,
-    };
-    let mut tokens = Vec::new();
-    let mut raw_until: Option<String> = None;
+/// A streaming tokenizer over one HTML document. Yields borrowed
+/// [`TokenRef`]s; see the module docs for the allocation contract.
+pub struct Tokenizer<'a> {
+    c: Cursor<'a>,
+    raw_until: Option<Cow<'a, str>>,
+}
 
-    while c.pos < c.input.len() {
-        if let Some(end_tag) = raw_until.clone() {
-            // Inside a raw-text element: take everything until its end tag.
-            let close = format!("</{end_tag}");
-            let text = c.take_until(&close);
+impl<'a> Tokenizer<'a> {
+    /// Start tokenizing `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer {
+            c: Cursor {
+                input,
+                bytes: input.as_bytes(),
+                pos: 0,
+            },
+            raw_until: None,
+        }
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = TokenRef<'a>;
+
+    fn next(&mut self) -> Option<TokenRef<'a>> {
+        let c = &mut self.c;
+        while c.pos < c.bytes.len() {
+            if let Some(end_tag) = self.raw_until.take() {
+                // Inside a raw-text element: take everything until its
+                // end tag (which the next iteration emits as EndTag).
+                let text = c.take_until_close(&end_tag);
+                if !text.is_empty() {
+                    return Some(TokenRef::Text(Cow::Borrowed(text)));
+                }
+                continue;
+            }
+            if c.peek() == Some(b'<') {
+                if c.starts_with_ci("<!--") {
+                    c.pos += 4;
+                    let comment = c.take_until("-->");
+                    c.pos = (c.pos + 3).min(c.bytes.len());
+                    return Some(TokenRef::Comment(Cow::Borrowed(comment)));
+                }
+                if c.starts_with_ci("<!doctype") {
+                    c.pos += "<!doctype".len();
+                    let content = c.take_until(">");
+                    c.bump();
+                    return Some(TokenRef::Doctype(Cow::Borrowed(content.trim())));
+                }
+                if c.starts_with_ci("</") {
+                    c.pos += 2;
+                    let name = read_tag_name(c);
+                    c.take_until(">");
+                    c.bump();
+                    if !name.is_empty() {
+                        return Some(TokenRef::EndTag { name });
+                    }
+                    continue;
+                }
+                // A start tag only if followed by a letter; otherwise text.
+                if matches!(c.bytes.get(c.pos + 1), Some(b) if b.is_ascii_alphabetic()) {
+                    c.bump(); // <
+                    let name = read_tag_name(c);
+                    let (attrs, self_closing) = read_attrs(c);
+                    if RAW_TEXT.contains(&name.as_ref()) && !self_closing {
+                        self.raw_until = Some(name.clone());
+                    }
+                    return Some(TokenRef::StartTag {
+                        name,
+                        attrs,
+                        self_closing,
+                    });
+                }
+            }
+            // Text run until the next '<'.
+            let text = c.take_until("<");
             if !text.is_empty() {
-                tokens.push(Token::Text(text));
+                return Some(TokenRef::Text(decode_entities_cow(text)));
             }
-            raw_until = None;
-            continue;
-        }
-        if c.peek() == Some(b'<') {
-            if c.starts_with_ci("<!--") {
-                c.pos += 4;
-                let comment = c.take_until("-->");
-                c.pos = (c.pos + 3).min(c.input.len());
-                tokens.push(Token::Comment(comment));
-                continue;
-            }
-            if c.starts_with_ci("<!doctype") {
-                c.pos += "<!doctype".len();
-                let content = c.take_until(">");
-                c.bump();
-                tokens.push(Token::Doctype(content.trim().to_string()));
-                continue;
-            }
-            if c.starts_with_ci("</") {
-                c.pos += 2;
-                let name = read_tag_name(&mut c);
-                c.take_until(">");
-                c.bump();
-                if !name.is_empty() {
-                    tokens.push(Token::EndTag { name });
-                }
-                continue;
-            }
-            // A start tag only if followed by a letter; otherwise text.
-            if matches!(c.input.get(c.pos + 1), Some(b) if b.is_ascii_alphabetic()) {
-                c.bump(); // <
-                let name = read_tag_name(&mut c);
-                let (attrs, self_closing) = read_attrs(&mut c);
-                if RAW_TEXT.contains(&name.as_str()) && !self_closing {
-                    raw_until = Some(name.clone());
-                }
-                tokens.push(Token::StartTag {
-                    name,
-                    attrs,
-                    self_closing,
-                });
-                continue;
-            }
-        }
-        // Text run until the next '<'.
-        let text = c.take_until("<");
-        if !text.is_empty() {
-            tokens.push(Token::Text(decode_entities(&text)));
-        } else {
             // A lone '<' at EOF or similar: consume to make progress.
             c.bump();
         }
+        None
     }
-    tokens
+}
+
+/// Tokenize an HTML document into owned tokens. Compatibility wrapper
+/// over the streaming [`Tokenizer`].
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).map(TokenRef::into_owned).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn decode_entities(s: &str) -> String {
+        decode_entities_cow(s).into_owned()
+    }
 
     #[test]
     fn simple_document() {
@@ -369,5 +491,59 @@ mod tests {
     fn encode_entities_round_trip() {
         let s = r#"<a href="x">&"#;
         assert_eq!(decode_entities(&encode_entities(s)), s);
+    }
+
+    #[test]
+    fn streaming_tokens_borrow_when_nothing_needs_rewriting() {
+        // Lower-case names and entity-free text come out as borrowed
+        // slices of the input: the tokenizer allocates nothing for
+        // well-formed generated markup (attrs vectors aside).
+        let html = r#"<div class="x">plain text</div>"#;
+        for t in Tokenizer::new(html) {
+            match t {
+                TokenRef::StartTag { name, attrs, .. } => {
+                    assert!(matches!(name, Cow::Borrowed(_)));
+                    for (n, v) in attrs {
+                        assert!(matches!(n, Cow::Borrowed(_)));
+                        assert!(matches!(v, Cow::Borrowed(_)));
+                    }
+                }
+                TokenRef::EndTag { name } => assert!(matches!(name, Cow::Borrowed(_))),
+                TokenRef::Text(t) => assert!(matches!(t, Cow::Borrowed(_))),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_owns_only_rewritten_content() {
+        let html = r#"<DIV Title="a &amp; b">x &lt; y</DIV>"#;
+        let toks: Vec<TokenRef> = Tokenizer::new(html).collect();
+        match &toks[0] {
+            TokenRef::StartTag { name, attrs, .. } => {
+                assert!(matches!(name, Cow::Owned(_)), "uppercase name case-folds");
+                assert_eq!(name, "div");
+                assert!(matches!(attrs[0].0, Cow::Owned(_)));
+                assert!(matches!(attrs[0].1, Cow::Owned(_)), "entities decode");
+                assert_eq!(attrs[0].1, "a & b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(toks[1], TokenRef::Text(Cow::Owned("x < y".to_string())));
+    }
+
+    #[test]
+    fn streaming_and_owned_apis_agree() {
+        let html = r#"<!DOCTYPE html><DIV class=a>1 &lt; 2<script>a < b</script>
+            <img src="x.png"/><!-- note --></DIV>trailing"#;
+        let streamed: Vec<Token> = Tokenizer::new(html).map(TokenRef::into_owned).collect();
+        assert_eq!(streamed, tokenize(html));
+    }
+
+    #[test]
+    fn multibyte_text_survives_byte_scanning() {
+        let toks = tokenize("<p>héllo → wörld</p><P>naïve &amp; café</P>");
+        assert_eq!(toks[1], Token::Text("héllo → wörld".into()));
+        assert_eq!(toks[4], Token::Text("naïve & café".into()));
     }
 }

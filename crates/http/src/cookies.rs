@@ -208,12 +208,16 @@ impl CookieJar {
     /// The `Cookie` header value for a request to `host`/`path`, or an
     /// empty string if no cookies match.
     pub fn cookie_header(&self, host: &str, path: &str, now: SimTime) -> String {
-        self.cookies
-            .iter()
-            .filter(|c| c.matches(host, path, now))
-            .map(|c| format!("{}={}", c.name, c.value))
-            .collect::<Vec<_>>()
-            .join("; ")
+        let mut out = String::new();
+        for c in self.cookies.iter().filter(|c| c.matches(host, path, now)) {
+            if !out.is_empty() {
+                out.push_str("; ");
+            }
+            out.push_str(&c.name);
+            out.push('=');
+            out.push_str(&c.value);
+        }
+        out
     }
 
     /// Look up a cookie value by name for a host.

@@ -13,14 +13,19 @@ use phishsim_simnet::{Ipv4Sim, ObsSink, SimTime, TraceEvent, TraceKind, TraceLog
 use std::collections::HashMap;
 
 /// Per-request context a handler sees (the server-side view).
-#[derive(Debug, Clone)]
-pub struct RequestCtx {
+///
+/// Borrows the actor name from the caller: one context is built per
+/// fetch on the hot path, and every fetch cloning an owned `String`
+/// actor showed up in sweep profiles. Handlers that persist the name
+/// (access logs, gate records) own it explicitly via `to_string()`.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx<'a> {
     /// Source address of the client.
     pub src: Ipv4Sim,
     /// Ground-truth actor name (engine name or "human"); real servers
     /// infer this from IP ranges, the simulation records it for
     /// verification.
-    pub actor: String,
+    pub actor: &'a str,
     /// Server-side timestamp of the request.
     pub now: SimTime,
 }
@@ -30,14 +35,14 @@ pub struct RequestCtx {
 /// alert-box site logs payload retrievals.
 pub trait Handler: Send {
     /// Handle one request.
-    fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Response;
+    fn handle(&mut self, req: &Request, ctx: &RequestCtx<'_>) -> Response;
 }
 
 impl<F> Handler for F
 where
-    F: FnMut(&Request, &RequestCtx) -> Response + Send,
+    F: FnMut(&Request, &RequestCtx<'_>) -> Response + Send,
 {
-    fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Response {
+    fn handle(&mut self, req: &Request, ctx: &RequestCtx<'_>) -> Response {
         self(req, ctx)
     }
 }
@@ -72,7 +77,7 @@ impl VirtualHosting {
     }
 
     /// Dispatch a request by its URL host; unknown hosts get Nginx's 404.
-    pub fn dispatch(&mut self, req: &Request, ctx: &RequestCtx) -> Response {
+    pub fn dispatch(&mut self, req: &Request, ctx: &RequestCtx<'_>) -> Response {
         match self.sites.get_mut(&req.url.host) {
             Some(handler) => handler.handle(req, ctx),
             None => Response::not_found(),
@@ -145,7 +150,7 @@ impl HostingFarm {
     }
 
     /// Serve one request: append to the access log, then dispatch.
-    pub fn serve(&mut self, req: &Request, ctx: &RequestCtx) -> Response {
+    pub fn serve(&mut self, req: &Request, ctx: &RequestCtx<'_>) -> Response {
         self.log.record(TraceEvent {
             at: ctx.now,
             kind: TraceKind::HttpRequest,
@@ -153,11 +158,11 @@ impl HostingFarm {
             host: req.url.host.clone(),
             path: req.url.target(),
             user_agent: req.user_agent().map(|s| s.to_string()),
-            actor: ctx.actor.clone(),
+            actor: ctx.actor.to_string(),
         });
         let span = self
             .obs
-            .span_start(None, "http.request", &ctx.actor, ctx.now);
+            .span_start(None, "http.request", ctx.actor, ctx.now);
         let resp = self.vhosts.dispatch(req, ctx);
         self.obs.span_end(span, ctx.now);
         resp
@@ -194,10 +199,10 @@ mod tests {
     use crate::message::Status;
     use crate::url::Url;
 
-    fn ctx() -> RequestCtx {
+    fn ctx() -> RequestCtx<'static> {
         RequestCtx {
             src: Ipv4Sim::new(9, 9, 9, 9),
-            actor: "test".to_string(),
+            actor: "test",
             now: SimTime::from_mins(1),
         }
     }

@@ -61,7 +61,7 @@ impl UrlShortener {
 }
 
 impl Handler for UrlShortener {
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Response {
+    fn handle(&mut self, req: &Request, _ctx: &RequestCtx<'_>) -> Response {
         let code = req.url.path.trim_start_matches('/');
         match self.mappings.get(code) {
             Some(target) => Response::redirect(&target.to_string()),
@@ -99,7 +99,7 @@ impl RedirectHop {
 }
 
 impl Handler for RedirectHop {
-    fn handle(&mut self, _req: &Request, _ctx: &RequestCtx) -> Response {
+    fn handle(&mut self, _req: &Request, _ctx: &RequestCtx<'_>) -> Response {
         Response::redirect(&self.target.to_string())
     }
 }
@@ -109,10 +109,10 @@ mod tests {
     use super::*;
     use phishsim_simnet::{Ipv4Sim, SimTime};
 
-    fn ctx() -> RequestCtx {
+    fn ctx() -> RequestCtx<'static> {
         RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),
-            actor: "t".into(),
+            actor: "t",
             now: SimTime::ZERO,
         }
     }

@@ -295,7 +295,7 @@ impl PhishingSite {
         self.probe.record(ServeRecord {
             at: ctx.now,
             src: ctx.src,
-            actor: ctx.actor.clone(),
+            actor: ctx.actor.to_string(),
             payload,
             note: note.to_string(),
         });
@@ -520,10 +520,10 @@ mod tests {
     use phishsim_html::PageSummary;
     use phishsim_http::Url;
 
-    fn ctx(actor: &str) -> RequestCtx {
+    fn ctx(actor: &str) -> RequestCtx<'_> {
         RequestCtx {
             src: Ipv4Sim::new(5, 5, 5, 5),
-            actor: actor.to_string(),
+            actor,
             now: SimTime::from_mins(10),
         }
     }
@@ -692,7 +692,7 @@ mod tests {
         let stealth = Request::get(url()).with_user_agent(UserAgent::Firefox.as_str());
         let bot_ip_ctx = RequestCtx {
             src: Ipv4Sim::new(66, 249, 3, 9),
-            actor: "gsb".into(),
+            actor: "gsb",
             now: SimTime::from_mins(1),
         };
         let resp = site.handle(&stealth, &bot_ip_ctx);
@@ -741,10 +741,10 @@ mod multi_page_tests {
     use phishsim_html::PageSummary;
     use phishsim_http::Url;
 
-    fn ctx(actor: &str) -> RequestCtx {
+    fn ctx(actor: &str) -> RequestCtx<'_> {
         RequestCtx {
             src: Ipv4Sim::new(5, 5, 5, 5),
-            actor: actor.to_string(),
+            actor,
             now: SimTime::from_mins(10),
         }
     }

@@ -216,10 +216,10 @@ mod tests {
         CompromisedSite::new(bundle, kit, &rng)
     }
 
-    fn ctx() -> RequestCtx {
+    fn ctx() -> RequestCtx<'static> {
         RequestCtx {
             src: Ipv4Sim::new(2, 2, 2, 2),
-            actor: "human".into(),
+            actor: "human",
             now: SimTime::from_mins(5),
         }
     }
@@ -317,7 +317,7 @@ mod multi_kit_tests {
         assert_eq!(site.kit_paths().len(), 3);
         let ctx = RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),
-            actor: "t".into(),
+            actor: "t",
             now: SimTime::ZERO,
         };
         for (path, brand) in [
@@ -377,7 +377,7 @@ mod leftover_archive_tests {
         assert_eq!(site.leftover_archive(), Some("/kit.zip"));
         let ctx = RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),
-            actor: "openphish".into(),
+            actor: "openphish",
             now: SimTime::ZERO,
         };
         let resp = site.handle(
@@ -401,7 +401,7 @@ mod leftover_archive_tests {
         let mut site = CompromisedSite::new(bundle, kit, &rng);
         let ctx = RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),
-            actor: "openphish".into(),
+            actor: "openphish",
             now: SimTime::ZERO,
         };
         let resp = site.handle(&Request::get(Url::https("tidy-host.com", "/kit.zip")), &ctx);

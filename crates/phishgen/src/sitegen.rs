@@ -330,7 +330,7 @@ mod tests {
         let mut handler = b.into_handler();
         let ctx = RequestCtx {
             src: Ipv4Sim::new(1, 1, 1, 1),
-            actor: "test".into(),
+            actor: "test",
             now: SimTime::ZERO,
         };
         let ok = handler.handle(

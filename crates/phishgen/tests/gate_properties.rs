@@ -7,10 +7,10 @@ use phishsim_phishgen::{Brand, EvasionTechnique, GateConfig, PhishingSite};
 use phishsim_simnet::{DetRng, Ipv4Sim, SimTime};
 use proptest::prelude::*;
 
-fn ctx(minute: u64) -> RequestCtx {
+fn ctx(minute: u64) -> RequestCtx<'static> {
     RequestCtx {
         src: Ipv4Sim::new(9, 9, 9, 9),
-        actor: "prop".into(),
+        actor: "prop",
         now: SimTime::from_mins(minute),
     }
 }

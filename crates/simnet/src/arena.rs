@@ -1,0 +1,374 @@
+//! Per-run bump arenas and per-worker reuse pools.
+//!
+//! Profiling the sweep hot path showed the global allocator as the
+//! scaling bottleneck: every simulated event used to buy short-lived
+//! `String`s and `Vec`s (decoded HTML entities, cookie headers, probe
+//! paths), and on a many-thread sweep those allocations serialize
+//! workers inside the allocator's locks. This module provides the
+//! three primitives the hot paths use instead:
+//!
+//! * [`Bump`] — an index-addressed bump allocator for string data.
+//!   Pushes append to one contiguous buffer and return a [`Span`]
+//!   (plain start/end indices, `Copy`, no lifetime), so the buffer may
+//!   keep growing — or be handed between call frames — while spans
+//!   stay valid. `reset()` clears it for the next run but keeps the
+//!   capacity, so a pooled bump stops allocating once it has seen the
+//!   largest document of the sweep.
+//! * [`Pool`] — a bounded free-list of reusable values (scratch
+//!   strings, bump arenas, bucket vectors). Bounded so a pathological
+//!   run cannot hoard memory forever.
+//! * [`with_scratch_str`] / [`with_bump`] — thread-local pooled
+//!   scratch, one pool per worker thread, so sweep workers never
+//!   contend on a shared free-list.
+//!
+//! Everything here is *transparent*: results must be byte-identical
+//! with the arena disabled (`PHISHSIM_ARENA=0` falls back to fresh
+//! allocations). `tests/perf_determinism.rs` holds that bar.
+
+use std::cell::RefCell;
+
+/// True unless `PHISHSIM_ARENA` is set to `0`/`off`/`false`.
+///
+/// The gate only controls *reuse* (pooling of scratch buffers and
+/// arenas); call sites keep identical semantics either way, which is
+/// what the arena-on/off byte-identity test asserts.
+pub fn arena_enabled() -> bool {
+    match std::env::var("PHISHSIM_ARENA") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => true,
+    }
+}
+
+/// A half-open range into a [`Bump`] buffer.
+///
+/// Spans are plain indices: copying one never borrows the arena, so a
+/// tokenizer can keep appending to the bump while previously returned
+/// spans stay resolvable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    start: usize,
+    end: usize,
+}
+
+impl Span {
+    /// The empty span (resolves to `""` in any bump).
+    pub const EMPTY: Span = Span { start: 0, end: 0 };
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// An index-addressed bump allocator for string data.
+///
+/// ```
+/// use phishsim_simnet::arena::Bump;
+///
+/// let mut bump = Bump::new();
+/// let hello = bump.push_str("hello");
+/// let world = bump.push_str("world");
+/// assert_eq!(bump.get(hello), "hello");
+/// assert_eq!(bump.get(world), "world");
+/// bump.reset(); // capacity survives for the next run
+/// assert_eq!(bump.len(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Bump {
+    buf: String,
+}
+
+impl Bump {
+    /// An empty bump.
+    pub fn new() -> Self {
+        Bump { buf: String::new() }
+    }
+
+    /// An empty bump with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Bump {
+            buf: String::with_capacity(cap),
+        }
+    }
+
+    /// Copy `s` into the bump, returning its span.
+    pub fn push_str(&mut self, s: &str) -> Span {
+        let start = self.buf.len();
+        self.buf.push_str(s);
+        Span {
+            start,
+            end: self.buf.len(),
+        }
+    }
+
+    /// Start a piecewise allocation; finish it with [`Bump::end`].
+    ///
+    /// Pieces pushed between `begin` and `end` become one contiguous
+    /// span — this is how entity decoding builds a decoded text run
+    /// without a temporary `String`.
+    pub fn begin(&mut self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append a piece to the allocation opened by [`Bump::begin`].
+    pub fn push_piece(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    /// Append a single char to the open allocation.
+    pub fn push_char(&mut self, c: char) {
+        self.buf.push(c);
+    }
+
+    /// Close the allocation opened at `mark`, returning its span.
+    pub fn end(&mut self, mark: usize) -> Span {
+        Span {
+            start: mark,
+            end: self.buf.len(),
+        }
+    }
+
+    /// Resolve a span. Panics if the span is out of bounds or was
+    /// produced by a bump with different contents (caller bug).
+    pub fn get(&self, span: Span) -> &str {
+        &self.buf[span.start..span.end]
+    }
+
+    /// Bytes currently allocated.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been allocated since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reserved capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Forget all allocations but keep the capacity. Outstanding spans
+    /// from before the reset must not be resolved afterwards.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// A bounded free-list of reusable values.
+///
+/// `put` drops the value instead of retaining it once the pool holds
+/// `cap` items, bounding worst-case memory. The pool does not clear
+/// returned values — callers reset them on take (`String::clear`,
+/// `Bump::reset`), so a bug cannot leak one run's data into the next.
+#[derive(Debug)]
+pub struct Pool<T> {
+    free: Vec<T>,
+    cap: usize,
+}
+
+impl<T> Pool<T> {
+    /// An empty pool retaining at most `cap` items.
+    pub fn new(cap: usize) -> Self {
+        Pool {
+            free: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Take a pooled value, or build a fresh one with `make`.
+    pub fn take_or(&mut self, make: impl FnOnce() -> T) -> T {
+        self.free.pop().unwrap_or_else(make)
+    }
+
+    /// Return a value to the pool (dropped if the pool is full).
+    pub fn put(&mut self, value: T) {
+        if self.free.len() < self.cap {
+            self.free.push(value);
+        }
+    }
+
+    /// Number of values currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True if the pool holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+thread_local! {
+    static STR_POOL: RefCell<Pool<String>> = RefCell::new(Pool::new(8));
+    static BUMP_POOL: RefCell<Pool<Bump>> = RefCell::new(Pool::new(4));
+}
+
+/// Run `f` with a cleared scratch `String` from this worker's pool.
+///
+/// With the arena disabled the string is freshly allocated and dropped,
+/// which keeps semantics identical (the gate only controls reuse).
+/// Nested calls get distinct buffers.
+pub fn with_scratch_str<R>(f: impl FnOnce(&mut String) -> R) -> R {
+    let reuse = arena_enabled();
+    let mut s = if reuse {
+        STR_POOL.with(|p| p.borrow_mut().take_or(String::new))
+    } else {
+        String::new()
+    };
+    s.clear();
+    let out = f(&mut s);
+    if reuse {
+        STR_POOL.with(|p| p.borrow_mut().put(s));
+    }
+    out
+}
+
+/// Run `f` with a reset [`Bump`] from this worker's pool.
+///
+/// The per-thread pool means a sweep worker parses every document of
+/// its runs into the same few buffers; after warm-up the parse path
+/// stops calling the global allocator entirely.
+pub fn with_bump<R>(f: impl FnOnce(&mut Bump) -> R) -> R {
+    let reuse = arena_enabled();
+    let mut bump = if reuse {
+        BUMP_POOL.with(|p| p.borrow_mut().take_or(Bump::new))
+    } else {
+        Bump::new()
+    };
+    bump.reset();
+    let out = f(&mut bump);
+    if reuse {
+        BUMP_POOL.with(|p| p.borrow_mut().put(bump));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_resolve_after_growth() {
+        let mut b = Bump::with_capacity(2);
+        let a = b.push_str("alpha");
+        // Force many reallocations; indices must stay valid.
+        let mut spans = Vec::new();
+        for i in 0..1000 {
+            spans.push((i, b.push_str(&format!("value-{i}"))));
+        }
+        assert_eq!(b.get(a), "alpha");
+        for (i, s) in spans {
+            assert_eq!(b.get(s), format!("value-{i}"));
+        }
+    }
+
+    #[test]
+    fn piecewise_allocation_is_contiguous() {
+        let mut b = Bump::new();
+        let mark = b.begin();
+        b.push_piece("a ");
+        b.push_char('&');
+        b.push_piece(" b");
+        let span = b.end(mark);
+        assert_eq!(b.get(span), "a & b");
+        assert_eq!(span.len(), 5);
+        assert!(!span.is_empty());
+        assert_eq!(b.get(Span::EMPTY), "");
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut b = Bump::new();
+        b.push_str(&"x".repeat(4096));
+        let cap = b.capacity();
+        assert!(cap >= 4096);
+        b.reset();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.capacity(), cap, "reset must not shrink");
+        let s = b.push_str("fresh");
+        assert_eq!(b.get(s), "fresh");
+    }
+
+    #[test]
+    fn pool_bounds_retention() {
+        let mut p: Pool<String> = Pool::new(2);
+        p.put("a".into());
+        p.put("b".into());
+        p.put("c".into()); // dropped: pool full
+        assert_eq!(p.len(), 2);
+        let got = p.take_or(String::new);
+        assert!(got == "a" || got == "b");
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn scratch_str_is_cleared_and_reused() {
+        with_scratch_str(|s| s.push_str("left over"));
+        with_scratch_str(|s| {
+            assert!(s.is_empty(), "scratch must be cleared on take");
+            s.push_str("ok");
+            assert_eq!(s, "ok");
+        });
+    }
+
+    #[test]
+    fn nested_scratch_buffers_are_distinct() {
+        with_scratch_str(|outer| {
+            outer.push_str("outer");
+            with_scratch_str(|inner| {
+                assert!(inner.is_empty());
+                inner.push_str("inner");
+            });
+            assert_eq!(outer, "outer", "inner call must not clobber outer");
+        });
+    }
+
+    #[test]
+    fn with_bump_hands_out_reset_arenas() {
+        with_bump(|b| {
+            b.push_str("one");
+        });
+        with_bump(|b| {
+            assert!(b.is_empty(), "bump must be reset on take");
+            let s = b.push_str("two");
+            assert_eq!(b.get(s), "two");
+        });
+    }
+
+    #[test]
+    fn gate_defaults_on_and_parses_off_values() {
+        // Other tests in the workspace flip PHISHSIM_ARENA; only assert
+        // the parse here, with the variable restored afterwards.
+        let prev = std::env::var("PHISHSIM_ARENA").ok();
+        std::env::remove_var("PHISHSIM_ARENA");
+        assert!(arena_enabled());
+        for off in ["0", "off", "FALSE", " 0 "] {
+            std::env::set_var("PHISHSIM_ARENA", off);
+            assert!(!arena_enabled(), "{off:?} must disable");
+            // Disabled scratch still works, just without reuse.
+            with_scratch_str(|s| s.push_str("still fine"));
+            with_bump(|b| {
+                let s = b.push_str("still fine");
+                assert_eq!(b.get(s), "still fine");
+            });
+        }
+        std::env::set_var("PHISHSIM_ARENA", "1");
+        assert!(arena_enabled());
+        match prev {
+            Some(v) => std::env::set_var("PHISHSIM_ARENA", v),
+            None => std::env::remove_var("PHISHSIM_ARENA"),
+        }
+    }
+}

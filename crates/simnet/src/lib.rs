@@ -15,8 +15,11 @@
 //! * [`DetRng`] — a seedable, forkable random-number generator. Every
 //!   stochastic decision in the workspace flows from one root seed, so the
 //!   same seed regenerates byte-identical experiment tables.
-//! * [`Scheduler`] — a priority event queue with stable FIFO ordering for
-//!   simultaneous events.
+//! * [`Scheduler`] — a calendar/bucket event queue with stable FIFO
+//!   ordering for simultaneous events and a heap fallback for far-future
+//!   events.
+//! * [`arena`] — per-run bump arenas and per-worker reuse pools that keep
+//!   the sweep hot path out of the global allocator.
 //! * [`Ipv4Sim`] / [`IpPool`] — simulated IPv4 addressing; anti-phishing
 //!   bots crawl from pools of distinct addresses (Table 1 reports unique
 //!   source IPs per engine).
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod ip;
 pub mod link;
@@ -58,6 +62,7 @@ pub mod sched;
 pub mod time;
 pub mod trace;
 
+pub use arena::{arena_enabled, Bump, Pool, Span};
 pub use error::SimError;
 pub use ip::{IpPool, Ipv4Sim};
 pub use link::{FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow};

@@ -20,29 +20,40 @@
 //! Thread count resolution order:
 //! 1. explicit count via [`run_sweep_with_threads`],
 //! 2. the `PHISHSIM_SWEEP_THREADS` environment variable,
-//! 3. `std::thread::available_parallelism()` (capped at 16).
+//! 3. `std::thread::available_parallelism()`, optionally capped by
+//!    `PHISHSIM_SWEEP_MAX_THREADS`.
 
 use crate::obs::ObsSink;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Upper bound on auto-detected worker threads.
-const MAX_AUTO_THREADS: usize = 16;
+/// Upper bound on the indices one `fetch_add` claims. Large enough to
+/// amortise the atomic per coarse work item, small enough that the
+/// tail of a sweep still load-balances.
+const MAX_CHUNK: usize = 32;
+
+/// Parse a positive integer from an environment variable.
+fn env_threads(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// Resolve the worker-thread count used by [`run_sweep`]:
-/// `PHISHSIM_SWEEP_THREADS` if set and positive, else available
-/// parallelism capped at 16.
+/// `PHISHSIM_SWEEP_THREADS` if set and positive, else all available
+/// parallelism. `PHISHSIM_SWEEP_MAX_THREADS` caps the auto-detected
+/// value (it does not cap an explicit `PHISHSIM_SWEEP_THREADS`).
 pub fn sweep_threads() -> usize {
-    if let Ok(v) = std::env::var("PHISHSIM_SWEEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    if let Some(n) = env_threads("PHISHSIM_SWEEP_THREADS") {
+        return n;
     }
-    std::thread::available_parallelism()
+    let auto = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(MAX_AUTO_THREADS)
+        .unwrap_or(4);
+    match env_threads("PHISHSIM_SWEEP_MAX_THREADS") {
+        Some(cap) => auto.min(cap),
+        None => auto,
+    }
 }
 
 /// Run `f` over every config on the default thread count, returning
@@ -84,11 +95,23 @@ where
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        // Claim an adaptive chunk: wide while plenty of
+                        // work remains (one atomic op per ~chunk), then
+                        // shrinking toward single items near the tail so
+                        // a slow worker cannot strand a large claim.
+                        let seen = cursor.load(Ordering::Relaxed);
+                        if seen >= n {
                             break;
                         }
-                        local.push((i, f(&configs[i])));
+                        let k = ((n - seen) / (threads * 4)).clamp(1, MAX_CHUNK);
+                        let start = cursor.fetch_add(k, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + k).min(n);
+                        for (i, cfg) in configs.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(cfg)));
+                        }
                     }
                     local
                 })
@@ -119,15 +142,17 @@ pub struct SweepProfile {
     pub items: usize,
     /// Worker threads used.
     pub threads: usize,
-    /// Host wall-clock time the phase took, in milliseconds.
-    pub host_elapsed_ms: u64,
+    /// Host wall-clock time the phase took, in milliseconds. Fractional
+    /// so sub-millisecond phases profile as their real duration rather
+    /// than truncating to 0.
+    pub host_elapsed_ms: f64,
 }
 
 impl std::fmt::Display for SweepProfile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "phase {}: {} items on {} threads in {} ms (host)",
+            "phase {}: {} items on {} threads in {:.3} ms (host)",
             self.phase, self.items, self.threads, self.host_elapsed_ms
         )
     }
@@ -154,7 +179,7 @@ where
 {
     let started = std::time::Instant::now();
     let results = run_sweep_with_threads(configs, threads, f);
-    let host_elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let host_elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     obs.incr("sweep.phases");
     obs.add("sweep.items", configs.len() as u64);
     obs.observe(&format!("sweep.phase_items.{phase}"), configs.len() as u64);
@@ -203,6 +228,20 @@ mod tests {
         let serial = run_sweep_with_threads(&configs, 1, work);
         for threads in [2, 3, 8, 16] {
             assert_eq!(run_sweep_with_threads(&configs, threads, work), serial);
+        }
+    }
+
+    #[test]
+    fn adaptive_chunking_covers_every_index_exactly_once() {
+        // Sizes around the chunking boundaries: empty tail, one-item
+        // tail, chunk-multiple, and a large sweep where early claims
+        // use MAX_CHUNK while the tail shrinks to single items.
+        for n in [1usize, 7, 31, 32, 33, 255, 256, 257, 1024, 1999] {
+            let configs: Vec<usize> = (0..n).collect();
+            for threads in [2, 5, 8] {
+                let out = run_sweep_with_threads(&configs, threads, |&i| i);
+                assert_eq!(out, configs, "n={n} threads={threads}");
+            }
         }
     }
 

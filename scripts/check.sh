@@ -5,10 +5,10 @@
 #   ./scripts/check.sh
 #
 # Mirrors what reviewers run before merging. The perf step writes
-# results/BENCH_2.json in --quick mode; diff it against the committed
-# baseline by hand when a change is perf-relevant. The sb_scale step
-# runs a reduced population at two thread counts and requires the
-# records to be byte-identical.
+# results/BENCH_2.json..BENCH_4.json in --quick mode; diff against the
+# committed baselines by hand when a change is perf-relevant. The
+# sb_scale step runs a reduced population at two thread counts and
+# requires the records to be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +25,15 @@ cargo test -q --release
 
 echo "==> perf baseline (quick)"
 cargo run --release -p phishsim-bench --bin bench_baseline -- --quick
+
+echo "==> thread-scaling smoke (BENCH_4)"
+# The quick baseline above ran the scaling curve at 1/2/4/8/16 worker
+# threads with byte-identity asserted at every point, and — only when
+# the host physically has the cores — speedup floors asserted
+# in-binary (>=2x at 4 threads on >=4 cores, >=4x at 8 threads on
+# >=8 cores). Confirm the artifact landed and records what it ran on.
+grep -q '"host_parallelism"' results/BENCH_4.json
+echo "BENCH_4.json present (host_parallelism: $(grep -o '"host_parallelism": *[0-9]*' results/BENCH_4.json | grep -o '[0-9]*$'), $(nproc) per nproc)"
 
 echo "==> sb_scale determinism smoke (10k clients, 1 vs 4 threads)"
 PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin sb_scale -- --clients 10000

@@ -1,6 +1,7 @@
 //! The performance machinery must never change results.
 //!
-//! Two invariants guard the sweep runner and the render/verdict caches:
+//! Four invariants guard the sweep runner, the allocator, and the
+//! render/verdict caches:
 //!
 //! 1. **Thread-count invariance** — a `run_sweep` over N configs
 //!    returns byte-identical JSON whether it ran on 1 thread or many
@@ -8,6 +9,12 @@
 //! 2. **Cache transparency** — a fixed seed regenerates byte-identical
 //!    tables with `PHISHSIM_RENDER_CACHE` off and on (memoization
 //!    reuses work, never changes it).
+//! 3. **Arena transparency** — `PHISHSIM_ARENA` off and on produce
+//!    byte-identical sweeps at any thread count (bump allocation
+//!    changes where events live, never what they compute).
+//! 4. **Shared-cache transparency** — `PHISHSIM_SHARED_CACHE` off and
+//!    on, and the sweep-level frozen tier, produce byte-identical
+//!    sweeps at any thread count.
 //!
 //! The `sb_scale` population run is held to the same bar: its report
 //! (blind-window percentiles, protocol counters, protected-fraction
@@ -125,6 +132,71 @@ fn merged_metrics_registry_is_byte_identical_across_thread_counts() {
     let serial = merged_json(1);
     assert_eq!(serial, merged_json(4), "1 vs 4 threads");
     assert_eq!(serial, merged_json(16), "1 vs 16 (oversubscribed) threads");
+}
+
+#[test]
+fn sweep_is_byte_identical_with_arena_off_and_on_at_1_and_8_threads() {
+    // The cross product {arena off, arena on} × {1 thread, 8 threads}
+    // must collapse to a single byte string. As with the cache test,
+    // equality under every setting is exactly what is asserted, so the
+    // env flips cannot disturb concurrently running tests.
+    let seeds: Vec<u64> = (40..44).collect();
+    std::env::set_var("PHISHSIM_ARENA", "0");
+    let off_1 = run_sweep_with_threads(&seeds, 1, sweep_cell);
+    let off_8 = run_sweep_with_threads(&seeds, 8, sweep_cell);
+    std::env::set_var("PHISHSIM_ARENA", "1");
+    let on_1 = run_sweep_with_threads(&seeds, 1, sweep_cell);
+    let on_8 = run_sweep_with_threads(&seeds, 8, sweep_cell);
+    assert_eq!(off_1, off_8, "arena off: 1 vs 8 threads");
+    assert_eq!(on_1, on_8, "arena on: 1 vs 8 threads");
+    assert_eq!(off_1, on_1, "arena off vs on");
+}
+
+#[test]
+fn sweep_is_byte_identical_with_shared_cache_off_and_on_at_1_and_8_threads() {
+    let seeds: Vec<u64> = (50..54).collect();
+    std::env::set_var("PHISHSIM_SHARED_CACHE", "0");
+    let off_1 = run_sweep_with_threads(&seeds, 1, sweep_cell);
+    let off_8 = run_sweep_with_threads(&seeds, 8, sweep_cell);
+    std::env::set_var("PHISHSIM_SHARED_CACHE", "1");
+    let on_1 = run_sweep_with_threads(&seeds, 1, sweep_cell);
+    let on_8 = run_sweep_with_threads(&seeds, 8, sweep_cell);
+    assert_eq!(off_1, off_8, "shared cache off: 1 vs 8 threads");
+    assert_eq!(on_1, on_8, "shared cache on: 1 vs 8 threads");
+    assert_eq!(off_1, on_1, "shared cache off vs on");
+}
+
+#[test]
+fn frozen_tier_sweep_is_byte_identical_to_cold_sweep_across_threads() {
+    // A sweep whose every run thaws a frozen warm-up tier must produce
+    // the same bytes as a cold sweep of the same configs, serially and
+    // in parallel — the tier is shared lock-free across workers.
+    let warmup = run_main_experiment(&MainConfig::fast());
+    let Some(caches) = &warmup.run_caches else {
+        // Another test currently holds the render cache off; the
+        // invariant is vacuous without run-level caches.
+        return;
+    };
+    let frozen = caches.freeze();
+    let seeds: Vec<u64> = (60..64).collect();
+    let thawed_cell = |seed: &u64| {
+        let r = run_main_experiment(&MainConfig {
+            seed: *seed,
+            shared_frozen: Some(frozen.clone()),
+            ..MainConfig::fast()
+        });
+        serde_json::to_string(&serde_json::json!({
+            "seed": seed,
+            "table": r.table,
+            "traffic_within_2h": r.traffic_within_2h,
+        }))
+        .expect("serializable")
+    };
+    let cold = run_sweep_with_threads(&seeds, 1, sweep_cell);
+    let thawed_1 = run_sweep_with_threads(&seeds, 1, thawed_cell);
+    let thawed_8 = run_sweep_with_threads(&seeds, 8, thawed_cell);
+    assert_eq!(cold, thawed_1, "frozen tier must not change any run");
+    assert_eq!(thawed_1, thawed_8, "thawed sweep: 1 vs 8 threads");
 }
 
 #[test]
