@@ -256,6 +256,26 @@ impl Engine {
         c
     }
 
+    /// Deterministic JSON state snapshot (the runpack `seek` hook).
+    ///
+    /// Captures the engine's evolving run state — report dedup set
+    /// size, browser/visit sequence counters, cache counters — purely
+    /// by reading; taking a snapshot draws no RNG and mutates nothing,
+    /// so recording snapshots cannot perturb an experiment.
+    pub fn snapshot(&self) -> serde_json::Value {
+        let cache_counters = self.cache_counters();
+        let counters: std::collections::BTreeMap<&str, u64> = cache_counters.iter().collect();
+        serde_json::json!({
+            "engine": self.profile.id.key(),
+            "recent_reports": self.recent_reports.len(),
+            "browser_seq": self.browser_seq,
+            "visit_seq": self.visit_seq,
+            "classify_hits": self.classify_hits,
+            "classify_misses": self.classify_misses,
+            "caches": counters,
+        })
+    }
+
     /// Attach the CAPTCHA provider so an upgraded profile's solver can
     /// actually attempt challenges (builder style). Without a solver in
     /// the profile this is inert.

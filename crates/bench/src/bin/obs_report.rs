@@ -13,7 +13,8 @@
 //! Host wall-clock timings go to stderr only.
 
 use phishsim_core::experiment::{
-    run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
+    record_run, run_main_experiment, run_preliminary, MainConfig, PreliminaryConfig,
+    RecordedConfig, SweepSpec,
 };
 use phishsim_simnet::runner::{run_sweep_profiled, sweep_threads};
 use phishsim_simnet::{FaultInjector, LogHistogram, MetricsRegistry, ObsSink};
@@ -167,4 +168,21 @@ fn main() {
         },
     });
     phishsim_bench::write_record("obs_report", &record);
+
+    // Replay artifact: the chaos run plus the clean seed sweep, always
+    // at the fast config, so the committed pack is byte-stable and
+    // verifies in seconds at any thread count.
+    eprintln!("recording results/obs_report.runpack (chaos + seed sweep, fast config)...");
+    let pack = record_run(
+        &RecordedConfig::ObsReport {
+            chaos: MainConfig::fast(),
+            sweep: SweepSpec {
+                base: MainConfig::fast(),
+                seeds: seeds.clone(),
+            },
+        },
+        &FaultInjector::chaos_profile(),
+        threads,
+    );
+    phishsim_bench::write_pack("obs_report", &pack);
 }

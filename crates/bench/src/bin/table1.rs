@@ -4,7 +4,9 @@
 //! cargo run --release -p phishsim-bench --bin table1
 //! ```
 
-use phishsim_core::experiment::{run_preliminary, PreliminaryConfig};
+use phishsim_core::experiment::{record_run, run_preliminary, PreliminaryConfig, RecordedConfig};
+use phishsim_simnet::runner::sweep_threads;
+use phishsim_simnet::FaultInjector;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
@@ -45,4 +47,14 @@ fn main() {
         "observations": r.observations.len(),
     });
     phishsim_bench::write_record("table1", &record);
+
+    // Replay artifact: always the fast config, so the committed pack
+    // is identical whether this binary ran full or fast.
+    eprintln!("recording results/table1.runpack (fast config)...");
+    let pack = record_run(
+        &RecordedConfig::Table1(PreliminaryConfig::fast()),
+        &FaultInjector::none(),
+        sweep_threads(),
+    );
+    phishsim_bench::write_pack("table1", &pack);
 }

@@ -5,7 +5,9 @@
 //! cargo run --release -p phishsim-bench --bin table2 -- fast  # no background traffic
 //! ```
 
-use phishsim_core::experiment::{run_main_experiment, MainConfig};
+use phishsim_core::experiment::{record_run, run_main_experiment, MainConfig, RecordedConfig};
+use phishsim_simnet::runner::sweep_threads;
+use phishsim_simnet::FaultInjector;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
@@ -62,4 +64,17 @@ fn main() {
         }).collect::<Vec<_>>(),
     });
     phishsim_bench::write_record("table2", &record);
+
+    // Replay artifact: always the fast config (with state snapshots
+    // for `runpack seek`), so the committed pack is identical whether
+    // this binary ran full or fast.
+    eprintln!("recording results/table2.runpack (fast config, snapshots on)...");
+    let mut pack_config = MainConfig::fast();
+    pack_config.snapshots = true;
+    let pack = record_run(
+        &RecordedConfig::Table2(pack_config),
+        &FaultInjector::none(),
+        sweep_threads(),
+    );
+    phishsim_bench::write_pack("table2", &pack);
 }

@@ -39,6 +39,28 @@ pub fn write_record(name: &str, value: &serde_json::Value) {
     }
 }
 
+/// Write a replay artifact under `results/<name>.runpack`.
+///
+/// Packs are committed at their *fast* configs (reduced traffic) so
+/// `runpack verify` in CI replays in seconds; they are byte-stable
+/// regardless of how the emitting binary was invoked.
+pub fn write_pack(name: &str, pack: &phishsim_runpack::RunPack) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.runpack"));
+    let bytes = pack.encode();
+    if std::fs::write(&path, &bytes).is_ok() {
+        println!(
+            "[pack written to results/{name}.runpack ({} B, {} events, root {:#018x})]",
+            bytes.len(),
+            pack.total_events(),
+            pack.root_digest()
+        );
+    }
+}
+
 /// Text rendering of a page state — the simulation's "screenshot" for
 /// the figure walkthroughs.
 pub fn render_page_state(label: &str, html: &str) -> String {

@@ -196,6 +196,19 @@ impl RenderCache {
         c.add("render_cache.frozen_hit", self.frozen_hits());
         c
     }
+
+    /// Deterministic JSON state snapshot (the runpack `seek` hook):
+    /// tier sizes and hit counters, no pointers, no host time.
+    pub fn snapshot(&self) -> serde_json::Value {
+        let (hits, misses) = self.stats();
+        serde_json::json!({
+            "overlay_entries": self.len(),
+            "frozen_entries": self.frozen.as_ref().map(|f| f.len()).unwrap_or(0),
+            "hits": hits,
+            "misses": misses,
+            "frozen_hits": self.frozen_hits(),
+        })
+    }
 }
 
 #[cfg(test)]

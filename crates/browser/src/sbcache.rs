@@ -247,6 +247,19 @@ impl SbLocalDb {
         self.cache.ttl()
     }
 
+    /// Deterministic JSON state snapshot (the runpack `seek` hook):
+    /// installed feed version, prefix-gate counters, store checksum.
+    pub fn snapshot(&self) -> serde_json::Value {
+        serde_json::json!({
+            "version": self.version,
+            "prefix_clean": self.prefix_clean,
+            "prefix_pass": self.prefix_pass,
+            "cached_verdicts": self.cache.len(),
+            "prefix_count": self.prefix_store.as_ref().map(|s| s.len()).unwrap_or(0),
+            "prefix_checksum": self.prefix_store.as_ref().map(|s| s.checksum()).unwrap_or(0),
+        })
+    }
+
     /// Combined counters: the verdict cache's hit/miss/expiry plus the
     /// prefix gate's clean/pass split and the installed feed version.
     pub fn counters(&self) -> CounterSet {

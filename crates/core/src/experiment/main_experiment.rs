@@ -19,6 +19,7 @@ use phishsim_antiphish::{
 };
 use phishsim_http::Url;
 use phishsim_phishgen::{Brand, EvasionTechnique};
+use phishsim_runpack::StateSnapshot;
 use phishsim_simnet::{
     FaultInjector, Ipv4Sim, ObsSink, SimDuration, SimTime, TraceEvent, TraceKind,
 };
@@ -50,6 +51,13 @@ pub struct MainConfig {
     /// cold. Skipped on (de)serialization like `faults`.
     #[serde(skip)]
     pub shared_frozen: Option<FrozenCaches>,
+    /// Capture per-arm engine state snapshots plus end-of-run engine
+    /// and world snapshots into [`MainResult::state_snapshots`]
+    /// (runpack time-travel audit). Capture is read-only — it draws no
+    /// RNG — so toggling this never changes a run's outcome, but it
+    /// *is* part of a recorded run's identity, so it serializes.
+    #[serde(default)]
+    pub snapshots: bool,
 }
 
 impl MainConfig {
@@ -63,6 +71,7 @@ impl MainConfig {
             faults: FaultInjector::none(),
             obs: ObsSink::Null,
             shared_frozen: None,
+            snapshots: false,
         }
     }
 
@@ -112,6 +121,9 @@ pub struct MainResult {
     /// them to seed the next run of a sweep); `None` when disabled via
     /// `PHISHSIM_SHARED_CACHE=0` or `PHISHSIM_RENDER_CACHE=0`.
     pub run_caches: Option<RunCaches>,
+    /// Timestamped layer-state snapshots, captured only when
+    /// [`MainConfig::snapshots`] is set; sorted by `(at, layer)`.
+    pub state_snapshots: Vec<StateSnapshot>,
 }
 
 /// The paper's assignment: 3 URLs per (engine, brand, technique) cell,
@@ -131,6 +143,11 @@ pub fn assignment() -> Vec<(EngineId, Brand, EvasionTechnique, usize)> {
         }
     }
     cells
+}
+
+/// Render a snapshot value as compact JSON text.
+fn json_string(v: &serde_json::Value) -> String {
+    serde_json::to_string(v).expect("snapshot value serializes")
 }
 
 /// Run the main experiment.
@@ -185,6 +202,7 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
         .collect();
 
     let mut report_rng = world.rng.fork("main-report-times");
+    let mut state_snapshots: Vec<StateSnapshot> = Vec::new();
     let mut arms = Vec::new();
     let mut deployments = Vec::new();
     let mut table = Table2::default();
@@ -213,6 +231,13 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
             });
             let engine = engines.get_mut(&engine_id).expect("engine exists");
             let outcome = engine.process_report(&mut world, &url, reported_at, config.volume_scale);
+            if config.snapshots {
+                state_snapshots.push(StateSnapshot {
+                    at: reported_at,
+                    layer: format!("antiphish.engine.{}", engine_id.key()),
+                    state: json_string(&engine.snapshot()),
+                });
+            }
             // Per-technique phase timings: how long each pipeline phase
             // took in simulated time, keyed by the arm's technique.
             config.obs.observe(
@@ -260,6 +285,25 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
     let horizon = report_start + config.horizon;
     let observations = monitor_listings(&feeds, &all_urls, deploy_at, horizon, &world.log);
 
+    // End-of-run state capture: the final picture of every engine plus
+    // the world's shared services, timestamped at the horizon so a
+    // `runpack seek` past the last report still lands on fresh state.
+    if config.snapshots {
+        for (engine_id, engine) in &engines {
+            state_snapshots.push(StateSnapshot {
+                at: horizon,
+                layer: format!("antiphish.engine.{}", engine_id.key()),
+                state: json_string(&engine.snapshot()),
+            });
+        }
+        state_snapshots.push(StateSnapshot {
+            at: horizon,
+            layer: "core.world".to_string(),
+            state: json_string(&world.snapshot()),
+        });
+        state_snapshots.sort_by(|a, b| (a.at, &a.layer).cmp(&(b.at, &b.layer)));
+    }
+
     // Traffic-timing analysis: fraction of each URL's host traffic
     // within 2 h of its report.
     let mut fractions = Vec::new();
@@ -286,6 +330,7 @@ pub fn run_main_experiment(config: &MainConfig) -> MainResult {
         feeds,
         world,
         run_caches,
+        state_snapshots,
     }
 }
 

@@ -20,6 +20,7 @@ pub mod extension_experiment;
 pub mod longitudinal;
 pub mod main_experiment;
 pub mod preliminary;
+pub mod recorded;
 pub mod redirection;
 pub mod resilience;
 pub mod sb_scale;
@@ -29,6 +30,7 @@ pub use extension_experiment::{run_extension_experiment, ExtensionConfig, Extens
 pub use longitudinal::{run_longitudinal, LongitudinalConfig, LongitudinalResult, WaveResult};
 pub use main_experiment::{run_main_experiment, MainConfig, MainResult};
 pub use preliminary::{run_preliminary, PreliminaryConfig, PreliminaryResult};
+pub use recorded::{record_run, rerun_pack, RecordedConfig, SweepSpec};
 pub use redirection::{run_redirection_baseline, EntryKind, RedirectionConfig, RedirectionResult};
 pub use resilience::{
     run_resilience, run_resilience_with_threads, FaultIntensity, LevelReport, ResilienceConfig,

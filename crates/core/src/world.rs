@@ -92,6 +92,16 @@ impl World {
         self
     }
 
+    /// Summarise shared-service state as JSON for runpack snapshots.
+    /// Read-only: draws no RNG and mutates nothing, so capturing it
+    /// cannot perturb a calibrated run.
+    pub fn snapshot(&self) -> serde_json::Value {
+        serde_json::json!({
+            "registered_domains": self.registry.len(),
+            "trace_entries": self.log.len(),
+        })
+    }
+
     /// Resolve a host name to a hosting address at `now`.
     pub fn resolve(&mut self, host: &str, now: SimTime) -> Option<Ipv4Sim> {
         let name = DomainName::parse(host).ok()?;

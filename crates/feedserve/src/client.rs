@@ -105,6 +105,18 @@ impl FeedClient {
         &self.store
     }
 
+    /// Deterministic JSON state snapshot (the runpack `seek` hook):
+    /// held version, store size/checksum, degradation state.
+    pub fn snapshot(&self) -> serde_json::Value {
+        serde_json::json!({
+            "version": self.version,
+            "prefix_count": self.store.len(),
+            "checksum": self.store.checksum(),
+            "degraded": self.is_degraded(),
+            "failure_streak": self.failure_streak,
+        })
+    }
+
     /// Whether a periodic sync is due.
     pub fn sync_due(&self, now: SimTime) -> bool {
         now >= self.next_sync

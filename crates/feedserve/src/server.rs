@@ -428,6 +428,25 @@ impl FeedServer {
     pub fn absorb_counters(&self, other: &CounterSet) {
         self.counters.lock().merge(other);
     }
+
+    /// Deterministic JSON state snapshot (the runpack `seek` hook):
+    /// current version, its store size/checksum, and the serving
+    /// counters. Read-only — draws no RNG, mutates nothing.
+    pub fn snapshot(&self) -> serde_json::Value {
+        let version = self.current_version();
+        let store = self.store_at(version);
+        let counters: std::collections::BTreeMap<String, u64> = self
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        serde_json::json!({
+            "version": version,
+            "prefix_count": store.as_ref().map(|s| s.len()).unwrap_or(0),
+            "checksum": store.as_ref().map(|s| s.checksum()).unwrap_or(0),
+            "counters": counters,
+        })
+    }
 }
 
 #[cfg(test)]

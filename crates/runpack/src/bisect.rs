@@ -1,0 +1,253 @@
+//! Divergence bisection: binary-search two recorded event streams for
+//! the earliest point they part ways.
+//!
+//! A linear scan would find the same record, but the bisection runs on
+//! *cumulative prefix digests* — `O(n)` digest precomputation, then
+//! `O(log n)` comparisons — which matters when streams hold hundreds
+//! of thousands of records and the packs were loaded from disk (the
+//! prefix arrays also make repeated bisections over the same pair
+//! cheap). The result names the simulated time, sequence number,
+//! record on each side, and the emitting layer.
+
+use crate::layer_of;
+use crate::pack::RunPack;
+use crate::record::record_digest;
+use phishsim_simnet::{ObsKind, ObsRecord, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Where two packs first diverge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BisectReport {
+    /// The run label whose streams diverge (first such run in pack
+    /// order).
+    pub run: String,
+    /// Index of the first differing record in canonical `(at, seq)`
+    /// order.
+    pub index: usize,
+    /// Simulated time of the earliest divergent record.
+    pub at: SimTime,
+    /// Sequence number of the earliest divergent record.
+    pub seq: u64,
+    /// The span/point name at the divergence (left side when both
+    /// exist).
+    pub name: String,
+    /// The emitting layer attributed from the name.
+    pub layer: &'static str,
+    /// The left pack's record at the divergence, if its stream reaches
+    /// that far (debug rendering).
+    pub left: Option<String>,
+    /// The right pack's record at the divergence, if its stream
+    /// reaches that far.
+    pub right: Option<String>,
+}
+
+/// Cumulative prefix digests of a stream: `prefix[i]` covers records
+/// `0..i`. Two streams share a prefix of length `k` iff their digests
+/// at `k` match (FNV chaining makes the digest position-sensitive).
+fn prefix_digests(events: &[ObsRecord]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(events.len() + 1);
+    let mut h = 0u64;
+    out.push(h);
+    for rec in events {
+        // Chain rather than XOR: prefixes must be order-sensitive.
+        h = h.rotate_left(13).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ record_digest(rec);
+        out.push(h);
+    }
+    out
+}
+
+/// Binary-search the smallest index where two canonical streams
+/// differ, or `None` when one is a prefix of the other (including
+/// equality — check lengths at the call site).
+fn bisect_streams(left: &[ObsRecord], right: &[ObsRecord]) -> Option<usize> {
+    let lp = prefix_digests(left);
+    let rp = prefix_digests(right);
+    let n = left.len().min(right.len());
+    if lp[n] == rp[n] {
+        return None; // shared prefix covers the shorter stream
+    }
+    // Invariant: prefixes of length `lo` match, prefixes of length
+    // `hi` differ.
+    let (mut lo, mut hi) = (0usize, n);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if lp[mid] == rp[mid] {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Locate the earliest divergence between two packs' event streams.
+///
+/// Runs are matched by label in `left`'s order; the first run whose
+/// streams differ is bisected. Returns `None` when every stream (and
+/// the run set) matches exactly.
+pub fn bisect(left: &RunPack, right: &RunPack) -> Option<BisectReport> {
+    let lc = left.canonicalized();
+    let rc = right.canonicalized();
+    for run in &lc.runs {
+        let other: &[ObsRecord] = rc
+            .run(&run.label)
+            .map(|r| r.events.as_slice())
+            .unwrap_or(&[]);
+        let index = match bisect_streams(&run.events, other) {
+            Some(i) => i,
+            None => {
+                if run.events.len() == other.len() {
+                    continue; // identical streams
+                }
+                run.events.len().min(other.len()) // proper prefix
+            }
+        };
+        let l = run.events.get(index);
+        let r = other.get(index);
+        let pivot = l.or(r).expect("divergence index within one stream");
+        let name = match &pivot.kind {
+            ObsKind::SpanStart { name, .. } | ObsKind::Point { name, .. } => name.clone(),
+            ObsKind::SpanEnd { .. } => String::new(),
+        };
+        return Some(BisectReport {
+            run: run.label.clone(),
+            index,
+            at: pivot.at,
+            seq: pivot.seq,
+            layer: layer_of(&name),
+            name,
+            left: l.map(|rec| format!("{rec:?}")),
+            right: r.map(|rec| format!("{rec:?}")),
+        });
+    }
+    // Same labelled streams; divergence only if right has extra runs.
+    rc.runs
+        .iter()
+        .find(|r| lc.run(&r.label).is_none())
+        .and_then(|extra| extra.events.first().map(|first| (extra, first)))
+        .map(|(extra, first)| {
+            let name = match &first.kind {
+                ObsKind::SpanStart { name, .. } | ObsKind::Point { name, .. } => name.clone(),
+                ObsKind::SpanEnd { .. } => String::new(),
+            };
+            BisectReport {
+                run: extra.label.clone(),
+                index: 0,
+                at: first.at,
+                seq: first.seq,
+                layer: layer_of(&name),
+                name,
+                left: None,
+                right: Some(format!("{first:?}")),
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::RunEvents;
+    use crate::verify::first_divergence as linear;
+    use phishsim_simnet::ObsSink;
+
+    fn stream(names: &[&str]) -> Vec<ObsRecord> {
+        let sink = ObsSink::memory();
+        for (i, name) in names.iter().enumerate() {
+            let s = sink.span_start(None, name, "gsb", SimTime::from_mins(i as u64));
+            sink.span_end(
+                s,
+                SimTime::from_mins(i as u64) + phishsim_simnet::SimDuration::from_secs(30),
+            );
+        }
+        sink.events()
+    }
+
+    fn pack(label: &str, events: Vec<ObsRecord>) -> RunPack {
+        RunPack {
+            experiment: "table2".into(),
+            runs: vec![RunEvents {
+                label: label.into(),
+                events,
+            }],
+            ..RunPack::default()
+        }
+    }
+
+    #[test]
+    fn identical_packs_have_no_divergence() {
+        let a = pack("main", stream(&["browser.visit", "engine.report"]));
+        assert!(bisect(&a, &a.clone()).is_none());
+    }
+
+    #[test]
+    fn bisect_agrees_with_linear_scan() {
+        let names_a: Vec<String> = (0..40).map(|i| format!("engine.step{i}")).collect();
+        let mut names_b = names_a.clone();
+        names_b[23] = "browser.oops".to_string();
+        let refs = |v: &[String]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a_events = stream(
+            &refs(&names_a)
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+        );
+        let b_events = stream(
+            &refs(&names_b)
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+        );
+        let a = pack("main", a_events.clone());
+        let b = pack("main", b_events.clone());
+        let report = bisect(&a, &b).expect("streams differ");
+        let lin = linear("main", &a_events, &b_events).expect("linear sees it too");
+        assert_eq!(report.index, lin.index);
+        assert_eq!(
+            report.index, 46,
+            "two records per span, divergence at span 23"
+        );
+        assert_eq!(report.name, "engine.step23");
+        assert_eq!(report.layer, "antiphish");
+        assert!(report.left.is_some() && report.right.is_some());
+    }
+
+    #[test]
+    fn prefix_streams_diverge_at_the_shorter_length() {
+        let long = stream(&["a.x", "a.y", "a.z"]);
+        let mut short = long.clone();
+        short.truncate(4);
+        let report = bisect(&pack("main", long), &pack("main", short)).expect("lengths differ");
+        assert_eq!(report.index, 4);
+        assert!(report.left.is_some());
+        assert!(report.right.is_none(), "right stream ended");
+    }
+
+    #[test]
+    fn extra_run_in_right_pack_is_reported() {
+        let a = pack("seed:1", stream(&["engine.report"]));
+        let mut b = a.clone();
+        b.runs.push(RunEvents {
+            label: "seed:2".into(),
+            events: stream(&["engine.report"]),
+        });
+        let report = bisect(&a, &b).expect("extra run diverges");
+        assert_eq!(report.run, "seed:2");
+        assert!(report.left.is_none());
+    }
+
+    #[test]
+    fn bisect_localises_early_and_late_divergences() {
+        for flip in [0usize, 1, 38, 39] {
+            let names: Vec<String> = (0..40).map(|i| format!("feed.step{i}")).collect();
+            let mut other = names.clone();
+            other[flip] = "feed.flip".to_string();
+            let a_ev = stream(&names.iter().map(String::as_str).collect::<Vec<_>>());
+            let b_ev = stream(&other.iter().map(String::as_str).collect::<Vec<_>>());
+            let report =
+                bisect(&pack("main", a_ev.clone()), &pack("main", b_ev.clone())).expect("differs");
+            let lin = linear("main", &a_ev, &b_ev).unwrap();
+            assert_eq!(report.index, lin.index, "flip at span {flip}");
+            assert_eq!(report.layer, "feedserve");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Time-travel seek: fast-forward a recorded run to any simulated
+//! timestamp and reconstruct the world as it stood.
+//!
+//! Seek composes two sources inside a pack:
+//!
+//! * the **event stream**, replayed through the deterministic
+//!   [`ReplayClock`] — which spans are open, how many of each have
+//!   started, which points have fired;
+//! * the **state snapshots**, serialized layer states captured at
+//!   known simulated instants — for each layer, the newest snapshot at
+//!   or before the seek target is surfaced.
+//!
+//! Replay is pure bookkeeping; seeking to the same timestamp twice
+//! yields byte-identical reports.
+
+use crate::pack::{RunPack, StateSnapshot};
+use phishsim_simnet::{ReplayClock, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A serializable rendering of one open span at the seek cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenSpanView {
+    /// Raw span id.
+    pub id: u64,
+    /// Raw parent id (0 = root).
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Acting entity.
+    pub actor: String,
+    /// When the span opened.
+    pub opened_at: SimTime,
+}
+
+/// The reconstructed state of one run at one simulated instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeekReport {
+    /// Which run was replayed.
+    pub run: String,
+    /// The seek target.
+    pub at: SimTime,
+    /// Records applied (those with `at <= target`).
+    pub applied: usize,
+    /// Records beyond the target.
+    pub remaining: usize,
+    /// Spans open at the cursor, in opened order.
+    pub open_spans: Vec<OpenSpanView>,
+    /// Spans started so far, per name.
+    pub span_starts: BTreeMap<String, u64>,
+    /// Points fired so far, per name.
+    pub points: BTreeMap<String, u64>,
+    /// Span-end records applied.
+    pub span_ends: u64,
+    /// Per layer, the newest state snapshot at or before the target,
+    /// in layer order.
+    pub snapshots: Vec<StateSnapshot>,
+}
+
+/// Replay `run_label`'s stream up to `at` and reconstruct state.
+/// Returns `None` when the pack has no run with that label.
+pub fn seek(pack: &RunPack, run_label: &str, at: SimTime) -> Option<SeekReport> {
+    let run = pack.run(run_label)?;
+    let mut clock = ReplayClock::new(run.events.clone());
+    let total = clock.len();
+    clock.advance_to(at);
+    let applied = total - clock.remaining();
+    // Newest snapshot <= at, per layer. Pack snapshots are sorted by
+    // (at, layer), so a forward scan keeps the latest qualifying one.
+    let mut best: BTreeMap<&str, &StateSnapshot> = BTreeMap::new();
+    for snap in pack.snapshots.iter().filter(|s| s.at <= at) {
+        best.insert(snap.layer.as_str(), snap);
+    }
+    Some(SeekReport {
+        run: run_label.to_string(),
+        at,
+        applied,
+        remaining: clock.remaining(),
+        open_spans: clock
+            .open_spans()
+            .into_iter()
+            .map(|s| OpenSpanView {
+                id: s.id.raw(),
+                parent: s.parent.map(|p| p.raw()).unwrap_or(0),
+                name: s.name.clone(),
+                actor: s.actor.clone(),
+                opened_at: s.opened_at,
+            })
+            .collect(),
+        span_starts: clock.span_starts().clone(),
+        points: clock.points().clone(),
+        span_ends: clock.span_ends(),
+        snapshots: best.into_values().cloned().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::RunEvents;
+    use phishsim_simnet::ObsSink;
+
+    fn pack() -> RunPack {
+        let sink = ObsSink::memory();
+        let visit = sink.span_start(None, "browser.visit", "gsb", SimTime::from_mins(1));
+        let fetch = sink.span_start(Some(visit), "browser.fetch", "gsb", SimTime::from_mins(2));
+        sink.point("retry.attempt", "gsb", SimTime::from_mins(3));
+        sink.span_end(fetch, SimTime::from_mins(4));
+        sink.span_end(visit, SimTime::from_mins(10));
+        RunPack {
+            experiment: "table2".into(),
+            runs: vec![RunEvents {
+                label: "main".into(),
+                events: sink.events(),
+            }],
+            snapshots: vec![
+                StateSnapshot {
+                    at: SimTime::from_mins(2),
+                    layer: "core.world".into(),
+                    state: r#"{"t":2}"#.into(),
+                },
+                StateSnapshot {
+                    at: SimTime::from_mins(5),
+                    layer: "core.world".into(),
+                    state: r#"{"t":5}"#.into(),
+                },
+                StateSnapshot {
+                    at: SimTime::from_mins(5),
+                    layer: "antiphish.engine.gsb".into(),
+                    state: r#"{"convictions":1}"#.into(),
+                },
+            ],
+            ..RunPack::default()
+        }
+    }
+
+    #[test]
+    fn seek_reconstructs_mid_run_state() {
+        let report = seek(&pack(), "main", SimTime::from_mins(3)).unwrap();
+        assert_eq!(report.applied, 3);
+        assert_eq!(report.remaining, 2);
+        assert_eq!(report.open_spans.len(), 2);
+        assert_eq!(report.open_spans[0].name, "browser.visit");
+        assert_eq!(report.open_spans[1].name, "browser.fetch");
+        assert_eq!(report.points.get("retry.attempt"), Some(&1));
+        // Only the world snapshot at t=2 qualifies; the t=5 ones are
+        // in the future.
+        assert_eq!(report.snapshots.len(), 1);
+        assert_eq!(report.snapshots[0].state, r#"{"t":2}"#);
+    }
+
+    #[test]
+    fn seek_at_end_sees_latest_snapshot_per_layer() {
+        let report = seek(&pack(), "main", SimTime::from_hours(1)).unwrap();
+        assert_eq!(report.remaining, 0);
+        assert!(report.open_spans.is_empty());
+        assert_eq!(report.snapshots.len(), 2, "one per layer");
+        let world = report
+            .snapshots
+            .iter()
+            .find(|s| s.layer == "core.world")
+            .unwrap();
+        assert_eq!(world.state, r#"{"t":5}"#, "newest qualifying snapshot wins");
+    }
+
+    #[test]
+    fn seek_is_pure_and_unknown_run_is_none() {
+        let p = pack();
+        let a = serde_json::to_string(&seek(&p, "main", SimTime::from_mins(4)).unwrap()).unwrap();
+        let b = serde_json::to_string(&seek(&p, "main", SimTime::from_mins(4)).unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert!(seek(&p, "seed:99", SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Wire primitives for the `.runpack` format: LEB128 varints and
+//! length-prefixed byte strings, hardened against hostile input.
+//!
+//! The framing mirrors the feedserve update protocol's codec (the
+//! shift-capped varint decoder in particular): every loop is
+//! structurally bounded, lengths are validated against the remaining
+//! buffer *before* allocation, and a stream that ends mid-value is a
+//! typed error, never a panic.
+
+use serde::{Deserialize, Serialize};
+
+/// A malformed `.runpack` byte stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackError {
+    /// The stream ended mid-value.
+    Truncated,
+    /// A varint ran past the width of its target type.
+    Overflow,
+    /// The stream does not start with the runpack magic.
+    BadMagic,
+    /// The format version is not one this decoder understands.
+    BadVersion(u64),
+    /// A section id is unknown or out of order.
+    BadSection(u64),
+    /// A section's payload does not match its recorded digest.
+    DigestMismatch {
+        /// Name of the damaged section.
+        section: &'static str,
+    },
+    /// Bytes remain after the last section.
+    TrailingBytes,
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A structurally invalid payload (bad tag, bad index, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::Truncated => write!(f, "truncated stream"),
+            PackError::Overflow => write!(f, "varint overflow"),
+            PackError::BadMagic => write!(f, "not a runpack (bad magic)"),
+            PackError::BadVersion(v) => write!(f, "unsupported runpack version {v}"),
+            PackError::BadSection(id) => write!(f, "unknown or out-of-order section id {id}"),
+            PackError::DigestMismatch { section } => {
+                write!(f, "section '{section}' digest mismatch (corrupt payload)")
+            }
+            PackError::TrailingBytes => write!(f, "trailing bytes after last section"),
+            PackError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            PackError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// Append `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// A `u64` varint spans at most 10 bytes (`ceil(64 / 7)`).
+const MAX_VARINT_BYTES: u32 = 10;
+
+/// Read an LEB128 varint at `*pos`, advancing it.
+///
+/// The loop is structurally bounded at [`MAX_VARINT_BYTES`], so a
+/// corrupt stream of continuation bytes can never drive the shift
+/// amount past 63. Overlong encodings return [`PackError::Overflow`];
+/// streams ending mid-value return [`PackError::Truncated`].
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, PackError> {
+    let mut v: u64 = 0;
+    for i in 0..MAX_VARINT_BYTES {
+        let byte = *buf.get(*pos).ok_or(PackError::Truncated)?;
+        *pos += 1;
+        // The 10th byte holds only the top bit of a u64.
+        if i == MAX_VARINT_BYTES - 1 && byte > 1 {
+            return Err(PackError::Overflow);
+        }
+        v |= u64::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(PackError::Overflow)
+}
+
+/// Read a varint and narrow it to `usize`, additionally rejecting any
+/// value larger than the bytes remaining at `*pos` when interpreted as
+/// a count of at-least-one-byte items (pre-allocation bound).
+pub fn get_count(buf: &[u8], pos: &mut usize) -> Result<usize, PackError> {
+    let raw = get_varint(buf, pos)?;
+    let n = usize::try_from(raw).map_err(|_| PackError::Overflow)?;
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(PackError::Truncated);
+    }
+    Ok(n)
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Read a length-prefixed byte string.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PackError> {
+    let len = get_count(buf, pos)?;
+    let end = *pos + len;
+    let out = buf.get(*pos..end).ok_or(PackError::Truncated)?;
+    *pos = end;
+    Ok(out)
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, PackError> {
+    let bytes = get_bytes(buf, pos)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| PackError::BadUtf8)
+}
+
+/// The FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over `bytes`, continuing from `h`.
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content digest of a byte slice: FNV-1a 64 from the offset
+/// basis. Used for every per-section digest in a pack; the root digest
+/// chains the section digests together ([`crate::pack::RunPack::root_digest`]).
+pub fn digest(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn hostile_continuation_bytes_never_overshift() {
+        let hostile = [0x80u8; 64];
+        for len in 0..hostile.len() {
+            let mut pos = 0;
+            let got = get_varint(&hostile[..len], &mut pos);
+            if len < 10 {
+                assert_eq!(got, Err(PackError::Truncated), "len={len}");
+            } else {
+                assert_eq!(got, Err(PackError::Overflow), "len={len}");
+                assert_eq!(pos, 10, "decoder stops at the byte cap");
+            }
+        }
+    }
+
+    #[test]
+    fn tenth_byte_payload_is_limited_to_top_bit() {
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x01);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Ok(1u64 << 63));
+        buf[9] = 0x02;
+        pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(PackError::Overflow));
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_truncation() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "runpack");
+        put_str(&mut buf, "");
+        let mut pos = 0;
+        assert_eq!(get_str(&buf, &mut pos).unwrap(), "runpack");
+        assert_eq!(get_str(&buf, &mut pos).unwrap(), "");
+        assert_eq!(pos, buf.len());
+        // Length claims more bytes than remain.
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 100);
+        bad.extend_from_slice(b"short");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&bad, &mut pos), Err(PackError::Truncated));
+    }
+
+    #[test]
+    fn absurd_count_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert!(get_count(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        assert_ne!(digest(b"a"), digest(b"b"));
+        assert_ne!(digest(b""), digest(b"\0"));
+        assert_eq!(digest(b"runpack"), digest(b"runpack"));
+    }
+}

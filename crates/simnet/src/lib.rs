@@ -40,7 +40,11 @@
 //! * [`obs`] — the unified observability layer: structured spans, the
 //!   run-wide [`MetricsRegistry`], and profiling hooks. The disabled
 //!   sink ([`ObsSink::Null`]) is guaranteed free: no allocation, no
-//!   locking, no RNG draws.
+//!   locking, no RNG draws. [`ObsSink::Tee`] additionally streams every
+//!   record into an [`ObsTap`] (the runpack recorder's hook).
+//! * [`replay`] — the deterministic replay clock: walk a recorded event
+//!   stream in `(at, seq)` order and reconstruct open spans and counts
+//!   at any simulated timestamp (time-travel debugging for runpacks).
 //!
 //! The design follows the event-driven, poll-based style of smoltcp rather
 //! than an async runtime: simplicity and reproducibility are design goals,
@@ -55,6 +59,7 @@ pub mod ip;
 pub mod link;
 pub mod metrics;
 pub mod obs;
+pub mod replay;
 pub mod retry;
 pub mod rng;
 pub mod runner;
@@ -67,8 +72,10 @@ pub use error::SimError;
 pub use ip::{IpPool, Ipv4Sim};
 pub use link::{FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow};
 pub use obs::{
-    GaugeSample, LogHistogram, MetricsRegistry, ObsBuffer, ObsKind, ObsRecord, ObsSink, SpanId,
+    GaugeSample, LogHistogram, MetricsRegistry, ObsBuffer, ObsKind, ObsRecord, ObsSink, ObsTap,
+    SpanId,
 };
+pub use replay::{OpenSpan, ReplayClock};
 pub use retry::RetryPolicy;
 pub use rng::DetRng;
 pub use sched::{EventId, Scheduler};

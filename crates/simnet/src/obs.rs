@@ -72,6 +72,12 @@ impl SpanId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuild an id from its raw value (runpack decoding: recorded
+    /// streams store ids as plain integers on the wire).
+    pub const fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
 }
 
 /// What one observability record says.
@@ -313,6 +319,24 @@ impl MetricsRegistry {
     }
 }
 
+/// A streaming consumer of finalized observability records.
+///
+/// A tap sees every record exactly once, in **append order** (not the
+/// canonical `(at, seq)` order — simultaneous events may be appended
+/// out of timestamp order). Taps are the hook the runpack recorder
+/// uses to digest an event stream while the run is still executing;
+/// any order-insensitive accumulation (a commutative digest, a count)
+/// is safe, anything order-sensitive must re-sort at the end.
+///
+/// Implementations must be cheap and must never touch an RNG stream:
+/// a tap rides on the already-enabled memory path, so it may allocate,
+/// but it inherits the memory sink's guarantee that observation never
+/// perturbs the simulation.
+pub trait ObsTap: Send + Sync + std::fmt::Debug {
+    /// Consume one finalized record.
+    fn record(&self, rec: &ObsRecord);
+}
+
 /// The shared backing store of a [`ObsSink::Memory`] sink.
 #[derive(Debug, Default)]
 pub struct ObsBuffer {
@@ -375,8 +399,10 @@ impl ObsBuffer {
 ///
 /// `Null` (the default everywhere) is the production-off switch: every
 /// method returns immediately without allocating, locking, or touching
-/// any RNG. `Memory` appends to a shared [`ObsBuffer`]. Cloning a sink
-/// is cheap; clones of a `Memory` sink share one buffer.
+/// any RNG. `Memory` appends to a shared [`ObsBuffer`]. `Tee` appends
+/// to a buffer *and* streams each finalized record into an [`ObsTap`]
+/// (the runpack recorder's rolling digest rides here). Cloning a sink
+/// is cheap; clones of a `Memory`/`Tee` sink share one buffer.
 #[derive(Debug, Clone, Default)]
 pub enum ObsSink {
     /// Observability disabled: all calls are no-ops.
@@ -384,6 +410,8 @@ pub enum ObsSink {
     Null,
     /// Record into a shared in-memory buffer.
     Memory(Arc<ObsBuffer>),
+    /// Record into a buffer and stream every record into a tap.
+    Tee(Arc<ObsBuffer>, Arc<dyn ObsTap>),
 }
 
 impl ObsSink {
@@ -392,10 +420,16 @@ impl ObsSink {
         ObsSink::Memory(Arc::new(ObsBuffer::default()))
     }
 
+    /// A fresh tee sink: a private buffer whose records are also
+    /// streamed into `tap` as they are appended.
+    pub fn tee(tap: Arc<dyn ObsTap>) -> Self {
+        ObsSink::Tee(Arc::new(ObsBuffer::default()), tap)
+    }
+
     /// Whether records are being kept. Call sites guard any label
     /// `format!` behind this so the `Null` path never allocates.
     pub fn enabled(&self) -> bool {
-        matches!(self, ObsSink::Memory(_))
+        !matches!(self, ObsSink::Null)
     }
 
     /// The backing buffer, when recording.
@@ -403,6 +437,15 @@ impl ObsSink {
         match self {
             ObsSink::Null => None,
             ObsSink::Memory(b) => Some(b),
+            ObsSink::Tee(b, _) => Some(b),
+        }
+    }
+
+    /// The streaming tap, when teeing.
+    fn tap(&self) -> Option<&Arc<dyn ObsTap>> {
+        match self {
+            ObsSink::Tee(_, tap) => Some(tap),
+            _ => None,
         }
     }
 
@@ -416,53 +459,74 @@ impl ObsSink {
         actor: &str,
         at: SimTime,
     ) -> SpanId {
-        match self {
-            ObsSink::Null => SpanId::NONE,
-            ObsSink::Memory(buf) => {
-                let base = parent.unwrap_or(SpanId::NONE).child(name);
-                // Reserve the slot first so the id can mix in the
-                // append sequence (making same-label siblings unique),
-                // then write the id back.
-                let seq = buf.push(
-                    at,
-                    ObsKind::SpanStart {
-                        id: SpanId::NONE,
-                        parent,
-                        name: name.to_string(),
-                        actor: actor.to_string(),
-                    },
-                );
-                let id = SpanId(fnv1a(base.0, &seq.to_le_bytes()).max(1));
-                if let Some(ObsKind::SpanStart { id: slot, .. }) = buf
-                    .events
-                    .write()
-                    .get_mut(seq as usize)
-                    .map(|r| &mut r.kind)
-                {
-                    *slot = id;
-                }
-                id
-            }
+        let Some(buf) = self.buffer() else {
+            return SpanId::NONE;
+        };
+        let base = parent.unwrap_or(SpanId::NONE).child(name);
+        // Reserve the slot first so the id can mix in the
+        // append sequence (making same-label siblings unique),
+        // then write the id back.
+        let seq = buf.push(
+            at,
+            ObsKind::SpanStart {
+                id: SpanId::NONE,
+                parent,
+                name: name.to_string(),
+                actor: actor.to_string(),
+            },
+        );
+        let id = SpanId(fnv1a(base.0, &seq.to_le_bytes()).max(1));
+        if let Some(ObsKind::SpanStart { id: slot, .. }) = buf
+            .events
+            .write()
+            .get_mut(seq as usize)
+            .map(|r| &mut r.kind)
+        {
+            *slot = id;
         }
+        if let Some(tap) = self.tap() {
+            // The tap sees the *finalized* record (id already fixed
+            // up), reconstructed from the fields at hand rather than
+            // re-read under the lock.
+            tap.record(&ObsRecord {
+                at,
+                seq,
+                kind: ObsKind::SpanStart {
+                    id,
+                    parent,
+                    name: name.to_string(),
+                    actor: actor.to_string(),
+                },
+            });
+        }
+        id
     }
 
     /// Close a span.
     pub fn span_end(&self, id: SpanId, at: SimTime) {
-        if let ObsSink::Memory(buf) = self {
-            buf.push(at, ObsKind::SpanEnd { id });
+        if let Some(buf) = self.buffer() {
+            let seq = buf.push(at, ObsKind::SpanEnd { id });
+            if let Some(tap) = self.tap() {
+                tap.record(&ObsRecord {
+                    at,
+                    seq,
+                    kind: ObsKind::SpanEnd { id },
+                });
+            }
         }
     }
 
     /// Record a one-shot event.
     pub fn point(&self, name: &str, actor: &str, at: SimTime) {
-        if let ObsSink::Memory(buf) = self {
-            buf.push(
-                at,
-                ObsKind::Point {
-                    name: name.to_string(),
-                    actor: actor.to_string(),
-                },
-            );
+        if let Some(buf) = self.buffer() {
+            let kind = ObsKind::Point {
+                name: name.to_string(),
+                actor: actor.to_string(),
+            };
+            let seq = buf.push(at, kind.clone());
+            if let Some(tap) = self.tap() {
+                tap.record(&ObsRecord { at, seq, kind });
+            }
         }
     }
 
@@ -473,38 +537,38 @@ impl ObsSink {
 
     /// Increment a registry counter by `n`.
     pub fn add(&self, label: &str, n: u64) {
-        if let ObsSink::Memory(buf) = self {
+        if let Some(buf) = self.buffer() {
             buf.metrics.lock().add(label, n);
         }
     }
 
     /// Record one histogram observation.
     pub fn observe(&self, label: &str, v: u64) {
-        if let ObsSink::Memory(buf) = self {
+        if let Some(buf) = self.buffer() {
             buf.metrics.lock().observe(label, v);
         }
     }
 
     /// Set a gauge as of `at`.
     pub fn gauge(&self, label: &str, at: SimTime, value: i64) {
-        if let ObsSink::Memory(buf) = self {
+        if let Some(buf) = self.buffer() {
             buf.metrics.lock().gauge(label, at, value);
         }
     }
 
     /// Snapshot of the registry (empty for `Null`).
     pub fn metrics(&self) -> MetricsRegistry {
-        match self {
-            ObsSink::Null => MetricsRegistry::new(),
-            ObsSink::Memory(buf) => buf.metrics(),
+        match self.buffer() {
+            None => MetricsRegistry::new(),
+            Some(buf) => buf.metrics(),
         }
     }
 
     /// Snapshot of all records (empty for `Null`).
     pub fn events(&self) -> Vec<ObsRecord> {
-        match self {
-            ObsSink::Null => Vec::new(),
-            ObsSink::Memory(buf) => buf.events(),
+        match self.buffer() {
+            None => Vec::new(),
+            Some(buf) => buf.events(),
         }
     }
 }
@@ -650,6 +714,56 @@ mod tests {
         let top = r.hottest(2);
         assert_eq!(top[0].0, "phase.c");
         assert_eq!(top[1].0, "phase.a", "ties break by label");
+    }
+
+    #[test]
+    fn tee_sink_streams_every_record_with_final_ids() {
+        #[derive(Debug, Default)]
+        struct Collect(Mutex<Vec<ObsRecord>>);
+        impl ObsTap for Collect {
+            fn record(&self, rec: &ObsRecord) {
+                self.0.lock().push(rec.clone());
+            }
+        }
+        let tap = Arc::new(Collect::default());
+        let sink = ObsSink::tee(tap.clone());
+        assert!(sink.enabled());
+        let root = sink.span_start(None, "visit", "gsb", SimTime::from_mins(1));
+        sink.point("retry.attempt", "gsb", SimTime::from_mins(2));
+        sink.span_end(root, SimTime::from_mins(3));
+        sink.incr("c");
+        let streamed = tap.0.lock().clone();
+        let buffered = sink.events();
+        assert_eq!(streamed, buffered, "tap sees exactly the buffer's records");
+        match &streamed[0].kind {
+            ObsKind::SpanStart { id, .. } => {
+                assert_eq!(*id, root, "tap must see the fixed-up span id")
+            }
+            other => panic!("unexpected first record {other:?}"),
+        }
+        assert_eq!(sink.metrics().counter("c"), 1);
+    }
+
+    #[test]
+    fn tee_and_memory_sinks_record_identically() {
+        #[derive(Debug, Default)]
+        struct Ignore;
+        impl ObsTap for Ignore {
+            fn record(&self, _rec: &ObsRecord) {}
+        }
+        let run = |sink: ObsSink| {
+            let root = sink.span_start(None, "visit", "gsb", SimTime::from_mins(1));
+            let child = sink.span_start(Some(root), "fetch", "gsb", SimTime::from_mins(1));
+            sink.span_end(child, SimTime::from_mins(2));
+            sink.span_end(root, SimTime::from_mins(2));
+            sink.point("p", "gsb", SimTime::from_mins(3));
+            serde_json::to_string(&sink.events()).unwrap()
+        };
+        assert_eq!(
+            run(ObsSink::memory()),
+            run(ObsSink::tee(Arc::new(Ignore))),
+            "a tap must never change what the buffer records"
+        );
     }
 
     #[test]

@@ -12,6 +12,53 @@ use rand::distributions::uniform::{SampleRange, SampleUniform};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
+/// Opt-in audit of fork labels, for collision detection.
+///
+/// Two *different* call sites forking the same `(parent seed, label)`
+/// pair silently share one stream — every draw correlates, and a
+/// replay-divergence bisection would blame the wrong layer. The audit
+/// records every fork made on the current thread between
+/// [`fork_audit::begin`] and [`fork_audit::finish`]; callers then
+/// assert that the labels they care about (retry sites, fault sites)
+/// were forked at most once. The registry is thread-local and
+/// disabled by default, so production runs pay one thread-local read
+/// per fork and no allocation.
+pub mod fork_audit {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    thread_local! {
+        static REGISTRY: RefCell<Option<HashMap<(u64, String), u64>>> =
+            const { RefCell::new(None) };
+    }
+
+    /// Start auditing forks on this thread. Clears any previous audit.
+    pub fn begin() {
+        REGISTRY.with(|r| *r.borrow_mut() = Some(HashMap::new()));
+    }
+
+    /// Stop auditing and return every `(parent_seed, label)` pair that
+    /// was forked more than once, with its count, in label order.
+    pub fn finish() -> Vec<(u64, String, u64)> {
+        let map = REGISTRY.with(|r| r.borrow_mut().take()).unwrap_or_default();
+        let mut dups: Vec<(u64, String, u64)> = map
+            .into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|((seed, label), n)| (seed, label, n))
+            .collect();
+        dups.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        dups
+    }
+
+    pub(super) fn note(seed: u64, label: &str) {
+        REGISTRY.with(|r| {
+            if let Some(map) = r.borrow_mut().as_mut() {
+                *map.entry((seed, label.to_string())).or_insert(0) += 1;
+            }
+        });
+    }
+}
+
 /// A deterministic random-number generator with labelled forking.
 ///
 /// ```
@@ -61,6 +108,7 @@ impl DetRng {
     /// not on how much the parent has been consumed, so fork order and
     /// interleaved draws do not affect child streams.
     pub fn fork(&self, label: &str) -> DetRng {
+        fork_audit::note(self.seed, label);
         let child_seed = self
             .seed
             .rotate_left(17)
@@ -210,6 +258,33 @@ mod tests {
         s.sort_unstable();
         s.dedup();
         assert_eq!(s.len(), 16, "indexed forks should be distinct streams");
+    }
+
+    #[test]
+    fn fork_audit_reports_only_duplicates() {
+        fork_audit::begin();
+        let root = DetRng::new(42);
+        let _ = root.fork("unique-a");
+        let _ = root.fork("unique-b");
+        let _ = root.fork("retry:visit:1");
+        let _ = root.fork("retry:visit:1"); // deliberate collision
+        let other = DetRng::new(43);
+        let _ = other.fork("retry:visit:1"); // different parent seed: fine
+        let dups = fork_audit::finish();
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].0, 42);
+        assert_eq!(dups[0].1, "retry:visit:1");
+        assert_eq!(dups[0].2, 2);
+        // The audit is one-shot: a second finish has nothing.
+        assert!(fork_audit::finish().is_empty());
+    }
+
+    #[test]
+    fn fork_audit_disabled_is_inert() {
+        let root = DetRng::new(1);
+        let _ = root.fork("x");
+        let _ = root.fork("x");
+        assert!(fork_audit::finish().is_empty(), "no begin => no records");
     }
 
     #[test]

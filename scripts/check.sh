@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo gate: format, lints, tier-1 tests, quick perf baseline, and the
-# sb_scale / resilience / obs_report determinism smokes.
+# Repo gate: format, lints, tier-1 tests, quick perf baseline, the
+# sb_scale / resilience / obs_report determinism smokes, and replay
+# verification of the committed .runpack artifacts.
 #
 #   ./scripts/check.sh
 #
@@ -17,7 +18,8 @@ cargo fmt --all --check
 
 echo "==> clippy (simnet, runner, caches, monitor, feedserve, bench harness)"
 cargo clippy --release -p phishsim-simnet -p phishsim-core -p phishsim-browser \
-  -p phishsim-antiphish -p phishsim-feedserve -p phishsim-bench -- -D warnings
+  -p phishsim-antiphish -p phishsim-feedserve -p phishsim-runpack -p phishsim-bench \
+  -- -D warnings
 
 echo "==> tier-1: build + tests"
 cargo build --release
@@ -67,5 +69,17 @@ if ! diff -q results/.obs_report.t1.json results/obs_report.json; then
 fi
 rm -f results/.obs_report.t1.json
 echo "obs_report record byte-identical across thread counts"
+
+echo "==> runpack verify smoke (committed packs, 1 vs 8 threads)"
+# Each committed .runpack re-executes from nothing but its own recorded
+# config and must reproduce every section digest byte-for-byte — at
+# both thread counts, since parallelism must never enter a pack.
+for pack in table1 table2 obs_report; do
+  for threads in 1 8; do
+    PHISHSIM_SWEEP_THREADS=$threads cargo run --release --bin runpack -- \
+      verify "results/$pack.runpack"
+  done
+done
+echo "runpack verify byte-for-byte at 1 and 8 threads"
 
 echo "All checks passed."

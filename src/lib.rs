@@ -36,6 +36,7 @@
 //! | [`antiphish`] | `phishsim-antiphish` | engines, classifier, feeds |
 //! | [`extensions`] | `phishsim-extensions` | the six client-side extensions |
 //! | [`feedserve`] | `phishsim-feedserve` | blacklist distribution at scale |
+//! | [`runpack`] | `phishsim-runpack` | record/replay artifacts, verify/bisect/seek |
 //! | [`experiment`] etc. | `phishsim-core` | the paper's framework |
 
 #![forbid(unsafe_code)]
@@ -49,6 +50,7 @@ pub use phishsim_feedserve as feedserve;
 pub use phishsim_html as html;
 pub use phishsim_http as http;
 pub use phishsim_phishgen as phishgen;
+pub use phishsim_runpack as runpack;
 pub use phishsim_simnet as simnet;
 
 pub use phishsim_core::{analysis, deploy, domains, experiment, monitor, tables, world};

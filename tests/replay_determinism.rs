@@ -1,0 +1,143 @@
+//! Record/replay determinism: the runpack contract, end to end.
+//!
+//! * A 50-run chaos + obs sweep records to **byte-identical** packs at
+//!   1 and 8 worker threads, and re-executing from the pack's own
+//!   recorded config verifies section-by-section.
+//! * `bisect` on a seed-perturbed pair localizes the first divergent
+//!   span with layer attribution.
+//! * `DetRng` fork labels at retry/fault sites never collide within a
+//!   run (a silent collision would make `bisect` blame the wrong
+//!   layer).
+//! * No section payload ever carries host wall-clock (the
+//!   `SweepProfile` host-time exclusion, checked at runtime here and
+//!   at compile time by the `phishsim-runpack` crate docs).
+
+use phishsim::experiment::{record_run, rerun_pack, MainConfig, RecordedConfig, SweepSpec};
+use phishsim::runpack::{bisect, verify_against, RunPack, SectionId};
+use phishsim::simnet::rng::fork_audit;
+use phishsim::simnet::FaultInjector;
+
+fn chaos_sweep(seeds: std::ops::Range<u64>) -> RecordedConfig {
+    RecordedConfig::SeedSweep(SweepSpec {
+        base: MainConfig::fast(),
+        seeds: seeds.collect(),
+    })
+}
+
+#[test]
+fn fifty_run_chaos_sweep_records_identically_at_1_and_8_threads() {
+    let cfg = chaos_sweep(100..150);
+    let faults = FaultInjector::chaos_profile();
+
+    let p1 = record_run(&cfg, &faults, 1);
+    let p8 = record_run(&cfg, &faults, 8);
+
+    // Thread count must not change a single byte of the artifact.
+    let bytes1 = p1.encode();
+    let bytes8 = p8.encode();
+    assert_eq!(bytes1, bytes8, "1-thread and 8-thread packs differ");
+    assert_eq!(p1.runs.len(), 50);
+    assert!(p1.total_events() > 0, "chaos sweep recorded no events");
+
+    // The wire round-trips losslessly.
+    let decoded = RunPack::decode(&bytes1).expect("pack decodes");
+    assert_eq!(decoded, p1.canonicalized());
+
+    // Re-executing from nothing but the recorded identity reproduces
+    // both packs byte-for-byte (they are the same bytes; hold the
+    // reproduction against each independently anyway).
+    let reproduced = rerun_pack(&p1, 8).expect("pack reruns");
+    let r1 = verify_against(&p1, &reproduced);
+    assert!(r1.ok, "1-thread pack failed verify: {:?}", r1.divergence);
+    let r8 = verify_against(&p8, &reproduced);
+    assert!(r8.ok, "8-thread pack failed verify: {:?}", r8.divergence);
+
+    // Satellite: host wall-clock must never leak into a pack. The
+    // `SweepProfile` type (which carries `host_elapsed_ms`) is
+    // structurally unserializable — the compile-fail doctest in
+    // `phishsim-runpack` proves that — and no section payload may
+    // smuggle the field in as text either.
+    for id in SectionId::ALL {
+        let payload = p1.section_payload(id);
+        let text = String::from_utf8_lossy(&payload);
+        assert!(
+            !text.contains("host_elapsed_ms"),
+            "section {} leaks host wall-clock",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn bisect_localizes_a_seed_perturbation_to_a_span_and_layer() {
+    let faults = FaultInjector::none();
+    let left = record_run(&chaos_sweep(17..18), &faults, 1);
+    let right = record_run(&chaos_sweep(18..19), &faults, 1);
+
+    // Force the comparison onto the event streams: relabel the right
+    // pack's run so bisect pairs the two seeds' streams.
+    let mut right = right;
+    right.runs[0].label = left.runs[0].label.clone();
+
+    let report = bisect(&left, &right).expect("perturbed seeds must diverge");
+    assert_eq!(report.run, left.runs[0].label);
+    assert!(
+        !report.name.is_empty(),
+        "divergence must name a span or point"
+    );
+    assert_ne!(
+        report.layer, "unknown",
+        "divergence must attribute a layer, got name {:?}",
+        report.name
+    );
+    assert!(
+        report.left.is_some() || report.right.is_some(),
+        "divergence must show at least one side's record"
+    );
+
+    // The first divergent record found by binary search agrees with
+    // verify's linear walk over the same streams.
+    let vr = verify_against(&left, &right);
+    assert!(!vr.ok);
+    let div = vr.divergence.expect("events differ");
+    assert_eq!(
+        (div.index, div.at, div.seq),
+        (report.index, report.at, report.seq)
+    );
+    assert_eq!(div.layer, report.layer);
+}
+
+#[test]
+fn fork_labels_do_not_collide_within_a_chaos_run() {
+    fork_audit::begin();
+    let mut config = MainConfig::fast();
+    config.faults = FaultInjector::chaos_profile();
+    let r = phishsim::experiment::run_main_experiment(&config);
+    let dups = fork_audit::finish();
+    assert_eq!(r.table.total.total, 105);
+
+    // No two retry/fault sites may share a fork label: a collision
+    // would correlate supposedly-independent streams and make bisect
+    // blame the wrong layer.
+    let retry_dups: Vec<_> = dups
+        .iter()
+        .filter(|(_, label, _)| label.contains("retry") || label.contains("fault"))
+        .collect();
+    assert!(
+        retry_dups.is_empty(),
+        "colliding retry/fault fork labels: {retry_dups:?}"
+    );
+
+    // The only same-label re-fork allowed anywhere is "sitegen": site
+    // generation deliberately hands every deployment the *same* child
+    // stream (variation comes from the site's inputs), which keeps
+    // deployment order irrelevant. Anything else is a collision.
+    let unexpected: Vec<_> = dups
+        .iter()
+        .filter(|(_, label, _)| label != "sitegen")
+        .collect();
+    assert!(
+        unexpected.is_empty(),
+        "colliding fork labels (same parent seed, same label, forked twice): {unexpected:?}"
+    );
+}
