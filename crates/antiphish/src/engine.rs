@@ -289,6 +289,15 @@ impl Engine {
         &self.pool
     }
 
+    /// Replace the engine's crawler IP pool. The fleet scheduler
+    /// (see [`crate::fleet`]) swaps in the egress identities its
+    /// rotation policy selected for the current report, so cloaking
+    /// kits keyed on requester identity see the fleet's churn instead
+    /// of one static per-engine subnet.
+    pub fn set_crawl_pool(&mut self, pool: IpPool) {
+        self.pool = pool;
+    }
+
     fn crawler_user_agent(&mut self) -> String {
         if self.rng.chance(self.profile.stealth_fraction) {
             // Masquerade as a desktop browser.
@@ -437,6 +446,39 @@ impl Engine {
             n += 1;
         }
         n
+    }
+
+    /// Process one reported URL with an order-independent RNG stream.
+    ///
+    /// [`Engine::process_report`] consumes the engine's sequential RNG,
+    /// so the outcome of report *n+1* depends on how many draws report
+    /// *n* made — fine for a serial intake queue, wrong for a fleet
+    /// where work-stealing reorders reports. This variant runs the
+    /// report on a child stream forked from the engine seed and `key`
+    /// alone (labelled forks are position-independent), with the
+    /// browser/visit sequence labels reset around the call, so the
+    /// outcome is a pure function of `(engine seed, key, url,
+    /// reported_at)` no matter where in the schedule it lands.
+    ///
+    /// Shared state that is *meant* to persist across reports — the
+    /// dedup window, caches — still applies as in `process_report`.
+    pub fn process_report_keyed(
+        &mut self,
+        t: &mut dyn Transport,
+        url: &Url,
+        reported_at: SimTime,
+        volume_scale: f64,
+        key: &str,
+    ) -> ReportOutcome {
+        let keyed = self.rng.fork(&format!("report-key:{key}"));
+        let saved_rng = std::mem::replace(&mut self.rng, keyed);
+        let saved_browser_seq = std::mem::take(&mut self.browser_seq);
+        let saved_visit_seq = std::mem::take(&mut self.visit_seq);
+        let outcome = self.process_report(t, url, reported_at, volume_scale);
+        self.rng = saved_rng;
+        self.browser_seq = saved_browser_seq;
+        self.visit_seq = saved_visit_seq;
+        outcome
     }
 
     /// Process one reported URL end to end.

@@ -1,0 +1,216 @@
+//! Per-hosting-farm request pacing: deterministic token buckets.
+//!
+//! A production crawl fleet never hammers one hosting provider at full
+//! fleet speed — doing so gets the crawler's whole address range
+//! nulled, which is exactly the bot-detection countermeasure the
+//! related work measures. The fleet therefore budgets crawl traffic
+//! *per hosting farm*: every report's crawl reserves a token cost
+//! against the bucket of the farm serving its host (keyed via
+//! [`phishsim_http::hosting_shard`]), and the bucket answers with the
+//! earliest simulated time the crawl may start.
+//!
+//! The bucket is a GCRA-style virtual scheduler over integer
+//! simulated milliseconds: no floats on the reserve path, so the
+//! pacing schedule is byte-replayable.
+
+use phishsim_simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A deterministic token bucket in simulated time.
+///
+/// `burst` tokens are available instantly from a full bucket; beyond
+/// the burst, requests are spaced `interval_ms` per token. Reservations
+/// are *virtual-scheduling* style: [`TokenBucket::reserve`] always
+/// succeeds and returns the earliest start time, pushing the bucket's
+/// theoretical arrival time forward — callers that want to shed instead
+/// of wait check [`TokenBucket::delay_for`] first.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Emission interval: simulated milliseconds per token.
+    interval_ms: u64,
+    /// Bucket depth in tokens.
+    burst: u64,
+    /// GCRA theoretical arrival time, in simulated milliseconds.
+    tat_ms: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` tokens per simulated
+    /// second, holding at most `burst` tokens. Rates above 1000/s
+    /// saturate to one token per simulated millisecond (the clock's
+    /// resolution).
+    pub fn new(rate_per_sec: f64, burst: u64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "token rate must be positive"
+        );
+        let interval_ms = (1000.0 / rate_per_sec).round().max(1.0) as u64;
+        TokenBucket {
+            interval_ms,
+            burst: burst.max(1),
+            tat_ms: 0,
+        }
+    }
+
+    /// Milliseconds per token (the emission interval).
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// How long a cost-1 reservation made at `now` would wait.
+    pub fn delay_for(&self, now: SimTime) -> SimDuration {
+        let tolerance = self.burst.saturating_sub(1) * self.interval_ms;
+        let start = self.tat_ms.saturating_sub(tolerance).max(now.as_millis());
+        SimDuration::from_millis(start - now.as_millis())
+    }
+
+    /// Reserve `cost` tokens at `now`; returns the earliest simulated
+    /// time the reserved work may start. Starting earlier than the
+    /// returned instant would exceed the farm's rate.
+    pub fn reserve(&mut self, now: SimTime, cost: u64) -> SimTime {
+        let now_ms = now.as_millis();
+        let tolerance = self.burst.saturating_sub(1) * self.interval_ms;
+        let start = self.tat_ms.saturating_sub(tolerance).max(now_ms);
+        self.tat_ms = self.tat_ms.max(now_ms) + cost.max(1) * self.interval_ms;
+        SimTime::from_millis(start)
+    }
+}
+
+/// Token buckets keyed by hosting-farm shard.
+///
+/// Buckets are created lazily: a farm the fleet never crawls costs
+/// nothing. Lazy creation is deterministic because a bucket's initial
+/// state depends only on the limiter's configuration, never on when it
+/// was first touched.
+#[derive(Debug)]
+pub struct FarmLimiter {
+    farms: usize,
+    rate_per_sec: f64,
+    burst: u64,
+    buckets: HashMap<usize, TokenBucket>,
+    throttled: u64,
+    throttle_ms_total: u64,
+}
+
+impl FarmLimiter {
+    /// A limiter over `farms` hosting-farm shards, each paced at
+    /// `rate_per_sec` tokens per simulated second with `burst` depth.
+    pub fn new(farms: usize, rate_per_sec: f64, burst: u64) -> Self {
+        FarmLimiter {
+            farms: farms.max(1),
+            rate_per_sec,
+            burst,
+            buckets: HashMap::new(),
+            throttled: 0,
+            throttle_ms_total: 0,
+        }
+    }
+
+    /// The farm shard serving `host`.
+    pub fn farm_of(&self, host: &str) -> usize {
+        phishsim_http::hosting_shard(host, self.farms)
+    }
+
+    /// Reserve `cost` tokens against `host`'s farm at `now`; returns
+    /// the earliest permitted crawl start.
+    pub fn reserve(&mut self, host: &str, now: SimTime, cost: u64) -> SimTime {
+        let farm = self.farm_of(host);
+        let bucket = self
+            .buckets
+            .entry(farm)
+            .or_insert_with(|| TokenBucket::new(self.rate_per_sec, self.burst));
+        let start = bucket.reserve(now, cost);
+        if start > now {
+            self.throttled += 1;
+            self.throttle_ms_total += start.since(now).as_millis();
+        }
+        start
+    }
+
+    /// `(reservations that waited, total simulated wait in ms)`.
+    pub fn throttle_totals(&self) -> (u64, u64) {
+        (self.throttled, self.throttle_ms_total)
+    }
+
+    /// Number of farms actually crawled so far.
+    pub fn farms_touched(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_instant_then_paced_at_the_interval() {
+        // 2 tokens/sec, burst 3: the first three cost-1 reservations at
+        // t=0 start immediately; the fourth starts exactly one interval
+        // (500 ms) after the burst is exhausted, the fifth one more.
+        let mut b = TokenBucket::new(2.0, 3);
+        let t0 = SimTime::ZERO;
+        assert_eq!(b.reserve(t0, 1), t0);
+        assert_eq!(b.reserve(t0, 1), t0);
+        assert_eq!(b.reserve(t0, 1), t0);
+        assert_eq!(b.reserve(t0, 1), SimTime::from_millis(500));
+        assert_eq!(b.reserve(t0, 1), SimTime::from_millis(1000));
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst_never_beyond() {
+        let mut b = TokenBucket::new(1.0, 2);
+        // Drain burst at t=0: next start would be t=1000.
+        assert_eq!(b.reserve(SimTime::ZERO, 2), SimTime::ZERO);
+        assert_eq!(b.reserve(SimTime::ZERO, 1), SimTime::from_millis(1000));
+        // A long idle period refills to exactly `burst` tokens: at
+        // t=100s two instant reservations are available again, the
+        // third waits — the bucket did not accumulate 100 tokens.
+        let late = SimTime::from_secs(100);
+        assert_eq!(b.reserve(late, 1), late);
+        assert_eq!(b.reserve(late, 1), late);
+        assert_eq!(b.reserve(late, 1), SimTime::from_millis(101_000));
+    }
+
+    #[test]
+    fn multi_token_cost_consumes_proportionally() {
+        let mut b = TokenBucket::new(10.0, 5);
+        // Cost 5 eats the whole burst; the next cost-1 waits 100 ms.
+        assert_eq!(b.reserve(SimTime::ZERO, 5), SimTime::ZERO);
+        assert_eq!(b.reserve(SimTime::ZERO, 1), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn delay_for_previews_without_consuming() {
+        let mut b = TokenBucket::new(1.0, 1);
+        assert_eq!(b.delay_for(SimTime::ZERO), SimDuration::ZERO);
+        b.reserve(SimTime::ZERO, 1);
+        assert_eq!(b.delay_for(SimTime::ZERO), SimDuration::from_millis(1000));
+        // Preview twice: unchanged (no consumption).
+        assert_eq!(b.delay_for(SimTime::ZERO), SimDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn farms_are_independently_paced() {
+        let mut l = FarmLimiter::new(8, 1.0, 1);
+        // Two hosts on different shards: draining one farm's bucket
+        // does not delay the other's.
+        let (a, b) = {
+            let mut pair = None;
+            for i in 0..64 {
+                let h = format!("host-{i}.com");
+                if l.farm_of(&h) != l.farm_of("host-0.com") {
+                    pair = Some(("host-0.com".to_string(), h));
+                    break;
+                }
+            }
+            pair.expect("some host lands on another shard")
+        };
+        assert_eq!(l.reserve(&a, SimTime::ZERO, 1), SimTime::ZERO);
+        assert_eq!(l.reserve(&b, SimTime::ZERO, 1), SimTime::ZERO);
+        assert!(l.reserve(&a, SimTime::ZERO, 1) > SimTime::ZERO);
+        assert_eq!(l.farms_touched(), 2);
+        let (throttled, ms) = l.throttle_totals();
+        assert_eq!(throttled, 1);
+        assert_eq!(ms, 1000);
+    }
+}

@@ -34,6 +34,10 @@
 //!   (with the browser capability profile) → form submission →
 //!   classification → verdict, plus background crawl traffic shaped so
 //!   ~90 % arrives within two hours.
+//! * [`fleet`] — the multi-worker crawl fleet wrapped around the
+//!   engine: sharded work-stealing report queues, per-hosting-farm
+//!   rate limits, egress-identity rotation, and non-lossy backpressure
+//!   — a deterministic simulation of intake at reports-per-day scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,7 @@ pub mod blacklist;
 pub mod classifier;
 pub mod engine;
 pub mod feeds;
+pub mod fleet;
 pub mod intake;
 pub mod kit_probe;
 pub mod profiles;
@@ -53,6 +58,10 @@ pub use blacklist::Blacklist;
 pub use classifier::{classify, Classification, ClassifierMode};
 pub use engine::{render_cache_enabled, Engine, ReportOutcome};
 pub use feeds::{FeedEdge, FeedNetwork};
+pub use fleet::{
+    run_fleet, EgressPool, FarmLimiter, FleetConfig, FleetOutcome, FleetResult, QueueDiscipline,
+    ReportArrival, RotationPolicy, ServiceModel, ShardedQueue, TokenBucket,
+};
 pub use intake::ReportChannel;
 pub use profiles::{CapabilityUpgrade, DeepPass, EngineId, EngineProfile};
 pub use sbapi::{full_hash, HashPrefix, SbClient, SbServer, SbVerdict};

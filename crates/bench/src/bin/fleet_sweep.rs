@@ -1,0 +1,103 @@
+//! Chart the crawl-fleet sweep: reports/day sustained, queue waits,
+//! and time-to-blacklist vs queue discipline.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin fleet_sweep          # full stream
+//! cargo run --release -p phishsim-bench --bin fleet_sweep -- fast  # reduced
+//! ```
+
+use phishsim_core::experiment::{record_run, run_fleet_sweep, FleetSweepConfig, RecordedConfig};
+use phishsim_simnet::runner::sweep_threads;
+use phishsim_simnet::FaultInjector;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let config = if fast {
+        FleetSweepConfig::fast()
+    } else {
+        FleetSweepConfig::paper()
+    };
+    eprintln!(
+        "running the fleet sweep ({} reports x {} points, engine {})...",
+        config.reports,
+        config.worker_points.len() * config.disciplines.len(),
+        config.engine.key(),
+    );
+    let r = run_fleet_sweep(&config);
+
+    println!(
+        "Crawl-fleet sweep — {} reports over {} ({}% duplicates), engine {}",
+        r.reports,
+        config.window,
+        (r.dedup_fraction * 100.0).round(),
+        r.engine.key(),
+    );
+    println!(
+        "{:>7}  {:>16}  {:>12}  {:>9}  {:>9}  {:>7}  {:>6}  {:>6}  {:>10}  {:>9}",
+        "workers",
+        "discipline",
+        "reports/day",
+        "p50 wait",
+        "p95 wait",
+        "stolen",
+        "shed",
+        "deep",
+        "p50 listed",
+        "hi/lo p50"
+    );
+    for p in &r.points {
+        println!(
+            "{:>7}  {:>16}  {:>12.0}  {:>7}ms  {:>7}ms  {:>7}  {:>6}  {:>6}  {:>7}min  {:>4}/{:<4}",
+            p.workers,
+            p.discipline,
+            p.sustained_per_day,
+            p.p50_queue_wait_ms,
+            p.p95_queue_wait_ms,
+            p.stolen,
+            p.shed,
+            p.deepest_queue,
+            p.p50_time_to_blacklist_mins.unwrap_or(0),
+            p.p50_blacklist_high_rep_mins.unwrap_or(0),
+            p.p50_blacklist_low_rep_mins.unwrap_or(0),
+        );
+    }
+
+    // The headline point: the default fleet shape (largest swept size,
+    // FIFO) must sustain at least one million simulated reports/day.
+    let headline = r
+        .points
+        .iter()
+        .filter(|p| p.discipline == "fifo")
+        .max_by_key(|p| p.workers)
+        .expect("sweep has a FIFO point");
+    println!(
+        "\nHeadline: {} workers sustain {:.0} reports/day (makespan {} min, {} farms paced, {} egress identities)",
+        headline.workers,
+        headline.sustained_per_day,
+        headline.makespan_mins,
+        headline.farms_touched,
+        headline.identities_used,
+    );
+    if !fast {
+        assert!(
+            headline.sustained_per_day >= 1_000_000.0,
+            "default config must sustain >= 1M reports/day, got {:.0}",
+            headline.sustained_per_day
+        );
+        println!("PASS: sustained throughput >= 1,000,000 simulated reports/day");
+    }
+
+    let record = serde_json::to_value(&r);
+    phishsim_bench::write_record("fleet_sweep", &record);
+
+    // Replay artifact: always the fast config, so the committed pack
+    // verifies in seconds and is identical whether this binary ran
+    // full or fast.
+    eprintln!("recording results/fleet_sweep.runpack (fast config)...");
+    let pack = record_run(
+        &RecordedConfig::FleetSweep(FleetSweepConfig::fast()),
+        &FaultInjector::none(),
+        sweep_threads(),
+    );
+    phishsim_bench::write_pack("fleet_sweep", &pack);
+}

@@ -16,6 +16,7 @@
 //! | `traffic_timing` | §4.2 — crawl-traffic timing histogram |
 //! | `kit_probes` | §4.1(3) — OpenPhish kit-probing taxonomy |
 //! | `cache_blindspot` | §2.4 — SB verdict-cache TTL sweep |
+//! | `fleet_sweep` | ROADMAP — crawl-fleet scheduler throughput sweep |
 //! | `ablation_feeds` | DESIGN.md §4.5 — cross-feed edge ablation |
 //! | `ablation_classifier` | DESIGN.md §4.2 — classifier-mode ablation |
 //!

@@ -1,0 +1,473 @@
+//! Fleet sweep: crawl-fleet throughput and queueing vs discipline.
+//!
+//! The paper measures time-to-blacklist per URL; at ecosystem scale
+//! that quantity is shaped by the engine's *intake queue* as much as by
+//! its crawler. This experiment drives the deterministic crawl fleet
+//! (`phishsim_antiphish::fleet`) with a reports-per-day-scale arrival
+//! stream — a steady phase plus a saturating burst — and sweeps the
+//! cross product of fleet sizes × queue disciplines. Per point it
+//! charts sustained reports/day, queue-depth high-water marks,
+//! queue-wait and detection-delay histograms, work-stealing and
+//! rate-limiter activity, and how time-to-blacklist splits between
+//! high- and low-reputation feeds (the priority discipline's payoff
+//! under load).
+//!
+//! The sweep is byte-identical at any `PHISHSIM_SWEEP_THREADS`: each
+//! point is one serial fleet simulation, host threads only fan out
+//! across points, and the merge is input-ordered.
+
+use phishsim_antiphish::fleet::{run_fleet, FleetConfig, QueueDiscipline, ReportArrival};
+use phishsim_antiphish::{Engine, EngineId};
+use phishsim_browser::transport::DirectTransport;
+use phishsim_http::{Url, VirtualHosting};
+use phishsim_phishgen::{
+    Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
+};
+use phishsim_simnet::runner::{run_sweep_with_threads, sweep_threads};
+use phishsim_simnet::{DetRng, LogHistogram, ObsSink, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The feeds reporting into the fleet, with their reputations.
+/// Reputation ≥ 600 counts as "high" in the split metrics.
+const FEEDS: [(&str, u16); 4] = [
+    ("user-report", 120),
+    ("honeypot", 380),
+    ("partner-feed", 650),
+    ("takedown-vendor", 920),
+];
+
+/// Reputation at or above this is the "high-reputation" class.
+const HIGH_REP: u16 = 600;
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSweepConfig {
+    /// Master seed (sites, arrival stream, engine, fleet RNG).
+    pub seed: u64,
+    /// The engine whose fleet is simulated.
+    pub engine: EngineId,
+    /// Distinct phishing sites deployed; reports cycle over them, so
+    /// `reports - sites` of the intake stream are duplicate reports
+    /// resolved by the engine's 24 h dedup window (real feeds are
+    /// heavily duplicated).
+    pub sites: usize,
+    /// Reports in the arrival stream.
+    pub reports: usize,
+    /// Span of the arrival stream in virtual time.
+    pub window: SimDuration,
+    /// Fraction of reports packed into the burst phase.
+    pub burst_fraction: f64,
+    /// Fraction of the window the burst occupies (centred at 50 %).
+    pub burst_window_fraction: f64,
+    /// Fleet sizes to sweep.
+    pub worker_points: Vec<usize>,
+    /// Queue disciplines to sweep.
+    pub disciplines: Vec<QueueDiscipline>,
+    /// Base fleet template; `workers` and `discipline` are overridden
+    /// per point.
+    pub fleet: FleetConfig,
+}
+
+impl FleetSweepConfig {
+    /// Full-scale configuration: a ~1.15 M reports/day arrival stream
+    /// against fleets of 64 (near saturation) and 256 (headline)
+    /// workers, both disciplines.
+    pub fn paper() -> Self {
+        FleetSweepConfig {
+            seed: 17,
+            engine: EngineId::Gsb,
+            sites: 160,
+            reports: 12_000,
+            window: SimDuration::from_mins(15),
+            burst_fraction: 0.35,
+            burst_window_fraction: 0.06,
+            worker_points: vec![64, 256],
+            disciplines: vec![QueueDiscipline::Fifo, QueueDiscipline::FeedReputation],
+            fleet: FleetConfig::default(),
+        }
+    }
+
+    /// Reduced configuration for tests, CI smoke runs, and the
+    /// committed replay pack.
+    pub fn fast() -> Self {
+        FleetSweepConfig {
+            sites: 24,
+            reports: 400,
+            window: SimDuration::from_mins(4),
+            worker_points: vec![8, 16],
+            fleet: FleetConfig {
+                workers: 16,
+                shard_capacity: 16,
+                egress_identities: 64,
+                egress_per_report: 4,
+                volume_scale: 0.0,
+                ..FleetConfig::default()
+            },
+            ..Self::paper()
+        }
+    }
+}
+
+/// One (workers, discipline) cell of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetPoint {
+    /// Fleet size for this cell.
+    pub workers: usize,
+    /// Queue discipline for this cell.
+    pub discipline: QueueDiscipline,
+}
+
+/// The cross product of `worker_points` × `disciplines`, in config
+/// order — the sweep's job list.
+pub fn fleet_points(cfg: &FleetSweepConfig) -> Vec<FleetPoint> {
+    let mut points = Vec::with_capacity(cfg.worker_points.len() * cfg.disciplines.len());
+    for &workers in &cfg.worker_points {
+        for &discipline in &cfg.disciplines {
+            points.push(FleetPoint {
+                workers,
+                discipline,
+            });
+        }
+    }
+    points
+}
+
+/// Everything measured at one sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetPointReport {
+    /// Fleet size.
+    pub workers: usize,
+    /// Queue discipline key (`fifo` / `feed_reputation`).
+    pub discipline: String,
+    /// Reports completed (must equal the arrival count).
+    pub completed: u64,
+    /// Completed reports per simulated day, sustained over the
+    /// makespan.
+    pub sustained_per_day: f64,
+    /// First arrival to last worker-slot release, in virtual minutes.
+    pub makespan_mins: u64,
+    /// High-water mark of total queued reports.
+    pub deepest_queue: usize,
+    /// Reports crawled by a thief worker.
+    pub stolen: u64,
+    /// Reports spilled to a non-home shard.
+    pub spilled: u64,
+    /// Deferral events (whole fleet at capacity).
+    pub shed: u64,
+    /// Reservations the farm rate limiter delayed.
+    pub throttled: u64,
+    /// Hosting farms the limiter touched.
+    pub farms_touched: usize,
+    /// Distinct egress identities that carried reports.
+    pub identities_used: usize,
+    /// Median intake-to-dispatch wait, ms.
+    pub p50_queue_wait_ms: u64,
+    /// 95th-percentile intake-to-dispatch wait, ms.
+    pub p95_queue_wait_ms: u64,
+    /// Median wait for high-reputation feeds (≥ 600), ms.
+    pub p50_wait_high_rep_ms: u64,
+    /// Median wait for low-reputation feeds (< 600), ms.
+    pub p50_wait_low_rep_ms: u64,
+    /// Reports whose URL was blacklisted.
+    pub detections: u64,
+    /// Median arrival-to-blacklist time over detected reports, mins.
+    pub p50_time_to_blacklist_mins: Option<u64>,
+    /// Median arrival-to-blacklist for high-reputation feeds, mins.
+    pub p50_blacklist_high_rep_mins: Option<u64>,
+    /// Median arrival-to-blacklist for low-reputation feeds, mins.
+    pub p50_blacklist_low_rep_mins: Option<u64>,
+    /// Queue-wait histogram (log buckets, ms).
+    pub queue_wait_ms: LogHistogram,
+    /// Detection-delay histogram (log buckets, mins, from dispatch).
+    pub detection_delay_mins: LogHistogram,
+}
+
+/// The full sweep record (`results/fleet_sweep.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSweepResult {
+    /// Master seed.
+    pub seed: u64,
+    /// Engine simulated.
+    pub engine: EngineId,
+    /// Reports per point.
+    pub reports: usize,
+    /// Distinct sites deployed.
+    pub sites: usize,
+    /// Fraction of the stream deduplicated as repeat reports.
+    pub dedup_fraction: f64,
+    /// One report per sweep point, in `fleet_points` order.
+    pub points: Vec<FleetPointReport>,
+}
+
+/// Deploy the site population for a run: `sites` compromised hosts
+/// cycling through the main-experiment evasion techniques.
+fn deploy_sites(cfg: &FleetSweepConfig, rng: &DetRng) -> (VirtualHosting, Vec<Url>) {
+    let techniques = [
+        EvasionTechnique::None,
+        EvasionTechnique::AlertBox,
+        EvasionTechnique::SessionGate,
+    ];
+    let brands = [Brand::PayPal, Brand::Facebook];
+    let mut vhosts = VirtualHosting::new();
+    let mut urls = Vec::with_capacity(cfg.sites);
+    for i in 0..cfg.sites {
+        let host = format!("fleet-target-{i}.com");
+        let site_rng = rng.fork(&format!("site:{host}"));
+        let bundle = FakeSiteGenerator::new(&site_rng).generate(&host);
+        let kit = PhishKit::new(
+            brands[i % brands.len()],
+            GateConfig::simple(techniques[i % techniques.len()]),
+        );
+        urls.push(kit.phishing_url(&host));
+        vhosts.install(
+            &host,
+            Box::new(CompromisedSite::new(bundle, kit, &site_rng)),
+        );
+    }
+    (vhosts, urls)
+}
+
+/// Build the arrival stream: `(1 - burst_fraction)` of the reports
+/// uniform over the window, the rest packed into a burst centred at
+/// 50 % of it. URLs cycle over the site list; feeds cycle over
+/// [`FEEDS`].
+fn build_arrivals(cfg: &FleetSweepConfig, urls: &[Url], rng: &DetRng) -> Vec<ReportArrival> {
+    let mut rng = rng.fork("fleet-arrivals");
+    let window_ms = cfg.window.as_millis().max(1);
+    let burst_n = ((cfg.reports as f64) * cfg.burst_fraction) as usize;
+    let steady_n = cfg.reports - burst_n;
+    let burst_len = ((window_ms as f64) * cfg.burst_window_fraction).max(1.0) as u64;
+    let burst_start = window_ms / 2;
+    let mut ats: Vec<u64> = Vec::with_capacity(cfg.reports);
+    for _ in 0..steady_n {
+        ats.push(rng.range(0..window_ms));
+    }
+    for _ in 0..burst_n {
+        ats.push(burst_start + rng.range(0..burst_len));
+    }
+    ats.sort_unstable();
+    ats.iter()
+        .enumerate()
+        .map(|(i, &at)| {
+            let (feed, reputation) = FEEDS[i % FEEDS.len()];
+            ReportArrival {
+                url: urls[i % urls.len()].clone(),
+                at: SimTime::from_millis(at),
+                feed: feed.to_string(),
+                reputation,
+            }
+        })
+        .collect()
+}
+
+/// Median of a sorted slice (`None` when empty).
+fn p50(sorted: &[u64]) -> Option<u64> {
+    (!sorted.is_empty()).then(|| sorted[sorted.len() / 2])
+}
+
+/// Percentile `p` (0..=100) of a sorted slice (0 when empty).
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Run one sweep point: deploy the sites, build the stream, run the
+/// fleet, summarize. Self-contained per point, so points are
+/// order-independent — the thread-invariance requirement.
+pub fn run_fleet_point(
+    cfg: &FleetSweepConfig,
+    point: &FleetPoint,
+    obs: &ObsSink,
+) -> FleetPointReport {
+    let rng = DetRng::new(cfg.seed);
+    let (vhosts, urls) = deploy_sites(cfg, &rng);
+    let mut transport = DirectTransport::new(vhosts);
+    let arrivals = build_arrivals(cfg, &urls, &rng);
+    let mut fleet_cfg = cfg.fleet.clone();
+    fleet_cfg.workers = point.workers;
+    fleet_cfg.discipline = point.discipline;
+    let mut engine = Engine::new(cfg.engine, &rng).with_obs(obs.clone());
+    let fleet_rng = rng.fork(&format!(
+        "fleet:{}:{}",
+        point.workers,
+        point.discipline.key()
+    ));
+    let r = run_fleet(
+        &mut engine,
+        &mut transport,
+        &fleet_cfg,
+        &arrivals,
+        &fleet_rng,
+        obs,
+    );
+
+    let mut waits: Vec<u64> = r.outcomes.iter().map(|o| o.queue_wait_ms).collect();
+    waits.sort_unstable();
+    let class_waits = |high: bool| {
+        let mut v: Vec<u64> = r
+            .outcomes
+            .iter()
+            .filter(|o| (arrivals[o.idx as usize].reputation >= HIGH_REP) == high)
+            .map(|o| o.queue_wait_ms)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let blacklist_mins = |class: Option<bool>| {
+        let mut v: Vec<u64> = r
+            .outcomes
+            .iter()
+            .filter(|o| {
+                class.is_none_or(|high| (arrivals[o.idx as usize].reputation >= HIGH_REP) == high)
+            })
+            .filter_map(|o| o.detected_at.map(|d| d.since(o.arrived_at).as_mins()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let all_blacklist = blacklist_mins(None);
+
+    FleetPointReport {
+        workers: point.workers,
+        discipline: point.discipline.key().to_string(),
+        completed: r.outcomes.len() as u64,
+        sustained_per_day: r.sustained_per_day,
+        makespan_mins: r.makespan.as_mins(),
+        deepest_queue: r.deepest_queue,
+        stolen: r.counters.get("fleet.stolen"),
+        spilled: r.counters.get("fleet.spilled"),
+        shed: r.counters.get("fleet.shed"),
+        throttled: r.counters.get("fleet.throttled"),
+        farms_touched: r.farms_touched,
+        identities_used: r.identities_used,
+        p50_queue_wait_ms: p50(&waits).unwrap_or(0),
+        p95_queue_wait_ms: percentile(&waits, 95),
+        p50_wait_high_rep_ms: p50(&class_waits(true)).unwrap_or(0),
+        p50_wait_low_rep_ms: p50(&class_waits(false)).unwrap_or(0),
+        detections: all_blacklist.len() as u64,
+        p50_time_to_blacklist_mins: p50(&all_blacklist),
+        p50_blacklist_high_rep_mins: p50(&blacklist_mins(Some(true))),
+        p50_blacklist_low_rep_mins: p50(&blacklist_mins(Some(false))),
+        queue_wait_ms: r.queue_wait_ms,
+        detection_delay_mins: r.detection_delay_mins,
+    }
+}
+
+/// Run the sweep on the default thread count.
+pub fn run_fleet_sweep(cfg: &FleetSweepConfig) -> FleetSweepResult {
+    run_fleet_sweep_with_threads(cfg, sweep_threads())
+}
+
+/// Run the sweep on exactly `threads` workers. Byte-identical output
+/// for any thread count.
+pub fn run_fleet_sweep_with_threads(cfg: &FleetSweepConfig, threads: usize) -> FleetSweepResult {
+    let points = fleet_points(cfg);
+    let reports = run_sweep_with_threads(&points, threads, |p| {
+        run_fleet_point(cfg, p, &ObsSink::Null)
+    });
+    summarize(cfg, reports)
+}
+
+/// Assemble the sweep record from per-point reports (in point order).
+pub fn summarize(cfg: &FleetSweepConfig, points: Vec<FleetPointReport>) -> FleetSweepResult {
+    let distinct = cfg.sites.min(cfg.reports);
+    FleetSweepResult {
+        seed: cfg.seed,
+        engine: cfg.engine,
+        reports: cfg.reports,
+        sites: cfg.sites,
+        dedup_fraction: if cfg.reports == 0 {
+            0.0
+        } else {
+            1.0 - distinct as f64 / cfg.reports as f64
+        },
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetSweepConfig {
+        FleetSweepConfig {
+            sites: 8,
+            reports: 80,
+            window: SimDuration::from_mins(2),
+            worker_points: vec![4],
+            fleet: FleetConfig {
+                workers: 4,
+                shard_capacity: 8,
+                egress_identities: 16,
+                egress_per_report: 2,
+                volume_scale: 0.0,
+                ..FleetConfig::default()
+            },
+            ..FleetSweepConfig::fast()
+        }
+    }
+
+    #[test]
+    fn every_point_completes_the_whole_stream() {
+        let r = run_fleet_sweep_with_threads(&tiny(), 2);
+        assert_eq!(r.points.len(), 2, "1 worker point x 2 disciplines");
+        for p in &r.points {
+            assert_eq!(p.completed, 80, "{}", p.discipline);
+            assert!(p.sustained_per_day > 0.0);
+            assert!(p.detections > 0, "naked arms must blacklist");
+        }
+        assert!(r.dedup_fraction > 0.8, "72/80 are repeat reports");
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let cfg = tiny();
+        let a = run_fleet_sweep_with_threads(&cfg, 1);
+        let b = run_fleet_sweep_with_threads(&cfg, 4);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn priority_discipline_serves_high_rep_feeds_first_under_load() {
+        // Saturate a small fleet so the queue actually builds, then
+        // compare the per-class median waits across disciplines.
+        let cfg = FleetSweepConfig {
+            sites: 8,
+            reports: 240,
+            window: SimDuration::from_mins(2),
+            burst_fraction: 0.6,
+            worker_points: vec![2],
+            fleet: FleetConfig {
+                workers: 2,
+                shard_capacity: 64,
+                egress_identities: 16,
+                egress_per_report: 2,
+                volume_scale: 0.0,
+                ..FleetConfig::default()
+            },
+            ..FleetSweepConfig::fast()
+        };
+        let r = run_fleet_sweep_with_threads(&cfg, 2);
+        let fifo = &r.points[0];
+        let prio = &r.points[1];
+        assert_eq!(fifo.discipline, "fifo");
+        assert_eq!(prio.discipline, "feed_reputation");
+        assert!(
+            prio.p50_wait_high_rep_ms < prio.p50_wait_low_rep_ms,
+            "priority must favour high-reputation feeds: high {} vs low {}",
+            prio.p50_wait_high_rep_ms,
+            prio.p50_wait_low_rep_ms
+        );
+        assert!(
+            prio.p50_wait_high_rep_ms < fifo.p50_wait_high_rep_ms,
+            "priority must beat FIFO for the high-reputation class: {} vs {}",
+            prio.p50_wait_high_rep_ms,
+            fifo.p50_wait_high_rep_ms
+        );
+    }
+}

@@ -14,9 +14,13 @@
 //! * [`resilience`] — the chaos sweep: the coupled pipeline re-run
 //!   across escalating fault intensities (crawl loss × feed-server
 //!   outage × feed-channel loss).
+//! * [`fleet_sweep`] — crawl-fleet throughput and queueing: the
+//!   multi-worker fleet scheduler driven by a reports-per-day-scale
+//!   arrival stream, swept over fleet sizes × queue disciplines.
 
 pub mod cloaking;
 pub mod extension_experiment;
+pub mod fleet_sweep;
 pub mod longitudinal;
 pub mod main_experiment;
 pub mod preliminary;
@@ -27,6 +31,10 @@ pub mod sb_scale;
 
 pub use cloaking::{run_cloaking_baseline, ArmStats, CloakingConfig, CloakingResult};
 pub use extension_experiment::{run_extension_experiment, ExtensionConfig, ExtensionResult};
+pub use fleet_sweep::{
+    fleet_points, run_fleet_point, run_fleet_sweep, run_fleet_sweep_with_threads, FleetPoint,
+    FleetPointReport, FleetSweepConfig, FleetSweepResult,
+};
 pub use longitudinal::{run_longitudinal, LongitudinalConfig, LongitudinalResult, WaveResult};
 pub use main_experiment::{run_main_experiment, MainConfig, MainResult};
 pub use preliminary::{run_preliminary, PreliminaryConfig, PreliminaryResult};

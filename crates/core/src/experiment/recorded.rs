@@ -15,6 +15,7 @@
 //! across thread counts, which is exactly what `runpack verify`
 //! checks.
 
+use crate::experiment::fleet_sweep::{fleet_points, run_fleet_point, summarize, FleetSweepConfig};
 use crate::experiment::main_experiment::{run_main_experiment, MainConfig};
 use crate::experiment::preliminary::{run_preliminary, PreliminaryConfig};
 use phishsim_runpack::{PackRecorder, RunPack, StateSnapshot};
@@ -51,6 +52,10 @@ pub enum RecordedConfig {
     /// A bare seed sweep; the pack's Faults section applies to every
     /// run.
     SeedSweep(SweepSpec),
+    /// The crawl-fleet sweep: one run per (workers, discipline) point.
+    /// Fault-free by contract (the fleet's own outage windows live in
+    /// the config).
+    FleetSweep(FleetSweepConfig),
 }
 
 impl RecordedConfig {
@@ -61,6 +66,7 @@ impl RecordedConfig {
             RecordedConfig::Table2(_) => "table2",
             RecordedConfig::ObsReport { .. } => "obs_report",
             RecordedConfig::SeedSweep(_) => "seed_sweep",
+            RecordedConfig::FleetSweep(_) => "fleet_sweep",
         }
     }
 }
@@ -152,6 +158,24 @@ pub fn record_run(cfg: &RecordedConfig, faults: &FaultInjector, threads: usize) 
                 "seeds": spec.seeds,
                 "detections": detections,
             })));
+        }
+        RecordedConfig::FleetSweep(fc) => {
+            let points = fleet_points(fc);
+            let jobs: Vec<(crate::experiment::fleet_sweep::FleetPoint, ObsSink)> =
+                points.into_iter().map(|p| (p, rec.run_sink())).collect();
+            let reports = run_sweep_with_threads(&jobs, threads, |(point, sink)| {
+                run_fleet_point(fc, point, sink)
+            });
+            for (point, sink) in &jobs {
+                rec.push_run(
+                    &format!("w{}:{}", point.workers, point.discipline.key()),
+                    sink,
+                );
+            }
+            let result = summarize(fc, reports);
+            rec.set_result_json(
+                &serde_json::to_string(&result).expect("fleet sweep result serializes"),
+            );
         }
     }
 
@@ -273,6 +297,19 @@ mod tests {
         assert!(pack.result_json.contains("abuse_emails"));
         let again = rerun_pack(&pack, 1).expect("reruns");
         assert!(verify_against(&pack, &again).ok);
+    }
+
+    #[test]
+    fn fleet_sweep_pack_is_thread_invariant_and_reruns() {
+        let cfg = RecordedConfig::FleetSweep(FleetSweepConfig::fast());
+        let p1 = record_run(&cfg, &FaultInjector::none(), 1);
+        let p2 = record_run(&cfg, &FaultInjector::none(), 2);
+        assert_eq!(p1.encode(), p2.encode());
+        assert_eq!(p1.experiment, "fleet_sweep");
+        assert_eq!(p1.runs.len(), 4, "2 fleet sizes x 2 disciplines");
+        assert!(p1.total_events() > 0, "fleet spans must be recorded");
+        let again = rerun_pack(&p1, 2).expect("fleet pack reruns");
+        assert!(verify_against(&p1, &again).ok);
     }
 
     #[test]

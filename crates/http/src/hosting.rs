@@ -47,6 +47,26 @@ where
     }
 }
 
+/// Stable hosting-farm shard for a host: which of `shards` hosting
+/// farms (providers, in the crawl-fleet's pacing model) serves `host`.
+///
+/// Real crawl fleets pace their request rate *per hosting provider*,
+/// not per URL — hammering one farm gets the whole crawler range
+/// blocked. The simulation has no global host→provider table, so the
+/// shard is derived the way the farm itself spreads sites over its
+/// addresses: a stable hash of the host name folded onto the shard
+/// count. FNV-1a keeps the mapping identical across platforms and
+/// process runs (the fleet's rate-limit keys must be replayable).
+pub fn hosting_shard(host: &str, shards: usize) -> usize {
+    assert!(shards > 0, "hosting_shard needs at least one shard");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in host.as_bytes() {
+        hash ^= u64::from(b.to_ascii_lowercase());
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
 /// `Host`-header dispatch over boxed handlers.
 #[derive(Default)]
 pub struct VirtualHosting {
@@ -205,6 +225,27 @@ mod tests {
             actor: "test",
             now: SimTime::from_mins(1),
         }
+    }
+
+    #[test]
+    fn hosting_shard_is_stable_case_insensitive_and_in_range() {
+        for shards in [1usize, 7, 22, 64] {
+            for host in ["a.com", "B.com", "login-secure.example", "x"] {
+                let s = hosting_shard(host, shards);
+                assert!(s < shards);
+                assert_eq!(s, hosting_shard(host, shards), "stable");
+                assert_eq!(
+                    hosting_shard(&host.to_ascii_uppercase(), shards),
+                    s,
+                    "case-insensitive like Host-header dispatch"
+                );
+            }
+        }
+        // Distinct hosts spread over shards rather than collapsing.
+        let spread: std::collections::HashSet<usize> = (0..100)
+            .map(|i| hosting_shard(&format!("site-{i}.com"), 22))
+            .collect();
+        assert!(spread.len() > 10, "hash must spread hosts across farms");
     }
 
     #[test]

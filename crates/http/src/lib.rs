@@ -40,7 +40,7 @@ pub mod useragent;
 pub use codec::{decode_request, decode_response, encode_request, encode_response, CodecError};
 pub use cookies::{Cookie, CookieJar};
 pub use headers::Headers;
-pub use hosting::{Handler, HostingFarm, RequestCtx, VirtualHosting};
+pub use hosting::{hosting_shard, Handler, HostingFarm, RequestCtx, VirtualHosting};
 pub use message::{Method, Request, Response, Status};
 pub use shortener::{RedirectHop, UrlShortener};
 pub use tls::{CertificateAuthority, TlsCertificate, TlsError};

@@ -1,85 +1,134 @@
 #!/usr/bin/env bash
 # Repo gate: format, lints, tier-1 tests, quick perf baseline, the
-# sb_scale / resilience / obs_report determinism smokes, and replay
-# verification of the committed .runpack artifacts.
+# determinism smokes, and replay verification of the committed
+# .runpack artifacts.
 #
-#   ./scripts/check.sh
+# Composable stages, so CI tiers and reviewers run the same script:
 #
-# Mirrors what reviewers run before merging. The perf step writes
-# results/BENCH_2.json..BENCH_4.json in --quick mode; diff against the
-# committed baselines by hand when a change is perf-relevant. The
-# sb_scale step runs a reduced population at two thread counts and
-# requires the records to be byte-identical.
+#   ./scripts/check.sh                # everything (pre-merge gate)
+#   ./scripts/check.sh --tier1        # fmt + workspace clippy + build + tests
+#   ./scripts/check.sh --determinism  # thread-count byte-identity smokes
+#   ./scripts/check.sh --perf         # quick perf baseline + scaling smoke
+#   ./scripts/check.sh --replay       # verify committed .runpack artifacts
+#
+# Stages compose: `./scripts/check.sh --determinism --replay` runs both.
+# The perf step writes results/BENCH_2.json..BENCH_4.json in --quick
+# mode; diff against the committed baselines by hand when a change is
+# perf-relevant. Determinism smokes run each sweep at two thread counts
+# and require the records to be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
-
-echo "==> clippy (simnet, runner, caches, monitor, feedserve, bench harness)"
-cargo clippy --release -p phishsim-simnet -p phishsim-core -p phishsim-browser \
-  -p phishsim-antiphish -p phishsim-feedserve -p phishsim-runpack -p phishsim-bench \
-  -- -D warnings
-
-echo "==> tier-1: build + tests"
-cargo build --release
-cargo test -q --release
-
-echo "==> perf baseline (quick)"
-cargo run --release -p phishsim-bench --bin bench_baseline -- --quick
-
-echo "==> thread-scaling smoke (BENCH_4)"
-# The quick baseline above ran the scaling curve at 1/2/4/8/16 worker
-# threads with byte-identity asserted at every point, and — only when
-# the host physically has the cores — speedup floors asserted
-# in-binary (>=2x at 4 threads on >=4 cores, >=4x at 8 threads on
-# >=8 cores). Confirm the artifact landed and records what it ran on.
-grep -q '"host_parallelism"' results/BENCH_4.json
-echo "BENCH_4.json present (host_parallelism: $(grep -o '"host_parallelism": *[0-9]*' results/BENCH_4.json | grep -o '[0-9]*$'), $(nproc) per nproc)"
-
-echo "==> sb_scale determinism smoke (10k clients, 1 vs 4 threads)"
-PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin sb_scale -- --clients 10000
-cp results/sb_scale.json results/.sb_scale.t1.json
-PHISHSIM_SWEEP_THREADS=4 cargo run --release -p phishsim-bench --bin sb_scale -- --clients 10000
-if ! diff -q results/.sb_scale.t1.json results/sb_scale.json; then
-  echo "sb_scale record differs between 1 and 4 threads" >&2
-  exit 1
+run_tier1=0
+run_determinism=0
+run_perf=0
+run_replay=0
+if [ "$#" -eq 0 ]; then
+  run_tier1=1 run_determinism=1 run_perf=1 run_replay=1
 fi
-rm -f results/.sb_scale.t1.json
-echo "sb_scale record byte-identical across thread counts"
-
-echo "==> resilience determinism smoke (5k clients/level, 1 vs 4 threads)"
-PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin resilience -- --clients 5000
-cp results/resilience.json results/.resilience.t1.json
-PHISHSIM_SWEEP_THREADS=4 cargo run --release -p phishsim-bench --bin resilience -- --clients 5000
-if ! diff -q results/.resilience.t1.json results/resilience.json; then
-  echo "resilience record differs between 1 and 4 threads" >&2
-  exit 1
-fi
-rm -f results/.resilience.t1.json
-echo "resilience record byte-identical across thread counts"
-
-echo "==> obs_report determinism smoke (full volume, 1 vs 8 threads)"
-PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin obs_report
-cp results/obs_report.json results/.obs_report.t1.json
-PHISHSIM_SWEEP_THREADS=8 cargo run --release -p phishsim-bench --bin obs_report
-if ! diff -q results/.obs_report.t1.json results/obs_report.json; then
-  echo "obs_report record differs between 1 and 8 threads" >&2
-  exit 1
-fi
-rm -f results/.obs_report.t1.json
-echo "obs_report record byte-identical across thread counts"
-
-echo "==> runpack verify smoke (committed packs, 1 vs 8 threads)"
-# Each committed .runpack re-executes from nothing but its own recorded
-# config and must reproduce every section digest byte-for-byte — at
-# both thread counts, since parallelism must never enter a pack.
-for pack in table1 table2 obs_report; do
-  for threads in 1 8; do
-    PHISHSIM_SWEEP_THREADS=$threads cargo run --release --bin runpack -- \
-      verify "results/$pack.runpack"
-  done
+for arg in "$@"; do
+  case "$arg" in
+    --tier1) run_tier1=1 ;;
+    --determinism) run_determinism=1 ;;
+    --perf) run_perf=1 ;;
+    --replay) run_replay=1 ;;
+    *)
+      echo "unknown stage: $arg (expected --tier1 | --determinism | --perf | --replay)" >&2
+      exit 2
+      ;;
+  esac
 done
-echo "runpack verify byte-for-byte at 1 and 8 threads"
 
-echo "All checks passed."
+# Run a sweep binary at two thread counts and require byte-identical
+# records: smoke NAME RECORD THREADS_A THREADS_B BIN [ARGS...]
+smoke() {
+  local name="$1" record="$2" ta="$3" tb="$4"
+  shift 4
+  PHISHSIM_SWEEP_THREADS="$ta" cargo run --release -p phishsim-bench --bin "$@"
+  cp "$record" "$record.t$ta"
+  PHISHSIM_SWEEP_THREADS="$tb" cargo run --release -p phishsim-bench --bin "$@"
+  if ! diff -q "$record.t$ta" "$record"; then
+    echo "$name record differs between $ta and $tb threads" >&2
+    exit 1
+  fi
+  rm -f "$record.t$ta"
+  echo "$name record byte-identical across thread counts"
+}
+
+tier1() {
+  echo "==> cargo fmt --check"
+  cargo fmt --all --check
+
+  echo "==> clippy (whole workspace, all targets)"
+  cargo clippy --release --workspace --all-targets -- -D warnings
+
+  echo "==> tier-1: build + tests"
+  cargo build --release
+  cargo test -q --release
+}
+
+perf() {
+  echo "==> perf baseline (quick)"
+  cargo run --release -p phishsim-bench --bin bench_baseline -- --quick
+
+  echo "==> thread-scaling smoke (BENCH_4)"
+  # The quick baseline above ran the scaling curve at 1/2/4/8/16 worker
+  # threads with byte-identity asserted at every point, and — only when
+  # the host physically has the cores — speedup floors asserted
+  # in-binary (>=2x at 4 threads on >=4 cores, >=4x at 8 threads on
+  # >=8 cores). Confirm the artifact landed and records what it ran on.
+  grep -q '"host_parallelism"' results/BENCH_4.json
+  echo "BENCH_4.json present (host_parallelism: $(grep -o '"host_parallelism": *[0-9]*' results/BENCH_4.json | grep -o '[0-9]*$'), $(nproc) per nproc)"
+}
+
+determinism() {
+  echo "==> sb_scale determinism smoke (10k clients, 1 vs 4 threads)"
+  smoke sb_scale results/sb_scale.json 1 4 sb_scale -- --clients 10000
+
+  echo "==> resilience determinism smoke (5k clients/level, 1 vs 4 threads)"
+  smoke resilience results/resilience.json 1 4 resilience -- --clients 5000
+
+  echo "==> obs_report determinism smoke (full volume, 1 vs 8 threads)"
+  smoke obs_report results/obs_report.json 1 8 obs_report
+
+  echo "==> fleet_sweep determinism smoke (fast stream, 1 vs 8 threads)"
+  # The fleet bin also rewrites results/fleet_sweep.runpack on every
+  # run; pin the 1-thread pack bytes and require the 8-thread rerun to
+  # reproduce them too.
+  PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin fleet_sweep -- fast
+  cp results/fleet_sweep.json results/.fleet_sweep.t1.json
+  cp results/fleet_sweep.runpack results/.fleet_sweep.t1.runpack
+  PHISHSIM_SWEEP_THREADS=8 cargo run --release -p phishsim-bench --bin fleet_sweep -- fast
+  if ! diff -q results/.fleet_sweep.t1.json results/fleet_sweep.json; then
+    echo "fleet_sweep record differs between 1 and 8 threads" >&2
+    exit 1
+  fi
+  if ! cmp -s results/.fleet_sweep.t1.runpack results/fleet_sweep.runpack; then
+    echo "fleet_sweep pack differs between 1 and 8 threads" >&2
+    exit 1
+  fi
+  rm -f results/.fleet_sweep.t1.json results/.fleet_sweep.t1.runpack
+  echo "fleet_sweep record and pack byte-identical across thread counts"
+}
+
+replay() {
+  echo "==> runpack verify smoke (committed packs, 1 vs 8 threads)"
+  # Each committed .runpack re-executes from nothing but its own
+  # recorded config and must reproduce every section digest
+  # byte-for-byte — at both thread counts, since parallelism must
+  # never enter a pack.
+  for pack in table1 table2 obs_report fleet_sweep; do
+    for threads in 1 8; do
+      PHISHSIM_SWEEP_THREADS=$threads cargo run --release --bin runpack -- \
+        verify "results/$pack.runpack"
+    done
+  done
+  echo "runpack verify byte-for-byte at 1 and 8 threads"
+}
+
+[ "$run_tier1" -eq 1 ] && tier1
+[ "$run_perf" -eq 1 ] && perf
+[ "$run_determinism" -eq 1 ] && determinism
+[ "$run_replay" -eq 1 ] && replay
+
+echo "All requested checks passed."
