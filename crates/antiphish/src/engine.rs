@@ -189,6 +189,20 @@ impl Engine {
         self
     }
 
+    /// Drop the engine's per-run caches, as a freshly restarted worker
+    /// process would: the private render cache is rebuilt empty (when
+    /// enabled at all) and the private classification memo is cleared.
+    /// Run-level *shared* caches survive — they live outside the worker
+    /// process. Both cached products are pure in their keys, so a cold
+    /// cache re-derives identical values and outcomes never change;
+    /// only the hit/miss counters feel the restart.
+    pub fn reset_run_caches(&mut self) {
+        if self.render_cache.is_some() && self.shared_verdicts.is_none() {
+            self.render_cache = Some(Arc::new(RenderCache::new()));
+        }
+        self.classify_cache.clear();
+    }
+
     /// Deduplication key: FNV-1a over scheme, host and path — the
     /// identity of `url.without_query()` without building the string.
     fn report_key(url: &Url) -> u64 {

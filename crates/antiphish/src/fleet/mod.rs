@@ -40,20 +40,24 @@
 pub mod egress;
 pub mod queue;
 pub mod ratelimit;
+pub mod supervisor;
 
 pub use egress::{EgressIdentity, EgressPool, RotationPolicy};
 pub use queue::{QueueDiscipline, QueuedReport, ShardFull, ShardedQueue};
 pub use ratelimit::{FarmLimiter, TokenBucket};
+pub use supervisor::SupervisorConfig;
 
 use crate::engine::Engine;
 use phishsim_browser::Transport;
 use phishsim_http::{hosting_shard, Url};
 use phishsim_simnet::metrics::CounterSet;
 use phishsim_simnet::{
-    DetRng, Ipv4Sim, LogHistogram, ObsSink, OutageWindow, Scheduler, SimDuration, SimTime, SpanId,
+    DetRng, FaultInjector, Ipv4Sim, LogHistogram, ObsSink, OutageWindow, Scheduler, SimDuration,
+    SimTime, SpanId, WorkerFault, WorkerFaultPlan,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use supervisor::SupervisorState;
 
 /// One report entering the fleet's intake queue.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -125,6 +129,19 @@ pub struct FleetConfig {
     /// Feed outage windows: arrivals inside one are parked until it
     /// lifts (the chaos layer taking the intake pipeline down).
     pub outages: Vec<OutageWindow>,
+    /// Scheduled faults against individual workers. Requires
+    /// [`FleetConfig::supervisor`]; not serialized (the workspace derive
+    /// has no `skip_serializing_if`, and configs recorded before worker
+    /// faults existed must round-trip byte-identically) — experiment
+    /// configs carry fault *parameters* and regenerate the plan.
+    #[serde(skip)]
+    pub worker_faults: WorkerFaultPlan,
+    /// Worker supervision (heartbeats, leases, restarts). `None` runs
+    /// the legacy unsupervised path, byte-identical to fleets recorded
+    /// before supervision existed. Not serialized, like
+    /// [`FleetConfig::worker_faults`].
+    #[serde(skip)]
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for FleetConfig {
@@ -148,7 +165,27 @@ impl Default for FleetConfig {
             defer_base: SimDuration::from_secs(5),
             volume_scale: 0.01,
             outages: Vec::new(),
+            worker_faults: WorkerFaultPlan::none(),
+            supervisor: None,
         }
+    }
+}
+
+impl FleetConfig {
+    /// Bridge from the chaos layer: copy an injector's outage windows
+    /// and worker-fault schedule onto this fleet config (builder
+    /// style). Transport-level probabilities are ignored — they apply
+    /// to links, not to the fleet's intake.
+    pub fn with_faults(mut self, faults: &FaultInjector) -> Self {
+        self.outages.extend_from_slice(&faults.outages);
+        self.worker_faults = faults.worker_faults.clone().validated();
+        self
+    }
+
+    /// Enable worker supervision (builder style).
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = Some(supervisor.validated());
+        self
     }
 }
 
@@ -201,6 +238,16 @@ pub struct FleetResult {
     pub farms_touched: usize,
     /// Distinct egress identities that carried at least one report.
     pub identities_used: usize,
+    /// Reports parked after exhausting the per-report crawl budget
+    /// (supervised runs only; sorted by index). Parked reports are
+    /// accounted, never silently lost.
+    pub poisoned: Vec<u32>,
+    /// Engine crawls beyond the first per report — work repeated
+    /// because a lease was revoked mid-crawl (supervised runs only).
+    pub duplicate_crawls: u64,
+    /// Distribution of crash-to-restart recovery latencies, in ms
+    /// (supervised runs only).
+    pub recovery_ms: LogHistogram,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -211,6 +258,16 @@ enum FleetEvent {
     Redeliver { idx: u32, tries: u32 },
     /// Worker finished its crawl and looks for more work.
     WorkerFree(u32),
+    /// A scheduled worker fault fires (supervised runs only).
+    Fault { worker: u32, fault: WorkerFault },
+    /// A busy worker proves liveness to the supervisor.
+    Heartbeat { worker: u32, token: u64 },
+    /// The supervisor checks a claimed report's lease.
+    LeaseCheck { worker: u32, token: u64 },
+    /// A worker's crawl completes and its outcome commits.
+    Commit { worker: u32, token: u64 },
+    /// A downed or recycling worker comes back up.
+    Restart(u32),
 }
 
 /// Redelivery backoff doubles up to this exponent, then stays flat —
@@ -234,6 +291,8 @@ struct Fleet<'a> {
     queue_wait_ms: LogHistogram,
     detection_delay_mins: LogHistogram,
     last_completion: SimTime,
+    /// Worker supervision state; `None` on the legacy unsupervised path.
+    sup: Option<SupervisorState>,
 }
 
 impl Fleet<'_> {
@@ -395,6 +454,9 @@ impl Fleet<'_> {
     /// Remove `w` from the idle set, find it work, and either crawl or
     /// park it back in the idle set.
     fn dispatch(&mut self, engine: &mut Engine, t: &mut dyn Transport, w: u32, now: SimTime) {
+        if self.sup.is_some() {
+            return self.dispatch_supervised(engine, t, w, now);
+        }
         self.idle.remove(&w);
         match self.find_work(w) {
             Some((report, stolen)) => self.crawl(engine, t, w, report, stolen, now),
@@ -418,6 +480,10 @@ pub fn run_fleet(
     obs: &ObsSink,
 ) -> FleetResult {
     assert!(cfg.workers > 0, "fleet needs at least one worker");
+    assert!(
+        cfg.worker_faults.is_empty() || cfg.supervisor.is_some(),
+        "worker faults require a supervisor to detect and recover them"
+    );
     let mut egress_rng = rng.fork("fleet-egress");
     let mut fleet = Fleet {
         cfg,
@@ -442,9 +508,26 @@ pub fn run_fleet(
         queue_wait_ms: LogHistogram::default(),
         detection_delay_mins: LogHistogram::default(),
         last_completion: SimTime::ZERO,
+        sup: cfg
+            .supervisor
+            .as_ref()
+            .map(|sc| SupervisorState::new(sc.clone().validated(), cfg.workers, rng)),
     };
     for (i, a) in arrivals.iter().enumerate() {
         fleet.sched.schedule_at(a.at, FleetEvent::Arrival(i as u32));
+    }
+    if fleet.sup.is_some() {
+        for f in &cfg.worker_faults.clone().validated().faults {
+            if (f.worker as usize) < cfg.workers {
+                fleet.sched.schedule_at(
+                    f.at,
+                    FleetEvent::Fault {
+                        worker: f.worker,
+                        fault: f.fault,
+                    },
+                );
+            }
+        }
     }
     while let Some((now, ev)) = fleet.sched.pop() {
         match ev {
@@ -459,6 +542,11 @@ pub fn run_fleet(
                 }
             }
             FleetEvent::WorkerFree(w) => fleet.dispatch(engine, t, w, now),
+            FleetEvent::Fault { worker, fault } => fleet.on_fault(worker, fault, now),
+            FleetEvent::Heartbeat { worker, token } => fleet.on_heartbeat(worker, token, now),
+            FleetEvent::LeaseCheck { worker, token } => fleet.on_lease_check(worker, token, now),
+            FleetEvent::Commit { worker, token } => fleet.on_commit(engine, t, worker, token, now),
+            FleetEvent::Restart(worker) => fleet.on_restart(engine, t, worker, now),
         }
     }
     let first_arrival = arrivals.iter().map(|a| a.at).min().unwrap_or(SimTime::ZERO);
@@ -475,6 +563,10 @@ pub fn run_fleet(
     fleet
         .counters
         .add("fleet.egress_rotations", fleet.egress.rotations());
+    let (poisoned, duplicate_crawls, recovery_ms) = match fleet.sup {
+        Some(sup) => sup.into_result_parts(),
+        None => (Vec::new(), 0, LogHistogram::default()),
+    };
     FleetResult {
         makespan,
         sustained_per_day,
@@ -485,6 +577,9 @@ pub fn run_fleet(
         counters: fleet.counters,
         queue_wait_ms: fleet.queue_wait_ms,
         detection_delay_mins: fleet.detection_delay_mins,
+        poisoned,
+        duplicate_crawls,
+        recovery_ms,
     }
 }
 

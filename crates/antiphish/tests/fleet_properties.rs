@@ -11,8 +11,14 @@
 //! 3. The farm rate limiter's token bucket honours its burst/rate
 //!    boundary exactly, and backpressure under an intake outage defers
 //!    reports without ever losing one.
+//! 4. The supervised fleet under arbitrary worker-fault schedules
+//!    (crash / hang / graceful restart at arbitrary times, arbitrary
+//!    lease timeouts) never loses a report, never commits one twice,
+//!    and replays byte-identically — and a fleet where every worker
+//!    crashes still converges to the fault-free blacklist.
 
 use phishsim_antiphish::fleet::queue::QueuedReport;
+use phishsim_antiphish::fleet::SupervisorConfig;
 use phishsim_antiphish::{
     run_fleet, Engine, EngineId, FleetConfig, FleetResult, QueueDiscipline, ReportArrival,
     ShardedQueue, TokenBucket,
@@ -22,8 +28,12 @@ use phishsim_http::{Url, VirtualHosting};
 use phishsim_phishgen::{
     Brand, CompromisedSite, EvasionTechnique, FakeSiteGenerator, GateConfig, PhishKit,
 };
-use phishsim_simnet::{DetRng, ObsSink, OutageWindow, SimDuration, SimTime};
+use phishsim_simnet::{
+    DetRng, ObsSink, OutageWindow, ScheduledWorkerFault, SimDuration, SimTime, WorkerFault,
+    WorkerFaultPlan,
+};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 // ---------------------------------------------------------------- helpers
 
@@ -287,4 +297,158 @@ fn outage_backpressure_recovers_without_losing_reports() {
         assert!(o.dispatched_at >= o.arrived_at);
     }
     assert!(r.deepest_queue <= cfg.workers * cfg.shard_capacity);
+}
+
+// ------------------------------------------------- supervised chaos props
+
+proptest! {
+    /// However crashes, hangs, and graceful restarts land on the
+    /// timeline — and whatever the lease timeout — the supervised
+    /// fleet conserves every report: each one either commits exactly
+    /// once or is parked as poison, never both, never neither. The
+    /// whole faulted run also replays byte-identically.
+    #[test]
+    fn crash_schedule_never_loses_or_double_commits(
+        seed in any::<u64>(),
+        workers in 2usize..5,
+        hosts in 2usize..7,
+        spacing_ms in 100u64..1_500,
+        lease_secs in 2u64..90,
+        restart_secs in 1u64..45,
+        faults in proptest::collection::vec(
+            (0u32..8, 0u64..90_000, 0usize..3), 0..10),
+    ) {
+        let plan = WorkerFaultPlan {
+            faults: faults
+                .iter()
+                .map(|&(w, at_ms, kind)| ScheduledWorkerFault {
+                    worker: w % workers as u32,
+                    at: SimTime::from_millis(at_ms),
+                    fault: [
+                        WorkerFault::Crash,
+                        WorkerFault::Hang,
+                        WorkerFault::Restart,
+                    ][kind],
+                })
+                .collect(),
+        }
+        .validated();
+        let cfg = FleetConfig {
+            workers,
+            shard_capacity: 64,
+            egress_identities: 16,
+            egress_per_report: 2,
+            volume_scale: 0.0,
+            worker_faults: plan,
+            ..FleetConfig::default()
+        }
+        .with_supervisor(SupervisorConfig {
+            heartbeat_every: SimDuration::from_secs(1),
+            lease_timeout: SimDuration::from_secs(lease_secs),
+            restart_delay: SimDuration::from_secs(restart_secs),
+            ..SupervisorConfig::default()
+        });
+        let r = run_with(&cfg, hosts, spacing_ms, seed);
+
+        // Conservation with exactly-once commit: committed and poisoned
+        // indices together are a permutation of the arrival indices, so
+        // a lost report (missing idx) and a double conviction
+        // (duplicated idx) both fail the same equality.
+        let mut idx: Vec<u32> = r
+            .outcomes
+            .iter()
+            .map(|o| o.idx)
+            .chain(r.poisoned.iter().copied())
+            .collect();
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..hosts as u32).collect::<Vec<_>>(),
+            "every report commits exactly once or is parked as poison");
+        prop_assert_eq!(
+            r.counters.get("fleet.completed"),
+            r.outcomes.len() as u64
+        );
+
+        // The chaos schedule is part of run identity: a rerun is
+        // byte-identical, recovery histograms and restart counts included.
+        let again = run_with(&cfg, hosts, spacing_ms, seed);
+        prop_assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+}
+
+/// Kill every worker in the fleet once, mid-stream, and the blacklist
+/// still converges to the fault-free fixture: the same URL set is
+/// convicted, nothing is lost, and every worker provably died and came
+/// back. (Detection *times* shift under redelivery — the convergence
+/// contract is over the verdict set, not the timeline.)
+#[test]
+fn every_worker_crashing_still_converges_to_the_fault_free_blacklist() {
+    let workers = 4;
+    let hosts = 8;
+    let spacing_ms = 400;
+    let seed = 4242;
+    let faultless = FleetConfig {
+        workers,
+        shard_capacity: 64,
+        egress_identities: 16,
+        egress_per_report: 2,
+        volume_scale: 0.0,
+        ..FleetConfig::default()
+    };
+    let plan = WorkerFaultPlan {
+        faults: (0..workers as u32)
+            .map(|w| ScheduledWorkerFault {
+                worker: w,
+                at: SimTime::from_millis(500 + w as u64 * 700),
+                fault: WorkerFault::Crash,
+            })
+            .collect(),
+    }
+    .validated();
+    let chaotic = FleetConfig {
+        worker_faults: plan,
+        ..faultless.clone()
+    }
+    .with_supervisor(SupervisorConfig {
+        heartbeat_every: SimDuration::from_secs(1),
+        lease_timeout: SimDuration::from_secs(3),
+        restart_delay: SimDuration::from_secs(2),
+        ..SupervisorConfig::default()
+    });
+
+    let clean = run_with(&faultless, hosts, spacing_ms, seed);
+    let r = run_with(&chaotic, hosts, spacing_ms, seed);
+
+    // Every worker actually died, and the supervisor brought each back.
+    assert_eq!(
+        r.counters.get("fleet.faults.crash"),
+        workers as u64,
+        "each worker's scheduled crash must fire"
+    );
+    assert!(
+        r.counters.get("fleet.restarts") >= workers as u64,
+        "every crashed worker must rejoin the fleet"
+    );
+
+    // Nothing lost, nothing parked: the crawl budget absorbs one crash
+    // per worker without poisoning a single report.
+    assert_eq!(r.outcomes.len(), hosts);
+    assert!(r.poisoned.is_empty(), "no report may be parked as poison");
+
+    // Convergence: the convicted-URL set is the fault-free one.
+    let detected = |res: &FleetResult| -> BTreeSet<u32> {
+        res.outcomes
+            .iter()
+            .filter(|o| o.detected_at.is_some())
+            .map(|o| o.idx)
+            .collect()
+    };
+    let clean_set = detected(&clean);
+    assert!(
+        !clean_set.is_empty(),
+        "fixture must detect something for convergence to mean anything"
+    );
+    assert_eq!(detected(&r), clean_set);
 }

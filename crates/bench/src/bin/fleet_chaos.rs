@@ -1,0 +1,138 @@
+//! Chart the worker-chaos sweep: throughput retention, duplicate-crawl
+//! rate, recovery latency, and time-to-blacklist inflation vs crash
+//! rate × restart delay × lease timeout.
+//!
+//! ```text
+//! cargo run --release -p phishsim-bench --bin fleet_chaos          # full sweep
+//! cargo run --release -p phishsim-bench --bin fleet_chaos -- fast  # reduced
+//! ```
+//!
+//! Two floors are asserted in both modes: the fleet never loses a
+//! report at any swept point (`completed + poisoned == arrivals`), and
+//! the 1 % crash-rate points retain at least 90 % of the fault-free
+//! baseline's throughput.
+
+use phishsim_core::experiment::{
+    record_run, run_fleet_chaos, ChaosPointReport, FleetChaosConfig, RecordedConfig,
+};
+use phishsim_simnet::runner::sweep_threads;
+use phishsim_simnet::FaultInjector;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let config = if fast {
+        FleetChaosConfig::fast()
+    } else {
+        FleetChaosConfig::paper()
+    };
+    eprintln!(
+        "running the fleet chaos sweep ({} reports x {} points, {} workers, engine {})...",
+        config.reports,
+        1 + config.crash_rates.len() * config.restart_delays.len() * config.lease_timeouts.len(),
+        config.workers,
+        config.engine.key(),
+    );
+    let r = run_fleet_chaos(&config);
+
+    println!(
+        "Worker-chaos sweep — {} reports over {} workers, engine {}",
+        r.reports,
+        r.workers,
+        r.engine.key(),
+    );
+    println!(
+        "{:>7}  {:>7}  {:>6}  {:>9}  {:>9}  {:>7}  {:>8}  {:>8}  {:>9}  {:>10}  {:>9}",
+        "crash%",
+        "restart",
+        "lease",
+        "completed",
+        "poisoned",
+        "crashes",
+        "revoked",
+        "restarts",
+        "dup rate",
+        "retention",
+        "ttb infl"
+    );
+    for p in &r.points {
+        println!(
+            "{:>7.1}  {:>6}s  {:>5}s  {:>9}  {:>9}  {:>7}  {:>8}  {:>8}  {:>8.1}%  {:>9.1}%  {:>6}min",
+            p.crash_rate * 100.0,
+            p.restart_delay_secs,
+            p.lease_timeout_secs,
+            p.completed,
+            p.poisoned,
+            p.crashes,
+            p.leases_revoked,
+            p.restarts,
+            p.duplicate_crawl_rate * 100.0,
+            p.throughput_retention * 100.0,
+            p.blacklist_inflation_mins.unwrap_or(0),
+        );
+    }
+
+    // Floor 1: every report is accounted for at every point — the
+    // supervisor's lease/requeue/poison machinery never drops one.
+    for p in &r.points {
+        assert_eq!(
+            p.lost, 0,
+            "lost reports at crash rate {} (restart {}s, lease {}s)",
+            p.crash_rate, p.restart_delay_secs, p.lease_timeout_secs
+        );
+    }
+    println!("\nPASS: zero lost reports at every swept point");
+
+    // Floor 2: light chaos is cheap. Every 1 % crash-rate point must
+    // retain >= 90 % of fault-free throughput.
+    let light: Vec<&ChaosPointReport> = r
+        .points
+        .iter()
+        .filter(|p| !p.baseline && (p.crash_rate - 0.01).abs() < 1e-9)
+        .collect();
+    assert!(
+        !light.is_empty(),
+        "sweep must include a 1% crash-rate point"
+    );
+    for p in light {
+        assert!(
+            p.throughput_retention >= 0.90,
+            "1% crash rate retained only {:.1}% (restart {}s, lease {}s)",
+            p.throughput_retention * 100.0,
+            p.restart_delay_secs,
+            p.lease_timeout_secs
+        );
+    }
+    println!("PASS: >= 90% throughput retention at 1% crash rate");
+
+    let worst = r
+        .points
+        .iter()
+        .filter(|p| !p.baseline)
+        .min_by(|a, b| {
+            a.throughput_retention
+                .partial_cmp(&b.throughput_retention)
+                .expect("finite retention")
+        })
+        .expect("sweep has chaos points");
+    println!(
+        "Worst point: {:.0}% crash rate retains {:.1}% throughput ({} restarts, mean recovery {} ms)",
+        worst.crash_rate * 100.0,
+        worst.throughput_retention * 100.0,
+        worst.restarts,
+        worst.mean_recovery_ms.unwrap_or(0),
+    );
+
+    let record = serde_json::to_value(&r);
+    phishsim_bench::write_record("fleet_chaos", &record);
+
+    // Replay artifact: always the fast config, so the committed pack
+    // verifies in seconds and is identical whether this binary ran
+    // full or fast.
+    eprintln!("recording results/fleet_chaos.runpack (fast config)...");
+    let pack = record_run(
+        &RecordedConfig::FleetChaos(FleetChaosConfig::fast()),
+        &FaultInjector::none(),
+        sweep_threads(),
+    );
+    phishsim_bench::write_pack("fleet_chaos", &pack);
+}

@@ -15,6 +15,7 @@
 //! across thread counts, which is exactly what `runpack verify`
 //! checks.
 
+use crate::experiment::fleet_chaos::{chaos_points, run_chaos_point, FleetChaosConfig};
 use crate::experiment::fleet_sweep::{fleet_points, run_fleet_point, summarize, FleetSweepConfig};
 use crate::experiment::main_experiment::{run_main_experiment, MainConfig};
 use crate::experiment::preliminary::{run_preliminary, PreliminaryConfig};
@@ -56,6 +57,11 @@ pub enum RecordedConfig {
     /// Fault-free by contract (the fleet's own outage windows live in
     /// the config).
     FleetSweep(FleetSweepConfig),
+    /// The worker-chaos sweep: one supervised fleet run per
+    /// (crash rate, restart delay, lease timeout) point plus the
+    /// fault-free baseline. Worker-fault plans are regenerated from
+    /// the config's seed, so the config alone replays the run.
+    FleetChaos(FleetChaosConfig),
 }
 
 impl RecordedConfig {
@@ -67,6 +73,7 @@ impl RecordedConfig {
             RecordedConfig::ObsReport { .. } => "obs_report",
             RecordedConfig::SeedSweep(_) => "seed_sweep",
             RecordedConfig::FleetSweep(_) => "fleet_sweep",
+            RecordedConfig::FleetChaos(_) => "fleet_chaos",
         }
     }
 }
@@ -175,6 +182,29 @@ pub fn record_run(cfg: &RecordedConfig, faults: &FaultInjector, threads: usize) 
             let result = summarize(fc, reports);
             rec.set_result_json(
                 &serde_json::to_string(&result).expect("fleet sweep result serializes"),
+            );
+        }
+        RecordedConfig::FleetChaos(cc) => {
+            let points = chaos_points(cc);
+            let jobs: Vec<(crate::experiment::fleet_chaos::ChaosPoint, ObsSink)> =
+                points.into_iter().map(|p| (p, rec.run_sink())).collect();
+            let reports = run_sweep_with_threads(&jobs, threads, |(point, sink)| {
+                run_chaos_point(cc, point, sink)
+            });
+            for (point, sink) in &jobs {
+                rec.push_run(
+                    &format!(
+                        "c{}:r{}:l{}",
+                        (point.crash_rate * 10_000.0).round() as u64,
+                        point.restart_delay.as_secs(),
+                        point.lease_timeout.as_secs()
+                    ),
+                    sink,
+                );
+            }
+            let result = crate::experiment::fleet_chaos::summarize(cc, reports);
+            rec.set_result_json(
+                &serde_json::to_string(&result).expect("fleet chaos result serializes"),
             );
         }
     }
@@ -309,6 +339,24 @@ mod tests {
         assert_eq!(p1.runs.len(), 4, "2 fleet sizes x 2 disciplines");
         assert!(p1.total_events() > 0, "fleet spans must be recorded");
         let again = rerun_pack(&p1, 2).expect("fleet pack reruns");
+        assert!(verify_against(&p1, &again).ok);
+    }
+
+    #[test]
+    fn fleet_chaos_pack_is_thread_invariant_and_reruns() {
+        let mut cc = FleetChaosConfig::fast();
+        cc.sites = 6;
+        cc.reports = 80;
+        cc.crash_rates = vec![0.5];
+        cc.restart_delays = vec![phishsim_simnet::SimDuration::from_secs(10)];
+        let cfg = RecordedConfig::FleetChaos(cc);
+        let p1 = record_run(&cfg, &FaultInjector::none(), 1);
+        let p2 = record_run(&cfg, &FaultInjector::none(), 2);
+        assert_eq!(p1.encode(), p2.encode());
+        assert_eq!(p1.experiment, "fleet_chaos");
+        assert_eq!(p1.runs.len(), 2, "baseline + one chaos cell");
+        assert!(p1.result_json.contains("throughput_retention"));
+        let again = rerun_pack(&p1, 2).expect("fleet chaos pack reruns");
         assert!(verify_against(&p1, &again).ok);
     }
 

@@ -56,7 +56,9 @@ pub use bisect::{bisect, BisectReport};
 pub use pack::{RunEvents, RunPack, SectionDigest, SectionId, StateSnapshot, MAGIC, VERSION};
 pub use record::{batch_digest, capture_env, record_digest, PackRecorder, RollingDigest};
 pub use seek::{seek, OpenSpanView, SeekReport};
-pub use verify::{verify_against, Divergence, SectionCheck, VerifyReport};
+pub use verify::{
+    metrics_divergence, verify_against, Divergence, MetricsDivergence, SectionCheck, VerifyReport,
+};
 pub use wire::PackError;
 
 /// Attribute a span/point name to the workspace layer that emits it.
@@ -70,6 +72,9 @@ pub fn layer_of(name: &str) -> &'static str {
         ("http.", "http"),
         ("browser.", "browser"),
         ("engine.", "antiphish"),
+        ("fleet.", "antiphish"),
+        ("worker.", "antiphish"),
+        ("lease.", "antiphish"),
         ("feed.", "feedserve"),
         ("retry.", "simnet"),
         ("sched.", "simnet"),
@@ -92,6 +97,9 @@ mod tests {
         assert_eq!(layer_of("http.request"), "http");
         assert_eq!(layer_of("browser.visit"), "browser");
         assert_eq!(layer_of("engine.convict"), "antiphish");
+        assert_eq!(layer_of("fleet.crawl"), "antiphish");
+        assert_eq!(layer_of("worker.crash"), "antiphish");
+        assert_eq!(layer_of("lease.revoke"), "antiphish");
         assert_eq!(layer_of("feed.sync"), "feedserve");
         assert_eq!(layer_of("retry.attempt"), "simnet");
         assert_eq!(layer_of("sched.dispatch"), "simnet");

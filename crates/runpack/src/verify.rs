@@ -10,8 +10,9 @@
 
 use crate::layer_of;
 use crate::pack::{RunPack, SectionDigest, SectionId};
-use phishsim_simnet::{ObsKind, ObsRecord, SimTime};
+use phishsim_simnet::{MetricsRegistry, ObsKind, ObsRecord, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// One section's digest comparison.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +49,25 @@ pub struct Divergence {
     pub detail: String,
 }
 
+/// The first divergent entry between two packs' metrics registries —
+/// the Metrics-section counterpart of [`Divergence`]. Counters are
+/// compared first, then histograms, then gauges, each in label order,
+/// so "first" is deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsDivergence {
+    /// What kind of metric diverged (`counter`, `histogram`, `gauge`).
+    pub kind: String,
+    /// The divergent metric's label.
+    pub label: String,
+    /// The layer the label attributes to.
+    pub layer: &'static str,
+    /// Rendered value in the recorded pack (`absent` when the label
+    /// only exists on the other side).
+    pub recorded: String,
+    /// Rendered value in the reproduced pack.
+    pub reproduced: String,
+}
+
 /// The outcome of `runpack verify`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VerifyReport {
@@ -55,6 +75,9 @@ pub struct VerifyReport {
     pub sections: Vec<SectionCheck>,
     /// The first divergent event, when the events section differs.
     pub divergence: Option<Divergence>,
+    /// The first divergent registry entry, when the metrics section
+    /// differs.
+    pub metrics: Option<MetricsDivergence>,
     /// True iff every section digest matches.
     pub ok: bool,
 }
@@ -138,6 +161,74 @@ pub fn first_divergence(
     }
 }
 
+/// Parse a pack's metrics section, tolerating legacy empty bodies.
+fn parse_metrics(json: &str) -> MetricsRegistry {
+    serde_json::from_str(json).unwrap_or_default()
+}
+
+/// The first entry at which two packs' metrics registries disagree, if
+/// any: counters, then histograms, then gauges, each walked over the
+/// union of labels in sorted order. A label missing on one side is a
+/// divergence (`absent`), so a lost or spurious metric is pinned just
+/// like a changed count.
+pub fn metrics_divergence(recorded: &RunPack, reproduced: &RunPack) -> Option<MetricsDivergence> {
+    let rec = parse_metrics(&recorded.metrics_json);
+    let rep = parse_metrics(&reproduced.metrics_json);
+
+    fn first_diff<'a, V: PartialEq, I: Iterator<Item = (&'a str, V)>>(
+        kind: &str,
+        left: impl Fn() -> I,
+        right: impl Fn() -> I,
+        render: impl Fn(&V) -> String,
+    ) -> Option<MetricsDivergence> {
+        let labels: BTreeSet<&str> = left()
+            .map(|(l, _)| l)
+            .chain(right().map(|(l, _)| l))
+            .collect();
+        for label in labels {
+            let a = left().find(|(l, _)| *l == label).map(|(_, v)| v);
+            let b = right().find(|(l, _)| *l == label).map(|(_, v)| v);
+            if a != b {
+                let show = |v: &Option<V>| match v {
+                    Some(v) => render(v),
+                    None => "absent".to_string(),
+                };
+                return Some(MetricsDivergence {
+                    kind: kind.to_string(),
+                    label: label.to_string(),
+                    layer: layer_of(label),
+                    recorded: show(&a),
+                    reproduced: show(&b),
+                });
+            }
+        }
+        None
+    }
+
+    first_diff(
+        "counter",
+        || rec.counters(),
+        || rep.counters(),
+        |v| v.to_string(),
+    )
+    .or_else(|| {
+        first_diff(
+            "histogram",
+            || rec.histograms(),
+            || rep.histograms(),
+            |h| format!("count={} sum={}", h.count, h.sum),
+        )
+    })
+    .or_else(|| {
+        first_diff(
+            "gauge",
+            || rec.gauges(),
+            || rep.gauges(),
+            |g| format!("value={} at={}ms", g.value, g.at.as_millis()),
+        )
+    })
+}
+
 /// Compare a reproduced pack against the recorded one.
 pub fn verify_against(recorded: &RunPack, reproduced: &RunPack) -> VerifyReport {
     let rec_digests = recorded.section_digests();
@@ -183,10 +274,16 @@ pub fn verify_against(recorded: &RunPack, reproduced: &RunPack) -> VerifyReport 
             }
         }
     }
+    let metrics = sections
+        .iter()
+        .any(|c| c.section == SectionId::Metrics && !c.matches)
+        .then(|| metrics_divergence(recorded, reproduced))
+        .flatten();
     let ok = sections.iter().all(|c| c.matches);
     VerifyReport {
         sections,
         divergence,
+        metrics,
         ok,
     }
 }
@@ -246,6 +343,69 @@ mod tests {
         let d = report.divergence.expect("length mismatch diverges");
         assert_eq!(d.index, 2);
         assert!(d.detail.contains("reproduced stream ended"));
+    }
+
+    #[test]
+    fn metrics_drift_is_pinned_to_label_and_layer() {
+        let a = pack_with(&["browser.visit"]);
+        let mut b = a.clone();
+        let mut ra = MetricsRegistry::new();
+        ra.add("fleet.completed", 30);
+        ra.observe("fleet.queue_wait_ms", 120);
+        let mut rb = ra.clone();
+        rb.add("fleet.completed", 2);
+        let mut a = a;
+        a.metrics_json = serde_json::to_string(&ra).unwrap();
+        b.metrics_json = serde_json::to_string(&rb).unwrap();
+        let report = verify_against(&a, &b);
+        assert!(!report.ok);
+        assert!(report.divergence.is_none(), "events still match");
+        let m = report.metrics.expect("metrics diverged");
+        assert_eq!(m.kind, "counter");
+        assert_eq!(m.label, "fleet.completed");
+        assert_eq!(m.layer, "antiphish");
+        assert_eq!(m.recorded, "30");
+        assert_eq!(m.reproduced, "32");
+    }
+
+    #[test]
+    fn missing_metric_reads_as_absent() {
+        let mut ra = MetricsRegistry::new();
+        ra.incr("engine.reports");
+        ra.observe("lease.revoke_latency_ms", 7);
+        let mut rb = ra.clone();
+        rb.incr("worker.orphan");
+        let mut a = pack_with(&["browser.visit"]);
+        let mut b = a.clone();
+        a.metrics_json = serde_json::to_string(&ra).unwrap();
+        b.metrics_json = serde_json::to_string(&rb).unwrap();
+        let m = metrics_divergence(&a, &b).expect("registries differ");
+        assert_eq!(m.kind, "counter");
+        assert_eq!(m.label, "worker.orphan");
+        assert_eq!(m.layer, "antiphish");
+        assert_eq!(m.recorded, "absent");
+        assert_eq!(m.reproduced, "1");
+    }
+
+    #[test]
+    fn histogram_drift_surfaces_after_counters_agree() {
+        let mut ra = MetricsRegistry::new();
+        ra.add("fleet.completed", 5);
+        ra.observe("fleet.recovery_ms", 100);
+        let mut rb = MetricsRegistry::new();
+        rb.add("fleet.completed", 5);
+        rb.observe("fleet.recovery_ms", 100);
+        rb.observe("fleet.recovery_ms", 900);
+        let mut a = pack_with(&["browser.visit"]);
+        let mut b = a.clone();
+        a.metrics_json = serde_json::to_string(&ra).unwrap();
+        b.metrics_json = serde_json::to_string(&rb).unwrap();
+        let m = metrics_divergence(&a, &b).expect("histograms differ");
+        assert_eq!(m.kind, "histogram");
+        assert_eq!(m.label, "fleet.recovery_ms");
+        assert_eq!(m.recorded, "count=1 sum=100");
+        assert_eq!(m.reproduced, "count=2 sum=1000");
+        assert!(metrics_divergence(&a, &a.clone()).is_none());
     }
 
     #[test]

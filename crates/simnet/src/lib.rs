@@ -70,7 +70,10 @@ pub mod trace;
 pub use arena::{arena_enabled, Bump, Pool, Span};
 pub use error::SimError;
 pub use ip::{IpPool, Ipv4Sim};
-pub use link::{FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow};
+pub use link::{
+    FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow,
+    ScheduledWorkerFault, WorkerFault, WorkerFaultPlan,
+};
 pub use obs::{
     GaugeSample, LogHistogram, MetricsRegistry, ObsBuffer, ObsKind, ObsRecord, ObsSink, ObsTap,
     SpanId,

@@ -107,6 +107,121 @@ impl OutageWindow {
     }
 }
 
+/// What happens to a fleet worker when a scheduled fault fires.
+///
+/// Transport faults (above) damage *traffic*; worker faults damage the
+/// *process* doing the crawling. The distinction matters for recovery:
+/// a dropped exchange is retried by the same worker, while a crashed
+/// worker needs a supervisor to notice the silence, revoke its lease,
+/// and requeue whatever it had claimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerFault {
+    /// The worker process dies instantly. Any in-flight crawl is lost
+    /// and only a missed heartbeat reveals the death.
+    Crash,
+    /// The worker wedges mid-crawl: it keeps heart-beating nothing and
+    /// never commits a verdict, so only lease expiry reclaims its work.
+    /// A hang scheduled while the worker is idle is a no-op.
+    Hang,
+    /// A graceful restart: the worker finishes its in-flight crawl,
+    /// then recycles with cold per-run caches and a fresh RNG fork.
+    Restart,
+}
+
+impl WorkerFault {
+    /// Stable key for counters and result tables.
+    pub fn key(self) -> &'static str {
+        match self {
+            WorkerFault::Crash => "crash",
+            WorkerFault::Hang => "hang",
+            WorkerFault::Restart => "restart",
+        }
+    }
+}
+
+/// One fault scheduled against one worker at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledWorkerFault {
+    /// Fleet worker the fault targets.
+    pub worker: u32,
+    /// Virtual time at which the fault fires.
+    pub at: SimTime,
+    /// What happens to the worker.
+    pub fault: WorkerFault,
+}
+
+/// A deterministic schedule of worker faults for one run.
+///
+/// The plan is data, not a random process: every fault is pinned to a
+/// `(worker, at)` pair before the run starts, so the same plan replays
+/// byte-identically regardless of sweep threading. Use
+/// [`WorkerFaultPlan::generate`] to synthesize a plan from a rate.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerFaultPlan {
+    /// The scheduled faults, sorted by `(at, worker)`.
+    pub faults: Vec<ScheduledWorkerFault>,
+}
+
+impl WorkerFaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        WorkerFaultPlan::default()
+    }
+
+    /// Whether the plan schedules nothing (serde skips empty plans so
+    /// packs recorded before worker faults existed round-trip
+    /// byte-identically).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Faults scheduled against `worker`, in schedule order.
+    pub fn for_worker(&self, worker: u32) -> impl Iterator<Item = &ScheduledWorkerFault> {
+        self.faults.iter().filter(move |f| f.worker == worker)
+    }
+
+    /// Return a copy sorted by `(at, worker, fault-kind)` so plans
+    /// built from unordered sources schedule deterministically.
+    pub fn validated(mut self) -> Self {
+        self.faults.sort_by_key(|f| (f.at, f.worker, f.fault.key()));
+        self
+    }
+
+    /// Synthesize a plan from a per-worker fault probability.
+    ///
+    /// Each of `workers` workers independently suffers `fault` with
+    /// probability `per_worker_chance` (clamped into `[0, 1]`), at a
+    /// time drawn uniformly over `[0, horizon)`. The draw order is
+    /// fixed (one chance draw, then one time draw per faulty worker),
+    /// so a given `(rng, workers, horizon, chance)` always yields the
+    /// same plan — a "1% crash rate" is one deterministic plan, not a
+    /// distribution.
+    pub fn generate(
+        rng: &DetRng,
+        workers: u32,
+        horizon: SimTime,
+        per_worker_chance: f64,
+        fault: WorkerFault,
+    ) -> Self {
+        let chance = clamp_probability(per_worker_chance);
+        let mut rng = rng.fork(&format!("worker-faults:{}:{workers}", fault.key()));
+        let span = horizon.as_millis().max(1);
+        let mut faults = Vec::new();
+        for worker in 0..workers {
+            if rng.chance(chance) {
+                let at = SimTime::from_millis(rng.range(0..span));
+                faults.push(ScheduledWorkerFault { worker, at, fault });
+            }
+        }
+        WorkerFaultPlan { faults }.validated()
+    }
+}
+
 /// Random faults applied to traffic crossing a link.
 ///
 /// Probabilities outside `[0, 1]` (including NaN) are clamped by
@@ -114,7 +229,7 @@ impl OutageWindow {
 /// Struct-literal construction is still possible because the fields are
 /// public; consumers that accept externally-built injectors should call
 /// `validated()` before use.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FaultInjector {
     /// Probability in `[0, 1]` that an exchange is dropped outright.
     pub drop_chance: f64,
@@ -123,18 +238,63 @@ pub struct FaultInjector {
     pub duplicate_chance: f64,
     /// Probability in `[0, 1]` that the server answers with a transient
     /// error response (a 5xx-style failure the client may retry).
-    #[serde(default)]
     pub error_chance: f64,
     /// Probability in `[0, 1]` that a delivered response is truncated in
     /// flight, corrupting the payload the client parses.
-    #[serde(default)]
     pub truncate_chance: f64,
     /// Extra latency added to a random subset of exchanges, modelling
     /// transient congestion: `(probability, extra_delay)`.
     pub congestion: Option<(f64, SimDuration)>,
     /// Scheduled windows during which the far end is down entirely.
-    #[serde(default)]
     pub outages: Vec<OutageWindow>,
+    /// Scheduled faults against individual fleet workers. Serialized
+    /// only when non-empty so injectors recorded before worker faults
+    /// existed round-trip byte-identically.
+    pub worker_faults: WorkerFaultPlan,
+}
+
+// Serde impls are hand-written (the workspace derive has no
+// `skip_serializing_if`): `worker_faults` is omitted when empty and
+// optional on read, so `faults_json` recorded by older runpacks stays
+// byte-stable through a parse/re-serialize round trip.
+impl Serialize for FaultInjector {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = serde::Map::new();
+        obj.insert("drop_chance".into(), self.drop_chance.to_value());
+        obj.insert("duplicate_chance".into(), self.duplicate_chance.to_value());
+        obj.insert("error_chance".into(), self.error_chance.to_value());
+        obj.insert("truncate_chance".into(), self.truncate_chance.to_value());
+        obj.insert("congestion".into(), self.congestion.to_value());
+        obj.insert("outages".into(), self.outages.to_value());
+        if !self.worker_faults.is_empty() {
+            obj.insert("worker_faults".into(), self.worker_faults.to_value());
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for FaultInjector {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("FaultInjector: expected object"))?;
+        fn field<T: Deserialize + Default>(
+            obj: &serde::Map,
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            obj.get(name)
+                .map_or_else(|| Ok(T::default()), T::from_value)
+        }
+        Ok(FaultInjector {
+            drop_chance: field(obj, "drop_chance")?,
+            duplicate_chance: field(obj, "duplicate_chance")?,
+            error_chance: field(obj, "error_chance")?,
+            truncate_chance: field(obj, "truncate_chance")?,
+            congestion: field(obj, "congestion")?,
+            outages: field(obj, "outages")?,
+            worker_faults: field(obj, "worker_faults")?,
+        })
+    }
 }
 
 impl Default for FaultInjector {
@@ -196,6 +356,7 @@ impl FaultInjector {
             truncate_chance: 0.0,
             congestion: None,
             outages: Vec::new(),
+            worker_faults: WorkerFaultPlan::none(),
         }
     }
 
@@ -219,6 +380,7 @@ impl FaultInjector {
             truncate_chance: 0.02,
             congestion: Some((0.10, SimDuration::from_millis(750))),
             outages: Vec::new(),
+            worker_faults: WorkerFaultPlan::none(),
         }
         .validated()
     }
@@ -226,6 +388,12 @@ impl FaultInjector {
     /// Add a scheduled outage window.
     pub fn with_outage(mut self, window: OutageWindow) -> Self {
         self.outages.push(window);
+        self
+    }
+
+    /// Attach a schedule of worker faults (validated on entry).
+    pub fn with_worker_faults(mut self, plan: WorkerFaultPlan) -> Self {
+        self.worker_faults = plan.validated();
         self
     }
 
@@ -241,6 +409,7 @@ impl FaultInjector {
             self.congestion = Some((clamp_probability(p), d));
         }
         self.outages.retain(|w| w.from < w.until);
+        self.worker_faults = std::mem::take(&mut self.worker_faults).validated();
         self
     }
 
@@ -258,6 +427,7 @@ impl FaultInjector {
             && self.truncate_chance <= 0.0
             && self.congestion.is_none_or(|(p, _)| p <= 0.0)
             && self.outages.is_empty()
+            && self.worker_faults.is_empty()
     }
 
     /// Decide the fate of one exchange, ignoring outage windows (for
@@ -502,6 +672,7 @@ mod tests {
                 SimTime::from_mins(5),
                 SimTime::from_mins(2),
             )],
+            worker_faults: WorkerFaultPlan::none(),
         }
         .validated();
         assert_eq!(f.drop_chance, 0.0);
@@ -590,6 +761,73 @@ mod tests {
         ] {
             assert!((0.0..=1.0).contains(&p));
         }
+    }
+
+    #[test]
+    fn worker_fault_plan_sorts_and_marks_injector_faulty() {
+        let plan = WorkerFaultPlan {
+            faults: vec![
+                ScheduledWorkerFault {
+                    worker: 3,
+                    at: SimTime::from_mins(10),
+                    fault: WorkerFault::Crash,
+                },
+                ScheduledWorkerFault {
+                    worker: 1,
+                    at: SimTime::from_mins(2),
+                    fault: WorkerFault::Hang,
+                },
+                ScheduledWorkerFault {
+                    worker: 0,
+                    at: SimTime::from_mins(10),
+                    fault: WorkerFault::Restart,
+                },
+            ],
+        };
+        let f = FaultInjector::none().with_worker_faults(plan);
+        assert!(!f.is_none(), "a scheduled worker fault is a fault");
+        let order: Vec<(u32, u64)> = f
+            .worker_faults
+            .faults
+            .iter()
+            .map(|s| (s.worker, s.at.as_mins()))
+            .collect();
+        assert_eq!(order, vec![(1, 2), (0, 10), (3, 10)]);
+        assert_eq!(f.worker_faults.for_worker(3).count(), 1);
+    }
+
+    #[test]
+    fn worker_fault_generation_is_deterministic_and_rate_shaped() {
+        let rng = DetRng::new(99);
+        let horizon = SimTime::from_hours(4);
+        let a = WorkerFaultPlan::generate(&rng, 1_000, horizon, 0.25, WorkerFault::Crash);
+        let b = WorkerFaultPlan::generate(&rng, 1_000, horizon, 0.25, WorkerFault::Crash);
+        assert_eq!(a, b, "same inputs must yield the same plan");
+        let rate = a.len() as f64 / 1_000.0;
+        assert!((rate - 0.25).abs() < 0.05, "fault rate {rate}");
+        assert!(a.faults.iter().all(|f| f.at < horizon));
+        // Degenerate rates.
+        assert!(WorkerFaultPlan::generate(&rng, 64, horizon, 0.0, WorkerFault::Crash).is_empty());
+        assert_eq!(
+            WorkerFaultPlan::generate(&rng, 64, horizon, f64::NAN, WorkerFault::Hang).len(),
+            0
+        );
+        assert_eq!(
+            WorkerFaultPlan::generate(&rng, 64, horizon, 2.0, WorkerFault::Restart).len(),
+            64
+        );
+    }
+
+    #[test]
+    fn empty_worker_fault_plan_keeps_the_legacy_json_shape() {
+        // Committed runpacks carry `faults_json` recorded before worker
+        // faults existed; the new field must be invisible when empty so
+        // their byte-identity checks keep passing.
+        let json = serde_json::to_string(&FaultInjector::none()).unwrap();
+        assert!(!json.contains("worker_faults"), "got {json}");
+        let back: FaultInjector = serde_json::from_str(&json).unwrap();
+        assert!(back.worker_faults.is_empty());
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 
     #[test]

@@ -109,6 +109,26 @@ determinism() {
   fi
   rm -f results/.fleet_sweep.t1.json results/.fleet_sweep.t1.runpack
   echo "fleet_sweep record and pack byte-identical across thread counts"
+
+  echo "==> fleet_chaos determinism smoke (fast sweep, 1 vs 8 threads)"
+  # Worker-chaos sweep: crash/hang/restart fault plans and supervised
+  # recovery must be just as thread-invariant as the fault-free fleet.
+  # The bin asserts its own floors (zero lost reports, >=90% throughput
+  # retention at 1% crash rate) on every run.
+  PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin fleet_chaos -- fast
+  cp results/fleet_chaos.json results/.fleet_chaos.t1.json
+  cp results/fleet_chaos.runpack results/.fleet_chaos.t1.runpack
+  PHISHSIM_SWEEP_THREADS=8 cargo run --release -p phishsim-bench --bin fleet_chaos -- fast
+  if ! diff -q results/.fleet_chaos.t1.json results/fleet_chaos.json; then
+    echo "fleet_chaos record differs between 1 and 8 threads" >&2
+    exit 1
+  fi
+  if ! cmp -s results/.fleet_chaos.t1.runpack results/fleet_chaos.runpack; then
+    echo "fleet_chaos pack differs between 1 and 8 threads" >&2
+    exit 1
+  fi
+  rm -f results/.fleet_chaos.t1.json results/.fleet_chaos.t1.runpack
+  echo "fleet_chaos record and pack byte-identical across thread counts"
 }
 
 replay() {
@@ -117,7 +137,7 @@ replay() {
   # recorded config and must reproduce every section digest
   # byte-for-byte — at both thread counts, since parallelism must
   # never enter a pack.
-  for pack in table1 table2 obs_report fleet_sweep; do
+  for pack in table1 table2 obs_report fleet_sweep fleet_chaos; do
     for threads in 1 8; do
       PHISHSIM_SWEEP_THREADS=$threads cargo run --release --bin runpack -- \
         verify "results/$pack.runpack"

@@ -14,7 +14,9 @@
 //! as usual — by the determinism contract it must not matter.
 
 use phishsim::experiment::rerun_pack;
-use phishsim::runpack::{bisect, seek, verify_against, RunPack};
+use phishsim::runpack::{
+    bisect, metrics_divergence, seek, verify_against, MetricsDivergence, RunPack,
+};
 use phishsim::simnet::runner::sweep_threads;
 use phishsim::simnet::SimTime;
 use std::process::ExitCode;
@@ -88,6 +90,9 @@ fn verify(path: &str) -> ExitCode {
             if check.matches { "ok" } else { "MISMATCH" }
         );
     }
+    if let Some(m) = &report.metrics {
+        print_metrics_divergence(m);
+    }
     match (&report.ok, &report.divergence) {
         (true, _) => {
             println!("verified: byte-for-byte");
@@ -106,11 +111,19 @@ fn verify(path: &str) -> ExitCode {
             );
             ExitCode::FAILURE
         }
+        (false, None) if report.metrics.is_some() => ExitCode::FAILURE,
         (false, None) => {
             eprintln!("sections differ but event streams match (config/metadata drift)");
             ExitCode::FAILURE
         }
     }
+}
+
+fn print_metrics_divergence(m: &MetricsDivergence) {
+    eprintln!(
+        "first metrics divergence: {} {:?} layer {} (recorded {} vs reproduced {})",
+        m.kind, m.label, m.layer, m.recorded, m.reproduced
+    );
 }
 
 fn bisect_cmd(left_path: &str, right_path: &str) -> ExitCode {
@@ -121,9 +134,13 @@ fn bisect_cmd(left_path: &str, right_path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let metrics = metrics_divergence(&left, &right);
     match bisect(&left, &right) {
         None => {
-            println!("streams identical: no divergence");
+            match &metrics {
+                None => println!("streams identical: no divergence"),
+                Some(m) => print_metrics_divergence(m),
+            }
             ExitCode::SUCCESS
         }
         Some(report) => {
@@ -141,6 +158,9 @@ fn bisect_cmd(left_path: &str, right_path: &str) -> ExitCode {
             }
             if let Some(r) = &report.right {
                 println!("  right: {r}");
+            }
+            if let Some(m) = &metrics {
+                print_metrics_divergence(m);
             }
             ExitCode::SUCCESS
         }
