@@ -11,9 +11,10 @@
 //! any `PHISHSIM_SWEEP_THREADS`, which `scripts/check.sh` verifies on
 //! a reduced population.
 
-use phishsim_bench::write_record;
-use phishsim_core::experiment::{run_sb_scale, SbScaleConfig};
+use phishsim_bench::{write_pack, write_record};
+use phishsim_core::experiment::{record_run, run_sb_scale, RecordedConfig, SbScaleConfig};
 use phishsim_core::runner::sweep_threads;
+use phishsim_simnet::FaultInjector;
 use std::time::Instant;
 
 fn main() {
@@ -66,7 +67,7 @@ fn main() {
             .map(|m| m.to_string())
             .unwrap_or_else(|| "never".into());
         println!(
-            "{:<12} {:>10} {:>11} {:>10} {:>8.1} {:>8} {:>8}",
+            "{:<12} {:>10} {:>11} {:>10} {:>8.1} {:>8.1} {:>8.1}",
             delay.technique,
             listed,
             event.protected,
@@ -87,4 +88,15 @@ fn main() {
             "result": result,
         }),
     );
+
+    // Replay artifact: always the fast config, so the committed pack
+    // verifies in seconds and is identical whether this binary ran
+    // full or reduced.
+    eprintln!("recording results/sb_scale.runpack (fast config)...");
+    let pack = record_run(
+        &RecordedConfig::SbScale(SbScaleConfig::fast()),
+        &FaultInjector::none(),
+        threads,
+    );
+    write_pack("sb_scale", &pack);
 }

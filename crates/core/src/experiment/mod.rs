@@ -11,6 +11,10 @@
 //! * [`sb_scale`] — population-scale propagation: the main
 //!   experiment's listing delays fed through the `feedserve`
 //!   million-client update-protocol simulator.
+//! * [`sb_scale_50m`] — the cohort scale sweep: the same scenario
+//!   compressed onto quantized schedule cohorts behind a regional
+//!   mirror tier and swept to fifty million clients, guarded against
+//!   the exact baseline.
 //! * [`resilience`] — the chaos sweep: the coupled pipeline re-run
 //!   across escalating fault intensities (crawl loss × feed-server
 //!   outage × feed-channel loss).
@@ -37,6 +41,7 @@ pub mod recorded;
 pub mod redirection;
 pub mod resilience;
 pub mod sb_scale;
+pub mod sb_scale_50m;
 
 pub use cloaking::{run_cloaking_baseline, ArmStats, CloakingConfig, CloakingResult};
 pub use extension_experiment::{run_extension_experiment, ExtensionConfig, ExtensionResult};
@@ -60,6 +65,10 @@ pub use resilience::{
 };
 pub use sb_scale::{
     run_sb_scale, run_sb_scale_with_threads, SbScaleConfig, SbScaleResult, TechniqueDelay,
+};
+pub use sb_scale_50m::{
+    run_sb_scale_50m, run_sb_scale_50m_with_threads, BaselineDelta, SbScale50mConfig,
+    SbScale50mResult, ScalePoint,
 };
 
 use phishsim_dns::reputation::WORDS;

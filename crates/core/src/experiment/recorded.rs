@@ -19,6 +19,8 @@ use crate::experiment::fleet_chaos::{chaos_points, run_chaos_point, FleetChaosCo
 use crate::experiment::fleet_sweep::{fleet_points, run_fleet_point, summarize, FleetSweepConfig};
 use crate::experiment::main_experiment::{run_main_experiment, MainConfig};
 use crate::experiment::preliminary::{run_preliminary, PreliminaryConfig};
+use crate::experiment::sb_scale::{run_sb_scale_with_threads, SbScaleConfig};
+use crate::experiment::sb_scale_50m::{run_sb_scale_50m_with_threads, SbScale50mConfig};
 use phishsim_runpack::{PackRecorder, RunPack, StateSnapshot};
 use phishsim_simnet::runner::run_sweep_with_threads;
 use phishsim_simnet::{FaultInjector, ObsSink};
@@ -62,6 +64,14 @@ pub enum RecordedConfig {
     /// fault-free baseline. Worker-fault plans are regenerated from
     /// the config's seed, so the config alone replays the run.
     FleetChaos(FleetChaosConfig),
+    /// Population-scale propagation: the main-experiment leg (the
+    /// pack's Faults section applies to it) plus the population walk.
+    /// The walk itself is fault-free by contract — its feed-channel
+    /// loss lives inside the config.
+    SbScale(SbScaleConfig),
+    /// The cohort scale sweep: exact baseline plus one cohort run per
+    /// population, all against the one recorded feed timeline.
+    SbScale50m(SbScale50mConfig),
 }
 
 impl RecordedConfig {
@@ -74,6 +84,8 @@ impl RecordedConfig {
             RecordedConfig::SeedSweep(_) => "seed_sweep",
             RecordedConfig::FleetSweep(_) => "fleet_sweep",
             RecordedConfig::FleetChaos(_) => "fleet_chaos",
+            RecordedConfig::SbScale(_) => "sb_scale",
+            RecordedConfig::SbScale50m(_) => "sb_scale_50m",
         }
     }
 }
@@ -205,6 +217,26 @@ pub fn record_run(cfg: &RecordedConfig, faults: &FaultInjector, threads: usize) 
             let result = crate::experiment::fleet_chaos::summarize(cc, reports);
             rec.set_result_json(
                 &serde_json::to_string(&result).expect("fleet chaos result serializes"),
+            );
+        }
+        RecordedConfig::SbScale(sc) => {
+            let sink = rec.run_sink();
+            let mut c = sc.clone();
+            c.main.obs = sink.clone();
+            c.main.faults = faults.clone();
+            let r = run_sb_scale_with_threads(&c, threads);
+            rec.push_run("main", &sink);
+            rec.set_result_json(&serde_json::to_string(&r).expect("sb_scale result serializes"));
+        }
+        RecordedConfig::SbScale50m(sc) => {
+            let sink = rec.run_sink();
+            let mut c = sc.clone();
+            c.scale.main.obs = sink.clone();
+            c.scale.main.faults = faults.clone();
+            let r = run_sb_scale_50m_with_threads(&c, threads);
+            rec.push_run("main", &sink);
+            rec.set_result_json(
+                &serde_json::to_string(&r).expect("sb_scale_50m result serializes"),
             );
         }
     }
@@ -357,6 +389,40 @@ mod tests {
         assert_eq!(p1.runs.len(), 2, "baseline + one chaos cell");
         assert!(p1.result_json.contains("throughput_retention"));
         let again = rerun_pack(&p1, 2).expect("fleet chaos pack reruns");
+        assert!(verify_against(&p1, &again).ok);
+    }
+
+    #[test]
+    fn sb_scale_pack_is_thread_invariant_and_reruns() {
+        let mut sc = SbScaleConfig::fast();
+        sc.baseline_hashes = 500;
+        sc.churn_add = 20;
+        sc.population.clients = 300;
+        sc.population.batch = 64;
+        let cfg = RecordedConfig::SbScale(sc);
+        let p1 = record_run(&cfg, &FaultInjector::none(), 1);
+        let p2 = record_run(&cfg, &FaultInjector::none(), 2);
+        assert_eq!(p1.encode(), p2.encode());
+        assert_eq!(p1.experiment, "sb_scale");
+        assert!(p1.result_json.contains("versions_published"));
+        let again = rerun_pack(&p1, 2).expect("sb_scale pack reruns");
+        assert!(verify_against(&p1, &again).ok);
+    }
+
+    #[test]
+    fn sb_scale_50m_pack_is_thread_invariant_and_reruns() {
+        let mut sc = SbScale50mConfig::fast();
+        sc.scale.baseline_hashes = 500;
+        sc.scale.churn_add = 20;
+        sc.scale.population.batch = 64;
+        sc.populations = vec![300, 1_200];
+        let cfg = RecordedConfig::SbScale50m(sc);
+        let p1 = record_run(&cfg, &FaultInjector::none(), 1);
+        let p2 = record_run(&cfg, &FaultInjector::none(), 2);
+        assert_eq!(p1.encode(), p2.encode());
+        assert_eq!(p1.experiment, "sb_scale_50m");
+        assert!(p1.result_json.contains("within_one_sample_step"));
+        let again = rerun_pack(&p1, 2).expect("sb_scale_50m pack reruns");
         assert!(verify_against(&p1, &again).ok);
     }
 

@@ -207,10 +207,15 @@ pub fn run_resilience_with_threads(cfg: &ResilienceConfig, threads: usize) -> Re
             .iter()
             .zip(&population.events)
             .map(|(d, e)| {
+                // The delta table stays in whole minutes: truncating
+                // the (now fractional) percentiles reproduces the old
+                // integer-division values exactly.
+                let p50 = e.p50_exposure_mins as u64;
+                let p95 = e.p95_exposure_mins as u64;
                 let (base_delay, base_p50) = base
                     .get(&d.technique)
                     .copied()
-                    .unwrap_or((d.median_listing_delay_mins, e.p50_exposure_mins));
+                    .unwrap_or((d.median_listing_delay_mins, p50));
                 TechniqueResilience {
                     technique: d.technique.clone(),
                     arms: d.arms,
@@ -221,9 +226,9 @@ pub fn run_resilience_with_threads(cfg: &ResilienceConfig, threads: usize) -> Re
                         _ => None,
                     },
                     protected: e.protected,
-                    p50_exposure_mins: e.p50_exposure_mins,
-                    p95_exposure_mins: e.p95_exposure_mins,
-                    blind_window_inflation_mins: e.p50_exposure_mins as i64 - base_p50 as i64,
+                    p50_exposure_mins: p50,
+                    p95_exposure_mins: p95,
+                    blind_window_inflation_mins: p50 as i64 - base_p50 as i64,
                 }
             })
             .collect();

@@ -14,6 +14,7 @@
 //! this type is also the executable specification that the proptests
 //! pin the compressed walk against.
 
+use crate::mirror::MirrorTier;
 use crate::server::{FeedServer, UpdateResponse};
 use crate::store::{prefix_of, PrefixStore};
 use phishsim_simnet::metrics::CounterSet;
@@ -125,10 +126,42 @@ impl FeedClient {
     /// Fetch an update from `server` and apply it. Returns the version
     /// held afterwards.
     pub fn sync(&mut self, server: &FeedServer, now: SimTime) -> u64 {
+        self.sync_via(server, None, now)
+    }
+
+    /// Like [`FeedClient::sync`], but optionally routed through a
+    /// regional mirror: `Some((tier, mirror))` fetches against the
+    /// mirror's possibly stale captured version (and goes unanswered
+    /// while the mirror is down), `None` talks to the origin directly.
+    /// This is the executable specification the weighted cohort walk
+    /// is pinned against.
+    pub fn sync_via(
+        &mut self,
+        server: &FeedServer,
+        tier: Option<(&MirrorTier, u32)>,
+        now: SimTime,
+    ) -> u64 {
         self.counters.incr("client.syncs");
         self.obs.incr("feed.syncs");
+        let fetch = |client_version: Option<u64>, last_fetch: Option<SimTime>| match tier {
+            Some((t, mirror)) => {
+                let mut counters = CounterSet::new();
+                let resp = t.fetch_weighted(
+                    server,
+                    mirror,
+                    client_version,
+                    last_fetch,
+                    now,
+                    1,
+                    &mut counters,
+                );
+                server.absorb_counters(&counters);
+                resp
+            }
+            None => server.fetch_update(client_version, last_fetch, now),
+        };
         let client_version = (self.version > 0).then_some(self.version);
-        match server.fetch_update(client_version, self.last_accepted_fetch, now) {
+        match fetch(client_version, self.last_accepted_fetch) {
             UpdateResponse::UpToDate { .. } => {
                 self.counters.incr("client.up_to_date");
                 self.failure_streak = 0;
@@ -150,9 +183,7 @@ impl FeedClient {
                     // as the real protocol does on checksum mismatch.
                     self.counters.incr("client.apply_errors");
                     self.obs.incr("feed.apply_errors");
-                    if let UpdateResponse::FullReset { version, store, .. } =
-                        server.fetch_update(None, None, now)
-                    {
+                    if let UpdateResponse::FullReset { version, store, .. } = fetch(None, None) {
                         self.install_reset(version, store, now);
                     }
                 }
@@ -439,6 +470,40 @@ mod tests {
             .gauge_sample("feed.failure_streak")
             .expect("gauge recorded");
         assert_eq!(g.value, 0, "recovered after the outage");
+    }
+
+    #[test]
+    fn sync_via_mirror_serves_stale_versions_and_outages() {
+        use crate::mirror::MirrorConfig;
+        use phishsim_simnet::link::{TierOutage, TierOutagePlan};
+        use phishsim_simnet::OutageWindow;
+        let mut server = FeedServer::new(ServerConfig::default());
+        server.publish((0..50).map(h), SimTime::from_mins(10));
+        let cfg = MirrorConfig {
+            mirrors: 1,
+            refresh_every: SimDuration::from_mins(30),
+            outages: TierOutagePlan {
+                outages: vec![TierOutage {
+                    mirror: 0,
+                    window: OutageWindow::new(SimTime::from_mins(40), SimTime::from_mins(50)),
+                }],
+            },
+        };
+        let tier = MirrorTier::build(&cfg, &server, SimTime::from_hours(2));
+        let mut client = FeedClient::new(SimDuration::from_mins(30), SimTime::ZERO);
+        // Before the mirror's next refresh the publication is
+        // invisible: the client installs the stale empty version.
+        client.sync_via(&server, Some((&tier, 0)), SimTime::from_mins(15));
+        assert_eq!(client.version(), 1, "mirror still serves v1");
+        // During the mirror outage the sync goes unanswered and the
+        // client degrades, exactly like an origin outage.
+        client.sync_via(&server, Some((&tier, 0)), SimTime::from_mins(45));
+        assert!(client.is_degraded());
+        // After the outage the refreshed mirror converges the client.
+        client.sync_via(&server, Some((&tier, 0)), SimTime::from_mins(65));
+        assert_eq!(client.version(), server.current_version());
+        assert!(!client.is_degraded());
+        assert_eq!(client.store().len(), 50);
     }
 
     #[test]

@@ -27,10 +27,17 @@
 //!   stale local store keeps serving (staleness counted), sync
 //!   attempts back off exponentially, and recovery rides the ordinary
 //!   diff/full-reset path.
+//! * [`mirror`] — [`MirrorTier`]: the CDN leg real deployments put
+//!   between origin and client. Mirrors refresh from the origin on a
+//!   staggered cadence (skipping refreshes during origin outages or
+//!   their own [`TierOutagePlan`](phishsim_simnet::TierOutagePlan)
+//!   windows) and serve their possibly stale captured version.
 //! * [`population`] — drives N clients (default 10⁶) with staggered
 //!   schedules through the shared work-stealing sweep runner and
 //!   reports population blind-window metrics, byte-identically at any
-//!   thread count.
+//!   thread count. [`cohort`] scales the walk past 5 × 10⁷ clients by
+//!   collapsing identical quantized schedules into weighted
+//!   struct-of-arrays [`CohortTable`] rows with a proven error bound.
 //!
 //! `antiphish::sbapi` (the protocol toy the paper-facing experiments
 //! use) and `browser::sbcache` both consume [`PrefixStore`] instead of
@@ -41,14 +48,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cohort;
 pub mod diff;
+pub mod mirror;
 pub mod population;
 pub mod server;
 pub mod store;
 pub mod wire;
 
 pub use client::{FeedClient, FeedVerdict};
+pub use cohort::{CohortRecord, CohortSpec, CohortTable, COHORT_ROW_BYTES};
 pub use diff::{ApplyError, PrefixDiff};
+pub use mirror::{MirrorConfig, MirrorTier};
 pub use population::{
     run_population, run_population_with_threads, EventReport, ListingEvent, PopulationConfig,
     PopulationReport, ProtectedSample,

@@ -292,16 +292,69 @@ impl FeedServer {
         now: SimTime,
         counters: &mut CounterSet,
     ) -> UpdateResponse {
+        self.fetch_update_weighted(client_version, last_fetch, now, 1, counters)
+    }
+
+    /// Handle an update fetch on behalf of `weight` identical clients:
+    /// the protocol decision is made once and every counter (including
+    /// the byte accounting) is incremented by `weight`. The cohort
+    /// population walk collapses a whole cohort's sync round into one
+    /// weighted exchange this way.
+    pub fn fetch_update_weighted(
+        &self,
+        client_version: Option<u64>,
+        last_fetch: Option<SimTime>,
+        now: SimTime,
+        weight: u64,
+        counters: &mut CounterSet,
+    ) -> UpdateResponse {
         if self.down_at(now) {
-            counters.incr("update.unavailable");
-            self.obs.incr("feedsrv.unavailable");
+            counters.add("update.unavailable", weight);
+            self.obs.add("feedsrv.unavailable", weight);
             return UpdateResponse::Unavailable;
         }
+        let current = self.visible_entry(now);
+        self.serve_update(client_version, last_fetch, now, current, weight, counters)
+    }
+
+    /// Serve an update *toward* an explicit `target_version` instead of
+    /// the newest version visible at `now` — the mirror tier serves the
+    /// (possibly stale) origin version it last refreshed to. Origin
+    /// outage windows are deliberately not consulted: the caller (the
+    /// mirror) owns availability at its own tier, while origin outages
+    /// gate the mirror's *refreshes*.
+    pub fn fetch_update_via_version(
+        &self,
+        client_version: Option<u64>,
+        last_fetch: Option<SimTime>,
+        now: SimTime,
+        target_version: u64,
+        weight: u64,
+        counters: &mut CounterSet,
+    ) -> UpdateResponse {
+        let target = self
+            .entry(target_version)
+            .expect("mirror refreshed to a published version");
+        self.serve_update(client_version, last_fetch, now, target, weight, counters)
+    }
+
+    /// The shared serving decision: backoff inside the minimum wait,
+    /// up-to-date / diff / full-reset against `target`, all counters
+    /// weighted by `weight`.
+    fn serve_update(
+        &self,
+        client_version: Option<u64>,
+        last_fetch: Option<SimTime>,
+        now: SimTime,
+        target: &VersionEntry,
+        weight: u64,
+        counters: &mut CounterSet,
+    ) -> UpdateResponse {
         if let Some(lf) = last_fetch {
             let elapsed = now.since(lf);
             if elapsed < self.cfg.min_wait {
-                counters.incr("update.backoff");
-                self.obs.incr("feedsrv.backoff");
+                counters.add("update.backoff", weight);
+                self.obs.add("feedsrv.backoff", weight);
                 return UpdateResponse::Backoff {
                     retry_after: SimDuration::from_millis(
                         self.cfg.min_wait.as_millis() - elapsed.as_millis(),
@@ -309,35 +362,35 @@ impl FeedServer {
                 };
             }
         }
-        let current = self.visible_entry(now);
         match client_version {
-            Some(v) if v == current.version => {
-                counters.incr("update.up_to_date");
-                self.obs.incr("feedsrv.up_to_date");
+            // A client already at (or, through a fresher mirror, past)
+            // the serving version has nothing to download.
+            Some(v) if v >= target.version => {
+                counters.add("update.up_to_date", weight);
+                self.obs.add("feedsrv.up_to_date", weight);
                 UpdateResponse::UpToDate { version: v }
             }
-            Some(v)
-                if v < current.version
-                    && current.version - v <= self.cfg.history_window
-                    && self.entry(v).is_some() =>
-            {
-                let (diff, wire_bytes) = self.diff_between(v, current.version);
-                counters.incr("update.diff");
-                counters.add("bytes.diff", wire_bytes as u64);
-                self.obs.incr("feedsrv.diff");
+            Some(v) if target.version - v <= self.cfg.history_window && self.entry(v).is_some() => {
+                let (diff, wire_bytes) = self.diff_between(v, target.version);
+                counters.add("update.diff", weight);
+                counters.add("bytes.diff", (wire_bytes as u64).saturating_mul(weight));
+                self.obs.add("feedsrv.diff", weight);
                 self.obs.observe("feedsrv.diff_bytes", wire_bytes as u64);
                 UpdateResponse::Diff { diff, wire_bytes }
             }
             _ => {
-                counters.incr("update.full_reset");
-                counters.add("bytes.full_reset", current.encoded_len as u64);
-                self.obs.incr("feedsrv.full_reset");
+                counters.add("update.full_reset", weight);
+                counters.add(
+                    "bytes.full_reset",
+                    (target.encoded_len as u64).saturating_mul(weight),
+                );
+                self.obs.add("feedsrv.full_reset", weight);
                 self.obs
-                    .observe("feedsrv.reset_bytes", current.encoded_len as u64);
+                    .observe("feedsrv.reset_bytes", target.encoded_len as u64);
                 UpdateResponse::FullReset {
-                    version: current.version,
-                    store: Arc::clone(&current.store),
-                    wire_bytes: current.encoded_len,
+                    version: target.version,
+                    store: Arc::clone(&target.store),
+                    wire_bytes: target.encoded_len,
                 }
             }
         }
@@ -397,8 +450,20 @@ impl FeedServer {
         now: SimTime,
         counters: &mut CounterSet,
     ) -> FullHashResponse {
-        counters.incr("fullhash.lookups");
-        self.obs.incr("feedsrv.fullhash_lookups");
+        self.full_hashes_weighted(prefix, now, 1, counters)
+    }
+
+    /// Answer a full-hash lookup on behalf of `weight` identical
+    /// clients (the cohort walk's protection-confirmation round).
+    pub fn full_hashes_weighted(
+        &self,
+        prefix: u32,
+        now: SimTime,
+        weight: u64,
+        counters: &mut CounterSet,
+    ) -> FullHashResponse {
+        counters.add("fullhash.lookups", weight);
+        self.obs.add("feedsrv.fullhash_lookups", weight);
         let entry = self.visible_entry(now);
         let full = &entry.full_hashes;
         let lo = u64::from(prefix) << 32;
@@ -409,7 +474,7 @@ impl FeedServer {
             .take_while(|&h| prefix_of(h) == prefix)
             .collect();
         if hashes.is_empty() {
-            counters.incr("fullhash.negative");
+            counters.add("fullhash.negative", weight);
         }
         FullHashResponse {
             hashes,

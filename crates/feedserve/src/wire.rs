@@ -90,6 +90,20 @@ pub fn varint_len(v: u64) -> usize {
     ((64 - v.max(1).leading_zeros()) as usize).div_ceil(7)
 }
 
+/// Read a varint that must fit a `u32` (mirror ids in cohort records).
+pub fn get_varint_u32(buf: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    u32::try_from(get_varint(buf, pos)?).map_err(|_| WireError::Overflow)
+}
+
+/// Read a varint that must be a 0/1 flag (cohort record booleans).
+pub fn get_varint_bool(buf: &[u8], pos: &mut usize) -> Result<bool, WireError> {
+    match get_varint(buf, pos)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Overflow),
+    }
+}
+
 /// Append a strictly increasing `u32` list as `varint(count)` followed
 /// by first value and successive gaps. Panics in debug builds if the
 /// input is not strictly increasing (callers hold sorted-dedup lists).

@@ -118,7 +118,7 @@ fn population_walk_survives_the_same_outage() {
     // Nobody can sync the listing before the outage lifts at 180 min,
     // so the minimum exposure is the remaining outage (90 minutes).
     assert!(
-        ev.p50_exposure_mins >= 90,
+        ev.p50_exposure_mins >= 90.0,
         "median exposure {} should span the outage tail",
         ev.p50_exposure_mins
     );

@@ -1,0 +1,136 @@
+//! Property tests for the cohort compression layer.
+//!
+//! The contract cohort mode rests on: collapsing clients onto the
+//! schedule grid and walking each row once with weighted counters is a
+//! pure *regrouping* of the exact per-client walk — at unit quanta
+//! (`CohortSpec::exact()`) the split/merge must round-trip to the
+//! exact walk's per-client distribution bit for bit, for any
+//! population, seed, mirror layout, or thread count. The wire codec
+//! gets the same hardening discipline as the delta-list varints:
+//! round-trip equality, and rejection of every truncation.
+
+use phishsim_feedserve::{
+    run_population_with_threads, CohortSpec, CohortTable, FeedServer, ListingEvent, MirrorConfig,
+    PopulationConfig, PopulationReport, ServerConfig,
+};
+use phishsim_simnet::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn h(i: u64) -> u64 {
+    (i << 33) | 0x5151
+}
+
+/// A tiny feed timeline: a baseline version, then one listing an hour
+/// in — enough to exercise diffs, protection checks, and percentiles.
+fn small_feed() -> (FeedServer, Vec<ListingEvent>) {
+    let mut server = FeedServer::new(ServerConfig::default());
+    server.publish((0..50).map(h), SimTime::from_mins(5));
+    server.publish((0..51).map(h), SimTime::from_mins(60));
+    let events = vec![ListingEvent {
+        label: "listing".into(),
+        full_hash: h(50),
+        listed_at: SimTime::from_mins(60),
+    }];
+    (server, events)
+}
+
+fn pop_cfg(clients: usize, seed: u64, aggressive: f64, mirrors: u32) -> PopulationConfig {
+    PopulationConfig {
+        clients,
+        seed,
+        batch: 32,
+        horizon: SimDuration::from_hours(4),
+        aggressive_fraction: aggressive,
+        mirrors: (mirrors > 0).then(|| MirrorConfig {
+            mirrors,
+            ..MirrorConfig::default()
+        }),
+        ..PopulationConfig::default()
+    }
+}
+
+/// The parts of a report that must be identical between the exact
+/// walk and the unit-quanta cohort walk (the compression bookkeeping
+/// fields — `cohorts`, `state_bytes` — legitimately differ).
+fn walk_fingerprint(r: &PopulationReport) -> String {
+    serde_json::to_string(&(&r.events, r.fetches, &r.counters)).unwrap()
+}
+
+proptest! {
+    /// Unit-quanta cohorts are a pure regrouping: the cohort walk's
+    /// events, fetches, and every protocol counter match the exact
+    /// per-client walk bit for bit — the split/merge round-trip to the
+    /// exact per-client distribution.
+    #[test]
+    fn unit_quanta_cohort_walk_round_trips_the_exact_walk(
+        clients in 1usize..80,
+        seed in 0u64..1_000,
+        aggressive in 0.0f64..0.3,
+        mirrors in 0u32..4,
+    ) {
+        let (server, events) = small_feed();
+        let exact = pop_cfg(clients, seed, aggressive, mirrors);
+        let mut cohort = exact.clone();
+        cohort.cohorts = Some(CohortSpec::exact());
+        let a = run_population_with_threads(&exact, &server, &events, 2);
+        let b = run_population_with_threads(&cohort, &server, &events, 3);
+        prop_assert_eq!(walk_fingerprint(&a), walk_fingerprint(&b));
+        prop_assert_eq!(b.cohorts.is_some(), true);
+    }
+
+    /// The table itself is canonical: it accounts for every client,
+    /// keeps strictly ascending key order, and is byte-identical at
+    /// any thread count.
+    #[test]
+    fn cohort_table_is_canonical_and_thread_invariant(
+        clients in 1usize..200,
+        seed in 0u64..1_000,
+        mirrors in 0u32..4,
+    ) {
+        let mut cfg = pop_cfg(clients, seed, 0.05, mirrors);
+        cfg.cohorts = Some(CohortSpec::default());
+        let min_wait = ServerConfig::default().min_wait;
+        let t1 = CohortTable::from_population(&cfg, min_wait, 1);
+        let t3 = CohortTable::from_population(&cfg, min_wait, 3);
+        prop_assert_eq!(&t1, &t3);
+        prop_assert_eq!(t1.clients(), clients as u64);
+        for i in 0..t1.len() {
+            let r = t1.record(i);
+            prop_assert!(r.count > 0);
+            prop_assert!(r.phase_ms < r.period_ms);
+            if i > 0 {
+                let p = t1.record(i - 1);
+                prop_assert!(
+                    (p.mirror, p.period_ms, p.phase_ms, p.aggressive)
+                        < (r.mirror, r.period_ms, r.phase_ms, r.aggressive),
+                    "rows {} and {} out of canonical order", i - 1, i
+                );
+            }
+        }
+    }
+
+    /// Wire round-trip is exact, and — like the `get_varint` tests —
+    /// every strict prefix of a valid encoding is rejected, as is a
+    /// trailing byte.
+    #[test]
+    fn cohort_codec_round_trips_and_rejects_truncation(
+        clients in 1usize..150,
+        seed in 0u64..1_000,
+        mirrors in 0u32..4,
+    ) {
+        let mut cfg = pop_cfg(clients, seed, 0.1, mirrors);
+        cfg.cohorts = Some(CohortSpec::default());
+        let table = CohortTable::from_population(&cfg, ServerConfig::default().min_wait, 2);
+        let buf = table.encode();
+        prop_assert_eq!(CohortTable::decode(&buf).unwrap(), table);
+        for cut in 0..buf.len() {
+            prop_assert!(
+                CohortTable::decode(&buf[..cut]).is_err(),
+                "prefix of {} of {} bytes decoded", cut, buf.len()
+            );
+        }
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        prop_assert!(CohortTable::decode(&trailing).is_err());
+    }
+}

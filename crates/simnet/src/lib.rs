@@ -72,7 +72,7 @@ pub use error::SimError;
 pub use ip::{IpPool, Ipv4Sim};
 pub use link::{
     FaultInjector, FaultOutcome, LatencyModel, Link, LinkConfig, OutageWindow,
-    ScheduledWorkerFault, WorkerFault, WorkerFaultPlan,
+    ScheduledWorkerFault, TierOutage, TierOutagePlan, WorkerFault, WorkerFaultPlan,
 };
 pub use obs::{
     GaugeSample, LogHistogram, MetricsRegistry, ObsBuffer, ObsKind, ObsRecord, ObsSink, ObsTap,

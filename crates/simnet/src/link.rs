@@ -222,6 +222,100 @@ impl WorkerFaultPlan {
     }
 }
 
+/// One scheduled outage against one mirror of a distribution tier.
+///
+/// The feedserve mirror tier (origin → regional mirrors → clients)
+/// fails per *mirror*, not per link: a regional edge going dark takes
+/// down every client homed on it while the rest of the tier keeps
+/// serving. Like [`ScheduledWorkerFault`], the outage is data pinned
+/// before the run starts, so plans replay byte-identically at any
+/// sweep threading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierOutage {
+    /// Index of the mirror the outage targets.
+    pub mirror: u32,
+    /// The downtime window `[from, until)`.
+    pub window: OutageWindow,
+}
+
+/// A deterministic schedule of per-mirror outages for one tier.
+///
+/// The chaos hook for tiered feed distribution: the population
+/// simulator consults the plan on every client→mirror exchange and on
+/// every mirror→origin refresh, so staleness under partial-tier loss
+/// falls out of the same half-open window semantics the flat
+/// [`FaultInjector::outages`] use.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierOutagePlan {
+    /// The scheduled outages, sorted by `(window.from, mirror)`.
+    pub outages: Vec<TierOutage>,
+}
+
+impl TierOutagePlan {
+    /// A plan with no outages.
+    pub fn none() -> Self {
+        TierOutagePlan::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// Number of scheduled outages.
+    pub fn len(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Whether `mirror` is inside one of its outage windows at `t`.
+    pub fn down_at(&self, mirror: u32, t: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.mirror == mirror && o.window.contains(t))
+    }
+
+    /// Return a copy with inverted windows dropped and the rest sorted
+    /// by `(from, mirror)` so plans built from unordered sources
+    /// schedule deterministically.
+    pub fn validated(mut self) -> Self {
+        self.outages.retain(|o| o.window.from < o.window.until);
+        self.outages.sort_by_key(|o| (o.window.from, o.mirror));
+        self
+    }
+
+    /// Synthesize a plan from a per-mirror outage probability.
+    ///
+    /// Each of `mirrors` mirrors independently suffers one outage of
+    /// `duration` with probability `per_mirror_chance` (clamped into
+    /// `[0, 1]`), starting at a time drawn uniformly over
+    /// `[0, horizon)`. The draw order is fixed (one chance draw, then
+    /// one start draw per down mirror), so a given
+    /// `(rng, mirrors, horizon, chance, duration)` always yields the
+    /// same plan.
+    pub fn generate(
+        rng: &DetRng,
+        mirrors: u32,
+        horizon: SimTime,
+        per_mirror_chance: f64,
+        duration: SimDuration,
+    ) -> Self {
+        let chance = clamp_probability(per_mirror_chance);
+        let mut rng = rng.fork(&format!("tier-outages:{mirrors}"));
+        let span = horizon.as_millis().max(1);
+        let mut outages = Vec::new();
+        for mirror in 0..mirrors {
+            if rng.chance(chance) {
+                let from = SimTime::from_millis(rng.range(0..span));
+                outages.push(TierOutage {
+                    mirror,
+                    window: OutageWindow::new(from, from + duration),
+                });
+            }
+        }
+        TierOutagePlan { outages }.validated()
+    }
+}
+
 /// Random faults applied to traffic crossing a link.
 ///
 /// Probabilities outside `[0, 1]` (including NaN) are clamped by
@@ -816,6 +910,56 @@ mod tests {
             WorkerFaultPlan::generate(&rng, 64, horizon, 2.0, WorkerFault::Restart).len(),
             64
         );
+    }
+
+    #[test]
+    fn tier_outage_plan_generates_deterministically_and_answers_down_at() {
+        let rng = DetRng::new(7);
+        let horizon = SimTime::from_hours(8);
+        let dur = SimDuration::from_mins(45);
+        let a = TierOutagePlan::generate(&rng, 500, horizon, 0.2, dur);
+        let b = TierOutagePlan::generate(&rng, 500, horizon, 0.2, dur);
+        assert_eq!(a, b, "same inputs must yield the same plan");
+        let rate = a.len() as f64 / 500.0;
+        assert!((rate - 0.2).abs() < 0.06, "outage rate {rate}");
+        for o in &a.outages {
+            assert_eq!(o.window.duration(), dur);
+            assert!(a.down_at(o.mirror, o.window.from));
+            assert!(!a.down_at(o.mirror, o.window.until), "half-open bound");
+        }
+        // A mirror with no scheduled outage is never down.
+        let quiet = (0..500u32).find(|m| a.outages.iter().all(|o| o.mirror != *m));
+        if let Some(m) = quiet {
+            assert!(!a.down_at(m, SimTime::from_hours(1)));
+        }
+        assert!(TierOutagePlan::generate(&rng, 16, horizon, 0.0, dur).is_empty());
+        assert_eq!(
+            TierOutagePlan::generate(&rng, 16, horizon, 2.0, dur).len(),
+            16
+        );
+    }
+
+    #[test]
+    fn tier_outage_plan_validation_drops_inverted_windows_and_sorts() {
+        let plan = TierOutagePlan {
+            outages: vec![
+                TierOutage {
+                    mirror: 2,
+                    window: OutageWindow::new(SimTime::from_mins(30), SimTime::from_mins(40)),
+                },
+                TierOutage {
+                    mirror: 9,
+                    window: OutageWindow::new(SimTime::from_mins(50), SimTime::from_mins(10)),
+                },
+                TierOutage {
+                    mirror: 0,
+                    window: OutageWindow::new(SimTime::from_mins(5), SimTime::from_mins(25)),
+                },
+            ],
+        }
+        .validated();
+        let order: Vec<u32> = plan.outages.iter().map(|o| o.mirror).collect();
+        assert_eq!(order, vec![0, 2], "inverted window dropped, rest sorted");
     }
 
     #[test]

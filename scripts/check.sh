@@ -88,6 +88,25 @@ determinism() {
   echo "==> resilience determinism smoke (5k clients/level, 1 vs 4 threads)"
   smoke resilience results/resilience.json 1 4 resilience -- --clients 5000
 
+  echo "==> sb_scale_50m determinism smoke (fast cohort sweep, 1 vs 8 threads)"
+  # Cohort compression, the mirror tier, and the exact-baseline guard
+  # must all be thread-invariant; the bin also rewrites the pack, so
+  # pin both artifacts like the fleet smokes do.
+  PHISHSIM_SWEEP_THREADS=1 cargo run --release -p phishsim-bench --bin sb_scale_50m -- fast
+  cp results/sb_scale_50m.json results/.sb_scale_50m.t1.json
+  cp results/sb_scale_50m.runpack results/.sb_scale_50m.t1.runpack
+  PHISHSIM_SWEEP_THREADS=8 cargo run --release -p phishsim-bench --bin sb_scale_50m -- fast
+  if ! diff -q results/.sb_scale_50m.t1.json results/sb_scale_50m.json; then
+    echo "sb_scale_50m record differs between 1 and 8 threads" >&2
+    exit 1
+  fi
+  if ! cmp -s results/.sb_scale_50m.t1.runpack results/sb_scale_50m.runpack; then
+    echo "sb_scale_50m pack differs between 1 and 8 threads" >&2
+    exit 1
+  fi
+  rm -f results/.sb_scale_50m.t1.json results/.sb_scale_50m.t1.runpack
+  echo "sb_scale_50m record and pack byte-identical across thread counts"
+
   echo "==> obs_report determinism smoke (full volume, 1 vs 8 threads)"
   smoke obs_report results/obs_report.json 1 8 obs_report
 
@@ -137,7 +156,7 @@ replay() {
   # recorded config and must reproduce every section digest
   # byte-for-byte — at both thread counts, since parallelism must
   # never enter a pack.
-  for pack in table1 table2 obs_report fleet_sweep fleet_chaos; do
+  for pack in table1 table2 obs_report fleet_sweep fleet_chaos sb_scale sb_scale_50m; do
     for threads in 1 8; do
       PHISHSIM_SWEEP_THREADS=$threads cargo run --release --bin runpack -- \
         verify "results/$pack.runpack"
